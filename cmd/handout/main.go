@@ -1,0 +1,121 @@
+// Command handout renders and grades the Raspberry Pi virtual handout, the
+// Runestone-style module of the paper's Section III-A (its Figure 1 is the
+// rendering of section 2.3).
+//
+// Usage:
+//
+//	handout -toc
+//	handout -section 2.3
+//	handout -grade sp_mc_2=C
+//	handout -handson 2.3 -workers 4    # run the section's patternlets
+//	handout -take 2.3                  # work a section interactively
+//	handout -serve :8080               # serve the handout as a web page
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/handout"
+	"repro/internal/patternlets"
+)
+
+func main() {
+	var (
+		toc     = flag.Bool("toc", false, "print the module's table of contents and pacing plan")
+		section = flag.String("section", "", "render one section (e.g. 2.3)")
+		grade   = flag.String("grade", "", "grade an answer, written question_id=answer")
+		handson = flag.String("handson", "", "run a section's hands-on patternlets")
+		workers = flag.Int("workers", 4, "threads for -handson runs")
+		take    = flag.String("take", "", "work a section interactively ('all' for the whole module), answers read from stdin")
+		serve   = flag.String("serve", "", "serve the module as a web page on this address (e.g. :8080)")
+		module  = flag.String("module", "pi", "which handout: pi (shared memory) or mpi (distributed companion)")
+	)
+	flag.Parse()
+
+	var m *handout.Module
+	switch *module {
+	case "pi":
+		m = handout.RaspberryPiModule()
+	case "mpi":
+		m = handout.MPICompanionModule()
+	default:
+		fail(fmt.Errorf("unknown module %q (pi or mpi)", *module))
+	}
+	switch {
+	case *serve != "":
+		ws := handout.NewWebServer(m, "learner")
+		fmt.Printf("serving the virtual handout on http://%s/\n", *serve)
+		if err := http.ListenAndServe(*serve, ws.Handler()); err != nil {
+			fail(err)
+		}
+	case *take == "all":
+		correct, total, err := handout.TakeModule(os.Stdout, os.Stdin, m, "learner")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nFinal score: %d/%d\n", correct, total)
+	case *take != "":
+		s, err := m.Section(*take)
+		if err != nil {
+			fail(err)
+		}
+		g := handout.NewGradebook("learner", m)
+		if err := handout.TakeSection(os.Stdout, os.Stdin, s, g); err != nil {
+			fail(err)
+		}
+	case *toc:
+		handout.RenderTOC(os.Stdout, m)
+	case *section != "":
+		s, err := m.Section(*section)
+		if err != nil {
+			fail(err)
+		}
+		handout.RenderSection(os.Stdout, s)
+	case *grade != "":
+		parts := strings.SplitN(*grade, "=", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("write -grade as question_id=answer"))
+		}
+		g := handout.NewGradebook("learner", m)
+		attempt, err := g.Submit(parts[0], parts[1])
+		if err != nil {
+			fail(err)
+		}
+		verdict := "incorrect"
+		if attempt.Correct {
+			verdict = "correct"
+		}
+		fmt.Printf("%s: %s\n%s\n", attempt.QuestionID, verdict, attempt.Feedback)
+	case *handson != "":
+		s, err := m.Section(*handson)
+		if err != nil {
+			fail(err)
+		}
+		if len(s.PatternletRefs) == 0 {
+			fail(fmt.Errorf("section %s has no hands-on patternlets", *handson))
+		}
+		for _, name := range s.PatternletRefs {
+			p, err := patternlets.Lookup(name)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("--- %s ---\n", name)
+			if err := patternlets.RunShared(p, os.Stdout, *workers); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "handout:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,202 @@
+// Command mpirun launches SPMD programs on the message-passing runtime,
+// mirroring the mpirun invocations the notebook's shell cells use.
+//
+// Usage:
+//
+//	mpirun -np 4 mpiSpmd                        # in-process ranks
+//	mpirun -np 4 -platform colab mpiSpmd        # on a modeled platform
+//	mpirun -np 4 -transport tcp mpiRing         # loopback TCP transport
+//	mpirun -np 4 -transport procs mpiRing       # one OS process per rank
+//	mpirun -np 8 forestfire | drugdesign | integration
+//
+// With -transport procs the launcher starts a TCP hub and re-executes
+// itself once per rank in worker mode, so the ranks really are separate OS
+// processes exchanging messages over the network — a single-machine Beowulf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/exemplars/drugdesign"
+	"repro/internal/exemplars/forestfire"
+	"repro/internal/exemplars/integration"
+	"repro/internal/mpi"
+	"repro/internal/patternlets"
+)
+
+// Environment variables of worker mode.
+const (
+	envHub  = "MPIRUN_HUB"
+	envRank = "MPIRUN_RANK"
+	envNP   = "MPIRUN_NP"
+	envProg = "MPIRUN_PROG"
+)
+
+func main() {
+	if os.Getenv(envHub) != "" {
+		if err := workerMode(); err != nil {
+			fmt.Fprintln(os.Stderr, "mpirun worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var (
+		np        = flag.Int("np", 4, "number of processes")
+		platform  = flag.String("platform", "", "modeled platform (pi, colab, chameleon, stolaf)")
+		transport = flag.String("transport", "local", "local (goroutine ranks), tcp (loopback TCP), or procs (separate OS processes)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs] <program>")
+		os.Exit(2)
+	}
+	prog := flag.Arg(0)
+	body, err := resolveProgram(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpirun:", err)
+		os.Exit(1)
+	}
+
+	switch *transport {
+	case "local":
+		if *platform != "" {
+			plat, err := cluster.Lookup(*platform)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpirun:", err)
+				os.Exit(1)
+			}
+			err = plat.Launch(*np, body)
+			exitOn(err)
+			return
+		}
+		exitOn(mpi.Run(*np, body))
+	case "tcp":
+		exitOn(mpi.RunTCP(*np, body))
+	case "procs":
+		exitOn(runProcs(*np, prog))
+	default:
+		fmt.Fprintf(os.Stderr, "mpirun: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpirun:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveProgram maps a program name to its per-rank body: any
+// message-passing patternlet, or one of the three exemplars.
+func resolveProgram(name string) (func(c *mpi.Comm) error, error) {
+	switch name {
+	case "integration":
+		return func(c *mpi.Comm) error {
+			pi, err := integration.TrapezoidMPI(c, integration.QuarterCircle, 0, 1, 1_000_000)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("pi ≈ %.9f (error %.2g) across %d processes\n", pi, integration.AbsError(pi), c.Size())
+			}
+			return nil
+		}, nil
+	case "drugdesign":
+		return func(c *mpi.Comm) error {
+			res, err := drugdesign.MPIMasterWorker(c, drugdesign.DefaultParams())
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Println(res)
+			}
+			return nil
+		}, nil
+	case "forestfire":
+		return func(c *mpi.Comm) error {
+			pts, err := forestfire.SweepMPI(c, forestfire.DefaultParams())
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Print(forestfire.FormatCurve(pts))
+			}
+			return nil
+		}, nil
+	default:
+		p, err := patternlets.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("unknown program %q (use a message-passing patternlet name or integration/drugdesign/forestfire)", name)
+		}
+		if p.RunRank == nil {
+			return nil, fmt.Errorf("%q is a shared-memory patternlet; use cmd/patternlet for it", name)
+		}
+		sw := patternlets.NewSyncWriter(os.Stdout)
+		return func(c *mpi.Comm) error { return p.RunRank(sw, c) }, nil
+	}
+}
+
+// runProcs starts a hub and one OS process per rank (re-executing this
+// binary in worker mode), then waits for the job.
+func runProcs(np int, prog string) error {
+	hub, err := mpi.StartHub("127.0.0.1:0", np)
+	if err != nil {
+		return err
+	}
+	defer hub.Close()
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmds := make([]*exec.Cmd, np)
+	for rank := 0; rank < np; rank++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			envHub+"="+hub.Addr(),
+			envRank+"="+strconv.Itoa(rank),
+			envNP+"="+strconv.Itoa(np),
+			envProg+"="+prog,
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+	var firstErr error
+	for rank, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	if err := hub.Wait(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// workerMode is the re-executed half of -transport procs.
+func workerMode() error {
+	rank, err := strconv.Atoi(os.Getenv(envRank))
+	if err != nil {
+		return fmt.Errorf("bad %s: %w", envRank, err)
+	}
+	np, err := strconv.Atoi(os.Getenv(envNP))
+	if err != nil {
+		return fmt.Errorf("bad %s: %w", envNP, err)
+	}
+	body, err := resolveProgram(os.Getenv(envProg))
+	if err != nil {
+		return err
+	}
+	return mpi.JoinTCP(os.Getenv(envHub), rank, np, body)
+}

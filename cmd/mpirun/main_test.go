@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestResolveProgramPatternlets(t *testing.T) {
+	for _, name := range []string{"mpiSpmd", "mpiRing", "mpiBroadcast"} {
+		body, err := resolveProgram(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := mpi.Run(3, body); err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+	}
+}
+
+func TestResolveProgramExemplars(t *testing.T) {
+	for _, name := range []string{"integration", "drugdesign", "forestfire"} {
+		if _, err := resolveProgram(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestResolveProgramRejections(t *testing.T) {
+	if _, err := resolveProgram("noSuchThing"); err == nil || !strings.Contains(err.Error(), "unknown program") {
+		t.Fatalf("unknown program err = %v", err)
+	}
+	// Shared-memory patternlets are not mpirun-able.
+	if _, err := resolveProgram("spmd"); err == nil || !strings.Contains(err.Error(), "shared-memory") {
+		t.Fatalf("shared-memory patternlet err = %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+// Command notebook renders and executes the mpi4py patternlets notebook,
+// the Colab material of the paper's Section III-B (its Figure 2 shows the
+// 00spmd.py cells).
+//
+// Usage:
+//
+//	notebook -render                 # show the notebook's cells
+//	notebook -run all                # execute every cell on the Colab model
+//	notebook -run 00spmd.py          # execute one program's cell pair
+//	notebook -run all -platform chameleon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/notebook"
+)
+
+func main() {
+	var (
+		render   = flag.Bool("render", false, "print the notebook without executing it")
+		run      = flag.String("run", "", "execute cells: 'all' or a program file name like 00spmd.py")
+		platform = flag.String("platform", "colab", "platform backing the mpirun cells (pi, colab, chameleon, stolaf)")
+		fire     = flag.Bool("fire", false, "use the second-hour forest-fire notebook instead of the patternlets one")
+		export   = flag.String("export", "", "write the notebook as an nbformat-4 .ipynb file to this path (executes the cells first)")
+	)
+	flag.Parse()
+
+	if *export != "" {
+		plat, err := cluster.Lookup(*platform)
+		if err != nil {
+			fail(err)
+		}
+		rt := notebook.NewRuntime(plat.Launch)
+		if err := notebook.BindPatternlets(rt); err != nil {
+			fail(err)
+		}
+		nb := notebook.MPI4PyPatternletsNotebook()
+		if *fire {
+			notebook.BindForestFire(rt)
+			nb = notebook.ForestFireNotebook()
+		}
+		if err := rt.RunAll(nb); err != nil {
+			fail(err)
+		}
+		data, err := notebook.ExportIPYNB(nb)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d bytes, %d cells, outputs included)\n", *export, len(data), len(nb.Cells))
+		return
+	}
+
+	if *fire {
+		plat, err := cluster.Lookup(*platform)
+		if err != nil {
+			fail(err)
+		}
+		out, err := notebook.RunFireNotebook(plat.Launch)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	nb := notebook.MPI4PyPatternletsNotebook()
+	switch {
+	case *render:
+		for i, cell := range nb.Cells {
+			fmt.Printf("--- cell %d [%s] ---\n%s\n\n", i, cell.Type, cell.Source)
+		}
+	case *run != "":
+		plat, err := cluster.Lookup(*platform)
+		if err != nil {
+			fail(err)
+		}
+		rt := notebook.NewRuntime(plat.Launch)
+		if err := notebook.BindPatternlets(rt); err != nil {
+			fail(err)
+		}
+		if *run == "all" {
+			if err := rt.RunAll(nb); err != nil {
+				fail(err)
+			}
+			for _, cell := range nb.Cells {
+				if cell.Output != "" {
+					fmt.Printf(">>> %s\n%s\n", firstLine(cell.Source), cell.Output)
+				}
+			}
+			return
+		}
+		ran := false
+		for _, cell := range nb.Cells {
+			if strings.Contains(cell.Source, *run) && cell.Type != notebook.Markdown {
+				out, err := rt.ExecuteCell(cell)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf(">>> %s\n%s", firstLine(cell.Source), out)
+				ran = true
+			}
+		}
+		if !ran {
+			fail(fmt.Errorf("no cell mentions %q", *run))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "notebook:", err)
+	os.Exit(1)
+}

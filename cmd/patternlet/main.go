@@ -1,0 +1,126 @@
+// Command patternlet lists, explains, and runs the patternlet catalog — the
+// command-line face of the paper's teaching materials.
+//
+// Usage:
+//
+//	patternlet -list [-paradigm shared-memory|message-passing]
+//	patternlet -explain spmd
+//	patternlet -run spmd -workers 4
+//	patternlet -run mpiSpmd -workers 4 -platform colab
+//	patternlet -trace dynamic -workers 4 -n 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/patternlets"
+	"repro/internal/shm"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the patternlet catalog")
+		paradigm = flag.String("paradigm", "", "filter -list by paradigm (shared-memory or message-passing)")
+		explain  = flag.String("explain", "", "print a patternlet's teaching text")
+		run      = flag.String("run", "", "run a patternlet by name")
+		workers  = flag.Int("workers", 4, "threads (shared-memory) or processes (message-passing)")
+		platform = flag.String("platform", "", "run message-passing patternlets on a modeled platform (pi, colab, chameleon, stolaf)")
+		trace    = flag.String("trace", "", "visualize a loop schedule's iteration assignment (static, cyclic, dynamic, guided)")
+		n        = flag.Int("n", 16, "iteration count for -trace")
+	)
+	flag.Parse()
+
+	switch {
+	case *trace != "":
+		sched, err := scheduleByName(*trace)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(shm.TraceSchedule(*workers, *n, sched).Render())
+	case *list:
+		listCatalog(*paradigm)
+	case *explain != "":
+		if err := explainPatternlet(*explain); err != nil {
+			fail(err)
+		}
+	case *run != "":
+		if err := runPatternlet(*run, *workers, *platform); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "patternlet:", err)
+	os.Exit(1)
+}
+
+// scheduleByName maps a -trace argument to a schedule.
+func scheduleByName(name string) (shm.Schedule, error) {
+	switch name {
+	case "static":
+		return shm.Static(), nil
+	case "cyclic":
+		return shm.ChunksOf1(), nil
+	case "dynamic":
+		return shm.Dynamic(1), nil
+	case "guided":
+		return shm.Guided(1), nil
+	default:
+		return shm.Schedule{}, fmt.Errorf("unknown schedule %q (static, cyclic, dynamic, guided)", name)
+	}
+}
+
+func listCatalog(paradigm string) {
+	var items []patternlets.Patternlet
+	switch paradigm {
+	case "":
+		items = patternlets.All()
+	case string(patternlets.SharedMemory), string(patternlets.MessagePassing):
+		items = patternlets.ByParadigm(patternlets.Paradigm(paradigm))
+	default:
+		fail(fmt.Errorf("unknown paradigm %q", paradigm))
+	}
+	for _, p := range items {
+		fmt.Printf("%-28s %-16s %-38s %s\n", p.Name, p.Paradigm, p.Pattern, p.Summary)
+	}
+}
+
+func explainPatternlet(name string) error {
+	p, err := patternlets.Lookup(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s (%s)\n\n%s\n\nTo explore: %s\n", p.Name, p.Pattern, p.Paradigm, p.Explanation, p.Exercise)
+	return nil
+}
+
+func runPatternlet(name string, workers int, platform string) error {
+	p, err := patternlets.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if p.Paradigm == patternlets.SharedMemory {
+		if platform != "" && platform != "pi" {
+			return fmt.Errorf("shared-memory patternlets run on the Pi; -platform %s is for message-passing", platform)
+		}
+		return patternlets.RunShared(p, os.Stdout, workers)
+	}
+	if platform == "" {
+		return patternlets.RunDistributed(p, os.Stdout, workers)
+	}
+	plat, err := cluster.Lookup(platform)
+	if err != nil {
+		return err
+	}
+	return patternlets.RunDistributedOn(p, os.Stdout, func(body func(c *mpi.Comm) error) error {
+		return plat.Launch(workers, body)
+	})
+}

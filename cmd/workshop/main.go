@@ -1,0 +1,89 @@
+// Command workshop reproduces the paper's evaluation artifacts from the
+// raw materials: Table I (kit cost), Table II (session usefulness),
+// Figure 3 (confidence pre/post), Figure 4 (preparedness pre/post), and
+// the Section IV demographics.
+//
+// Usage:
+//
+//	workshop -all
+//	workshop -table1 -table2
+//	workshop -fig3 -fig4 -demographics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kit"
+	"repro/internal/survey"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "print every artifact")
+		table1   = flag.Bool("table1", false, "Table I: kit bill of materials")
+		table2   = flag.Bool("table2", false, "Table II: session usefulness")
+		fig3     = flag.Bool("fig3", false, "Figure 3: confidence pre/post")
+		fig4     = flag.Bool("fig4", false, "Figure 4: preparedness pre/post")
+		demo     = flag.Bool("demographics", false, "Section IV cohort demographics")
+		simulate = flag.Bool("simulate", false, "simulate the 2.5-day workshop end to end")
+		seed     = flag.Int64("seed", 2020, "participant-behaviour seed for -simulate")
+		feedback = flag.Bool("feedback", false, "print the published open-ended participant feedback")
+	)
+	flag.Parse()
+	if !(*all || *table1 || *table2 || *fig3 || *fig4 || *demo || *simulate || *feedback) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := core.Summer2020Workshop()
+	t2, f3, f4, err := w.Assessment()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workshop:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table1 {
+		fmt.Println(kit.FormatTableI(kit.BillOfMaterials()))
+	}
+	if *all || *table2 {
+		fmt.Println(survey.FormatTableII(t2))
+	}
+	if *all || *fig3 {
+		fmt.Println("FIGURE 3 —", survey.FormatPrePost(f3))
+	}
+	if *all || *fig4 {
+		fmt.Println("FIGURE 4 —", survey.FormatPrePost(f4))
+	}
+	if *all || *demo {
+		d := survey.Demographics(w.Participants)
+		fmt.Printf("Cohort (n=%d): %.0f%% faculty, %.0f%% graduate students\n", d.N, d.PctFaculty, d.PctGradStudents)
+		fmt.Printf("Locations: %d continental US, %d Puerto Rico, %d international\n",
+			d.NContinentalUS, d.NPuertoRico, d.NInternational)
+		fmt.Printf("Gender: %.0f%% male, %.0f%% female, %.0f%% other\n", d.PctMale, d.PctFemale, d.PctOther)
+		fmt.Printf("Track: %.0f%% tenure/tenure-track, %.0f%% non-tenure, %.0f%% graduate students\n",
+			d.PctTenure, d.PctNonTenure, d.PctGradTrack)
+		fmt.Printf("Fall 2020 plans: %.0f%% fully remote, %.0f%% hybrid, %.0f%% in person, %.0f%% undecided\n",
+			d.PctFullyRemote, d.PctHybrid, d.PctInPerson, d.PctUndecided)
+		fmt.Printf("Institutions anticipating hybrid instruction: %.0f%%\n", d.PctInstitutionHybrid)
+	}
+	if *all || *feedback {
+		fmt.Println("\n=== open-ended participant feedback (Section IV) ===")
+		for _, q := range survey.OpenEndedFeedback() {
+			fmt.Printf("[%s / %s]\n  %q\n", q.Session, q.Theme, q.Text)
+		}
+	}
+	if *all || *simulate {
+		fmt.Println("\n=== workshop simulation ===")
+		rep, err := w.Simulate(os.Stdout, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workshop:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary: %d participants, %d/%d questions solved, %d day-1 issues, %d VNC lockout(s), %d completed day 2\n",
+			rep.Participants, rep.QuestionsSolved, rep.Participants*len(core.SharedMemoryModule().Handout.Questions()),
+			rep.Day1TechnicalIssues, rep.VNCLockouts, rep.CompletedDay2)
+	}
+}

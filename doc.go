@@ -1,0 +1,21 @@
+// Package repro is a Go reproduction of "Teaching PDC in the Time of COVID:
+// Hands-on Materials for Remote Learning" (Adams, Brown, Matthews, Shoop;
+// IPDPS Workshops / EduPar 2021).
+//
+// The library rebuilds the paper's complete teaching-materials ecosystem:
+// a goroutine-based shared-memory runtime with OpenMP's execution model
+// (internal/shm), a message-passing runtime with MPI semantics over
+// in-process and TCP transports (internal/mpi), the patternlet catalogs for
+// both paradigms (internal/patternlets), the three exemplar applications
+// (internal/exemplars/...), the Runestone-style virtual handout and the
+// Colab-style notebook that deliver them (internal/handout,
+// internal/notebook), models of the four execution platforms
+// (internal/cluster), the mailed kit and system image (internal/kit,
+// internal/image), and the workshop assessment with its statistics
+// (internal/survey, internal/stats). internal/core ties the materials into
+// the paper's two 2-hour modules and its 2.5-day workshop.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure. The benchmark
+// harness in bench_test.go regenerates each of them.
+package repro

@@ -1,0 +1,37 @@
+// Classroom walkthrough: deliver both of the paper's modules end to end the
+// way a remote lab period would run them — handout, patternlets, notebook,
+// exemplars — then print the workshop assessment that the paper's
+// evaluation reports.
+//
+//	go run ./examples/classroom
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kit"
+	"repro/internal/survey"
+)
+
+func main() {
+	for _, m := range core.Modules() {
+		if err := m.Deliver(os.Stdout, 4); err != nil {
+			log.Fatalf("delivering %s: %v", m.Name, err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== workshop assessment ===")
+	fmt.Println(kit.FormatTableI(kit.BillOfMaterials()))
+	w := core.Summer2020Workshop()
+	t2, f3, f4, err := w.Assessment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(survey.FormatTableII(t2))
+	fmt.Println(survey.FormatPrePost(f3))
+	fmt.Println(survey.FormatPrePost(f4))
+}

@@ -1,0 +1,69 @@
+// Drug design exemplar (shared-memory Section 3.2 and one of the
+// distributed module's second-hour choices): score a pool of random
+// ligands against a protein, compare loop schedules on the imbalanced
+// workload, and run the master-worker distributed version.
+//
+//	go run ./examples/drugdesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exemplars/drugdesign"
+	"repro/internal/mpi"
+	"repro/internal/shm"
+)
+
+func main() {
+	params := drugdesign.DefaultParams()
+	params.NumLigands = 2000
+	params.MaxLigandLen = 12
+
+	// Sequential baseline.
+	start := time.Now()
+	res, err := drugdesign.Sequential(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential (%v): %s\n", time.Since(start).Round(time.Millisecond), res)
+
+	// Schedule comparison on 4 threads: the imbalanced ligand lengths are
+	// why the exemplar teaches dynamic scheduling.
+	for _, sched := range []struct {
+		name string
+		s    shm.Schedule
+	}{
+		{"static (equal chunks)", shm.Static()},
+		{"static (chunks of 1)", shm.ChunksOf1()},
+		{"dynamic", shm.Dynamic(1)},
+		{"guided", shm.Guided(1)},
+	} {
+		start := time.Now()
+		got, err := drugdesign.Shared(params, 4, sched.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got.MaxScore != res.MaxScore {
+			log.Fatalf("schedule %s changed the answer", sched.name)
+		}
+		fmt.Printf("4 threads, %-22s %v\n", sched.name+":", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Master-worker distributed version: dynamic balancing via messages.
+	fmt.Println("\nmaster-worker across 4 ranks:")
+	err = mpi.Run(4, func(c *mpi.Comm) error {
+		got, err := drugdesign.MPIMasterWorker(c, params)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println(got)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

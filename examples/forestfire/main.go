@@ -1,0 +1,53 @@
+// Forest fire exemplar (the distributed module's Jupyter/Chameleon
+// activity): sweep the fire-spread probability, average many Monte Carlo
+// trials per point, and print the burn curve with its phase transition —
+// first sequentially, then distributed across ranks on the modeled
+// Chameleon cluster.
+//
+//	go run ./examples/forestfire
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exemplars/forestfire"
+	"repro/internal/mpi"
+)
+
+func main() {
+	params := forestfire.DefaultParams()
+	params.Rows, params.Cols = 41, 41
+	params.Trials = 100
+
+	start := time.Now()
+	curve, err := forestfire.Sweep(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential sweep (%d probs × %d trials on a %dx%d forest) took %v\n\n",
+		len(params.Probs), params.Trials, params.Rows, params.Cols, time.Since(start).Round(time.Millisecond))
+	fmt.Print(forestfire.FormatCurve(curve))
+
+	// Distributed run on the modeled Chameleon cluster: same fires, same
+	// curve, trials split across 8 ranks on 4 nodes.
+	chameleon := cluster.Chameleon(4, 2)
+	fmt.Printf("\ndistributed sweep on %s with 8 ranks:\n\n", chameleon)
+	start = time.Now()
+	err = chameleon.Launch(8, func(c *mpi.Comm) error {
+		pts, err := forestfire.SweepMPI(c, params)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Print(forestfire.FormatCurve(pts))
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistributed sweep took %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,77 @@
+// Numerical integration exemplar (the shared-memory module's Section 3.1):
+// approximate π with the trapezoidal rule sequentially, with threads, and
+// with message passing, then run the module's "small benchmarking study"
+// at 1–4 threads, as a learner on the 4-core Raspberry Pi would.
+//
+//	go run ./examples/integration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exemplars/integration"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+func main() {
+	const n = 5_000_000
+
+	// Sequential baseline.
+	seqStart := time.Now()
+	pi, err := integration.Trapezoid(integration.QuarterCircle, 0, 1, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqTime := time.Since(seqStart)
+	fmt.Printf("sequential:     pi ≈ %.9f (error %.2g) in %v\n", pi, integration.AbsError(pi), seqTime.Round(time.Millisecond))
+
+	// The benchmarking study: 1..4 threads, like the module's closing
+	// activity on the Pi's four cores.
+	workers := []int{1, 2, 3, 4}
+	times := make([]time.Duration, len(workers))
+	for i, w := range workers {
+		start := time.Now()
+		if _, err := integration.TrapezoidShared(integration.QuarterCircle, 0, 1, n, w); err != nil {
+			log.Fatal(err)
+		}
+		times[i] = time.Since(start)
+	}
+	points, err := stats.ScalingStudy(workers, times)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBenchmarking study (trapezoidal rule):")
+	fmt.Print(stats.FormatScaling(points))
+
+	// Karp-Flatt: what serial fraction do the measurements imply?
+	last := points[len(points)-1]
+	if f, err := stats.KarpFlatt(last.Speedup, last.Workers); err == nil {
+		fmt.Printf("experimentally determined serial fraction (Karp-Flatt): %.3f\n", f)
+	}
+
+	// The distributed version: every rank gets the same final answer.
+	fmt.Println("\nMessage-passing version (4 ranks):")
+	err = mpi.Run(4, func(c *mpi.Comm) error {
+		v, err := integration.TrapezoidMPI(c, integration.QuarterCircle, 0, 1, n)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("all ranks agree: pi ≈ %.9f\n", v)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Monte Carlo for contrast.
+	mc, err := integration.MonteCarloPiShared(2_000_000, 42, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMonte Carlo (2M darts, 4 threads): pi ≈ %.5f (error %.2g)\n", mc, integration.AbsError(mc))
+}

@@ -1,0 +1,71 @@
+// Message passing over the real network transport: runs the MPI patternlet
+// catalog over loopback TCP through a hub, the way ranks on a Beowulf
+// cluster exchange messages — and contrasts the modeled Colab VM (no
+// speedup) with the modeled St. Olaf VM (real speedup) on a compute-bound
+// workload.
+//
+//	go run ./examples/messagepassing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exemplars/integration"
+	"repro/internal/mpi"
+	"repro/internal/patternlets"
+)
+
+func main() {
+	// Every message-passing patternlet over genuine TCP.
+	fmt.Println("=== patternlets over the TCP transport (4 ranks) ===")
+	for _, p := range patternlets.ByParadigm(patternlets.MessagePassing) {
+		fmt.Printf("\n--- %s ---\n", p.Name)
+		err := patternlets.RunDistributedOn(p, os.Stdout, func(body func(c *mpi.Comm) error) error {
+			return mpi.RunTCP(4, body)
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+
+	// Correctness on every platform: the same Monte Carlo π estimate comes
+	// out of the unicore Colab VM and the 64-core St. Olaf VM.
+	const darts = 1_000_000
+	fmt.Println("\n=== message passing is correct on every platform ===")
+	for _, plat := range []cluster.Platform{cluster.ColabVM(), cluster.StOlafVM()} {
+		err := plat.Launch(8, func(c *mpi.Comm) error {
+			v, err := integration.MonteCarloPiMPI(c, darts, 7)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("%-22s 8-rank estimate %.5f\n", plat.Name+":", v)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Platform contrast, measured: each rank performs the same virtual
+	// compute kernel under the platform's core gate. The unicore Colab VM
+	// serializes the ranks (no speedup); the 64-core VM overlaps them.
+	fmt.Println("\n=== platform contrast: 8 ranks × 40ms of compute ===")
+	for _, plat := range []cluster.Platform{cluster.ColabVM(), cluster.StOlafVM()} {
+		for _, np := range []int{1, 8} {
+			// Total work is fixed; np ranks split it evenly.
+			elapsed, err := plat.MeasureVirtualJob(np, 8/np, 40*time.Millisecond)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22s np=%d took %v\n", plat.Name+":", np, elapsed.Round(time.Millisecond))
+		}
+	}
+	fmt.Println("\nOn the unicore Colab VM the 8-rank run is no faster than 1 rank;")
+	fmt.Println("on the 64-core VM it is — the paper's reason for pairing Colab with a cluster.")
+}

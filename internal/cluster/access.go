@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The paper's Section IV-B records one operational incident: "eager beaver"
+// participants raced ahead of the instructions, tried to log in to the St.
+// Olaf VM incorrectly over VNC, and tripped a firewall rule that suspended
+// their VNC access — while SSH kept working, so they could still finish the
+// exercise. Gateway is a faithful state machine of that access policy, used
+// by experiment E4's tests and by the workshop simulator.
+
+// Access method identifiers.
+const (
+	MethodVNC = "vnc"
+	MethodSSH = "ssh"
+)
+
+// Errors returned by access attempts.
+var (
+	ErrBadCredentials = errors.New("cluster: invalid credentials")
+	ErrVNCBlocked     = errors.New("cluster: VNC access suspended by firewall (contact the administrator)")
+	ErrUnknownUser    = errors.New("cluster: unknown user")
+)
+
+// Session is a successful login.
+type Session struct {
+	User   string
+	Method string
+	Host   string
+}
+
+// Gateway models a host's remote-access policy: password authentication
+// over VNC and SSH, with a firewall that suspends a user's VNC access after
+// too many failed VNC logins.
+type Gateway struct {
+	host string
+	// vncFailLimit is how many failed VNC attempts trip the firewall. The
+	// workshop incident suggests the production rule was strict; the
+	// default is 1 ("one bad login and you're out").
+	vncFailLimit int
+
+	mu        sync.Mutex
+	passwords map[string]string
+	vncFails  map[string]int
+	vncBlock  map[string]bool
+}
+
+// NewGateway creates the access gateway for host with the given user
+// database and a VNC failure limit (values below 1 become 1).
+func NewGateway(host string, passwords map[string]string, vncFailLimit int) *Gateway {
+	if vncFailLimit < 1 {
+		vncFailLimit = 1
+	}
+	pw := make(map[string]string, len(passwords))
+	for u, p := range passwords {
+		pw[u] = p
+	}
+	return &Gateway{
+		host:         host,
+		vncFailLimit: vncFailLimit,
+		passwords:    pw,
+		vncFails:     make(map[string]int),
+		vncBlock:     make(map[string]bool),
+	}
+}
+
+// VNC attempts a VNC login. A wrong password counts toward the firewall
+// limit; reaching the limit suspends the user's VNC access until ResetVNC.
+func (g *Gateway) VNC(user, password string) (Session, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	stored, known := g.passwords[user]
+	if !known {
+		return Session{}, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	if g.vncBlock[user] {
+		return Session{}, ErrVNCBlocked
+	}
+	if password != stored {
+		g.vncFails[user]++
+		if g.vncFails[user] >= g.vncFailLimit {
+			g.vncBlock[user] = true
+		}
+		return Session{}, ErrBadCredentials
+	}
+	g.vncFails[user] = 0
+	return Session{User: user, Method: MethodVNC, Host: g.host}, nil
+}
+
+// SSH attempts an SSH login. SSH is unaffected by the VNC firewall — the
+// property that let locked-out participants finish the exercise.
+func (g *Gateway) SSH(user, password string) (Session, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	stored, known := g.passwords[user]
+	if !known {
+		return Session{}, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	if password != stored {
+		return Session{}, ErrBadCredentials
+	}
+	return Session{User: user, Method: MethodSSH, Host: g.host}, nil
+}
+
+// VNCBlocked reports whether the user's VNC access is currently suspended.
+func (g *Gateway) VNCBlocked(user string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.vncBlock[user]
+}
+
+// ResetVNC clears a user's firewall suspension and failure count: the
+// administrator intervention the workshop staff performed.
+func (g *Gateway) ResetVNC(user string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.vncBlock, user)
+	delete(g.vncFails, user)
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestGateway(limit int) *Gateway {
+	return NewGateway("stolaf-vm", map[string]string{
+		"eager":   "rtfm",
+		"careful": "secret",
+	}, limit)
+}
+
+// TestEagerBeaverLockout is experiment E4: a participant who races ahead and
+// logs in incorrectly over VNC trips the firewall and loses VNC access, but
+// can still ssh in to complete the exercise.
+func TestEagerBeaverLockout(t *testing.T) {
+	g := newTestGateway(1)
+
+	// Wrong VNC password: rejected and firewall tripped.
+	if _, err := g.VNC("eager", "password123"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("bad VNC login err = %v", err)
+	}
+	if !g.VNCBlocked("eager") {
+		t.Fatal("firewall did not trip after the failed VNC login")
+	}
+
+	// Even the CORRECT password is now refused over VNC.
+	if _, err := g.VNC("eager", "rtfm"); !errors.Is(err, ErrVNCBlocked) {
+		t.Fatalf("VNC after lockout err = %v, want ErrVNCBlocked", err)
+	}
+
+	// SSH still works: the participant can finish the exercise.
+	sess, err := g.SSH("eager", "rtfm")
+	if err != nil {
+		t.Fatalf("SSH during VNC lockout: %v", err)
+	}
+	if sess.Method != MethodSSH || sess.Host != "stolaf-vm" {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	// Administrator reset restores VNC.
+	g.ResetVNC("eager")
+	if g.VNCBlocked("eager") {
+		t.Fatal("reset did not clear the block")
+	}
+	if _, err := g.VNC("eager", "rtfm"); err != nil {
+		t.Fatalf("VNC after reset: %v", err)
+	}
+}
+
+func TestCarefulUserUnaffected(t *testing.T) {
+	g := newTestGateway(1)
+	if _, err := g.VNC("eager", "oops"); err == nil {
+		t.Fatal("bad login accepted")
+	}
+	// Another user's lockout must not leak.
+	if g.VNCBlocked("careful") {
+		t.Fatal("unrelated user blocked")
+	}
+	if _, err := g.VNC("careful", "secret"); err != nil {
+		t.Fatalf("careful user's VNC: %v", err)
+	}
+}
+
+func TestVNCFailLimitAboveOne(t *testing.T) {
+	g := newTestGateway(3)
+	for i := 0; i < 2; i++ {
+		if _, err := g.VNC("eager", "nope"); !errors.Is(err, ErrBadCredentials) {
+			t.Fatalf("attempt %d err = %v", i, err)
+		}
+		if g.VNCBlocked("eager") {
+			t.Fatalf("blocked after only %d failures (limit 3)", i+1)
+		}
+	}
+	// A successful login resets the failure count.
+	if _, err := g.VNC("eager", "rtfm"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		g.VNC("eager", "nope")
+	}
+	if g.VNCBlocked("eager") {
+		t.Fatal("failure count not reset by successful login")
+	}
+}
+
+func TestUnknownUser(t *testing.T) {
+	g := newTestGateway(1)
+	if _, err := g.VNC("ghost", "x"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown VNC user err = %v", err)
+	}
+	if _, err := g.SSH("ghost", "x"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown SSH user err = %v", err)
+	}
+}
+
+func TestSSHBadPasswordDoesNotTripVNCFirewall(t *testing.T) {
+	g := newTestGateway(1)
+	if _, err := g.SSH("eager", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("bad SSH err = %v", err)
+	}
+	if g.VNCBlocked("eager") {
+		t.Fatal("SSH failure tripped the VNC firewall")
+	}
+}
+
+func TestGatewayLimitClamped(t *testing.T) {
+	g := NewGateway("h", map[string]string{"u": "p"}, 0)
+	g.VNC("u", "bad")
+	if !g.VNCBlocked("u") {
+		t.Fatal("limit 0 not clamped to 1")
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Launch runs main as an np-rank SPMD program on this platform: the
+// mpirun-equivalent the notebook's "!mpirun -np 4" cells and the benchmark
+// harness call into. Three platform effects are applied:
+//
+//   - Placement: each rank is placed on a node and reports that node's
+//     hostname from ProcessorName.
+//   - Core budget: a counting semaphore sized to the platform's total core
+//     count gates Comm.Compute, so on the unicore Colab VM four ranks
+//     interleave their computation rather than overlapping it.
+//   - Network: messages between ranks on different nodes pay the platform's
+//     inter-node latency.
+//
+// Oversubscription (np greater than the core count) is allowed, exactly as
+// "mpirun --allow-run-as-root -np 4" is on the unicore Colab VM.
+func (p Platform) Launch(np int, main func(c *mpi.Comm) error) error {
+	if np < 1 {
+		return fmt.Errorf("cluster: launch needs at least 1 process, got %d", np)
+	}
+	names := make([]string, np)
+	nodes := make([]int, np)
+	for r := 0; r < np; r++ {
+		nodes[r] = p.NodeOf(r, np)
+		names[r] = p.Hostname(nodes[r])
+	}
+
+	opts := []mpi.Option{
+		mpi.WithProcessorNames(names),
+		mpi.WithComputeGate(NewCoreGate(p.TotalCores()).Run),
+	}
+	if p.InterNodeLatency > 0 && p.Nodes > 1 {
+		lat := p.InterNodeLatency
+		opts = append(opts, mpi.WithLatency(func(src, dst int) time.Duration {
+			if nodes[src] != nodes[dst] {
+				return lat
+			}
+			return 0
+		}))
+	}
+	return mpi.Run(np, main, opts...)
+}
+
+// CoreGate is a counting semaphore standing in for a platform's cores: at
+// most Cores computations proceed at once, the rest wait their turn. This is
+// what makes the modeled Colab VM correct-but-not-faster with np > 1.
+type CoreGate struct {
+	slots chan struct{}
+}
+
+// NewCoreGate returns a gate admitting cores simultaneous computations.
+func NewCoreGate(cores int) *CoreGate {
+	if cores < 1 {
+		cores = 1
+	}
+	g := &CoreGate{slots: make(chan struct{}, cores)}
+	for i := 0; i < cores; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// Run executes fn while holding a core slot.
+func (g *CoreGate) Run(fn func()) {
+	<-g.slots
+	defer func() { g.slots <- struct{}{} }()
+	fn()
+}
+
+// Cores reports the gate's capacity.
+func (g *CoreGate) Cores() int { return cap(g.slots) }

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestLaunchReportsPlatformHostnames(t *testing.T) {
+	p := Chameleon(2, 2)
+	var mu sync.Mutex
+	hosts := map[int]string{}
+	err := p.Launch(4, func(c *mpi.Comm) error {
+		mu.Lock()
+		hosts[c.Rank()] = c.ProcessorName()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "chameleon-node-0", 1: "chameleon-node-0", 2: "chameleon-node-1", 3: "chameleon-node-1"}
+	for r, h := range want {
+		if hosts[r] != h {
+			t.Errorf("rank %d on %q, want %q", r, hosts[r], h)
+		}
+	}
+}
+
+func TestLaunchColabGateSerializesCompute(t *testing.T) {
+	p := ColabVM()
+	var inside, maxInside atomic.Int64
+	err := p.Launch(4, func(c *mpi.Comm) error {
+		for i := 0; i < 10; i++ {
+			c.Compute(func() {
+				n := inside.Add(1)
+				for {
+					cur := maxInside.Load()
+					if n <= cur || maxInside.CompareAndSwap(cur, n) {
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+				inside.Add(-1)
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxInside.Load(); got != 1 {
+		t.Fatalf("unicore Colab allowed %d simultaneous computations", got)
+	}
+}
+
+func TestLaunchMulticoreGateAllowsParallelism(t *testing.T) {
+	p := RaspberryPi() // 4 cores
+	var inside, maxInside atomic.Int64
+	start := make(chan struct{})
+	err := p.Launch(4, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			close(start)
+		}
+		<-start
+		c.Compute(func() {
+			n := inside.Add(1)
+			for {
+				cur := maxInside.Load()
+				if n <= cur || maxInside.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			inside.Add(-1)
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxInside.Load(); got < 2 {
+		t.Fatalf("4-core Pi never overlapped computations (max %d)", got)
+	}
+}
+
+func TestLaunchRejectsZeroProcs(t *testing.T) {
+	if err := ColabVM().Launch(0, nil); err == nil {
+		t.Fatal("Launch(0) succeeded")
+	}
+}
+
+func TestLaunchMessagePassingStillCorrectWhenOversubscribed(t *testing.T) {
+	// The paper's core claim for Colab: patternlets remain *correct* with
+	// np=4 on one core.
+	p := ColabVM()
+	err := p.Launch(4, func(c *mpi.Comm) error {
+		sum, err := mpi.Allreduce(c, c.Rank()+1, mpi.Combine[int](mpi.Sum))
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("allreduce = %d", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreGateCapacity(t *testing.T) {
+	g := NewCoreGate(3)
+	if g.Cores() != 3 {
+		t.Fatalf("Cores() = %d", g.Cores())
+	}
+	if NewCoreGate(0).Cores() != 1 {
+		t.Fatal("zero-core gate not clamped to 1")
+	}
+	ran := false
+	g.Run(func() { ran = true })
+	if !ran {
+		t.Fatal("gate did not run fn")
+	}
+}
+
+func TestInterNodeLatencyApplied(t *testing.T) {
+	fast := Chameleon(2, 1)
+	fast.InterNodeLatency = 0
+	slow := Chameleon(2, 1)
+	slow.InterNodeLatency = 3 * time.Millisecond
+
+	const msgs = 20
+	pingpong := func(c *mpi.Comm) error {
+		// Ranks 0 and 1 are on different nodes (block placement, 2 nodes).
+		for i := 0; i < msgs; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(1, 0, i); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 0, nil); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(0, 0, nil); err != nil {
+					return err
+				}
+				if err := c.Send(0, 0, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	t0 := time.Now()
+	if err := fast.Launch(2, pingpong); err != nil {
+		t.Fatal(err)
+	}
+	fastTime := time.Since(t0)
+
+	t0 = time.Now()
+	if err := slow.Launch(2, pingpong); err != nil {
+		t.Fatal(err)
+	}
+	slowTime := time.Since(t0)
+
+	// 2*msgs messages × 3ms ≥ 120ms of injected latency.
+	if slowTime < fastTime+50*time.Millisecond {
+		t.Fatalf("latency model had no effect: fast %v, slow %v", fastTime, slowTime)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// Makespan predicts how long a set of independent per-rank workloads takes
+// on a platform with the given core count, using greedy list scheduling
+// (each task goes to the least-loaded core, tasks in the given order). This
+// is the analytic counterpart of CoreGate: it lets benchmark sweeps chart a
+// 64-core platform's behaviour without owning 64 cores.
+//
+// For np equal tasks of work w on C cores the result is ceil(np/C)·w, which
+// reproduces the paper's platform contrast: on the unicore Colab VM the
+// makespan never drops as np grows (no speedup), while on the 64-core VM it
+// falls as w·ceil(np/64).
+func Makespan(work []time.Duration, cores int) time.Duration {
+	if len(work) == 0 {
+		return 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if cores > len(work) {
+		cores = len(work)
+	}
+	loads := make([]time.Duration, cores)
+	for _, w := range work {
+		// Least-loaded core; linear scan is fine at teaching scale.
+		best := 0
+		for i := 1; i < cores; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		loads[best] += w
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MakespanLPT is Makespan with the Longest-Processing-Time ordering, the
+// classic 4/3-approximation. The ablation benchmarks compare it against
+// arrival-order scheduling on the imbalanced drug-design workload.
+func MakespanLPT(work []time.Duration, cores int) time.Duration {
+	sorted := append([]time.Duration(nil), work...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	return Makespan(sorted, cores)
+}
+
+// EqualWork builds np identical work items of duration w, the workload shape
+// of the SPMD patternlets.
+func EqualWork(np int, w time.Duration) []time.Duration {
+	work := make([]time.Duration, np)
+	for i := range work {
+		work[i] = w
+	}
+	return work
+}
+
+// PredictedSpeedup reports the modeled speedup of distributing total work
+// evenly across np ranks on this platform, relative to one rank: the curve
+// the benchmark harness prints for experiment E2/E3 parameter sweeps.
+func (p Platform) PredictedSpeedup(np int, totalWork time.Duration) float64 {
+	if np < 1 || totalWork <= 0 {
+		return 0
+	}
+	seq := Makespan(EqualWork(1, totalWork), p.TotalCores())
+	par := Makespan(EqualWork(np, totalWork/time.Duration(np)), p.TotalCores())
+	if par == 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMakespanEqualTasks(t *testing.T) {
+	w := 10 * time.Millisecond
+	cases := []struct {
+		np, cores int
+		want      time.Duration
+	}{
+		{1, 1, w},
+		{4, 1, 4 * w},    // unicore Colab: no overlap
+		{4, 4, w},        // Pi: perfect overlap
+		{8, 4, 2 * w},    // two waves
+		{64, 64, w},      // St. Olaf
+		{100, 64, 2 * w}, // ceil(100/64)=2 waves
+	}
+	for _, c := range cases {
+		got := Makespan(EqualWork(c.np, w), c.cores)
+		if got != c.want {
+			t.Errorf("Makespan(np=%d, cores=%d) = %v, want %v", c.np, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestMakespanEdgeCases(t *testing.T) {
+	if got := Makespan(nil, 4); got != 0 {
+		t.Fatalf("empty work = %v", got)
+	}
+	if got := Makespan(EqualWork(3, time.Second), 0); got != 3*time.Second {
+		t.Fatalf("cores=0 clamp = %v", got)
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	// For any workload: max(task) <= makespan <= total(work), and with one
+	// core makespan == total.
+	prop := func(raw []uint16, coresRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cores := int(coresRaw%8) + 1
+		work := make([]time.Duration, len(raw))
+		var total, max time.Duration
+		for i, r := range raw {
+			work[i] = time.Duration(r) * time.Microsecond
+			total += work[i]
+			if work[i] > max {
+				max = work[i]
+			}
+		}
+		m := Makespan(work, cores)
+		if m < max || m > total {
+			return false
+		}
+		return Makespan(work, 1) == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanLPTNeverWorseOnImbalancedLoad(t *testing.T) {
+	// The classic LPT win: one long task plus many short ones.
+	work := []time.Duration{1 * time.Millisecond, 1 * time.Millisecond, 1 * time.Millisecond,
+		1 * time.Millisecond, 8 * time.Millisecond}
+	arrival := Makespan(work, 2)
+	lpt := MakespanLPT(work, 2)
+	if lpt > arrival {
+		t.Fatalf("LPT %v worse than arrival order %v", lpt, arrival)
+	}
+	if lpt != 8*time.Millisecond {
+		t.Fatalf("LPT = %v, want 8ms (long task alone on one core)", lpt)
+	}
+}
+
+func TestPredictedSpeedupShapes(t *testing.T) {
+	total := 64 * time.Millisecond
+
+	// Colab (1 core): speedup stays at 1 for every np.
+	colab := ColabVM()
+	for _, np := range []int{1, 2, 4, 8} {
+		if s := colab.PredictedSpeedup(np, total); s != 1 {
+			t.Errorf("colab speedup at np=%d: %v, want 1", np, s)
+		}
+	}
+
+	// St. Olaf (64 cores): linear up to 64.
+	st := StOlafVM()
+	for _, np := range []int{1, 2, 4, 16, 64} {
+		if s := st.PredictedSpeedup(np, total); s != float64(np) {
+			t.Errorf("stolaf speedup at np=%d: %v, want %d", np, s, np)
+		}
+	}
+	// Beyond the core count the curve flattens: 128 ranks on 64 cores run
+	// in two waves, so speedup stays 64.
+	if s := st.PredictedSpeedup(128, total); s != 64 {
+		t.Errorf("stolaf speedup at np=128: %v, want 64", s)
+	}
+
+	if s := st.PredictedSpeedup(0, total); s != 0 {
+		t.Errorf("np=0 speedup = %v", s)
+	}
+	if s := st.PredictedSpeedup(4, 0); s != 0 {
+		t.Errorf("zero work speedup = %v", s)
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredefinedPlatformShapes(t *testing.T) {
+	cases := []struct {
+		p     Platform
+		cores int
+	}{
+		{RaspberryPi(), 4},
+		{ColabVM(), 1},
+		{Chameleon(4, 16), 64},
+		{StOlafVM(), 64},
+	}
+	for _, c := range cases {
+		if got := c.p.TotalCores(); got != c.cores {
+			t.Errorf("%s: TotalCores = %d, want %d", c.p.Name, got, c.cores)
+		}
+	}
+}
+
+func TestColabHostnameMatchesFigure2(t *testing.T) {
+	// Figure 2's output lines read "... of 4 on d6ff4f902ed6".
+	if got := ColabVM().Hostname(0); got != "d6ff4f902ed6" {
+		t.Fatalf("Colab hostname = %q", got)
+	}
+}
+
+func TestHostnamePatterns(t *testing.T) {
+	ch := Chameleon(4, 16)
+	if got := ch.Hostname(2); got != "chameleon-node-2" {
+		t.Fatalf("chameleon node 2 = %q", got)
+	}
+	if got := RaspberryPi().Hostname(0); got != "raspberrypi" {
+		t.Fatalf("pi hostname = %q", got)
+	}
+}
+
+func TestNodeOfBlockPlacement(t *testing.T) {
+	p := Chameleon(4, 16)
+	// 8 ranks on 4 nodes: two consecutive ranks per node.
+	for r := 0; r < 8; r++ {
+		if got, want := p.NodeOf(r, 8), r/2; got != want {
+			t.Errorf("NodeOf(%d, 8) = %d, want %d", r, got, want)
+		}
+	}
+	// Single-node platforms place everything on node 0.
+	for r := 0; r < 5; r++ {
+		if got := StOlafVM().NodeOf(r, 5); got != 0 {
+			t.Errorf("StOlaf NodeOf(%d) = %d", r, got)
+		}
+	}
+	// Placement never exceeds the node count even for awkward np.
+	for r := 0; r < 7; r++ {
+		if got := p.NodeOf(r, 7); got < 0 || got >= p.Nodes {
+			t.Errorf("NodeOf(%d, 7) = %d out of range", r, got)
+		}
+	}
+}
+
+func TestChameleonDefaults(t *testing.T) {
+	p := Chameleon(0, 0)
+	if p.Nodes != 4 || p.CoresPerNode != 16 {
+		t.Fatalf("defaults = %d×%d", p.Nodes, p.CoresPerNode)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"pi", "colab", "chameleon", "stolaf"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup("cray"); err == nil {
+		t.Error("Lookup of unknown platform succeeded")
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	s := StOlafVM().String()
+	if !strings.Contains(s, "64") || !strings.Contains(s, "St. Olaf") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPiClusterShape(t *testing.T) {
+	pc := PiCluster(4)
+	if pc.TotalCores() != 16 || pc.Nodes != 4 {
+		t.Fatalf("PiCluster(4) = %d nodes x %d cores", pc.Nodes, pc.CoresPerNode)
+	}
+	if pc.InterNodeLatency <= Chameleon(4, 16).InterNodeLatency {
+		t.Fatal("Pi cluster Ethernet should be slower than Chameleon's interconnect")
+	}
+	if got := pc.Hostname(2); got != "pi-node-2" {
+		t.Fatalf("hostname = %q", got)
+	}
+	if PiCluster(0).Nodes != 4 {
+		t.Fatal("default node count not applied")
+	}
+	if _, err := Lookup("picluster"); err != nil {
+		t.Fatal(err)
+	}
+}

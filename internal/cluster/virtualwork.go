@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// VirtualWork performs one simulated compute kernel of the given duration
+// on a rank: it occupies one of the platform's modeled cores (via the
+// Compute gate) for d of wall-clock time without burning CPU.
+//
+// This is how the experiment harness measures platform *shape* honestly on
+// any development machine: a sleep under the core gate parallelizes exactly
+// as far as the modeled platform allows — 8 ranks of 10ms finish in 10ms on
+// the 64-core St. Olaf model but in 80ms on the unicore Colab model —
+// regardless of how many physical cores the host has. (The paper's own
+// Colab finding is the same phenomenon in reverse: correct message passing,
+// no speedup, because the platform has one core.)
+func VirtualWork(c *mpi.Comm, d time.Duration) {
+	c.Compute(func() { time.Sleep(d) })
+}
+
+// MeasureVirtualJob launches np ranks on the platform, each performing
+// units sequential virtual work units of the given duration, and returns
+// the measured wall-clock makespan. Communication is a final barrier, so
+// the measurement isolates the platform's compute capacity.
+func (p Platform) MeasureVirtualJob(np, units int, unit time.Duration) (time.Duration, error) {
+	start := time.Now()
+	err := p.Launch(np, func(c *mpi.Comm) error {
+		for i := 0; i < units; i++ {
+			VirtualWork(c, unit)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

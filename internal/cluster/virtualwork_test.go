@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVirtualJobShapes is the measured form of experiments E2/E3: with the
+// total work held fixed, adding ranks does nothing on the unicore Colab
+// model and collapses the makespan on the 64-core model — regardless of how
+// many physical cores the test host has.
+func TestVirtualJobShapes(t *testing.T) {
+	const unit = 15 * time.Millisecond
+	const totalUnits = 8
+
+	colab1, err := ColabVM().MeasureVirtualJob(1, totalUnits, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colab8, err := ColabVM().MeasureVirtualJob(8, totalUnits/8, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st8, err := StOlafVM().MeasureVirtualJob(8, totalUnits/8, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Colab: 8 ranks take about as long as 1 (within 40% slack for
+	// scheduling noise) — no speedup.
+	if ratio := float64(colab1) / float64(colab8); ratio > 1.4 {
+		t.Fatalf("unicore Colab model showed %.2fx speedup at 8 ranks", ratio)
+	}
+	// St. Olaf: 8 ranks cut the makespan by at least 3x (ideal is 8x).
+	if ratio := float64(colab1) / float64(st8); ratio < 3 {
+		t.Fatalf("64-core model speedup only %.2fx at 8 ranks (colab1=%v st8=%v)", ratio, colab1, st8)
+	}
+}
+
+func TestMeasureVirtualJobError(t *testing.T) {
+	if _, err := ColabVM().MeasureVirtualJob(0, 1, time.Millisecond); err == nil {
+		t.Fatal("np=0 accepted")
+	}
+}

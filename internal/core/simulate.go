@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/handout"
+	"repro/internal/notebook"
+	"repro/internal/patternlets"
+)
+
+// SimulationReport summarizes a simulated run of the 2.5-day workshop: who
+// worked through what, how the interactive questions went, which platforms
+// the participants chose for the second distributed hour, and the
+// operational incidents — reproducing the paper's Section IV narrative
+// (a technically flawless Raspberry Pi session; a smooth Chameleon
+// experience; a VNC-firewall lockout for the "eager beavers" on the St.
+// Olaf VM, who fell back to SSH and completed the exercise anyway).
+type SimulationReport struct {
+	Participants int
+
+	// Day 1: the shared-memory module.
+	PatternletRunsDay1  int
+	Day1TechnicalIssues int
+	QuestionsAttempted  int
+	QuestionsSolved     int
+
+	// Day 2: the distributed module.
+	ChoseForestFire int
+	ChoseDrugDesign int
+	ChoseChameleon  int
+	ChoseStOlafVM   int
+	EagerBeavers    int // participants who raced ahead and tripped the firewall
+	VNCLockouts     int
+	SSHFallbacks    int // locked-out participants who completed over SSH
+	CompletedDay2   int
+	AdminResets     int
+}
+
+// Simulate runs the workshop end to end with deterministic pseudo-random
+// participant behaviour derived from seed. The full activity transcript
+// goes to out (pass io.Discard to keep only the report).
+func (w *Workshop) Simulate(out io.Writer, seed int64) (*SimulationReport, error) {
+	rep := &SimulationReport{Participants: len(w.Participants)}
+	rng := rand.New(rand.NewSource(seed))
+
+	shmModule := w.Sessions[0].Module
+	distModule := w.Sessions[2].Module
+	if shmModule == nil || distModule == nil {
+		return nil, fmt.Errorf("core: workshop sessions are missing their modules")
+	}
+
+	// ---- Day 1: OpenMP on the Raspberry Pi, guided by the handout. ----
+	fmt.Fprintf(out, "Day 1: %s\n", w.Sessions[0].Title)
+	hm := shmModule.Handout
+	questions := hm.Questions()
+	for _, p := range w.Participants {
+		g := handout.NewGradebook(fmt.Sprintf("participant-%02d", p.ID), hm)
+		for _, q := range questions {
+			rep.QuestionsAttempted++
+			// Higher pre-workshop confidence → more likely to answer
+			// correctly on the first try; everyone gets there eventually
+			// (the module is self-paced with immediate feedback).
+			firstTry := rng.Float64() < 0.35+0.12*float64(p.ConfidencePre)
+			answer := correctAnswer(q)
+			if !firstTry {
+				if _, err := g.Submit(q.ID(), "definitely wrong"); err != nil {
+					return nil, err
+				}
+				rep.QuestionsAttempted++
+			}
+			attempt, err := g.Submit(q.ID(), answer)
+			if err != nil {
+				return nil, err
+			}
+			if attempt.Correct {
+				rep.QuestionsSolved++
+			}
+		}
+		// The hands-on hour: run every patternlet the handout references
+		// on the participant's Pi. Any error would be a "technical issue";
+		// the paper reports none, and the simulation reproduces that.
+		for _, name := range hm.PatternletRefs() {
+			pl, err := patternlets.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := patternlets.RunShared(pl, io.Discard, 4); err != nil {
+				rep.Day1TechnicalIssues++
+				continue
+			}
+			rep.PatternletRunsDay1++
+		}
+	}
+	fmt.Fprintf(out, "  %d participants × %d patternlets ran with %d technical issues\n",
+		rep.Participants, len(hm.PatternletRefs()), rep.Day1TechnicalIssues)
+	fmt.Fprintf(out, "  questions: %d solved across %d attempts\n",
+		rep.QuestionsSolved, rep.QuestionsAttempted)
+
+	// ---- Day 2: MPI, first hour on Colab, second hour by choice. ----
+	fmt.Fprintf(out, "Day 2: %s\n", w.Sessions[2].Title)
+	colab := distModule.Platforms[0]
+	rt := notebook.NewRuntime(colab.Launch)
+	if err := notebook.BindPatternlets(rt); err != nil {
+		return nil, err
+	}
+	if err := rt.RunAll(distModule.Notebook); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "  Colab notebook executed end to end on %s\n", colab)
+
+	// The St. Olaf VM's access gateway, with the workshop accounts.
+	passwords := map[string]string{}
+	for _, p := range w.Participants {
+		passwords[fmt.Sprintf("participant-%02d", p.ID)] = "correct-horse"
+	}
+	gateway := cluster.NewGateway("stolaf-vm", passwords, 1)
+
+	for _, p := range w.Participants {
+		user := fmt.Sprintf("participant-%02d", p.ID)
+		// Exemplar choice ("participants worked through whichever of these
+		// examples most interested them").
+		if rng.Float64() < 0.5 {
+			rep.ChoseForestFire++
+		} else {
+			rep.ChoseDrugDesign++
+		}
+		// Platform choice: Jupyter-on-Chameleon or VNC-to-St.Olaf.
+		if rng.Float64() < 0.5 {
+			rep.ChoseChameleon++
+			rep.CompletedDay2++ // "the Chameleon environment worked seamlessly"
+			continue
+		}
+		rep.ChoseStOlafVM++
+		// A minority raced ahead of the instructions and logged in
+		// incorrectly, triggering the VNC firewall.
+		if rng.Float64() < 0.2 {
+			rep.EagerBeavers++
+			if _, err := gateway.VNC(user, "i-skipped-the-instructions"); err == nil {
+				return nil, fmt.Errorf("core: wrong password accepted for %s", user)
+			}
+			if !gateway.VNCBlocked(user) {
+				return nil, fmt.Errorf("core: firewall did not trip for %s", user)
+			}
+			rep.VNCLockouts++
+			// "The participants could still ssh to the VM to complete the
+			// exercise."
+			if _, err := gateway.SSH(user, "correct-horse"); err != nil {
+				return nil, fmt.Errorf("core: ssh fallback failed for %s: %w", user, err)
+			}
+			rep.SSHFallbacks++
+			rep.CompletedDay2++
+			continue
+		}
+		if _, err := gateway.VNC(user, "correct-horse"); err != nil {
+			return nil, fmt.Errorf("core: VNC login failed for %s: %w", user, err)
+		}
+		rep.CompletedDay2++
+	}
+	// Workshop staff reset the tripped accounts afterwards.
+	for _, p := range w.Participants {
+		user := fmt.Sprintf("participant-%02d", p.ID)
+		if gateway.VNCBlocked(user) {
+			gateway.ResetVNC(user)
+			rep.AdminResets++
+		}
+	}
+	fmt.Fprintf(out, "  choices: %d forest fire / %d drug design; %d Chameleon / %d St. Olaf VM\n",
+		rep.ChoseForestFire, rep.ChoseDrugDesign, rep.ChoseChameleon, rep.ChoseStOlafVM)
+	fmt.Fprintf(out, "  incidents: %d eager beaver(s) locked out of VNC, all %d finished over SSH; %d admin reset(s)\n",
+		rep.VNCLockouts, rep.SSHFallbacks, rep.AdminResets)
+	fmt.Fprintf(out, "  %d/%d participants completed the distributed session\n",
+		rep.CompletedDay2, rep.Participants)
+	return rep, nil
+}
+
+// correctAnswer produces a correct submission for any question type — the
+// simulated learner consulting the teaching text.
+func correctAnswer(q handout.Question) string {
+	switch q := q.(type) {
+	case *handout.MultipleChoice:
+		return q.Correct
+	case *handout.FillInBlank:
+		return q.Accept[0]
+	case *handout.DragAndDrop:
+		var pairs []string
+		for _, l := range q.Lefts() {
+			pairs = append(pairs, l+"="+q.Pairs[l])
+		}
+		return strings.Join(pairs, "; ")
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,297 @@
+// Package drugdesign implements the drug-design exemplar used by both of
+// the paper's modules (it closes the shared-memory module and is one of the
+// two second-hour choices in the distributed module). The computation is
+// the CSinParallel "drug design" kernel: generate a pool of random candidate
+// ligands (short strings over the amino-acid-like alphabet), score each one
+// against a fixed protein by the length of their longest common
+// subsequence, and report the maximum score and the ligands that achieve
+// it.
+//
+// The workload is deliberately imbalanced — scoring cost grows with ligand
+// length, and lengths vary — which is why the exemplar is the canonical
+// motivation for dynamic scheduling (shared memory) and master-worker work
+// distribution (message passing).
+package drugdesign
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/shm"
+)
+
+// DefaultProtein is the target the CSinParallel exemplar ships with.
+const DefaultProtein = "the cat in the hat wore the hat to the cat hat party"
+
+// Alphabet is the character set ligands are drawn from.
+const Alphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// Params configures a run.
+type Params struct {
+	Protein      string
+	NumLigands   int
+	MaxLigandLen int // ligand lengths are uniform in [1, MaxLigandLen]
+	Seed         int64
+}
+
+// DefaultParams mirrors the exemplar's defaults at a laptop-friendly scale.
+func DefaultParams() Params {
+	return Params{
+		Protein:      DefaultProtein,
+		NumLigands:   120,
+		MaxLigandLen: 6,
+		Seed:         5,
+	}
+}
+
+func (p Params) validate() error {
+	if p.NumLigands < 1 {
+		return errors.New("drugdesign: need at least 1 ligand")
+	}
+	if p.MaxLigandLen < 1 {
+		return errors.New("drugdesign: ligand length must be at least 1")
+	}
+	if p.Protein == "" {
+		return errors.New("drugdesign: empty protein")
+	}
+	return nil
+}
+
+// Result is the outcome of a run: the best docking score and every ligand
+// achieving it (sorted for determinism).
+type Result struct {
+	MaxScore int
+	Ligands  []string
+}
+
+// String formats the result the way the exemplar prints it.
+func (r Result) String() string {
+	return fmt.Sprintf("maximal score is %d, achieved by ligands %s",
+		r.MaxScore, strings.Join(r.Ligands, " "))
+}
+
+// GenerateLigands produces the deterministic candidate pool for the given
+// parameters. Every variant (sequential, shared, MPI) scores exactly this
+// pool, so their results are comparable bit for bit.
+func GenerateLigands(p Params) ([]string, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	ligands := make([]string, p.NumLigands)
+	for i := range ligands {
+		n := 1 + rng.Intn(p.MaxLigandLen)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(Alphabet[rng.Intn(len(Alphabet))])
+		}
+		ligands[i] = b.String()
+	}
+	return ligands, nil
+}
+
+// Score computes the docking score of a ligand against a protein: the
+// length of their longest common subsequence, by the classic O(len·len)
+// dynamic program (two-row form).
+func Score(ligand, protein string) int {
+	if len(ligand) == 0 || len(protein) == 0 {
+		return 0
+	}
+	prev := make([]int, len(protein)+1)
+	cur := make([]int, len(protein)+1)
+	for i := 1; i <= len(ligand); i++ {
+		for j := 1; j <= len(protein); j++ {
+			if ligand[i-1] == protein[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(protein)]
+}
+
+// collect folds per-ligand scores into a Result.
+func collect(ligands []string, scores []int) Result {
+	max := 0
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	var best []string
+	for i, s := range scores {
+		if s == max {
+			best = append(best, ligands[i])
+		}
+	}
+	sort.Strings(best)
+	return Result{MaxScore: max, Ligands: best}
+}
+
+// Sequential scores the pool one ligand at a time: the timing baseline.
+func Sequential(p Params) (Result, error) {
+	ligands, err := GenerateLigands(p)
+	if err != nil {
+		return Result{}, err
+	}
+	scores := make([]int, len(ligands))
+	for i, l := range ligands {
+		scores[i] = Score(l, p.Protein)
+	}
+	return collect(ligands, scores), nil
+}
+
+// Shared scores the pool with a team of threads under the given schedule.
+// The schedule choice is the exemplar's teaching point: dynamic schedules
+// absorb the length imbalance that static ones cannot.
+func Shared(p Params, numThreads int, sched shm.Schedule) (Result, error) {
+	ligands, err := GenerateLigands(p)
+	if err != nil {
+		return Result{}, err
+	}
+	scores := make([]int, len(ligands))
+	shm.ParallelFor(numThreads, len(ligands), sched, func(i int) {
+		scores[i] = Score(ligands[i], p.Protein)
+	})
+	return collect(ligands, scores), nil
+}
+
+// MPIStatic scores the pool with a block decomposition: each rank takes a
+// contiguous slab of the pool and a gather at the root assembles the
+// result. Every rank returns the full Result (the root broadcasts it).
+func MPIStatic(c *mpi.Comm, p Params) (Result, error) {
+	ligands, err := GenerateLigands(p)
+	if err != nil {
+		return Result{}, err
+	}
+	lo, hi := blockRange(len(ligands), c.Rank(), c.Size())
+	local := make([]int, hi-lo)
+	c.Compute(func() {
+		for i := lo; i < hi; i++ {
+			local[i-lo] = Score(ligands[i], p.Protein)
+		}
+	})
+	parts, err := mpi.Gather(c, local, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if c.Rank() == 0 {
+		scores := make([]int, 0, len(ligands))
+		for _, part := range parts {
+			scores = append(scores, part...)
+		}
+		res = collect(ligands, scores)
+	}
+	return mpi.Bcast(c, res, 0)
+}
+
+// Tags of the master-worker protocol.
+const (
+	tagTask   = 1
+	tagResult = 2
+	tagStop   = 3
+)
+
+// workerResult carries one scored ligand back to the master.
+type workerResult struct {
+	Index int
+	Score int
+}
+
+// MPIMasterWorker scores the pool with dynamic work distribution: the
+// master (rank 0) hands out one ligand index at a time; each worker returns
+// the score and receives the next task, so long ligands and short ones
+// balance automatically — the message-passing twin of the dynamic schedule.
+// With a single rank it degrades to sequential scoring. Every rank returns
+// the full Result.
+func MPIMasterWorker(c *mpi.Comm, p Params) (Result, error) {
+	ligands, err := GenerateLigands(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if c.Size() == 1 {
+		scores := make([]int, len(ligands))
+		c.Compute(func() {
+			for i, l := range ligands {
+				scores[i] = Score(l, p.Protein)
+			}
+		})
+		return collect(ligands, scores), nil
+	}
+
+	var res Result
+	if c.Rank() == 0 {
+		scores := make([]int, len(ligands))
+		next := 0
+		outstanding := 0
+		// Prime every worker with one task (or stop it if there is none).
+		for w := 1; w < c.Size(); w++ {
+			if next < len(ligands) {
+				if err := c.Send(w, tagTask, next); err != nil {
+					return Result{}, err
+				}
+				next++
+				outstanding++
+			} else if err := c.Send(w, tagStop, 0); err != nil {
+				return Result{}, err
+			}
+		}
+		for outstanding > 0 {
+			var wr workerResult
+			st, err := c.Recv(mpi.AnySource, tagResult, &wr)
+			if err != nil {
+				return Result{}, err
+			}
+			scores[wr.Index] = wr.Score
+			outstanding--
+			if next < len(ligands) {
+				if err := c.Send(st.Source, tagTask, next); err != nil {
+					return Result{}, err
+				}
+				next++
+				outstanding++
+			} else if err := c.Send(st.Source, tagStop, 0); err != nil {
+				return Result{}, err
+			}
+		}
+		res = collect(ligands, scores)
+	} else {
+		for {
+			var idx int
+			st, err := c.Recv(0, mpi.AnyTag, &idx)
+			if err != nil {
+				return Result{}, err
+			}
+			if st.Tag == tagStop {
+				break
+			}
+			var score int
+			c.Compute(func() { score = Score(ligands[idx], p.Protein) })
+			if err := c.Send(0, tagResult, workerResult{Index: idx, Score: score}); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return mpi.Bcast(c, res, 0)
+}
+
+// blockRange computes the contiguous block of [0, n) owned by worker w of k.
+func blockRange(n, w, k int) (lo, hi int) {
+	base := n / k
+	rem := n % k
+	if w < rem {
+		lo = w * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (w-rem)*base
+	return lo, lo + base
+}

@@ -1,0 +1,207 @@
+package forestfire
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// This file implements the second parallelization strategy for the fire
+// simulation: domain decomposition. Instead of distributing independent
+// Monte Carlo trials (SweepMPI), one large forest is split into row slabs,
+// one per rank, and the fire front crosses slab boundaries through halo
+// exchanges over a Cartesian topology — the stencil-computation pattern
+// the materials point advanced students toward.
+//
+// To make the decomposition verifiable, ignition decisions come from a
+// counter-based hash of (seed, step, attacking cell, attacked cell) rather
+// than a sequential RNG stream. Every decomposition of the same forest
+// therefore burns exactly the same trees in exactly the same number of
+// steps, and the tests pin the distributed run against the sequential one
+// cell for cell.
+
+// splitmix64 is the SplitMix64 finalizer, a high-quality 64-bit mixer.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// igniteDecision returns a uniform [0,1) value determined entirely by the
+// (seed, step, from, to) tuple.
+func igniteDecision(seed int64, step, from, to int) float64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(step))
+	h = splitmix64(h ^ uint64(from))
+	h = splitmix64(h ^ uint64(to))
+	// 53 random bits into the mantissa range.
+	return float64(h>>11) / float64(1<<53)
+}
+
+// SimulateHash burns one forest using hash-based ignition decisions: the
+// sequential reference for the domain-decomposed version.
+func SimulateHash(rows, cols int, prob float64, seed int64) TrialResult {
+	grid := make([]cellState, rows*cols)
+	center := (rows/2)*cols + cols/2
+	grid[center] = stateBurning
+	burning := []int{center}
+
+	steps := 0
+	burned := 0
+	for len(burning) > 0 {
+		steps++
+		var next []int
+		for _, cell := range burning {
+			r, c := cell/cols, cell%cols
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					continue
+				}
+				n := nr*cols + nc
+				if grid[n] == stateTree && igniteDecision(seed, steps, cell, n) < prob {
+					grid[n] = stateBurning
+					next = append(next, n)
+				}
+			}
+			grid[cell] = stateBurned
+			burned++
+		}
+		burning = next
+	}
+	return TrialResult{
+		BurnedFraction: float64(burned) / float64(rows*cols),
+		Steps:          steps,
+	}
+}
+
+// attack is one ignition attempt crossing (or staying within) a slab.
+type attack struct {
+	From int // global id of the burning cell
+	To   int // global id of the attacked cell
+}
+
+// SimulateDomainMPI burns one forest split into row slabs across the
+// communicator's ranks, exchanging boundary ignition attempts with
+// neighbouring slabs each step. Every rank returns the identical
+// TrialResult, which equals SimulateHash's for the same arguments.
+func SimulateDomainMPI(c *mpi.Comm, rows, cols int, prob float64, seed int64) (TrialResult, error) {
+	if rows < 1 || cols < 1 {
+		return TrialResult{}, fmt.Errorf("forestfire: grid must be at least 1x1")
+	}
+	cart, err := mpi.NewCart(c, []int{c.Size()}, nil)
+	if err != nil {
+		return TrialResult{}, err
+	}
+
+	// This rank owns global rows [rowLo, rowHi).
+	rowLo, rowHi := blockRows(rows, c.Rank(), c.Size())
+	owns := func(cell int) bool {
+		r := cell / cols
+		return r >= rowLo && r < rowHi
+	}
+	// Local state, indexed by global cell id offset to the slab start.
+	local := make([]cellState, (rowHi-rowLo)*cols)
+	at := func(cell int) *cellState { return &local[cell-rowLo*cols] }
+
+	center := (rows/2)*cols + cols/2
+	var burning []int
+	if owns(center) {
+		*at(center) = stateBurning
+		burning = append(burning, center)
+	}
+
+	steps := 0
+	burnedLocal := 0
+	const tagHalo = 11
+	for {
+		// Lockstep termination check: does any rank still have fire?
+		anyBurning, err := mpi.Allreduce(c, boolToInt(len(burning) > 0), mpi.Combine[int](mpi.Max))
+		if err != nil {
+			return TrialResult{}, err
+		}
+		if anyBurning == 0 {
+			break
+		}
+		steps++
+
+		// Generate this step's ignition attempts; boundary-crossing ones
+		// are routed to the owning neighbour slab.
+		var localAttacks, toDown, toUp []attack
+		for _, cell := range burning {
+			r, col := cell/cols, cell%cols
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], col+d[1]
+				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					continue
+				}
+				a := attack{From: cell, To: nr*cols + nc}
+				switch {
+				case owns(a.To):
+					localAttacks = append(localAttacks, a)
+				case nr < rowLo:
+					toDown = append(toDown, a)
+				default:
+					toUp = append(toUp, a)
+				}
+			}
+			*at(cell) = stateBurned
+			burnedLocal++
+		}
+
+		// Halo exchange of boundary attacks (empty slices cross too, to
+		// keep every rank's message pattern identical each step).
+		var fromDown, fromUp []attack
+		if _, _, err := cart.SendrecvShift(0, tagHalo, toDown, toUp, &fromDown, &fromUp); err != nil {
+			return TrialResult{}, err
+		}
+
+		// Apply all attempts against this slab; the hash makes the
+		// outcome identical to the sequential run regardless of order.
+		var next []int
+		apply := func(as []attack) {
+			for _, a := range as {
+				if !owns(a.To) {
+					continue // a mis-routed attack would be a bug upstream
+				}
+				if *at(a.To) == stateTree && igniteDecision(seed, steps, a.From, a.To) < prob {
+					*at(a.To) = stateBurning
+					next = append(next, a.To)
+				}
+			}
+		}
+		apply(localAttacks)
+		apply(fromDown)
+		apply(fromUp)
+		burning = next
+	}
+
+	burnedTotal, err := mpi.Allreduce(c, burnedLocal, mpi.Combine[int](mpi.Sum))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return TrialResult{
+		BurnedFraction: float64(burnedTotal) / float64(rows*cols),
+		Steps:          steps,
+	}, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// blockRows splits row indices [0, rows) into contiguous blocks.
+func blockRows(rows, rank, size int) (lo, hi int) {
+	base := rows / size
+	rem := rows % size
+	if rank < rem {
+		lo = rank * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (rank-rem)*base
+	return lo, lo + base
+}

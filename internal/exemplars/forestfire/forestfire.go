@@ -1,0 +1,242 @@
+// Package forestfire implements the Forest Fire Simulation exemplar from
+// the paper's distributed-memory module (the Jupyter notebook served from
+// the Chameleon cluster). A forest is a rectangular grid of trees; the
+// center tree is struck by lightning; each burning tree tries once to
+// ignite each of its four neighbours with probability p, then burns out.
+// The simulation runs until no tree is burning and reports how much of the
+// forest burned and how long the fire lasted.
+//
+// The interesting output is statistical: sweeping the spread probability
+// and averaging over many Monte Carlo trials exposes a phase transition —
+// below a critical probability fires die out locally, above it they consume
+// the forest. The trials are independent, so the sweep parallelizes
+// naturally across ranks, and because each trial derives its own RNG seed
+// from the trial index, every version simulates exactly the same fires: the
+// shared-memory curve is bit-identical to the sequential one, and the
+// message-passing curve matches up to floating-point summation order.
+package forestfire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mpi"
+	"repro/internal/shm"
+)
+
+// Cell states.
+type cellState uint8
+
+const (
+	stateTree cellState = iota
+	stateBurning
+	stateBurned
+)
+
+// Params configures a simulation sweep.
+type Params struct {
+	Rows, Cols int
+	// Probs are the spread probabilities to sweep.
+	Probs []float64
+	// Trials is the number of Monte Carlo trials per probability.
+	Trials int
+	// Seed is the base seed; each (probability, trial) pair derives its
+	// own generator from it.
+	Seed int64
+}
+
+// DefaultParams is the notebook's default sweep at a test-friendly scale.
+func DefaultParams() Params {
+	probs := make([]float64, 10)
+	for i := range probs {
+		probs[i] = float64(i+1) / 10
+	}
+	return Params{Rows: 21, Cols: 21, Probs: probs, Trials: 40, Seed: 11}
+}
+
+func (p Params) validate() error {
+	if p.Rows < 1 || p.Cols < 1 {
+		return errors.New("forestfire: grid must be at least 1x1")
+	}
+	if len(p.Probs) == 0 {
+		return errors.New("forestfire: no spread probabilities to sweep")
+	}
+	for _, q := range p.Probs {
+		if q < 0 || q > 1 {
+			return fmt.Errorf("forestfire: probability %g outside [0,1]", q)
+		}
+	}
+	if p.Trials < 1 {
+		return errors.New("forestfire: need at least 1 trial")
+	}
+	return nil
+}
+
+// TrialResult is the outcome of one fire.
+type TrialResult struct {
+	BurnedFraction float64
+	Steps          int
+}
+
+// Simulate burns one forest with the given spread probability, drawing
+// randomness from rng.
+func Simulate(rows, cols int, prob float64, rng *rand.Rand) TrialResult {
+	grid := make([]cellState, rows*cols)
+	idx := func(r, c int) int { return r*cols + c }
+
+	// Lightning strikes the center tree.
+	burning := []int{idx(rows/2, cols/2)}
+	grid[burning[0]] = stateBurning
+
+	steps := 0
+	burned := 0
+	for len(burning) > 0 {
+		steps++
+		var next []int
+		for _, cell := range burning {
+			r, c := cell/cols, cell%cols
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					continue
+				}
+				n := idx(nr, nc)
+				if grid[n] == stateTree && rng.Float64() < prob {
+					grid[n] = stateBurning
+					next = append(next, n)
+				}
+			}
+			grid[cell] = stateBurned
+			burned++
+		}
+		burning = next
+	}
+	return TrialResult{
+		BurnedFraction: float64(burned) / float64(rows*cols),
+		Steps:          steps,
+	}
+}
+
+// SweepPoint is one row of the burn curve: the averages over all trials at
+// one spread probability.
+type SweepPoint struct {
+	Prob      float64
+	AvgBurned float64 // mean burned fraction
+	AvgSteps  float64 // mean fire duration in steps
+}
+
+// trialSeed gives every (probability index, trial) pair its own generator
+// so the decomposition of trials over workers cannot change the results.
+func trialSeed(base int64, probIdx, trial int) int64 {
+	const g1 = int64(0x9E3779B97F4A7C15 >> 1)
+	const g2 = int64(0xC2B2AE3D27D4EB4F >> 1)
+	return base + int64(probIdx)*g1 + int64(trial)*g2
+}
+
+// runTrial executes one (probIdx, trial) cell of the sweep.
+func (p Params) runTrial(probIdx, trial int) TrialResult {
+	rng := rand.New(rand.NewSource(trialSeed(p.Seed, probIdx, trial)))
+	return Simulate(p.Rows, p.Cols, p.Probs[probIdx], rng)
+}
+
+// accumulate folds per-trial results into sweep points.
+func (p Params) accumulate(sums []TrialResult) []SweepPoint {
+	points := make([]SweepPoint, len(p.Probs))
+	for i := range points {
+		points[i] = SweepPoint{
+			Prob:      p.Probs[i],
+			AvgBurned: sums[i].BurnedFraction / float64(p.Trials),
+			AvgSteps:  float64(sums[i].Steps) / float64(p.Trials),
+		}
+	}
+	return points
+}
+
+// Sweep runs the full burn-curve study sequentially.
+func Sweep(p Params) ([]SweepPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	sums := make([]TrialResult, len(p.Probs))
+	for pi := range p.Probs {
+		for t := 0; t < p.Trials; t++ {
+			r := p.runTrial(pi, t)
+			sums[pi].BurnedFraction += r.BurnedFraction
+			sums[pi].Steps += r.Steps
+		}
+	}
+	return p.accumulate(sums), nil
+}
+
+// SweepShared distributes the (probability, trial) cells across threads
+// with a dynamic schedule (fire durations vary wildly near the critical
+// probability).
+func SweepShared(p Params, numThreads int) ([]SweepPoint, error) {
+	return SweepSharedSched(p, numThreads, shm.Dynamic(1))
+}
+
+// SweepSharedSched is SweepShared with an explicit loop schedule; the
+// ablation benchmarks use it to compare static and dynamic decomposition
+// of the highly imbalanced trial workload.
+func SweepSharedSched(p Params, numThreads int, sched shm.Schedule) ([]SweepPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cells := len(p.Probs) * p.Trials
+	results := make([]TrialResult, cells)
+	shm.ParallelFor(numThreads, cells, sched, func(i int) {
+		results[i] = p.runTrial(i/p.Trials, i%p.Trials)
+	})
+	sums := make([]TrialResult, len(p.Probs))
+	for i, r := range results {
+		sums[i/p.Trials].BurnedFraction += r.BurnedFraction
+		sums[i/p.Trials].Steps += r.Steps
+	}
+	return p.accumulate(sums), nil
+}
+
+// SweepMPI distributes the trial cells cyclically across ranks and reduces
+// the per-probability sums; every rank returns the full curve. The trial
+// kernel runs under the Compute gate so platform models apply.
+func SweepMPI(c *mpi.Comm, p Params) ([]SweepPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cells := len(p.Probs) * p.Trials
+	burnedSums := make([]float64, len(p.Probs))
+	stepSums := make([]float64, len(p.Probs))
+	c.Compute(func() {
+		for i := c.Rank(); i < cells; i += c.Size() {
+			r := p.runTrial(i/p.Trials, i%p.Trials)
+			burnedSums[i/p.Trials] += r.BurnedFraction
+			stepSums[i/p.Trials] += float64(r.Steps)
+		}
+	})
+	burnedAll, err := mpi.Allreduce(c, burnedSums, mpi.CombineSlices[float64](mpi.Sum))
+	if err != nil {
+		return nil, err
+	}
+	stepsAll, err := mpi.Allreduce(c, stepSums, mpi.CombineSlices[float64](mpi.Sum))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(p.Probs))
+	for i := range points {
+		points[i] = SweepPoint{
+			Prob:      p.Probs[i],
+			AvgBurned: burnedAll[i] / float64(p.Trials),
+			AvgSteps:  stepsAll[i] / float64(p.Trials),
+		}
+	}
+	return points, nil
+}
+
+// FormatCurve renders the burn curve as the table the notebook prints.
+func FormatCurve(points []SweepPoint) string {
+	out := fmt.Sprintf("%12s %14s %12s\n", "spread prob", "avg % burned", "avg steps")
+	for _, pt := range points {
+		out += fmt.Sprintf("%12.2f %13.1f%% %12.1f\n", pt.Prob, 100*pt.AvgBurned, pt.AvgSteps)
+	}
+	return out
+}

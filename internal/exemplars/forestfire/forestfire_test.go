@@ -1,0 +1,191 @@
+package forestfire
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+)
+
+func TestSimulateProbabilityZeroBurnsOnlyTheStruckTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Simulate(11, 11, 0, rng)
+	if want := 1.0 / 121.0; r.BurnedFraction != want {
+		t.Fatalf("burned fraction = %v, want %v", r.BurnedFraction, want)
+	}
+	if r.Steps != 1 {
+		t.Fatalf("steps = %d, want 1", r.Steps)
+	}
+}
+
+func TestSimulateProbabilityOneBurnsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Simulate(9, 13, 1, rng)
+	if r.BurnedFraction != 1 {
+		t.Fatalf("burned fraction = %v, want 1", r.BurnedFraction)
+	}
+	// The fire front moves one Manhattan step per time step from the
+	// center, so the duration is the max Manhattan distance + 1.
+	wantSteps := (9-1)/2 + (13-1)/2 + 1 // wait for farthest corner
+	if r.Steps != wantSteps {
+		t.Fatalf("steps = %d, want %d", r.Steps, wantSteps)
+	}
+}
+
+func TestSimulate1x1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Simulate(1, 1, 0.5, rng)
+	if r.BurnedFraction != 1 || r.Steps != 1 {
+		t.Fatalf("1x1 = %+v", r)
+	}
+}
+
+func TestSimulateFractionInRangeProperty(t *testing.T) {
+	prop := func(seed int64, probRaw uint8, rRaw, cRaw uint8) bool {
+		rows := int(rRaw%20) + 1
+		cols := int(cRaw%20) + 1
+		prob := float64(probRaw%101) / 100
+		rng := rand.New(rand.NewSource(seed))
+		r := Simulate(rows, cols, prob, rng)
+		if r.BurnedFraction <= 0 || r.BurnedFraction > 1 {
+			return false
+		}
+		// At least the struck tree burns.
+		return r.BurnedFraction >= 1/float64(rows*cols) && r.Steps >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	bad := []Params{
+		{Rows: 0, Cols: 5, Probs: []float64{0.5}, Trials: 1},
+		{Rows: 5, Cols: 5, Probs: nil, Trials: 1},
+		{Rows: 5, Cols: 5, Probs: []float64{1.5}, Trials: 1},
+		{Rows: 5, Cols: 5, Probs: []float64{0.5}, Trials: 0},
+	}
+	for i, p := range bad {
+		if _, err := Sweep(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSweepCurveShape(t *testing.T) {
+	p := DefaultParams()
+	points, err := Sweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(p.Probs) {
+		t.Fatalf("%d points", len(points))
+	}
+	// The burn curve is the module's headline plot: low at small p, ~100%
+	// at p=1, and broadly increasing.
+	first, last := points[0], points[len(points)-1]
+	if first.AvgBurned > 0.2 {
+		t.Fatalf("p=%.1f burned %v, expected a small fire", first.Prob, first.AvgBurned)
+	}
+	if last.AvgBurned != 1 {
+		t.Fatalf("p=1 burned %v, want 1", last.AvgBurned)
+	}
+	if !(last.AvgBurned > first.AvgBurned) {
+		t.Fatal("burn curve not increasing end to end")
+	}
+	// Allow small non-monotonic jitter between adjacent points, but the
+	// curve must rise overall: each point at least 90% of the running max.
+	runMax := 0.0
+	for _, pt := range points {
+		if pt.AvgBurned < runMax*0.9 {
+			t.Fatalf("curve dips too much at p=%.2f: %v after max %v", pt.Prob, pt.AvgBurned, runMax)
+		}
+		if pt.AvgBurned > runMax {
+			runMax = pt.AvgBurned
+		}
+	}
+}
+
+func TestSweepSharedIdenticalToSequential(t *testing.T) {
+	p := DefaultParams()
+	p.Trials = 12
+	want, err := Sweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		got, err := SweepShared(p, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("threads=%d: curves differ", threads)
+		}
+	}
+}
+
+func TestSweepMPIMatchesSequential(t *testing.T) {
+	p := DefaultParams()
+	p.Trials = 10
+	want, err := Sweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range []int{1, 2, 5} {
+		var mu sync.Mutex
+		curves := map[int][]SweepPoint{}
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			got, err := SweepMPI(c, p)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			curves[c.Rank()] = got
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank, got := range curves {
+			for i := range want {
+				if math.Abs(got[i].AvgBurned-want[i].AvgBurned) > 1e-12 ||
+					math.Abs(got[i].AvgSteps-want[i].AvgSteps) > 1e-9 {
+					t.Fatalf("np=%d rank=%d point %d: %+v != %+v", np, rank, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSweepMPIValidation(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := SweepMPI(c, Params{}); err == nil {
+			t.Error("invalid params accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatCurve(t *testing.T) {
+	points := []SweepPoint{{Prob: 0.5, AvgBurned: 0.25, AvgSteps: 7.5}}
+	out := FormatCurve(points)
+	if !strings.Contains(out, "0.50") || !strings.Contains(out, "25.0%") || !strings.Contains(out, "7.5") {
+		t.Fatalf("FormatCurve = %q", out)
+	}
+}
+
+func TestDefaultParamsSweepTenProbabilities(t *testing.T) {
+	p := DefaultParams()
+	if len(p.Probs) != 10 || p.Probs[0] != 0.1 || p.Probs[9] != 1.0 {
+		t.Fatalf("default probs = %v", p.Probs)
+	}
+}

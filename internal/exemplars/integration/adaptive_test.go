@@ -1,0 +1,84 @@
+package integration
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAdaptiveSimpsonKnownIntegrals(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Func
+		a, b float64
+		want float64
+	}{
+		{"pi", QuarterCircle, 0, 1, math.Pi},
+		{"cubic", func(x float64) float64 { return x * x * x }, 0, 2, 4},
+		{"sin", math.Sin, 0, math.Pi, 2},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+		// A sharply peaked integrand: adaptive refinement earns its keep.
+		{"peak", func(x float64) float64 { return 1 / (1e-4 + x*x) }, -1, 1,
+			2 / 1e-2 * math.Atan(1/1e-2)},
+	}
+	for _, c := range cases {
+		const tol = 1e-10
+		got, err := AdaptiveSimpson(c.f, c.a, c.b, tol)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(got-c.want) > 1e-7*math.Abs(c.want)+1e-9 {
+			t.Errorf("%s: got %.12g, want %.12g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveSimpsonSharedMatchesSequential(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(10*x) / (0.1 + x*x) }
+	const tol = 1e-9
+	want, err := AdaptiveSimpson(f, -2, 3, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		got, err := AdaptiveSimpsonShared(f, -2, 3, tol, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The task decomposition changes only the traversal order of the
+		// identical refinement tree; summation pairing is preserved, so
+		// results agree to roundoff.
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("threads=%d: %.15g vs sequential %.15g", threads, got, want)
+		}
+	}
+}
+
+func TestAdaptiveSimpsonTolerance(t *testing.T) {
+	if _, err := AdaptiveSimpson(QuarterCircle, 0, 1, 0); !errors.Is(err, ErrBadTolerance) {
+		t.Fatalf("tol=0 err = %v", err)
+	}
+	if _, err := AdaptiveSimpsonShared(QuarterCircle, 0, 1, -1, 2); !errors.Is(err, ErrBadTolerance) {
+		t.Fatalf("shared tol<0 err = %v", err)
+	}
+}
+
+func TestAdaptiveBeatsFixedGridOnPeaks(t *testing.T) {
+	// For a sharp peak, adaptive Simpson at modest tolerance is more
+	// accurate than a 10k-point trapezoid.
+	peak := func(x float64) float64 { return 1 / (1e-4 + x*x) }
+	want := 2 / 1e-2 * math.Atan(1/1e-2)
+
+	adaptive, err := AdaptiveSimpson(peak, -1, 1, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Trapezoid(peak, -1, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adaptive-want) >= math.Abs(fixed-want) {
+		t.Fatalf("adaptive err %g not better than fixed-grid err %g",
+			math.Abs(adaptive-want), math.Abs(fixed-want))
+	}
+}

@@ -1,0 +1,211 @@
+package integration
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+)
+
+func TestTrapezoidConvergesToPi(t *testing.T) {
+	got, err := Trapezoid(QuarterCircle, 0, 1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Pi) > 1e-9 {
+		t.Fatalf("trapezoid pi = %.12f (err %g)", got, AbsError(got))
+	}
+}
+
+func TestTrapezoidLinearFunctionIsExact(t *testing.T) {
+	// The trapezoidal rule is exact for affine integrands at any n.
+	f := func(x float64) float64 { return 3*x + 2 }
+	for _, n := range []int{1, 2, 7, 100} {
+		got, err := Trapezoid(f, 0, 2, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-10) > 1e-12 { // ∫₀² (3x+2) = 6+4
+			t.Fatalf("n=%d: got %v, want 10", n, got)
+		}
+	}
+}
+
+func TestTrapezoidBadN(t *testing.T) {
+	if _, err := Trapezoid(QuarterCircle, 0, 1, 0); !errors.Is(err, ErrBadInterval) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := TrapezoidShared(QuarterCircle, 0, 1, 0, 2); !errors.Is(err, ErrBadInterval) {
+		t.Fatalf("shared err = %v", err)
+	}
+}
+
+func TestTrapezoidSharedMatchesSequential(t *testing.T) {
+	const n = 100_000
+	want, err := Trapezoid(QuarterCircle, 0, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		got, err := TrapezoidShared(QuarterCircle, 0, 1, n, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Summation order differs between thread counts, so allow
+		// floating-point slack proportional to the result.
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("threads=%d: %v vs sequential %v", threads, got, want)
+		}
+	}
+}
+
+func TestTrapezoidMPIMatchesSequentialEverywhere(t *testing.T) {
+	const n = 10_000
+	want, err := Trapezoid(QuarterCircle, 0, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range []int{1, 2, 3, 5, 8} {
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			got, err := TrapezoidMPI(c, QuarterCircle, 0, 1, n)
+			if err != nil {
+				return err
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("np=%d rank=%d: %v vs %v", np, c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTrapezoidMPIBadN(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := TrapezoidMPI(c, QuarterCircle, 0, 1, 0); !errors.Is(err, ErrBadInterval) {
+			t.Errorf("err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloPiAccuracy(t *testing.T) {
+	got, err := MonteCarloPi(200_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Pi) > 0.02 {
+		t.Fatalf("MC pi = %v", got)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	a, _ := MonteCarloPi(50_000, 7)
+	b, _ := MonteCarloPi(50_000, 7)
+	c, _ := MonteCarloPi(50_000, 8)
+	if a != b {
+		t.Fatal("same seed produced different estimates")
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical estimates (suspicious)")
+	}
+}
+
+func TestMonteCarloSharedDeterministicAndAccurate(t *testing.T) {
+	const n = 100_000
+	first, err := MonteCarloPiShared(n, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := MonteCarloPiShared(n, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("shared MC not deterministic for fixed (n, seed, threads)")
+	}
+	if math.Abs(first-math.Pi) > 0.05 {
+		t.Fatalf("shared MC pi = %v", first)
+	}
+}
+
+func TestMonteCarloMPIMatchesSharedPartitioning(t *testing.T) {
+	// The MPI and shared versions use the same per-worker seeding, so with
+	// equal worker counts they produce the identical estimate.
+	const n, seed = 60_000, 99
+	want, err := MonteCarloPiShared(n, seed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[int]float64{}
+	err = mpi.Run(3, func(c *mpi.Comm) error {
+		v, err := MonteCarloPiMPI(c, n, seed)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range got {
+		if v != want {
+			t.Fatalf("rank %d estimate %v, want %v", r, v, want)
+		}
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	if _, err := MonteCarloPi(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := MonteCarloPiShared(0, 1, 2); err == nil {
+		t.Fatal("shared n=0 accepted")
+	}
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	prop := func(nRaw uint16, kRaw uint8) bool {
+		n := int(nRaw % 500)
+		k := int(kRaw%9) + 1
+		prev := 0
+		for w := 0; w < k; w++ {
+			lo, hi := blockRange(n, w, k)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrapezoidSharedAccuracyProperty(t *testing.T) {
+	// For smooth integrands the composite trapezoid error shrinks as n
+	// grows; check monotone-ish improvement over decades.
+	errAt := func(n int) float64 {
+		v, err := TrapezoidShared(QuarterCircle, 0, 1, n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(v - math.Pi)
+	}
+	if !(errAt(10) > errAt(1000)) || !(errAt(1000) > errAt(100000)) {
+		t.Fatal("trapezoid error did not decrease with n")
+	}
+}

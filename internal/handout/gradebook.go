@@ -1,0 +1,110 @@
+package handout
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attempt records one graded answer.
+type Attempt struct {
+	QuestionID string
+	Answer     string
+	Correct    bool
+	Feedback   string
+	At         time.Time
+}
+
+// Gradebook tracks a learner's attempts across a module: the course- and
+// assignment-management role Runestone plays for instructors.
+type Gradebook struct {
+	Learner string
+	module  *Module
+
+	mu       sync.Mutex
+	attempts []Attempt
+	now      func() time.Time
+}
+
+// NewGradebook opens a gradebook for one learner working one module.
+func NewGradebook(learner string, m *Module) *Gradebook {
+	return &Gradebook{Learner: learner, module: m, now: time.Now}
+}
+
+// Submit grades an answer against the named question and records the
+// attempt.
+func (g *Gradebook) Submit(questionID, answer string) (Attempt, error) {
+	q, err := g.module.Question(questionID)
+	if err != nil {
+		return Attempt{}, err
+	}
+	correct, feedback := q.Grade(answer)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a := Attempt{
+		QuestionID: questionID,
+		Answer:     answer,
+		Correct:    correct,
+		Feedback:   feedback,
+		At:         g.now(),
+	}
+	g.attempts = append(g.attempts, a)
+	return a, nil
+}
+
+// Attempts returns a copy of all recorded attempts, in submission order.
+func (g *Gradebook) Attempts() []Attempt {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Attempt(nil), g.attempts...)
+}
+
+// Score reports how many of the module's questions the learner has answered
+// correctly at least once, and the module's question total.
+func (g *Gradebook) Score() (correct, total int) {
+	solved := map[string]bool{}
+	g.mu.Lock()
+	for _, a := range g.attempts {
+		if a.Correct {
+			solved[a.QuestionID] = true
+		}
+	}
+	g.mu.Unlock()
+	return len(solved), len(g.module.Questions())
+}
+
+// Report formats per-question progress for the instructor view.
+func (g *Gradebook) Report() string {
+	attemptsByQ := map[string][]Attempt{}
+	g.mu.Lock()
+	for _, a := range g.attempts {
+		attemptsByQ[a.QuestionID] = append(attemptsByQ[a.QuestionID], a)
+	}
+	g.mu.Unlock()
+
+	ids := make([]string, 0, len(attemptsByQ))
+	for id := range attemptsByQ {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	correct, total := g.Score()
+	out := fmt.Sprintf("%s: %d/%d questions solved\n", g.Learner, correct, total)
+	for _, id := range ids {
+		as := attemptsByQ[id]
+		solved := false
+		for _, a := range as {
+			if a.Correct {
+				solved = true
+				break
+			}
+		}
+		mark := "✗"
+		if solved {
+			mark = "✓"
+		}
+		out += fmt.Sprintf("  %s %s (%d attempt(s))\n", mark, id, len(as))
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package handout implements the "virtual handout" engine standing in for
+// Runestone Interactive, the platform the paper's shared-memory module is
+// delivered on. A handout is a self-paced module of chapters and sections
+// mixing expository text, instructional videos, interactive questions
+// (multiple choice, fill-in-the-blank, drag-and-drop — the Runestone
+// feature set the paper names), and hands-on activities that reference
+// patternlets by name.
+//
+// The engine renders sections to a terminal (Figure 1 of the paper is a
+// rendering of the Raspberry Pi module's Section 2.3), grades answers, and
+// tracks learner progress against the module's two-hour pacing plan.
+package handout
+
+import (
+	"fmt"
+	"time"
+)
+
+// Video is an instructional video stub: the module's setup chapter leans on
+// step-by-step videos, which the paper credits for the session's zero
+// technical issues.
+type Video struct {
+	Title    string
+	Duration time.Duration
+	URL      string
+}
+
+// Section is one numbered unit of a chapter.
+type Section struct {
+	// Number is the dotted section number, e.g. "2.3".
+	Number string
+	Title  string
+	// Body is the expository text shown before any activity.
+	Body string
+	// Videos play before the questions.
+	Videos []Video
+	// Questions quiz the reader on the section's concepts.
+	Questions []Question
+	// PatternletRefs name the patternlets the section's hands-on part
+	// runs on the learner's device.
+	PatternletRefs []string
+	// HandsOn is the instruction for the device activity, if any.
+	HandsOn string
+}
+
+// Chapter groups sections.
+type Chapter struct {
+	Number   int
+	Title    string
+	Sections []Section
+}
+
+// PacingBlock is one block of the module's lab-period plan.
+type PacingBlock struct {
+	Duration time.Duration
+	Activity string
+}
+
+// Module is a complete self-paced virtual handout.
+type Module struct {
+	Title    string
+	Summary  string
+	Chapters []Chapter
+	// Pacing is the suggested time budget; the paper designs each module
+	// to fit a standard two-hour lab period.
+	Pacing []PacingBlock
+}
+
+// TotalPace sums the pacing plan.
+func (m *Module) TotalPace() time.Duration {
+	var total time.Duration
+	for _, p := range m.Pacing {
+		total += p.Duration
+	}
+	return total
+}
+
+// Section finds a section by its dotted number.
+func (m *Module) Section(number string) (*Section, error) {
+	for ci := range m.Chapters {
+		for si := range m.Chapters[ci].Sections {
+			if m.Chapters[ci].Sections[si].Number == number {
+				return &m.Chapters[ci].Sections[si], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("handout: no section %q in module %q", number, m.Title)
+}
+
+// Questions returns every question in module order.
+func (m *Module) Questions() []Question {
+	var qs []Question
+	for _, ch := range m.Chapters {
+		for _, s := range ch.Sections {
+			qs = append(qs, s.Questions...)
+		}
+	}
+	return qs
+}
+
+// Question finds a question by id anywhere in the module.
+func (m *Module) Question(id string) (Question, error) {
+	for _, q := range m.Questions() {
+		if q.ID() == id {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("handout: no question %q in module %q", id, m.Title)
+}
+
+// PatternletRefs returns every patternlet name the module's hands-on
+// activities reference, in order, without duplicates.
+func (m *Module) PatternletRefs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ch := range m.Chapters {
+		for _, s := range ch.Sections {
+			for _, ref := range s.PatternletRefs {
+				if !seen[ref] {
+					seen[ref] = true
+					out = append(out, ref)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package handout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPiModuleStructure(t *testing.T) {
+	m := RaspberryPiModule()
+	if len(m.Chapters) != 3 {
+		t.Fatalf("chapters = %d", len(m.Chapters))
+	}
+	if m.TotalPace() != 2*time.Hour {
+		t.Fatalf("pacing total = %v, want the paper's 2-hour lab period", m.TotalPace())
+	}
+	if got := m.Pacing[0].Duration; got != 30*time.Minute {
+		t.Fatalf("first pacing block = %v, want 30m overview", got)
+	}
+	if got := m.Pacing[1].Duration; got != time.Hour {
+		t.Fatalf("second pacing block = %v, want 1h hands-on", got)
+	}
+}
+
+func TestPiModuleSectionLookup(t *testing.T) {
+	m := RaspberryPiModule()
+	s, err := m.Section("2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Title != "Race Conditions" {
+		t.Fatalf("2.3 title = %q", s.Title)
+	}
+	if _, err := m.Section("9.9"); err == nil {
+		t.Fatal("bogus section found")
+	}
+}
+
+func TestPiModulePatternletRefsExistInCatalog(t *testing.T) {
+	// Every patternlet the handout references must exist; verified against
+	// the names the patternlets package registers (kept as a literal list
+	// here to avoid an import cycle in coverage tooling).
+	catalog := map[string]bool{
+		"spmd": true, "forkJoin": true, "barrier": true, "masterOnly": true,
+		"singleExecution": true, "parallelLoopEqualChunks": true,
+		"parallelLoopChunksOf1": true, "dynamicSchedule": true,
+		"raceCondition": true, "mutualExclusion": true, "atomicUpdate": true,
+		"reduction": true, "sections": true, "privateVariable": true,
+	}
+	refs := RaspberryPiModule().PatternletRefs()
+	if len(refs) == 0 {
+		t.Fatal("module references no patternlets")
+	}
+	for _, ref := range refs {
+		if !catalog[ref] {
+			t.Errorf("module references unknown patternlet %q", ref)
+		}
+	}
+}
+
+// TestFigure1Render reproduces the paper's Figure 1: the rendering of
+// Section 2.3 shows the race-condition video, the "Q-2: What is a race
+// condition?" multiple-choice question with its three options, and the
+// activity label "Activity: 2 — Multiple Choice (sp_mc_2)".
+func TestFigure1Render(t *testing.T) {
+	m := RaspberryPiModule()
+	s, err := m.Section("2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderSection(&buf, s)
+	out := buf.String()
+
+	for _, want := range []string{
+		"2.3 Race Conditions",
+		"The following video will help you understand what is going on:",
+		"Q-2: What is a race condition?",
+		"A. It is the smallest set of instructions that must execute sequentially to ensure correctness.",
+		"B. It is a mechanism that helps protect a resource.",
+		"C. It is something that arises when two or more threads attempt to modify a shared variable.",
+		"[Check me]",
+		"Activity: 2 — Multiple Choice (sp_mc_2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 render missing %q\n--- render ---\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1QuestionGrading(t *testing.T) {
+	m := RaspberryPiModule()
+	q, err := m.Question("sp_mc_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct, _ := q.Grade("C"); !correct {
+		t.Fatal("the Figure 1 question's correct answer (C) was rejected")
+	}
+	if correct, _ := q.Grade("B"); correct {
+		t.Fatal("answer B accepted; Figure 1 shows B is wrong")
+	}
+	if correct, fb := q.Grade("z"); correct || !strings.Contains(fb, "option letters") {
+		t.Fatalf("invalid answer feedback = %q", fb)
+	}
+	// Case-insensitive grading.
+	if correct, _ := q.Grade(" c "); !correct {
+		t.Fatal("lower-case c rejected")
+	}
+}
+
+func TestFillInBlankGrading(t *testing.T) {
+	m := RaspberryPiModule()
+	q, err := m.Question("sp_fib_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := q.Grade("  DYNAMIC "); !ok {
+		t.Fatal("case/space-insensitive acceptance failed")
+	}
+	if ok, _ := q.Grade("static"); ok {
+		t.Fatal("wrong answer accepted")
+	}
+}
+
+func TestDragAndDropGrading(t *testing.T) {
+	m := RaspberryPiModule()
+	q, err := m.Question("sp_dd_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := "critical section=a multi-statement update to shared state; " +
+		"atomic update=a single add to a shared counter; " +
+		"reduction=combining per-thread partial results"
+	if ok, fb := q.Grade(good); !ok {
+		t.Fatalf("correct matching rejected: %s", fb)
+	}
+	if ok, _ := q.Grade("critical section=a single add to a shared counter"); ok {
+		t.Fatal("incomplete/wrong matching accepted")
+	}
+	if ok, fb := q.Grade("garbage"); ok || !strings.Contains(fb, "Malformed") {
+		t.Fatalf("malformed answer feedback = %q", fb)
+	}
+	dd := q.(*DragAndDrop)
+	if len(dd.Lefts()) != 3 || len(dd.Rights()) != 3 {
+		t.Fatal("Lefts/Rights wrong size")
+	}
+}
+
+func TestQuestionLookupUnknown(t *testing.T) {
+	if _, err := RaspberryPiModule().Question("nope"); err == nil {
+		t.Fatal("unknown question found")
+	}
+}
+
+func TestRenderTOC(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTOC(&buf, RaspberryPiModule())
+	out := buf.String()
+	for _, want := range []string{
+		"Chapter 1: Getting Started with your Raspberry Pi",
+		"Chapter 2: Shared-Memory Patternlets",
+		"Chapter 3: Exemplars and Benchmarking",
+		"2.3 Race Conditions",
+		"Suggested pacing (total 2h0m0s):",
+		"hands-on",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TOC missing %q", want)
+		}
+	}
+}
+
+func TestGradebookFlow(t *testing.T) {
+	m := RaspberryPiModule()
+	g := NewGradebook("pat", m)
+
+	if _, err := g.Submit("sp_mc_2", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Submit("sp_mc_2", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Submit("setup_fib_1", "3B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Submit("ghost", "x"); err == nil {
+		t.Fatal("submission to unknown question accepted")
+	}
+
+	correct, total := g.Score()
+	if correct != 2 {
+		t.Fatalf("correct = %d, want 2", correct)
+	}
+	if total != len(m.Questions()) {
+		t.Fatalf("total = %d, want %d", total, len(m.Questions()))
+	}
+	if got := len(g.Attempts()); got != 3 {
+		t.Fatalf("attempts = %d", got)
+	}
+
+	rep := g.Report()
+	if !strings.Contains(rep, "pat: 2/") ||
+		!strings.Contains(rep, "✓ setup_fib_1") ||
+		!strings.Contains(rep, "✓ sp_mc_2 (2 attempt(s))") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	if wrap("", 10) != "" {
+		t.Fatal("empty wrap")
+	}
+	out := wrap("aaa bbb ccc ddd", 7)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 7 {
+			t.Fatalf("line %q exceeds width", line)
+		}
+	}
+	if !strings.Contains(out, "aaa bbb") {
+		t.Fatalf("wrap = %q", out)
+	}
+}
+
+func TestVideosPresentWhereThePaperNeedsThem(t *testing.T) {
+	// The paper attributes the lack of technical issues partly to the
+	// setup videos in the first chapter: every setup section with device
+	// steps carries one.
+	m := RaspberryPiModule()
+	ch1 := m.Chapters[0]
+	withVideo := 0
+	for _, s := range ch1.Sections {
+		withVideo += len(s.Videos)
+	}
+	if withVideo < 3 {
+		t.Fatalf("chapter 1 has %d videos, want the step-by-step walkthroughs", withVideo)
+	}
+}

@@ -1,0 +1,172 @@
+package handout
+
+import "time"
+
+// MPICompanionModule builds the instructional companion to the distributed
+// module (paper Section III-B): the guidance that framed the Colab hour and
+// the second-hour platform choice. The notebook carries the runnable cells;
+// this module carries the concepts, the platform instructions — including
+// the "follow the instructions before logging in" warning the eager-beaver
+// incident made famous — and the comprehension checks. Its pacing mirrors
+// the session: one hour of patternlets on Colab, one hour of exemplars on
+// a real parallel platform.
+func MPICompanionModule() *Module {
+	return &Module{
+		Title: "Distributed Computing with MPI - Companion Handout",
+		Summary: "A self-paced two-hour module: learn the message-passing patterns " +
+			"with mpi4py patternlets in a Google Colab notebook, then experience " +
+			"speedup and scalability by running an exemplar on a real parallel " +
+			"platform — a Jupyter notebook backed by the Chameleon cluster, or " +
+			"the 64-core VM at St. Olaf.",
+		Pacing: []PacingBlock{
+			{time.Hour, "MPI patternlets in the Colab notebook, at your own pace"},
+			{time.Hour, "An exemplar (forest fire or drug design) on Chameleon or the St. Olaf VM"},
+		},
+		Chapters: []Chapter{
+			{
+				Number: 1,
+				Title:  "Message Passing on Google Colab",
+				Sections: []Section{
+					{
+						Number: "1.1",
+						Title:  "Processes, Not Threads",
+						Body: "MPI programs are independent processes that share no memory: " +
+							"the only way to move data between them is to send and receive " +
+							"messages. Every process runs the same program (SPMD); its rank " +
+							"and the world size differentiate its behaviour.",
+						Questions: []Question{
+							&MultipleChoice{
+								QID:  "mpi_mc_1",
+								Text: "How do two MPI processes share a partial result?",
+								Options: []Option{
+									{Key: "A", Text: "By writing to a shared variable."},
+									{Key: "B", Text: "By sending and receiving a message."},
+									{Key: "C", Text: "They cannot; results stay private."},
+								},
+								Correct: "B",
+								Why:     "Processes share no memory; messages are the only channel.",
+							},
+						},
+					},
+					{
+						Number: "1.2",
+						Title:  "Running the Patternlets",
+						Body: "Open the mpi4py patternlets notebook in Colab (a free Google " +
+							"account suffices; no setup is required). For each pattern, run " +
+							"the %%writefile cell to save the program, then the mpirun cell " +
+							"to execute it with several processes.",
+						PatternletRefs: []string{},
+						HandsOn:        "Work through all the patternlet cells; re-run 00spmd.py with -np 8 and explain the output.",
+						Questions: []Question{
+							&FillInBlank{
+								QID:    "mpi_fib_1",
+								Text:   "The mpirun flag that sets the number of processes is ____.",
+								Accept: []string{"-np", "np", "-n"},
+								Why:    "mpirun -np N starts N processes.",
+							},
+							&MultipleChoice{
+								QID:  "mpi_mc_2",
+								Text: "The Colab VM has a single core. What does that mean for the patternlets?",
+								Options: []Option{
+									{Key: "A", Text: "They crash with more than one process."},
+									{Key: "B", Text: "They run correctly but show no parallel speedup."},
+									{Key: "C", Text: "They silently drop messages."},
+								},
+								Correct: "B",
+								Why: "Message passing is about correctness of coordination; the " +
+									"processes time-share the one core, so concepts work but speedup cannot appear.",
+							},
+						},
+					},
+					{
+						Number: "1.3",
+						Title:  "The Patterns to Watch For",
+						Body: "As you work, name the pattern each patternlet teaches: SPMD, " +
+							"send/receive, master-worker, the two loop decompositions, " +
+							"broadcast, reduction, scatter/gather, and barrier-sequenced output.",
+						Questions: []Question{
+							&DragAndDrop{
+								QID:  "mpi_dd_1",
+								Text: "Match each collective to what it does.",
+								Pairs: map[string]string{
+									"broadcast": "root sends one value to every process",
+									"reduction": "every process contributes to one combined result",
+									"scatter":   "root deals one piece of an array to each process",
+								},
+								Why: "These three collectives bracket most data-parallel programs.",
+							},
+						},
+					},
+				},
+			},
+			{
+				Number: 2,
+				Title:  "Experiencing Speedup on a Real Platform",
+				Sections: []Section{
+					{
+						Number: "2.1",
+						Title:  "Choose Your Platform",
+						Body: "To see speedup you need real cores. Choose one: (i) a Jupyter " +
+							"notebook whose backend is a Chameleon Cloud cluster, or (ii) a " +
+							"VNC connection to a 64-core VM at St. Olaf. Both run the same " +
+							"exemplars; the point of the choice is that PDC can be taught on " +
+							"many platforms.",
+						Questions: []Question{
+							&MultipleChoice{
+								QID:  "mpi_mc_3",
+								Text: "Why does the second hour move off Colab?",
+								Options: []Option{
+									{Key: "A", Text: "Colab cannot run Python."},
+									{Key: "B", Text: "The exemplars need a GPU."},
+									{Key: "C", Text: "Experiencing speedup requires a multicore or cluster platform."},
+								},
+								Correct: "C",
+								Why:     "Colab's unicore VM demonstrates concepts; speedup needs parallel hardware.",
+							},
+						},
+					},
+					{
+						Number: "2.2",
+						Title:  "Logging in to the St. Olaf VM",
+						Body: "IMPORTANT: read all of the login instructions before connecting. " +
+							"The VM's firewall suspends VNC access after a failed login, and " +
+							"the suspension needs an administrator to lift. If you do get " +
+							"locked out, you can still ssh to the VM and complete the " +
+							"exercise from the terminal.",
+						Questions: []Question{
+							&MultipleChoice{
+								QID:  "mpi_mc_4",
+								Text: "Your VNC access was suspended by the firewall. What still works?",
+								Options: []Option{
+									{Key: "A", Text: "Nothing; the exercise is over."},
+									{Key: "B", Text: "SSH: log in from a terminal and continue."},
+									{Key: "C", Text: "Creating a new VNC account yourself."},
+								},
+								Correct: "B",
+								Why:     "The firewall rule covers VNC only; SSH keeps working.",
+							},
+						},
+					},
+					{
+						Number: "2.3",
+						Title:  "Exemplar: Forest Fire or Drug Design",
+						Body: "Work through whichever exemplar interests you most. The forest " +
+							"fire sweeps a spread probability over many Monte Carlo trials; " +
+							"the drug design scores random ligands against a protein with a " +
+							"master-worker decomposition. Time your runs at several process " +
+							"counts and compute the speedups.",
+						HandsOn: "Run your exemplar at np = 1, 2, 4, 8 and fill in a speedup table. Where does it stop scaling, and why?",
+						Questions: []Question{
+							&FillInBlank{
+								QID:    "mpi_fib_2",
+								Text:   "In the drug-design exemplar, the process that hands out ligands to the others is called the ____.",
+								Accept: []string{"master"},
+								Why:    "Rank 0 coordinates as the master; the other ranks are workers.",
+							},
+						},
+					},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,105 @@
+package handout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMPICompanionStructure(t *testing.T) {
+	m := MPICompanionModule()
+	if len(m.Chapters) != 2 {
+		t.Fatalf("chapters = %d", len(m.Chapters))
+	}
+	if m.TotalPace() != 2*time.Hour {
+		t.Fatalf("pacing = %v, want the 2-hour session", m.TotalPace())
+	}
+	// One hour per half, mirroring the session.
+	if m.Pacing[0].Duration != time.Hour || m.Pacing[1].Duration != time.Hour {
+		t.Fatalf("pacing blocks = %v", m.Pacing)
+	}
+	if len(m.Questions()) < 6 {
+		t.Fatalf("questions = %d, want a full comprehension set", len(m.Questions()))
+	}
+}
+
+func TestMPICompanionGrading(t *testing.T) {
+	m := MPICompanionModule()
+	cases := []struct {
+		qid, answer string
+		correct     bool
+	}{
+		{"mpi_mc_1", "B", true},
+		{"mpi_mc_1", "A", false},
+		{"mpi_mc_2", "B", true},
+		{"mpi_mc_3", "C", true},
+		{"mpi_mc_4", "B", true}, // the eager-beaver lesson
+		{"mpi_fib_1", "-np", true},
+		{"mpi_fib_1", "np", true},
+		{"mpi_fib_2", "master", true},
+		{"mpi_fib_2", "worker", false},
+	}
+	g := NewGradebook("pat", m)
+	for _, c := range cases {
+		a, err := g.Submit(c.qid, c.answer)
+		if err != nil {
+			t.Fatalf("%s: %v", c.qid, err)
+		}
+		if a.Correct != c.correct {
+			t.Errorf("%s answer %q graded %v, want %v", c.qid, c.answer, a.Correct, c.correct)
+		}
+	}
+}
+
+func TestMPICompanionEagerBeaverWarning(t *testing.T) {
+	// Section 2.2 must carry the lesson the workshop learned the hard way.
+	m := MPICompanionModule()
+	s, err := m.Section("2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderSection(&buf, s)
+	out := buf.String()
+	for _, want := range []string{"read all of the login instructions", "ssh to the VM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("section 2.2 missing %q", want)
+		}
+	}
+}
+
+func TestMPICompanionDragDrop(t *testing.T) {
+	m := MPICompanionModule()
+	q, err := m.Question("mpi_dd_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := "broadcast=root sends one value to every process; " +
+		"reduction=every process contributes to one combined result; " +
+		"scatter=root deals one piece of an array to each process"
+	if ok, fb := q.Grade(good); !ok {
+		t.Fatalf("correct matching rejected: %s", fb)
+	}
+}
+
+func TestMPICompanionServesOverWeb(t *testing.T) {
+	ws := NewWebServer(MPICompanionModule(), "pat")
+	// Rendering every section through the HTTP templates must not error.
+	for _, ch := range MPICompanionModule().Chapters {
+		for _, s := range ch.Sections {
+			var buf bytes.Buffer
+			view := struct{ Section sectionView }{sectionView{
+				Number: s.Number, Title: s.Title, Body: s.Body, HandsOn: s.HandsOn,
+				Videos: s.Videos, PatternletRefs: s.PatternletRefs,
+			}}
+			for _, q := range s.Questions {
+				view.Section.Questions = append(view.Section.Questions, questionView{q})
+			}
+			if err := sectionTemplate.Execute(&buf, view); err != nil {
+				t.Fatalf("section %s: %v", s.Number, err)
+			}
+		}
+	}
+	_ = ws
+}

@@ -1,0 +1,246 @@
+package handout
+
+import "time"
+
+// RaspberryPiModule builds the shared-memory module's virtual handout: the
+// Runestone Interactive "Raspberry Pi - Virtual Handout" the paper's
+// Section III-A describes. Chapter 1 is the video-led device setup the
+// paper credits for the session's lack of technical issues; Chapter 2 works
+// through the OpenMP patternlets (its Section 2.3 with the race-condition
+// video and multiple-choice check is the paper's Figure 1); Chapter 3 holds
+// the two exemplars and the closing benchmarking study. The pacing plan is
+// the paper's half-hour / hour / half-hour split of a 2-hour lab period.
+func RaspberryPiModule() *Module {
+	return &Module{
+		Title: "Raspberry Pi - Virtual Handout: Shared-Memory Parallel Computing with OpenMP",
+		Summary: "A self-paced two-hour module: set up your Raspberry Pi using your " +
+			"laptop as its keyboard and screen, explore shared-memory parallel " +
+			"programming through patternlets, and finish with two exemplar " +
+			"applications and a small benchmarking study.",
+		Pacing: []PacingBlock{
+			{30 * time.Minute, "Overview of processes, threads, and multicore systems; introduction to the patternlets"},
+			{60 * time.Minute, "Hands-on exploration of the patternlets at your own pace"},
+			{30 * time.Minute, "Exemplars: numerical integration and drug design, plus a small benchmarking study"},
+		},
+		Chapters: []Chapter{
+			{
+				Number: 1,
+				Title:  "Getting Started with your Raspberry Pi",
+				Sections: []Section{
+					{
+						Number: "1.1",
+						Title:  "Your Kit",
+						Body: "Your mailed kit contains a CanaKit Raspberry Pi, an Ethernet cable, " +
+							"an Ethernet-to-USB dongle, a USB A-to-C dongle, a microSD card " +
+							"pre-flashed with the course system image, and a case. Total cost of " +
+							"the parts is about $100, so replacing any one of them is cheap.",
+						Videos: []Video{{Title: "Unboxing your kit", Duration: 3 * time.Minute, URL: "https://pdcbook.calvin.edu/video/kit"}},
+					},
+					{
+						Number: "1.2",
+						Title:  "Flashing the System Image",
+						Body: "If your microSD card did not arrive pre-flashed, burn the course " +
+							"image onto it. The image works on all Raspberry Pi models from the " +
+							"3B onward and contains every code example used below.",
+						Videos: []Video{{Title: "Burning the image", Duration: 4 * time.Minute, URL: "https://pdcbook.calvin.edu/video/flash"}},
+						Questions: []Question{
+							&FillInBlank{
+								QID:    "setup_fib_1",
+								Text:   "The course system image works on all Raspberry Pi models from the ____ onward.",
+								Accept: []string{"3B", "3b", "model 3B"},
+								Why:    "The image was tested and confirmed on every model from the 3B onward.",
+							},
+						},
+					},
+					{
+						Number: "1.3",
+						Title:  "Using your Laptop as the Pi's Screen and Keyboard",
+						Body: "Connect the Pi to your laptop with the Ethernet cable (and dongle if " +
+							"needed) and open a remote desktop to it. This works the same on " +
+							"Linux, macOS, and Windows, so the whole class shares one consistent " +
+							"environment.",
+						Videos: []Video{{Title: "Connecting with your laptop", Duration: 6 * time.Minute, URL: "https://pdcbook.calvin.edu/video/connect"}},
+					},
+				},
+			},
+			{
+				Number: 2,
+				Title:  "Shared-Memory Patternlets",
+				Sections: []Section{
+					{
+						Number: "2.1",
+						Title:  "Processes, Threads, and Multicore Systems",
+						Body: "A process owns memory; threads within it share that memory. Your " +
+							"Raspberry Pi's CPU has four cores, so four threads can execute " +
+							"machine instructions at the same instant — true parallelism, not " +
+							"just interleaving.",
+						Questions: []Question{
+							&MultipleChoice{
+								QID:  "sp_mc_0",
+								Text: "How many threads of one program can your Raspberry Pi execute simultaneously?",
+								Options: []Option{
+									{Key: "A", Text: "One; threads only appear simultaneous."},
+									{Key: "B", Text: "Four, one per core."},
+									{Key: "C", Text: "As many as you create."},
+								},
+								Correct: "B",
+								Why:     "The Pi's CPU has four cores; extra threads time-share them.",
+							},
+						},
+					},
+					{
+						Number: "2.2",
+						Title:  "The SPMD Pattern and Fork-Join",
+						Body: "Run the spmd and forkJoin patternlets. One body of code runs on " +
+							"every thread of the team; thread id and team size differentiate " +
+							"the threads' behaviour. Note how the output order changes between " +
+							"runs.",
+						PatternletRefs: []string{"spmd", "forkJoin", "barrier", "masterOnly", "singleExecution"},
+						HandsOn:        "Run each patternlet several times with 2, 4, and 8 threads and watch how the output interleaves.",
+						Questions: []Question{
+							&FillInBlank{
+								QID:    "sp_fib_1",
+								Text:   "The construct that makes every thread wait until the whole team arrives is called a ____.",
+								Accept: []string{"barrier"},
+								Why:    "A barrier releases no one until everyone has arrived.",
+							},
+						},
+					},
+					{
+						Number: "2.3",
+						Title:  "Race Conditions",
+						Body: "Run the raceCondition patternlet: several threads each add 1 to a " +
+							"shared balance many times, yet the final balance usually comes up " +
+							"short. The threads race: two of them read the same old value, both " +
+							"add 1, and one update overwrites the other.",
+						Videos:         []Video{{Title: "Race conditions", Duration: 2*time.Minute + 2*time.Second, URL: "https://pdcbook.calvin.edu/video/races"}},
+						PatternletRefs: []string{"raceCondition"},
+						HandsOn:        "Predict the final balance before running the patternlet; run it three times and record each result.",
+						Questions: []Question{
+							&MultipleChoice{
+								QID:  "sp_mc_1",
+								Text: "In the patternlet, when is the shared balance guaranteed to be correct?",
+								Options: []Option{
+									{Key: "A", Text: "When the thread count is a power of two."},
+									{Key: "B", Text: "Only when a single thread performs all the updates."},
+									{Key: "C", Text: "When each thread updates it fewer than 100 times."},
+								},
+								Correct: "B",
+								Why:     "With one updater there is no interleaving to lose updates to.",
+							},
+							&MultipleChoice{
+								QID:  "sp_mc_2",
+								Text: "What is a race condition?",
+								Options: []Option{
+									{Key: "A", Text: "It is the smallest set of instructions that must execute sequentially to ensure correctness."},
+									{Key: "B", Text: "It is a mechanism that helps protect a resource."},
+									{Key: "C", Text: "It is something that arises when two or more threads attempt to modify a shared variable."},
+								},
+								Correct: "C",
+								Why:     "Concurrent unsynchronized modification of shared state is exactly what a race condition is.",
+							},
+						},
+					},
+					{
+						Number: "2.4",
+						Title:  "Mutual Exclusion: Critical Sections, Atomics, and Locks",
+						Body: "Fix the race three ways and compare their costs: a critical section " +
+							"(one thread at a time through a code block), an atomic update (one " +
+							"indivisible hardware instruction), and an explicit lock object.",
+						PatternletRefs: []string{"mutualExclusion", "atomicUpdate"},
+						HandsOn:        "Time raceCondition, mutualExclusion, and atomicUpdate with 4 threads. Which fix is cheapest?",
+						Questions: []Question{
+							&DragAndDrop{
+								QID:  "sp_dd_1",
+								Text: "Match each construct to its best use.",
+								Pairs: map[string]string{
+									"critical section": "a multi-statement update to shared state",
+									"atomic update":    "a single add to a shared counter",
+									"reduction":        "combining per-thread partial results",
+								},
+								Why: "Atomics fix single operations, criticals fix compound ones, reductions avoid sharing altogether.",
+							},
+						},
+					},
+					{
+						Number: "2.5",
+						Title:  "Parallel Loops and Schedules",
+						Body: "Run the three loop patternlets. Equal chunks give each thread one " +
+							"contiguous block; chunks of 1 deal iterations round-robin; the " +
+							"dynamic schedule hands the next iteration to whichever thread is " +
+							"free, balancing imbalanced work automatically.",
+						PatternletRefs: []string{"parallelLoopEqualChunks", "parallelLoopChunksOf1", "dynamicSchedule"},
+						HandsOn:        "With 4 threads and 8 iterations, predict which thread runs iteration 5 under each schedule, then check.",
+						Questions: []Question{
+							&FillInBlank{
+								QID:    "sp_fib_2",
+								Text:   "When iteration costs vary unpredictably, the ____ schedule balances the load best.",
+								Accept: []string{"dynamic"},
+								Why:    "Dynamic scheduling assigns the next iteration to the first free thread.",
+							},
+						},
+					},
+					{
+						Number: "2.6",
+						Title:  "Reduction",
+						Body: "The reduction patternlet shows the idiomatic fix for accumulation " +
+							"races: each thread accumulates privately and the partial results " +
+							"are combined once at the end.",
+						PatternletRefs: []string{"reduction", "sections", "privateVariable"},
+						Questions: []Question{
+							&MultipleChoice{
+								QID:  "sp_mc_3",
+								Text: "Why does a reduction outperform a critical section for summing?",
+								Options: []Option{
+									{Key: "A", Text: "It synchronizes once per thread instead of once per update."},
+									{Key: "B", Text: "It uses faster arithmetic."},
+									{Key: "C", Text: "It runs on the GPU."},
+								},
+								Correct: "A",
+								Why:     "Reductions accumulate privately and synchronize only when combining partials.",
+							},
+						},
+					},
+				},
+			},
+			{
+				Number: 3,
+				Title:  "Exemplars and Benchmarking",
+				Sections: []Section{
+					{
+						Number: "3.1",
+						Title:  "Exemplar: Numerical Integration",
+						Body: "Approximate π as the area under 4/(1+x²) on [0,1] with the " +
+							"trapezoidal rule, parallelized with a parallel-for reduction. " +
+							"This is your first whole program built from the patterns.",
+						HandsOn: "Run the integration exemplar with 1, 2, 3, and 4 threads and 10^7 trapezoids; record each time.",
+					},
+					{
+						Number: "3.2",
+						Title:  "Exemplar: Drug Design",
+						Body: "Score randomly generated ligands against a protein and report the " +
+							"best docking score. Ligand lengths vary, so the work is imbalanced " +
+							"— compare static and dynamic schedules.",
+						HandsOn: "Run the drug-design exemplar under the static and dynamic schedules with 4 threads; explain the difference.",
+					},
+					{
+						Number: "3.3",
+						Title:  "A Small Benchmarking Study",
+						Body: "Collect your timings into a table of speedup and efficiency. How " +
+							"close to 4x do you get on the Pi's four cores, and what limits " +
+							"you? (Amdahl's law names the culprit.)",
+						HandsOn: "Complete the speedup/efficiency table for both exemplars and sketch the speedup curve.",
+						Questions: []Question{
+							&FillInBlank{
+								QID:    "sp_fib_3",
+								Text:   "Speedup divided by the number of workers is called ____.",
+								Accept: []string{"efficiency", "parallel efficiency"},
+								Why:    "Efficiency measures how well the workers are utilized.",
+							},
+						},
+					},
+				},
+			},
+		},
+	}
+}

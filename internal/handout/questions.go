@@ -1,0 +1,155 @@
+package handout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Question is one interactive exercise. Answers arrive as strings typed (or
+// assembled) by the learner; Grade reports correctness and feedback.
+type Question interface {
+	// ID is the activity identifier Runestone shows, e.g. "sp_mc_2".
+	ID() string
+	// Prompt is the question text.
+	Prompt() string
+	// Grade checks an answer and explains the outcome.
+	Grade(answer string) (correct bool, feedback string)
+	// Kind names the activity type for renderers ("Multiple Choice", ...).
+	Kind() string
+}
+
+// Option is one multiple-choice alternative.
+type Option struct {
+	Key  string // "A", "B", ...
+	Text string
+}
+
+// MultipleChoice is the Runestone multiple-choice activity (Figure 1 shows
+// one).
+type MultipleChoice struct {
+	QID     string
+	Text    string
+	Options []Option
+	Correct string
+	// Why explains the correct answer; shown on any graded attempt.
+	Why string
+}
+
+// ID implements Question.
+func (q *MultipleChoice) ID() string { return q.QID }
+
+// Prompt implements Question.
+func (q *MultipleChoice) Prompt() string { return q.Text }
+
+// Kind implements Question.
+func (q *MultipleChoice) Kind() string { return "Multiple Choice" }
+
+// Grade accepts the option key, case-insensitively.
+func (q *MultipleChoice) Grade(answer string) (bool, string) {
+	a := strings.ToUpper(strings.TrimSpace(answer))
+	if a == strings.ToUpper(q.Correct) {
+		return true, "Correct! " + q.Why
+	}
+	for _, opt := range q.Options {
+		if strings.EqualFold(opt.Key, a) {
+			return false, fmt.Sprintf("Not quite — option %s is wrong. %s", opt.Key, q.Why)
+		}
+	}
+	return false, fmt.Sprintf("Please answer with one of the option letters (A–%s).",
+		q.Options[len(q.Options)-1].Key)
+}
+
+// FillInBlank accepts any of a set of expected strings, ignoring case and
+// surrounding space.
+type FillInBlank struct {
+	QID    string
+	Text   string
+	Accept []string
+	Why    string
+}
+
+// ID implements Question.
+func (q *FillInBlank) ID() string { return q.QID }
+
+// Prompt implements Question.
+func (q *FillInBlank) Prompt() string { return q.Text }
+
+// Kind implements Question.
+func (q *FillInBlank) Kind() string { return "Fill in the Blank" }
+
+// Grade implements Question.
+func (q *FillInBlank) Grade(answer string) (bool, string) {
+	a := strings.ToLower(strings.TrimSpace(answer))
+	for _, want := range q.Accept {
+		if a == strings.ToLower(strings.TrimSpace(want)) {
+			return true, "Correct! " + q.Why
+		}
+	}
+	return false, "Not quite. " + q.Why
+}
+
+// DragAndDrop asks the learner to match left-hand items to right-hand
+// items; answers are written "left=right; left=right" in any order.
+type DragAndDrop struct {
+	QID   string
+	Text  string
+	Pairs map[string]string
+	Why   string
+}
+
+// ID implements Question.
+func (q *DragAndDrop) ID() string { return q.QID }
+
+// Prompt implements Question.
+func (q *DragAndDrop) Prompt() string { return q.Text }
+
+// Kind implements Question.
+func (q *DragAndDrop) Kind() string { return "Drag and Drop" }
+
+// Grade implements Question.
+func (q *DragAndDrop) Grade(answer string) (bool, string) {
+	got := map[string]string{}
+	for _, pair := range strings.Split(answer, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		parts := strings.SplitN(pair, "=", 2)
+		if len(parts) != 2 {
+			return false, fmt.Sprintf("Malformed pair %q: write matches as left=right; left=right.", pair)
+		}
+		got[normalize(parts[0])] = normalize(parts[1])
+	}
+	if len(got) != len(q.Pairs) {
+		return false, fmt.Sprintf("Expected %d matches, got %d. %s", len(q.Pairs), len(got), q.Why)
+	}
+	for l, r := range q.Pairs {
+		if got[normalize(l)] != normalize(r) {
+			return false, fmt.Sprintf("The match for %q is wrong. %s", l, q.Why)
+		}
+	}
+	return true, "Correct! " + q.Why
+}
+
+// Lefts returns the left-hand items in sorted order, for rendering.
+func (q *DragAndDrop) Lefts() []string {
+	out := make([]string, 0, len(q.Pairs))
+	for l := range q.Pairs {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rights returns the right-hand items in sorted order, for rendering.
+func (q *DragAndDrop) Rights() []string {
+	out := make([]string, 0, len(q.Pairs))
+	for _, r := range q.Pairs {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }

@@ -1,0 +1,100 @@
+package handout
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderSection draws one section the way the Runestone page lays it out:
+// heading, body, videos, then each interactive activity — the shape of the
+// paper's Figure 1.
+func RenderSection(w io.Writer, s *Section) {
+	fmt.Fprintf(w, "%s %s\n", s.Number, s.Title)
+	fmt.Fprintln(w, strings.Repeat("=", len(s.Number)+len(s.Title)+1))
+	if s.Body != "" {
+		fmt.Fprintf(w, "\n%s\n", wrap(s.Body, 72))
+	}
+	for _, v := range s.Videos {
+		fmt.Fprintf(w, "\n[video] %s (%s)\n", v.Title, v.Duration)
+		fmt.Fprintln(w, "The following video will help you understand what is going on:")
+	}
+	for i, q := range s.Questions {
+		fmt.Fprintln(w, "\nTry and answer the following question:")
+		fmt.Fprintf(w, "\nQ-%d: %s\n", i+1, q.Prompt())
+		if mc, ok := q.(*MultipleChoice); ok {
+			for _, opt := range mc.Options {
+				fmt.Fprintf(w, "  ( ) %s. %s\n", opt.Key, opt.Text)
+			}
+		}
+		if dd, ok := q.(*DragAndDrop); ok {
+			fmt.Fprintf(w, "  match: %s\n", strings.Join(dd.Lefts(), ", "))
+			fmt.Fprintf(w, "  with:  %s\n", strings.Join(dd.Rights(), ", "))
+		}
+		fmt.Fprintln(w, "\n  [Check me]")
+		fmt.Fprintf(w, "\nActivity: %d — %s (%s)\n", i+1, q.Kind(), q.ID())
+	}
+	if s.HandsOn != "" {
+		fmt.Fprintf(w, "\nHands-on: %s\n", wrap(s.HandsOn, 72))
+	}
+	if len(s.PatternletRefs) > 0 {
+		fmt.Fprintf(w, "Patternlets used: %s\n", strings.Join(s.PatternletRefs, ", "))
+	}
+}
+
+// RenderTOC draws the module's table of contents with the pacing plan.
+func RenderTOC(w io.Writer, m *Module) {
+	fmt.Fprintln(w, m.Title)
+	fmt.Fprintln(w, strings.Repeat("=", len(m.Title)))
+	if m.Summary != "" {
+		fmt.Fprintf(w, "\n%s\n", wrap(m.Summary, 72))
+	}
+	fmt.Fprintln(w)
+	for _, ch := range m.Chapters {
+		fmt.Fprintf(w, "Chapter %d: %s\n", ch.Number, ch.Title)
+		for _, s := range ch.Sections {
+			extras := []string{}
+			if n := len(s.Videos); n > 0 {
+				extras = append(extras, fmt.Sprintf("%d video(s)", n))
+			}
+			if n := len(s.Questions); n > 0 {
+				extras = append(extras, fmt.Sprintf("%d question(s)", n))
+			}
+			if len(s.PatternletRefs) > 0 {
+				extras = append(extras, "hands-on")
+			}
+			suffix := ""
+			if len(extras) > 0 {
+				suffix = " [" + strings.Join(extras, ", ") + "]"
+			}
+			fmt.Fprintf(w, "  %s %s%s\n", s.Number, s.Title, suffix)
+		}
+	}
+	if len(m.Pacing) > 0 {
+		fmt.Fprintf(w, "\nSuggested pacing (total %s):\n", m.TotalPace())
+		for _, p := range m.Pacing {
+			fmt.Fprintf(w, "  %8s  %s\n", p.Duration, p.Activity)
+		}
+	}
+}
+
+// wrap folds text at the given width on word boundaries.
+func wrap(text string, width int) string {
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	line := words[0]
+	for _, word := range words[1:] {
+		if len(line)+1+len(word) > width {
+			b.WriteString(line)
+			b.WriteByte('\n')
+			line = word
+			continue
+		}
+		line += " " + word
+	}
+	b.WriteString(line)
+	return b.String()
+}

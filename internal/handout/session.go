@@ -1,0 +1,67 @@
+package handout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TakeSection runs one section interactively: it renders the section, then
+// prompts for an answer to each question on in, grades it, and prints
+// feedback — the terminal equivalent of working the Runestone page. A
+// learner may retry a question until correct or until they enter "skip";
+// end of input also moves on. The attempts land in the gradebook.
+func TakeSection(out io.Writer, in io.Reader, s *Section, g *Gradebook) error {
+	return takeSection(out, bufio.NewScanner(in), s, g)
+}
+
+// takeSection is TakeSection over an existing scanner, so a multi-section
+// session shares one input buffer (a fresh Scanner per section would read
+// ahead and swallow later sections' answers).
+func takeSection(out io.Writer, reader *bufio.Scanner, s *Section, g *Gradebook) error {
+	RenderSection(out, s)
+	for _, q := range s.Questions {
+		for {
+			fmt.Fprintf(out, "\nYour answer for %s (or 'skip'): ", q.ID())
+			if !reader.Scan() {
+				fmt.Fprintln(out, "\n(end of input; moving on)")
+				return reader.Err()
+			}
+			answer := strings.TrimSpace(reader.Text())
+			if strings.EqualFold(answer, "skip") {
+				fmt.Fprintln(out, "Skipped.")
+				break
+			}
+			attempt, err := g.Submit(q.ID(), answer)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, attempt.Feedback)
+			if attempt.Correct {
+				break
+			}
+			fmt.Fprintln(out, "Try again!")
+		}
+	}
+	correct, total := g.Score()
+	fmt.Fprintf(out, "\nProgress: %d/%d questions solved across the module.\n", correct, total)
+	return nil
+}
+
+// TakeModule runs every section of the module in order through TakeSection
+// with one shared gradebook, returning the final score.
+func TakeModule(out io.Writer, in io.Reader, m *Module, learner string) (correct, total int, err error) {
+	g := NewGradebook(learner, m)
+	reader := bufio.NewScanner(in)
+	for _, ch := range m.Chapters {
+		fmt.Fprintf(out, "\n### Chapter %d: %s ###\n\n", ch.Number, ch.Title)
+		for i := range ch.Sections {
+			if err := takeSection(out, reader, &ch.Sections[i], g); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	correct, total = g.Score()
+	return correct, total, nil
+}

@@ -1,0 +1,96 @@
+package handout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTakeSectionGradesAndRetries(t *testing.T) {
+	m := RaspberryPiModule()
+	s, err := m.Section("2.3") // two multiple-choice questions
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGradebook("pat", m)
+	// First question: wrong then right; second question: right away.
+	in := strings.NewReader("A\nB\nC\n")
+	var out bytes.Buffer
+	// Question 1 of section 2.3 has correct answer B; feed A (wrong), then
+	// B (right); question 2's correct answer is C.
+	if err := TakeSection(&out, in, s, g); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Try again!") {
+		t.Error("wrong answer did not prompt a retry")
+	}
+	if !strings.Contains(text, "Progress: 2/") {
+		t.Errorf("expected both questions solved:\n%s", text)
+	}
+	if got := len(g.Attempts()); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestTakeSectionSkip(t *testing.T) {
+	m := RaspberryPiModule()
+	s, _ := m.Section("2.3")
+	g := NewGradebook("pat", m)
+	var out bytes.Buffer
+	if err := TakeSection(&out, strings.NewReader("skip\nskip\n"), s, g); err != nil {
+		t.Fatal(err)
+	}
+	if correct, _ := g.Score(); correct != 0 {
+		t.Fatalf("score after skipping = %d", correct)
+	}
+	if !strings.Contains(out.String(), "Skipped.") {
+		t.Error("skip not acknowledged")
+	}
+}
+
+func TestTakeSectionEndOfInput(t *testing.T) {
+	m := RaspberryPiModule()
+	s, _ := m.Section("2.3")
+	g := NewGradebook("pat", m)
+	var out bytes.Buffer
+	if err := TakeSection(&out, strings.NewReader(""), s, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "end of input") {
+		t.Error("EOF not handled gracefully")
+	}
+}
+
+func TestTakeModuleEndToEnd(t *testing.T) {
+	m := RaspberryPiModule()
+	// Answer every question in module order, correctly, using the same
+	// correct-answer derivation the simulator uses.
+	var answers []string
+	for _, q := range m.Questions() {
+		switch q := q.(type) {
+		case *MultipleChoice:
+			answers = append(answers, q.Correct)
+		case *FillInBlank:
+			answers = append(answers, q.Accept[0])
+		case *DragAndDrop:
+			var pairs []string
+			for _, l := range q.Lefts() {
+				pairs = append(pairs, l+"="+q.Pairs[l])
+			}
+			answers = append(answers, strings.Join(pairs, "; "))
+		}
+	}
+	in := strings.NewReader(strings.Join(answers, "\n") + "\n")
+	var out bytes.Buffer
+	correct, total, err := TakeModule(&out, in, m, "pat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct != total || total != len(m.Questions()) {
+		t.Fatalf("score = %d/%d, want all %d solved", correct, total, len(m.Questions()))
+	}
+	if !strings.Contains(out.String(), "Chapter 3:") {
+		t.Error("module run did not reach chapter 3")
+	}
+}

@@ -1,0 +1,188 @@
+package handout
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+)
+
+// Web delivery of the virtual handout. Runestone Interactive is a
+// browser-based platform; this server renders the module as HTML pages —
+// a table of contents, one page per section with its videos and
+// interactive questions, and a grading endpoint with immediate feedback —
+// and keeps a gradebook per server, the way the Runestone course instance
+// tracked the workshop participants.
+
+// WebServer serves one module over HTTP.
+type WebServer struct {
+	module *Module
+	grades *Gradebook
+	mux    *http.ServeMux
+}
+
+// NewWebServer builds the handler set for a module; attach it to any
+// http.Server (or httptest server) via its Handler.
+func NewWebServer(m *Module, learner string) *WebServer {
+	ws := &WebServer{
+		module: m,
+		grades: NewGradebook(learner, m),
+		mux:    http.NewServeMux(),
+	}
+	ws.mux.HandleFunc("/", ws.handleTOC)
+	ws.mux.HandleFunc("/section/", ws.handleSection)
+	ws.mux.HandleFunc("/grade", ws.handleGrade)
+	ws.mux.HandleFunc("/progress", ws.handleProgress)
+	return ws
+}
+
+// Handler returns the server's root handler.
+func (ws *WebServer) Handler() http.Handler { return ws.mux }
+
+// Gradebook exposes the server's gradebook (for reporting and tests).
+func (ws *WebServer) Gradebook() *Gradebook { return ws.grades }
+
+var tocTemplate = template.Must(template.New("toc").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title></head><body>
+<h1>{{.Title}}</h1>
+<p>{{.Summary}}</p>
+{{range .Chapters}}
+<h2>Chapter {{.Number}}: {{.Title}}</h2>
+<ul>
+{{range .Sections}}<li><a href="/section/{{.Number}}">{{.Number}} {{.Title}}</a></li>
+{{end}}</ul>
+{{end}}
+<h2>Suggested pacing</h2>
+<ul>{{range .Pacing}}<li>{{.Duration}} — {{.Activity}}</li>{{end}}</ul>
+<p><a href="/progress">My progress</a></p>
+</body></html>`))
+
+// sectionTemplate is parsed in init so its helper functions (inc, join)
+// are installed before parsing.
+var sectionTemplate *template.Template
+
+var gradeTemplate = template.Must(template.New("grade").Parse(`<!DOCTYPE html>
+<html><head><title>Result</title></head><body>
+<h1>{{if .Correct}}Correct!{{else}}Not quite{{end}}</h1>
+<p>{{.Feedback}}</p>
+<p><a href="javascript:history.back()">Try again</a> · <a href="/">Contents</a></p>
+</body></html>`))
+
+// questionView adapts a Question for the template.
+type questionView struct {
+	Question
+}
+
+// IsMC reports whether the question renders as radio buttons.
+func (q questionView) IsMC() bool {
+	_, ok := q.Question.(*MultipleChoice)
+	return ok
+}
+
+// MCOptions returns the options of a multiple-choice question.
+func (q questionView) MCOptions() []Option {
+	if mc, ok := q.Question.(*MultipleChoice); ok {
+		return mc.Options
+	}
+	return nil
+}
+
+// sectionView adapts a Section for the template.
+type sectionView struct {
+	Number, Title, Body, HandsOn string
+	Videos                       []Video
+	Questions                    []questionView
+	PatternletRefs               []string
+}
+
+func init() {
+	// The section template needs tiny helpers; install them on the parsed
+	// template's function map by re-parsing with them available.
+	sectionTemplate = template.Must(template.New("section").Funcs(template.FuncMap{
+		"inc":  func(i int) int { return i + 1 },
+		"join": strings.Join,
+	}).Parse(sectionTemplateText))
+}
+
+func (ws *WebServer) handleTOC(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if err := tocTemplate.Execute(w, ws.module); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (ws *WebServer) handleSection(w http.ResponseWriter, r *http.Request) {
+	number := strings.TrimPrefix(r.URL.Path, "/section/")
+	s, err := ws.module.Section(number)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	view := sectionView{
+		Number: s.Number, Title: s.Title, Body: s.Body, HandsOn: s.HandsOn,
+		Videos: s.Videos, PatternletRefs: s.PatternletRefs,
+	}
+	for _, q := range s.Questions {
+		view.Questions = append(view.Questions, questionView{q})
+	}
+	if err := sectionTemplate.Execute(w, struct{ Section sectionView }{view}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (ws *WebServer) handleGrade(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an answer", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	qid := r.PostForm.Get("question")
+	answer := r.PostForm.Get("answer")
+	attempt, err := ws.grades.Submit(qid, answer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err := gradeTemplate.Execute(w, attempt); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (ws *WebServer) handleProgress(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, ws.grades.Report())
+}
+
+// sectionTemplateText is the section page markup (parsed in init with the
+// helper funcs installed).
+const sectionTemplateText = `<!DOCTYPE html>
+<html><head><title>{{.Section.Number}} {{.Section.Title}}</title></head><body>
+<h1>{{.Section.Number}} {{.Section.Title}}</h1>
+<p>{{.Section.Body}}</p>
+{{range .Section.Videos}}
+<p class="video">[video] {{.Title}} ({{.Duration}}) — <a href="{{.URL}}">watch</a><br>
+The following video will help you understand what is going on:</p>
+{{end}}
+{{range $i, $q := .Section.Questions}}
+<form class="question" method="POST" action="/grade">
+<p><b>Q-{{inc $i}}:</b> {{$q.Prompt}}</p>
+{{if $q.IsMC}}{{range $q.MCOptions}}
+<label><input type="radio" name="answer" value="{{.Key}}"> {{.Key}}. {{.Text}}</label><br>
+{{end}}{{else}}
+<input type="text" name="answer">
+{{end}}
+<input type="hidden" name="question" value="{{$q.ID}}">
+<button type="submit">Check me</button>
+<p class="activity">Activity: {{inc $i}} — {{$q.Kind}} ({{$q.ID}})</p>
+</form>
+{{end}}
+{{if .Section.HandsOn}}<p><b>Hands-on:</b> {{.Section.HandsOn}}</p>{{end}}
+{{if .Section.PatternletRefs}}<p>Patternlets used: {{join .Section.PatternletRefs ", "}}</p>{{end}}
+<p><a href="/">Back to contents</a></p>
+</body></html>`

@@ -1,0 +1,143 @@
+package handout
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*WebServer, *httptest.Server) {
+	t.Helper()
+	ws := NewWebServer(RaspberryPiModule(), "pat")
+	srv := httptest.NewServer(ws.Handler())
+	t.Cleanup(srv.Close)
+	return ws, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestWebTOC(t *testing.T) {
+	_, srv := newTestServer(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"Raspberry Pi - Virtual Handout",
+		"Chapter 2: Shared-Memory Patternlets",
+		`<a href="/section/2.3">2.3 Race Conditions</a>`,
+		"Suggested pacing",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("TOC missing %q", want)
+		}
+	}
+}
+
+// TestWebFigure1Section is Figure 1 in its native medium: the browser page
+// for section 2.3 carries the video note, the multiple-choice radio
+// buttons, the Check me button, and the activity label.
+func TestWebFigure1Section(t *testing.T) {
+	_, srv := newTestServer(t)
+	code, body := get(t, srv.URL+"/section/2.3")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"2.3 Race Conditions",
+		"The following video will help you understand what is going on:",
+		"What is a race condition?",
+		`value="C"`,
+		"threads attempt to modify a shared variable",
+		"Check me",
+		"Activity: 2 — Multiple Choice (sp_mc_2)",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("section page missing %q", want)
+		}
+	}
+}
+
+func TestWebSectionNotFound(t *testing.T) {
+	_, srv := newTestServer(t)
+	if code, _ := get(t, srv.URL+"/section/9.9"); code != http.StatusNotFound {
+		t.Fatalf("status = %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/bogus"); code != http.StatusNotFound {
+		t.Fatalf("status for /bogus = %d", code)
+	}
+}
+
+func TestWebGradeFlow(t *testing.T) {
+	ws, srv := newTestServer(t)
+
+	post := func(qid, answer string) (int, string) {
+		resp, err := http.PostForm(srv.URL+"/grade", url.Values{
+			"question": {qid},
+			"answer":   {answer},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := post("sp_mc_2", "B")
+	if code != http.StatusOK || !strings.Contains(body, "Not quite") {
+		t.Fatalf("wrong answer: %d %q", code, body)
+	}
+	code, body = post("sp_mc_2", "C")
+	if code != http.StatusOK || !strings.Contains(body, "Correct!") {
+		t.Fatalf("right answer: %d %q", code, body)
+	}
+	if code, _ := post("ghost", "x"); code != http.StatusNotFound {
+		t.Fatalf("unknown question status = %d", code)
+	}
+
+	// The gradebook saw both attempts.
+	if got := len(ws.Gradebook().Attempts()); got != 2 {
+		t.Fatalf("attempts = %d", got)
+	}
+	correct, _ := ws.Gradebook().Score()
+	if correct != 1 {
+		t.Fatalf("score = %d", correct)
+	}
+
+	// Progress page reflects it.
+	code, body = get(t, srv.URL+"/progress")
+	if code != http.StatusOK || !strings.Contains(body, "pat: 1/") {
+		t.Fatalf("progress: %d %q", code, body)
+	}
+}
+
+func TestWebGradeRejectsGET(t *testing.T) {
+	_, srv := newTestServer(t)
+	if code, _ := get(t, srv.URL+"/grade"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /grade status = %d", code)
+	}
+}
+
+func TestWebFillInBlankRendersTextInput(t *testing.T) {
+	_, srv := newTestServer(t)
+	_, body := get(t, srv.URL+"/section/2.5")
+	if !strings.Contains(body, `<input type="text" name="answer">`) {
+		t.Fatalf("fill-in-blank input missing:\n%s", body)
+	}
+}

@@ -1,0 +1,248 @@
+// Package image models the customized Raspberry Pi system image the paper
+// distributes on the kits' microSD cards (csinparallel image 3.0.2) and the
+// Ansible-style maintenance process the authors use to keep it current:
+// the image is described declaratively as a playbook of idempotent tasks
+// (install these packages, write these files, enable these services), and
+// converging the playbook against a system produces the same image no
+// matter what state it starts from.
+//
+// The system being configured is an in-memory model, not a real OS — the
+// pedagogical property being reproduced is "every learner gets an
+// identical, reproducible environment", which is exactly what declarative
+// convergence plus a content checksum demonstrates.
+package image
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// System is the state a playbook converges: an in-memory model of the
+// image's filesystem, package set, services, and identity.
+type System struct {
+	Hostname string
+	Users    map[string]bool
+	Packages map[string]bool
+	Services map[string]bool
+	Files    map[string]string
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		Users:    map[string]bool{},
+		Packages: map[string]bool{},
+		Services: map[string]bool{},
+		Files:    map[string]string{},
+	}
+}
+
+// Checksum fingerprints the system state: two systems with equal checksums
+// hold identical configuration, which is how image releases are verified.
+func (s *System) Checksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "hostname=%s\n", s.Hostname)
+	for _, section := range []struct {
+		label string
+		set   map[string]bool
+	}{{"user", s.Users}, {"pkg", s.Packages}, {"svc", s.Services}} {
+		keys := make([]string, 0, len(section.set))
+		for k, on := range section.set {
+			if on {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(h, "%s=%s\n", section.label, k)
+		}
+	}
+	paths := make([]string, 0, len(s.Files))
+	for p := range s.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(h, "file=%s:%x\n", p, sha256.Sum256([]byte(s.Files[p])))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Task is one idempotent configuration step: applying it twice leaves the
+// system exactly as applying it once.
+type Task interface {
+	Name() string
+	// Apply converges the system toward the task's declared state and
+	// reports whether anything changed.
+	Apply(s *System) (changed bool, err error)
+}
+
+// SetHostname declares the system's hostname.
+type SetHostname struct{ Hostname string }
+
+// Name implements Task.
+func (t SetHostname) Name() string { return "hostname: " + t.Hostname }
+
+// Apply implements Task.
+func (t SetHostname) Apply(s *System) (bool, error) {
+	if t.Hostname == "" {
+		return false, fmt.Errorf("image: empty hostname")
+	}
+	if s.Hostname == t.Hostname {
+		return false, nil
+	}
+	s.Hostname = t.Hostname
+	return true, nil
+}
+
+// InstallPackage declares that a package is present.
+type InstallPackage struct{ Package string }
+
+// Name implements Task.
+func (t InstallPackage) Name() string { return "package: " + t.Package }
+
+// Apply implements Task.
+func (t InstallPackage) Apply(s *System) (bool, error) {
+	if t.Package == "" {
+		return false, fmt.Errorf("image: empty package name")
+	}
+	if s.Packages[t.Package] {
+		return false, nil
+	}
+	s.Packages[t.Package] = true
+	return true, nil
+}
+
+// CreateUser declares that a login user exists.
+type CreateUser struct{ User string }
+
+// Name implements Task.
+func (t CreateUser) Name() string { return "user: " + t.User }
+
+// Apply implements Task.
+func (t CreateUser) Apply(s *System) (bool, error) {
+	if t.User == "" {
+		return false, fmt.Errorf("image: empty user name")
+	}
+	if s.Users[t.User] {
+		return false, nil
+	}
+	s.Users[t.User] = true
+	return true, nil
+}
+
+// EnableService declares that a service starts at boot.
+type EnableService struct{ Service string }
+
+// Name implements Task.
+func (t EnableService) Name() string { return "service: " + t.Service }
+
+// Apply implements Task.
+func (t EnableService) Apply(s *System) (bool, error) {
+	if t.Service == "" {
+		return false, fmt.Errorf("image: empty service name")
+	}
+	if s.Services[t.Service] {
+		return false, nil
+	}
+	s.Services[t.Service] = true
+	return true, nil
+}
+
+// WriteFile declares a file's exact contents.
+type WriteFile struct {
+	Path    string
+	Content string
+}
+
+// Name implements Task.
+func (t WriteFile) Name() string { return "file: " + t.Path }
+
+// Apply implements Task.
+func (t WriteFile) Apply(s *System) (bool, error) {
+	if !strings.HasPrefix(t.Path, "/") {
+		return false, fmt.Errorf("image: file path %q is not absolute", t.Path)
+	}
+	if cur, ok := s.Files[t.Path]; ok && cur == t.Content {
+		return false, nil
+	}
+	s.Files[t.Path] = t.Content
+	return true, nil
+}
+
+// Playbook is an ordered list of tasks defining one image release.
+type Playbook struct {
+	Name    string
+	Version string
+	Tasks   []Task
+}
+
+// Report summarizes a convergence run.
+type Report struct {
+	Applied int // tasks that changed the system
+	Ok      int // tasks already satisfied
+}
+
+// Converge applies every task in order. Because tasks are idempotent,
+// converging an already-built system reports zero applied changes.
+func (pb *Playbook) Converge(s *System) (Report, error) {
+	var rep Report
+	for _, t := range pb.Tasks {
+		changed, err := t.Apply(s)
+		if err != nil {
+			return rep, fmt.Errorf("image: task %q: %w", t.Name(), err)
+		}
+		if changed {
+			rep.Applied++
+		} else {
+			rep.Ok++
+		}
+	}
+	return rep, nil
+}
+
+// Build converges the playbook onto a fresh system and returns the built
+// image.
+func (pb *Playbook) Build() (*Image, error) {
+	s := NewSystem()
+	if _, err := pb.Converge(s); err != nil {
+		return nil, err
+	}
+	return &Image{Name: pb.Name, Version: pb.Version, System: s}, nil
+}
+
+// Image is a built, versioned system image.
+type Image struct {
+	Name    string
+	Version string
+	System  *System
+}
+
+// Checksum fingerprints the image contents.
+func (img *Image) Checksum() string { return img.System.Checksum() }
+
+// piModels orders the Raspberry Pi model line; the course image supports
+// every model from the 3B onward, as the paper states.
+var piModels = []string{"1A", "1B", "2B", "3B", "3B+", "4B", "400"}
+
+// minSupportedModel is the oldest model the image boots on.
+const minSupportedModel = "3B"
+
+// SupportsModel reports whether the image runs on the given Raspberry Pi
+// model.
+func SupportsModel(model string) bool {
+	idx := -1
+	minIdx := -1
+	for i, m := range piModels {
+		if strings.EqualFold(m, model) {
+			idx = i
+		}
+		if m == minSupportedModel {
+			minIdx = i
+		}
+	}
+	return idx >= 0 && idx >= minIdx
+}

@@ -1,0 +1,180 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildPiImage(t *testing.T) {
+	img, err := CSiPPlaybook().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Version != "3.0.2" {
+		t.Fatalf("version = %q", img.Version)
+	}
+	s := img.System
+	if s.Hostname != "raspberrypi" {
+		t.Fatalf("hostname = %q", s.Hostname)
+	}
+	for _, pkg := range []string{"gcc", "mpich", "python3-mpi4py"} {
+		if !s.Packages[pkg] {
+			t.Errorf("package %s missing", pkg)
+		}
+	}
+	for _, svc := range []string{"ssh", "vncserver"} {
+		if !s.Services[svc] {
+			t.Errorf("service %s missing", svc)
+		}
+	}
+	if !s.Users["pi"] {
+		t.Error("pi user missing")
+	}
+	if !strings.Contains(s.Files["/etc/csip-release"], "3.0.2") {
+		t.Errorf("release file = %q", s.Files["/etc/csip-release"])
+	}
+	// Every patternlet source the handout references is staged.
+	for _, name := range []string{"spmd", "raceCondition", "reduction"} {
+		if _, ok := s.Files["/home/pi/patternlets/openmp/"+name+".c"]; !ok {
+			t.Errorf("patternlet source %s missing from image", name)
+		}
+	}
+}
+
+// TestConvergenceIsIdempotent is the Ansible property: converging twice
+// applies nothing new the second time, so re-running maintenance cannot
+// drift an image.
+func TestConvergenceIsIdempotent(t *testing.T) {
+	pb := CSiPPlaybook()
+	s := NewSystem()
+	first, err := pb.Converge(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Applied != len(pb.Tasks) || first.Ok != 0 {
+		t.Fatalf("first converge: %+v over %d tasks", first, len(pb.Tasks))
+	}
+	before := s.Checksum()
+	second, err := pb.Converge(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Applied != 0 || second.Ok != len(pb.Tasks) {
+		t.Fatalf("second converge not idempotent: %+v", second)
+	}
+	if s.Checksum() != before {
+		t.Fatal("checksum changed on an idempotent converge")
+	}
+}
+
+// TestChecksumReproducible: two independent builds of the same playbook are
+// bit-identical — the "every learner gets the same environment" property.
+func TestChecksumReproducible(t *testing.T) {
+	a, err := CSiPPlaybook().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CSiPPlaybook().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("independent builds differ")
+	}
+	// And the checksum is sensitive to content.
+	b.System.Files["/etc/csip-release"] = "tampered"
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksum missed a file change")
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	base := func() *System {
+		s := NewSystem()
+		s.Hostname = "h"
+		s.Packages["p"] = true
+		return s
+	}
+	a := base()
+	for _, mutate := range []func(*System){
+		func(s *System) { s.Hostname = "other" },
+		func(s *System) { s.Packages["q"] = true },
+		func(s *System) { s.Services["svc"] = true },
+		func(s *System) { s.Users["u"] = true },
+		func(s *System) { s.Files["/f"] = "x" },
+	} {
+		b := base()
+		mutate(b)
+		if a.Checksum() == b.Checksum() {
+			t.Error("checksum insensitive to a state change")
+		}
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	s := NewSystem()
+	for _, task := range []Task{
+		SetHostname{},
+		InstallPackage{},
+		CreateUser{},
+		EnableService{},
+		WriteFile{Path: "relative/path"},
+	} {
+		if _, err := task.Apply(s); err == nil {
+			t.Errorf("task %T accepted invalid input", task)
+		}
+	}
+	pb := &Playbook{Name: "bad", Tasks: []Task{SetHostname{}}}
+	if _, err := pb.Build(); err == nil {
+		t.Fatal("playbook with invalid task built")
+	}
+}
+
+func TestTaskNames(t *testing.T) {
+	for _, tc := range []struct {
+		task Task
+		want string
+	}{
+		{SetHostname{"h"}, "hostname: h"},
+		{InstallPackage{"p"}, "package: p"},
+		{CreateUser{"u"}, "user: u"},
+		{EnableService{"s"}, "service: s"},
+		{WriteFile{Path: "/f"}, "file: /f"},
+	} {
+		if got := tc.task.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestSupportsModelFrom3BOnward pins the compatibility statement: "tested
+// and confirmed to work on all Raspberry Pi models from the 3B onward".
+func TestSupportsModelFrom3BOnward(t *testing.T) {
+	supported := []string{"3B", "3b", "3B+", "4B", "400"}
+	unsupported := []string{"1A", "1B", "2B", "Zero", ""}
+	for _, m := range supported {
+		if !SupportsModel(m) {
+			t.Errorf("model %q should be supported", m)
+		}
+	}
+	for _, m := range unsupported {
+		if SupportsModel(m) {
+			t.Errorf("model %q should not be supported", m)
+		}
+	}
+}
+
+func TestWriteFileChangesOnlyOnDifference(t *testing.T) {
+	s := NewSystem()
+	w := WriteFile{Path: "/a", Content: "one"}
+	if changed, _ := w.Apply(s); !changed {
+		t.Fatal("first write reported unchanged")
+	}
+	if changed, _ := w.Apply(s); changed {
+		t.Fatal("identical rewrite reported changed")
+	}
+	w2 := WriteFile{Path: "/a", Content: "two"}
+	if changed, _ := w2.Apply(s); !changed {
+		t.Fatal("content change reported unchanged")
+	}
+}

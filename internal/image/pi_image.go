@@ -1,0 +1,54 @@
+package image
+
+import "fmt"
+
+// CSiPImageVersion is the release the kits shipped with (the paper cites
+// 2020-06-18-csip-image-3.0.2).
+const CSiPImageVersion = "3.0.2"
+
+// CSiPPlaybook declares the csinparallel course image: the toolchains for
+// both modules (a C compiler with OpenMP, MPI with its Python binding), the
+// patternlet and exemplar source trees, remote-desktop access so a laptop
+// can serve as the Pi's screen, and the pi login.
+func CSiPPlaybook() *Playbook {
+	tasks := []Task{
+		SetHostname{Hostname: "raspberrypi"},
+		CreateUser{User: "pi"},
+		// Shared-memory module toolchain.
+		InstallPackage{Package: "gcc"},
+		InstallPackage{Package: "libomp-dev"},
+		InstallPackage{Package: "make"},
+		// Distributed module toolchain.
+		InstallPackage{Package: "mpich"},
+		InstallPackage{Package: "python3"},
+		InstallPackage{Package: "python3-mpi4py"},
+		// Laptop-as-display access.
+		EnableService{Service: "ssh"},
+		EnableService{Service: "vncserver"},
+		EnableService{Service: "dhcp-ethernet-gadget"},
+	}
+	// The course materials: one source file per patternlet family plus the
+	// exemplars, pre-staged where the handout expects them.
+	for _, src := range []string{
+		"spmd", "forkJoin", "barrier", "masterOnly", "singleExecution",
+		"parallelLoopEqualChunks", "parallelLoopChunksOf1", "dynamicSchedule",
+		"raceCondition", "mutualExclusion", "atomicUpdate", "reduction",
+		"sections", "privateVariable",
+	} {
+		tasks = append(tasks, WriteFile{
+			Path:    fmt.Sprintf("/home/pi/patternlets/openmp/%s.c", src),
+			Content: fmt.Sprintf("// OpenMP patternlet: %s\n// See the virtual handout for the walkthrough.\n", src),
+		})
+	}
+	for _, ex := range []string{"integration", "drugdesign"} {
+		tasks = append(tasks, WriteFile{
+			Path:    fmt.Sprintf("/home/pi/exemplars/%s/main.c", ex),
+			Content: fmt.Sprintf("// Exemplar: %s\n", ex),
+		})
+	}
+	tasks = append(tasks, WriteFile{
+		Path:    "/etc/csip-release",
+		Content: "csinparallel image " + CSiPImageVersion + "\n",
+	})
+	return &Playbook{Name: "csip-image", Version: CSiPImageVersion, Tasks: tasks}
+}

@@ -1,0 +1,88 @@
+// Package kit models the mailed Raspberry Pi kit whose bill of materials is
+// the paper's Table I: six parts totalling $100.66, cheap enough to mail to
+// every remote learner. Prices are held in integer cents so totals are
+// exact, and a small bulk-pricing model captures the paper's note that the
+// kits hit the $100 price point because several parts "can be bought in
+// bulk".
+package kit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cents is an exact currency amount in US cents.
+type Cents int64
+
+// String renders the amount as dollars, e.g. "$100.66".
+func (c Cents) String() string {
+	sign := ""
+	if c < 0 {
+		sign = "-"
+		c = -c
+	}
+	return fmt.Sprintf("%s$%d.%02d", sign, c/100, c%100)
+}
+
+// Part is one line of the bill of materials.
+type Part struct {
+	Name string
+	Cost Cents
+	// BulkDiscountPct is the percentage saved per unit when the part is
+	// bought at or above BulkQuantity units.
+	BulkDiscountPct int
+	BulkQuantity    int
+}
+
+// BillOfMaterials returns Table I's parts at their single-unit prices.
+func BillOfMaterials() []Part {
+	return []Part{
+		{Name: "CanaKit with 2G Raspberry Pi", Cost: 6299, BulkDiscountPct: 5, BulkQuantity: 10},
+		{Name: "Ethernet-USB A dongle", Cost: 1595, BulkDiscountPct: 15, BulkQuantity: 10},
+		{Name: "USB A-C dongle", Cost: 399, BulkDiscountPct: 20, BulkQuantity: 25},
+		{Name: "Ethernet cable", Cost: 155, BulkDiscountPct: 25, BulkQuantity: 25},
+		{Name: "16G MicroSD", Cost: 541, BulkDiscountPct: 10, BulkQuantity: 25},
+		{Name: "Kit case", Cost: 1077, BulkDiscountPct: 10, BulkQuantity: 10},
+	}
+}
+
+// Total sums a bill of materials at single-unit prices.
+func Total(parts []Part) Cents {
+	var total Cents
+	for _, p := range parts {
+		total += p.Cost
+	}
+	return total
+}
+
+// unitCost returns one part's per-unit cost when buying qty kits.
+func (p Part) unitCost(qty int) Cents {
+	if p.BulkQuantity > 0 && qty >= p.BulkQuantity {
+		return p.Cost - p.Cost*Cents(p.BulkDiscountPct)/100
+	}
+	return p.Cost
+}
+
+// CostFor returns the per-kit and total cost of building qty kits, with
+// bulk discounts applied where quantities qualify.
+func CostFor(parts []Part, qty int) (perKit, total Cents, err error) {
+	if qty < 1 {
+		return 0, 0, fmt.Errorf("kit: quantity must be >= 1, got %d", qty)
+	}
+	for _, p := range parts {
+		perKit += p.unitCost(qty)
+	}
+	return perKit, perKit * Cents(qty), nil
+}
+
+// FormatTableI renders the paper's Table I.
+func FormatTableI(parts []Part) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "TABLE I — Approximate cost breakdown of mailed Raspberry Pi kit")
+	fmt.Fprintf(&b, "%-32s %10s\n", "Part", "Cost")
+	for _, p := range parts {
+		fmt.Fprintf(&b, "%-32s %10s\n", p.Name, p.Cost)
+	}
+	fmt.Fprintf(&b, "%-32s %10s\n", "Total Kit Cost", Total(parts))
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package kit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableI pins the bill of materials to the paper's Table I: six parts,
+// the published prices, and the published $100.66 total.
+func TestTableI(t *testing.T) {
+	parts := BillOfMaterials()
+	if len(parts) != 6 {
+		t.Fatalf("parts = %d, want 6", len(parts))
+	}
+	want := map[string]Cents{
+		"CanaKit with 2G Raspberry Pi": 6299,
+		"Ethernet-USB A dongle":        1595,
+		"USB A-C dongle":               399,
+		"Ethernet cable":               155,
+		"16G MicroSD":                  541,
+		"Kit case":                     1077,
+	}
+	for _, p := range parts {
+		if want[p.Name] != p.Cost {
+			t.Errorf("%s costs %s, want %s", p.Name, p.Cost, want[p.Name])
+		}
+	}
+	if got := Total(parts); got != 10066 {
+		t.Fatalf("total = %s, want $100.66", got)
+	}
+}
+
+func TestCentsString(t *testing.T) {
+	cases := map[Cents]string{
+		10066: "$100.66",
+		5:     "$0.05",
+		-155:  "-$1.55",
+		0:     "$0.00",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d cents = %q, want %q", int64(c), got, want)
+		}
+	}
+}
+
+func TestFormatTableIMatchesPaper(t *testing.T) {
+	out := FormatTableI(BillOfMaterials())
+	for _, want := range []string{
+		"TABLE I",
+		"CanaKit with 2G Raspberry Pi", "$62.99",
+		"Ethernet-USB A dongle", "$15.95",
+		"USB A-C dongle", "$3.99",
+		"Ethernet cable", "$1.55",
+		"16G MicroSD", "$5.41",
+		"Kit case", "$10.77",
+		"Total Kit Cost", "$100.66",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBulkPricingReachesTheHundredDollarPoint(t *testing.T) {
+	// Building a classroom batch brings the per-kit cost below $100 — the
+	// paper's point that bulk buying is what makes the kits ~$100.
+	parts := BillOfMaterials()
+	single, _, err := CostFor(parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != 10066 {
+		t.Fatalf("single kit = %s", single)
+	}
+	perKit25, total25, err := CostFor(parts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perKit25 >= single {
+		t.Fatalf("bulk per-kit %s not below single %s", perKit25, single)
+	}
+	if perKit25 > 10000 {
+		t.Fatalf("per-kit at 25 units = %s, want <= $100.00", perKit25)
+	}
+	if total25 != perKit25*25 {
+		t.Fatalf("total %s != 25 × %s", total25, perKit25)
+	}
+}
+
+func TestCostForValidation(t *testing.T) {
+	if _, _, err := CostFor(BillOfMaterials(), 0); err == nil {
+		t.Fatal("qty 0 accepted")
+	}
+}
+
+func TestBulkNeverIncreasesCost(t *testing.T) {
+	prop := func(qtyRaw uint8) bool {
+		qty := int(qtyRaw%60) + 1
+		perKit, _, err := CostFor(BillOfMaterials(), qty)
+		if err != nil {
+			return false
+		}
+		return perKit <= 10066 && perKit > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Message latency by payload size through the in-process transport:
+// the serialization cost learners should expect per message.
+func benchPingPongPayload(b *testing.B, payload int) {
+	data := make([]byte, payload)
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(1, 0, data); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 0, nil); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			return c.Send(1, 1, true) // stop marker
+		}
+		for {
+			// nil discards the payload without decoding, so the stop
+			// marker (a bool) and the data (a byte slice) both pass.
+			st, err := c.Recv(0, AnyTag, nil)
+			if err != nil {
+				return err
+			}
+			if st.Tag == 1 {
+				return nil
+			}
+			if err := c.Send(0, 0, struct{}{}); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong16B(b *testing.B)  { benchPingPongPayload(b, 16) }
+func BenchmarkPingPong1KB(b *testing.B)  { benchPingPongPayload(b, 1<<10) }
+func BenchmarkPingPong64KB(b *testing.B) { benchPingPongPayload(b, 64<<10) }
+
+// Collective cost versus world size.
+func benchBcast(b *testing.B, np int) {
+	for i := 0; i < b.N; i++ {
+		err := Run(np, func(c *Comm) error {
+			_, err := Bcast(c, 42, 0)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBcastNP4(b *testing.B)  { benchBcast(b, 4) }
+func BenchmarkBcastNP16(b *testing.B) { benchBcast(b, 16) }
+func BenchmarkBcastNP64(b *testing.B) { benchBcast(b, 64) }
+
+func BenchmarkWorldSpinUpNP8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Run(8, func(c *Comm) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		err := Run(8, func(c *Comm) error {
+			sub, err := c.Split(c.Rank()%2, c.Rank())
+			if err != nil {
+				return err
+			}
+			if sub.Size() != 4 {
+				return fmt.Errorf("size %d", sub.Size())
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGobEncodeDecodeRoundTrip(b *testing.B) {
+	type sample struct {
+		Xs   []float64
+		Name string
+		N    int
+	}
+	v := sample{Xs: make([]float64, 128), Name: "payload", N: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := encodeValue(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out sample
+		if err := decodeValue(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestCartValidation(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		if _, err := NewCart(c, nil, nil); err == nil {
+			return fmt.Errorf("empty dims accepted")
+		}
+		if _, err := NewCart(c, []int{2, 2}, nil); err == nil {
+			return fmt.Errorf("2x2 grid accepted for 6 ranks")
+		}
+		if _, err := NewCart(c, []int{0, 6}, nil); err == nil {
+			return fmt.Errorf("zero dimension accepted")
+		}
+		if _, err := NewCart(c, []int{2, 3}, []bool{true}); err == nil {
+			return fmt.Errorf("mismatched periodic flags accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		ct, err := NewCart(c, []int{2, 3}, nil)
+		if err != nil {
+			return err
+		}
+		coords := ct.Coords()
+		want := []int{c.Rank() / 3, c.Rank() % 3} // row-major
+		if !reflect.DeepEqual(coords, want) {
+			return fmt.Errorf("rank %d coords %v, want %v", c.Rank(), coords, want)
+		}
+		if back := ct.RankOf(coords); back != c.Rank() {
+			return fmt.Errorf("RankOf(Coords) = %d for rank %d", back, c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShiftNonPeriodic(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		ct, err := NewCart(c, []int{4}, nil)
+		if err != nil {
+			return err
+		}
+		down, up, err := ct.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		wantDown, wantUp := c.Rank()-1, c.Rank()+1
+		if wantDown < 0 {
+			wantDown = ProcNull
+		}
+		if wantUp > 3 {
+			wantUp = ProcNull
+		}
+		if down != wantDown || up != wantUp {
+			return fmt.Errorf("rank %d shift = (%d, %d), want (%d, %d)", c.Rank(), down, up, wantDown, wantUp)
+		}
+		if _, _, err := ct.Shift(5, 1); err == nil {
+			return fmt.Errorf("out-of-range dimension accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShiftPeriodicWraps(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		ct, err := NewCart(c, []int{4}, []bool{true})
+		if err != nil {
+			return err
+		}
+		down, up, err := ct.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if down != (c.Rank()+3)%4 || up != (c.Rank()+1)%4 {
+			return fmt.Errorf("rank %d periodic shift = (%d, %d)", c.Rank(), down, up)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvShiftHaloExchange(t *testing.T) {
+	// Classic 1-D halo exchange: each rank ends up with its neighbours'
+	// values.
+	const np = 5
+	err := Run(np, func(c *Comm) error {
+		ct, err := NewCart(c, []int{np}, nil)
+		if err != nil {
+			return err
+		}
+		mine := c.Rank() * 100
+		fromDown, fromUp := -1, -1
+		hasDown, hasUp, err := ct.SendrecvShift(0, 7, mine, mine, &fromDown, &fromUp)
+		if err != nil {
+			return err
+		}
+		if c.Rank() > 0 {
+			if !hasDown || fromDown != (c.Rank()-1)*100 {
+				return fmt.Errorf("rank %d fromDown = %d (has=%v)", c.Rank(), fromDown, hasDown)
+			}
+		} else if hasDown {
+			return fmt.Errorf("rank 0 received from a nonexistent down neighbour")
+		}
+		if c.Rank() < np-1 {
+			if !hasUp || fromUp != (c.Rank()+1)*100 {
+				return fmt.Errorf("rank %d fromUp = %d (has=%v)", c.Rank(), fromUp, hasUp)
+			}
+		} else if hasUp {
+			return fmt.Errorf("last rank received from a nonexistent up neighbour")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCart2DGridNeighbours(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		ct, err := NewCart(c, []int{2, 3}, nil)
+		if err != nil {
+			return err
+		}
+		// Along dimension 0 (rows of the 2x3 grid), rank r's up neighbour
+		// is r+3 when it exists.
+		down, up, err := ct.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if c.Rank() < 3 {
+			if down != ProcNull || up != c.Rank()+3 {
+				return fmt.Errorf("rank %d dim0 shift = (%d, %d)", c.Rank(), down, up)
+			}
+		} else {
+			if down != c.Rank()-3 || up != ProcNull {
+				return fmt.Errorf("rank %d dim0 shift = (%d, %d)", c.Rank(), down, up)
+			}
+		}
+		if got := ct.Dims(); !reflect.DeepEqual(got, []int{2, 3}) {
+			return fmt.Errorf("Dims() = %v", got)
+		}
+		if ct.Comm() != c {
+			return fmt.Errorf("Comm() identity lost")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

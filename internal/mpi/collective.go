@@ -1,0 +1,299 @@
+package mpi
+
+import "fmt"
+
+// Collective operations. All members of a communicator must call each
+// collective, and must make their collective calls in the same order — the
+// same rule MPI imposes. The implementations below use only the runtime's
+// own point-to-point layer (with reserved tags), which is both how early
+// MPI implementations worked and how the master-worker patternlet teaches
+// students collectives *could* be built.
+
+// Barrier blocks until every rank of the communicator has entered it:
+// MPI_Barrier. It is implemented as a linear gather of arrival tokens to
+// rank 0 followed by a broadcast release.
+func (c *Comm) Barrier() error {
+	const token = 0
+	if c.rank == 0 {
+		for src := 1; src < c.Size(); src++ {
+			if _, err := c.recvReserved(src, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			if err := c.sendReserved(dst, tagBarrier, token); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.sendReserved(0, tagBarrier, token); err != nil {
+		return err
+	}
+	_, err := c.recvReserved(0, tagBarrier, nil)
+	return err
+}
+
+// sendReserved sends a value under a reserved (negative) tag.
+func (c *Comm) sendReserved(dest, tag int, v any) error {
+	data, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+	return c.send(dest, tag, data)
+}
+
+// recvReserved receives a value under a reserved tag; v may be nil to
+// discard the payload.
+func (c *Comm) recvReserved(source, tag int, v any) (Status, error) {
+	return c.recv(source, tag, v)
+}
+
+// treeParent and treeChildren define the binary broadcast/reduce tree in
+// the rank space rotated so that root is virtual rank 0.
+func treeParent(vrank int) int { return (vrank - 1) / 2 }
+
+func treeChildren(vrank, size int) []int {
+	var kids []int
+	if l := 2*vrank + 1; l < size {
+		kids = append(kids, l)
+	}
+	if r := 2*vrank + 2; r < size {
+		kids = append(kids, r)
+	}
+	return kids
+}
+
+// virtual maps a real rank to its position in a tree rooted at root.
+func toVirtual(rank, root, size int) int { return (rank - root + size) % size }
+
+// real inverts virtual.
+func toReal(vrank, root, size int) int { return (vrank + root) % size }
+
+// Bcast distributes root's value v to every rank and returns it: MPI_Bcast
+// (comm.bcast in mpi4py). Non-root ranks' v arguments are ignored. The
+// value travels down a binary tree rooted at root, so the operation takes
+// O(log n) communication rounds.
+func Bcast[T any](c *Comm, v T, root int) (T, error) {
+	var zero T
+	if err := c.checkRank(root); err != nil {
+		return zero, err
+	}
+	size := c.Size()
+	vrank := toVirtual(c.rank, root, size)
+	if vrank != 0 {
+		parent := toReal(treeParent(vrank), root, size)
+		if _, err := c.recvReserved(parent, tagBcast, &v); err != nil {
+			return zero, err
+		}
+	}
+	for _, kid := range treeChildren(vrank, size) {
+		if err := c.sendReserved(toReal(kid, root, size), tagBcast, v); err != nil {
+			return zero, err
+		}
+	}
+	return v, nil
+}
+
+// ReduceAlgorithm selects how Reduce combines values, exposed so the
+// benchmark harness can compare the two classic strategies.
+type ReduceAlgorithm int
+
+const (
+	// ReduceLinear has every rank send its value to root, which combines
+	// them in rank order: O(n) messages at root, deterministic order.
+	ReduceLinear ReduceAlgorithm = iota
+	// ReduceTree combines values up a binary tree: O(log n) rounds.
+	ReduceTree
+)
+
+// Reduce combines every rank's v with the given function and delivers the
+// result to root: MPI_Reduce. Ranks other than root receive the zero value.
+// combine must be associative; for the linear algorithm values are combined
+// in rank order v0 ⊕ v1 ⊕ ... ⊕ v(n-1).
+func Reduce[T any](c *Comm, v T, combine func(a, b T) T, root int) (T, error) {
+	return ReduceWith(c, v, combine, root, ReduceLinear)
+}
+
+// ReduceWith is Reduce with an explicit algorithm choice.
+func ReduceWith[T any](c *Comm, v T, combine func(a, b T) T, root int, algo ReduceAlgorithm) (T, error) {
+	var zero T
+	if err := c.checkRank(root); err != nil {
+		return zero, err
+	}
+	size := c.Size()
+	switch algo {
+	case ReduceLinear:
+		if c.rank != root {
+			if err := c.sendReserved(root, tagReduce, v); err != nil {
+				return zero, err
+			}
+			return zero, nil
+		}
+		// Root collects every contribution, then folds in strict rank
+		// order, so the result is deterministic even for non-associative
+		// floating-point combines.
+		vals := make([]T, size)
+		vals[root] = v
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			if _, err := c.recvReserved(r, tagReduce, &vals[r]); err != nil {
+				return zero, err
+			}
+		}
+		acc := vals[0]
+		for r := 1; r < size; r++ {
+			acc = combine(acc, vals[r])
+		}
+		return acc, nil
+	case ReduceTree:
+		vrank := toVirtual(c.rank, root, size)
+		acc := v
+		for _, kid := range treeChildren(vrank, size) {
+			var kv T
+			if _, err := c.recvReserved(toReal(kid, root, size), tagReduce, &kv); err != nil {
+				return zero, err
+			}
+			acc = combine(acc, kv)
+		}
+		if vrank != 0 {
+			parent := toReal(treeParent(vrank), root, size)
+			if err := c.sendReserved(parent, tagReduce, acc); err != nil {
+				return zero, err
+			}
+			return zero, nil
+		}
+		return acc, nil
+	default:
+		return zero, fmt.Errorf("mpi: unknown reduce algorithm %d", algo)
+	}
+}
+
+// Allreduce combines every rank's v and delivers the result to all ranks:
+// MPI_Allreduce, implemented as Reduce-to-0 followed by Bcast.
+func Allreduce[T any](c *Comm, v T, combine func(a, b T) T) (T, error) {
+	red, err := Reduce(c, v, combine, 0)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return Bcast(c, red, 0)
+}
+
+// Scatter hands out one element of root's items slice to each rank (rank i
+// receives items[i]) and returns the local element: MPI_Scatter
+// (comm.scatter). items is ignored at non-root ranks; at root it must have
+// exactly Size() elements.
+func Scatter[T any](c *Comm, items []T, root int) (T, error) {
+	var zero T
+	if err := c.checkRank(root); err != nil {
+		return zero, err
+	}
+	if c.rank == root {
+		if len(items) != c.Size() {
+			return zero, fmt.Errorf("mpi: Scatter needs exactly %d items at root, got %d", c.Size(), len(items))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendReserved(r, tagScatter, items[r]); err != nil {
+				return zero, err
+			}
+		}
+		return items[root], nil
+	}
+	var v T
+	if _, err := c.recvReserved(root, tagScatter, &v); err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
+// Gather collects every rank's v at root, returning the slice indexed by
+// rank at root and nil elsewhere: MPI_Gather (comm.gather).
+func Gather[T any](c *Comm, v T, root int) ([]T, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		if err := c.sendReserved(root, tagGather, v); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := make([]T, c.Size())
+	out[root] = v
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.recvReserved(r, tagGather, &out[r]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's v at every rank: MPI_Allgather,
+// implemented as Gather-to-0 followed by Bcast.
+func Allgather[T any](c *Comm, v T) ([]T, error) {
+	all, err := Gather(c, v, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(c, all, 0)
+}
+
+// Alltoall performs the full exchange: rank i's items[j] is delivered to
+// rank j, which receives it at position i of its result: MPI_Alltoall.
+// items must have exactly Size() elements on every rank.
+func Alltoall[T any](c *Comm, items []T) ([]T, error) {
+	if len(items) != c.Size() {
+		return nil, fmt.Errorf("mpi: Alltoall needs exactly %d items, got %d", c.Size(), len(items))
+	}
+	out := make([]T, c.Size())
+	out[c.rank] = items[c.rank]
+	// Send everything first (sends are buffered), then receive; matching
+	// by source slots each arrival into place without deadlock.
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.sendReserved(r, tagAll, items[r]); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		if _, err := c.recvReserved(r, tagAll, &out[r]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives
+// v0 ⊕ v1 ⊕ ... ⊕ vi. MPI_Scan, implemented as a linear chain.
+func Scan[T any](c *Comm, v T, combine func(a, b T) T) (T, error) {
+	acc := v
+	if c.rank > 0 {
+		var prefix T
+		if _, err := c.recvReserved(c.rank-1, tagScan, &prefix); err != nil {
+			var zero T
+			return zero, err
+		}
+		acc = combine(prefix, v)
+	}
+	if c.rank < c.Size()-1 {
+		if err := c.sendReserved(c.rank+1, tagScan, acc); err != nil {
+			var zero T
+			return zero, err
+		}
+	}
+	return acc, nil
+}

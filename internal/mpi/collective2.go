@@ -1,0 +1,121 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives beyond the patternlet set: exclusive scan,
+// reduce-scatter, and a dissemination barrier. These are the operations
+// the materials' "to explore" prompts point students toward next, and the
+// ablation benchmarks compare their algorithms.
+
+// Reserved tags for this file's collectives.
+const (
+	tagExscan  = -10
+	tagRedScat = -11
+	tagDissem  = -12
+)
+
+// Exscan computes the exclusive prefix reduction: rank 0 receives the zero
+// value (and ok=false, mirroring MPI's undefined receive buffer on rank 0),
+// rank i>0 receives v0 ⊕ ... ⊕ v(i-1): MPI_Exscan.
+func Exscan[T any](c *Comm, v T, combine func(a, b T) T) (T, bool, error) {
+	var zero T
+	// Chain: receive the running prefix from the left, forward prefix ⊕ v
+	// to the right.
+	var prefix T
+	have := false
+	if c.rank > 0 {
+		if _, err := c.recvReserved(c.rank-1, tagExscan, &prefix); err != nil {
+			return zero, false, err
+		}
+		have = true
+	}
+	if c.rank < c.Size()-1 {
+		next := v
+		if have {
+			next = combine(prefix, v)
+		}
+		if err := c.sendReserved(c.rank+1, tagExscan, next); err != nil {
+			return zero, false, err
+		}
+	}
+	if !have {
+		return zero, false, nil
+	}
+	return prefix, true, nil
+}
+
+// ReduceScatterBlock combines every rank's items elementwise and leaves
+// element i at rank i: MPI_Reduce_scatter_block with one element per rank.
+// items must have exactly Size() elements on every rank.
+func ReduceScatterBlock[T any](c *Comm, items []T, combine func(a, b T) T) (T, error) {
+	var zero T
+	if len(items) != c.Size() {
+		return zero, fmt.Errorf("mpi: ReduceScatterBlock needs exactly %d items, got %d", c.Size(), len(items))
+	}
+	// Direct algorithm: every rank sends items[j] to rank j, then combines
+	// what it receives with its own element. Deterministic rank order.
+	for j := 0; j < c.Size(); j++ {
+		if j == c.rank {
+			continue
+		}
+		if err := c.sendReserved(j, tagRedScat, items[j]); err != nil {
+			return zero, err
+		}
+	}
+	contributions := make([]T, c.Size())
+	contributions[c.rank] = items[c.rank]
+	for j := 0; j < c.Size(); j++ {
+		if j == c.rank {
+			continue
+		}
+		if _, err := c.recvReserved(j, tagRedScat, &contributions[j]); err != nil {
+			return zero, err
+		}
+	}
+	acc := contributions[0]
+	for j := 1; j < c.Size(); j++ {
+		acc = combine(acc, contributions[j])
+	}
+	return acc, nil
+}
+
+// BarrierAlgorithm selects a Barrier implementation for the ablation
+// benchmarks.
+type BarrierAlgorithm int
+
+const (
+	// BarrierLinear gathers arrival tokens at rank 0 and broadcasts a
+	// release: 2(n-1) messages, O(n) rounds at the root.
+	BarrierLinear BarrierAlgorithm = iota
+	// BarrierDissemination is the classic ceil(log2 n)-round algorithm:
+	// in round k each rank signals the rank 2^k ahead and waits for the
+	// rank 2^k behind.
+	BarrierDissemination
+)
+
+// BarrierWith is Barrier with an explicit algorithm choice.
+func (c *Comm) BarrierWith(algo BarrierAlgorithm) error {
+	switch algo {
+	case BarrierLinear:
+		return c.Barrier()
+	case BarrierDissemination:
+		n := c.Size()
+		for dist := 1; dist < n; dist *= 2 {
+			to := (c.rank + dist) % n
+			from := (c.rank - dist + n) % n
+			if err := c.sendReserved(to, tagDissem, dist); err != nil {
+				return err
+			}
+			var got int
+			if _, err := c.recvReserved(from, tagDissem, &got); err != nil {
+				return err
+			}
+			if got != dist {
+				return fmt.Errorf("mpi: dissemination barrier round mismatch: got %d, want %d", got, dist)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("mpi: unknown barrier algorithm %d", algo)
+	}
+}

@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Comm is one rank's handle on a communicator: a group of ranks with an
+// isolated message namespace. The world communicator covers all ranks of a
+// Run; Split and Dup derive smaller or duplicate groups, as in
+// MPI_Comm_split / MPI_Comm_dup.
+type Comm struct {
+	world *World
+	ctx   int64
+	rank  int   // this process's rank within the communicator
+	ranks []int // world rank of each communicator rank
+
+	// nextCtx numbers the Split/Dup calls made on this communicator. All
+	// members make collective calls in the same order (an MPI requirement),
+	// so the sequence — and therefore each derived context id — is
+	// identical on every member without any extra communication.
+	nextCtx int64
+}
+
+// Rank reports this process's rank within the communicator, 0-based:
+// MPI_Comm_rank / comm.Get_rank().
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports how many ranks the communicator spans: MPI_Comm_size /
+// comm.Get_size().
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// ProcessorName reports the name of the node this rank runs on:
+// MPI.Get_processor_name().
+func (c *Comm) ProcessorName() string { return c.world.names[c.worldRank(c.rank)] }
+
+// Wtime reports the seconds elapsed since the world initialized: MPI_Wtime,
+// the clock the exemplars' timing studies read.
+func (c *Comm) Wtime() float64 {
+	return time.Since(c.world.epoch).Seconds()
+}
+
+// worldRank maps a communicator-local rank to its world rank.
+func (c *Comm) worldRank(local int) int { return c.ranks[local] }
+
+// mailbox returns this rank's receive queue.
+func (c *Comm) mailbox() *mailbox { return c.world.boxes[c.worldRank(c.rank)] }
+
+// Compute runs fn under the world's compute gate, if one was installed by
+// the launcher (see WithComputeGate). Exemplar kernels route their
+// CPU-bound work through Compute so platform models can constrain how many
+// ranks compute simultaneously. Without a gate, Compute just calls fn.
+func (c *Comm) Compute(fn func()) {
+	if g := c.world.gate; g != nil {
+		g(fn)
+		return
+	}
+	fn()
+}
+
+// checkRank validates a communicator-local rank.
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= len(c.ranks) {
+		return fmt.Errorf("%w: %d (communicator size %d)", ErrInvalidRank, r, len(c.ranks))
+	}
+	return nil
+}
+
+// send routes an already-encoded payload to a communicator-local rank under
+// an arbitrary (possibly reserved) tag.
+func (c *Comm) send(dest, tag int, data []byte) error {
+	if err := c.checkRank(dest); err != nil {
+		return err
+	}
+	return c.world.transport.Send(frame{
+		Ctx:  c.ctx,
+		Src:  c.rank,
+		WSrc: c.worldRank(c.rank),
+		Dst:  c.worldRank(dest),
+		Tag:  tag,
+		Data: data,
+	})
+}
+
+// recv takes the earliest message matching (source, tag) — which may use
+// AnySource/AnyTag — decodes it into v (unless v is nil), and reports its
+// Status.
+func (c *Comm) recv(source, tag int, v any) (Status, error) {
+	if source != AnySource {
+		if err := c.checkRank(source); err != nil {
+			return Status{}, err
+		}
+	}
+	f, err := c.mailbox().take(c.ctx, source, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{Source: f.Src, Tag: f.Tag, Bytes: len(f.Data)}
+	if v != nil {
+		if err := decodeValue(f.Data, v); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// Send delivers v to rank dest under the given tag, blocking at most for
+// local buffering (MPI buffered-mode semantics; there is no rendezvous).
+// Tags must be non-negative, as in MPI.
+func (c *Comm) Send(dest, tag int, v any) error {
+	if tag < 0 {
+		return fmt.Errorf("%w: user tags must be >= 0, got %d", ErrInvalidTag, tag)
+	}
+	data, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+	return c.send(dest, tag, data)
+}
+
+// Recv blocks until a message matching (source, tag) arrives and decodes it
+// into the pointer v. source may be AnySource and tag may be AnyTag; the
+// returned Status carries the actual source and tag. Pass v == nil to
+// discard the payload.
+func (c *Comm) Recv(source, tag int, v any) (Status, error) {
+	if tag < 0 && tag != AnyTag {
+		return Status{}, fmt.Errorf("%w: receive tag %d", ErrInvalidTag, tag)
+	}
+	return c.recv(source, tag, v)
+}
+
+// Sendrecv performs a send and a receive concurrently, the deadlock-free
+// exchange of MPI_Sendrecv. sendVal goes to dest under sendTag; the matching
+// receive for (source, recvTag) is decoded into recvPtr.
+func (c *Comm) Sendrecv(dest, sendTag int, sendVal any, source, recvTag int, recvPtr any) (Status, error) {
+	if err := c.Send(dest, sendTag, sendVal); err != nil {
+		return Status{}, err
+	}
+	return c.Recv(source, recvTag, recvPtr)
+}
+
+// Probe blocks until a message matching (source, tag) is available and
+// reports its Status without receiving it: MPI_Probe.
+func (c *Comm) Probe(source, tag int) (Status, error) {
+	if source != AnySource {
+		if err := c.checkRank(source); err != nil {
+			return Status{}, err
+		}
+	}
+	return c.mailbox().waitMatch(c.ctx, source, tag)
+}
+
+// Iprobe reports whether a message matching (source, tag) is available,
+// without blocking or receiving: MPI_Iprobe.
+func (c *Comm) Iprobe(source, tag int) (Status, bool) {
+	return c.mailbox().peek(c.ctx, source, tag)
+}

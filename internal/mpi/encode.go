@@ -1,0 +1,28 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// encodeValue serializes v with gob. Each message is encoded with a fresh
+// encoder so that frames are self-describing and can be decoded in any
+// order, which matters because receives may match out of program order
+// across different senders.
+func encodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("mpi: encoding message payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeValue deserializes a payload produced by encodeValue into the
+// pointer v.
+func decodeValue(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("mpi: decoding message payload: %w", err)
+	}
+	return nil
+}

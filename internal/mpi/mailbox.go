@@ -1,0 +1,102 @@
+package mpi
+
+import "sync"
+
+// mailbox is one rank's incoming message queue. Receives match messages by
+// (context, source, tag) with wildcard support, always taking the earliest
+// matching arrival — which, combined with order-preserving transports,
+// yields MPI's non-overtaking guarantee for any (sender, receiver, context)
+// pair.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []frame
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// deliver appends an arriving frame and wakes blocked receivers.
+func (m *mailbox) deliver(f frame) {
+	m.mu.Lock()
+	m.queue = append(m.queue, f)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// matches reports whether f satisfies a receive for (ctx, src, tag),
+// honouring AnySource and AnyTag.
+func matches(f frame, ctx int64, src, tag int) bool {
+	if f.Ctx != ctx {
+		return false
+	}
+	if src != AnySource && f.Src != src {
+		return false
+	}
+	if tag != AnyTag && f.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// take removes and returns the earliest frame matching (ctx, src, tag),
+// blocking until one arrives or the mailbox closes.
+func (m *mailbox) take(ctx int64, src, tag int) (frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, f := range m.queue {
+			if matches(f, ctx, src, tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return f, nil
+			}
+		}
+		if m.closed {
+			return frame{}, ErrShutdown
+		}
+		m.cond.Wait()
+	}
+}
+
+// peek reports whether a frame matching (ctx, src, tag) is queued, and if so
+// returns its status, without removing it: the core of Iprobe.
+func (m *mailbox) peek(ctx int64, src, tag int) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.queue {
+		if matches(f, ctx, src, tag) {
+			return Status{Source: f.Src, Tag: f.Tag, Bytes: len(f.Data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// waitMatch blocks until a matching frame is queued (without removing it) or
+// the mailbox closes: the core of the blocking Probe.
+func (m *mailbox) waitMatch(ctx int64, src, tag int) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for _, f := range m.queue {
+			if matches(f, ctx, src, tag) {
+				return Status{Source: f.Src, Tag: f.Tag, Bytes: len(f.Data)}, nil
+			}
+		}
+		if m.closed {
+			return Status{}, ErrShutdown
+		}
+		m.cond.Wait()
+	}
+}
+
+// close marks the mailbox closed and wakes all blocked receivers.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wildcards for Recv and Probe, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved internal tags used by collectives. User tags must be >= 0, as in
+// MPI; the runtime owns the negative tag space.
+const (
+	tagBarrier = -2
+	tagBcast   = -3
+	tagReduce  = -4
+	tagScatter = -5
+	tagGather  = -6
+	tagScan    = -7
+	tagSplit   = -8
+	tagAll     = -9
+)
+
+// ErrInvalidRank is returned when a destination or source rank is outside
+// the communicator.
+var ErrInvalidRank = errors.New("mpi: rank out of range")
+
+// ErrInvalidTag is returned when a user send or receive uses a tag the
+// runtime reserves (negative values other than AnyTag on receive).
+var ErrInvalidTag = errors.New("mpi: invalid tag")
+
+// ErrShutdown is returned by operations on a world that has been stopped.
+var ErrShutdown = errors.New("mpi: world shut down")
+
+// Status describes a received message, mirroring MPI_Status: which rank sent
+// it, under which tag, and how many payload bytes arrived.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// String formats the status for diagnostics.
+func (s Status) String() string {
+	return fmt.Sprintf("Status{source: %d, tag: %d, bytes: %d}", s.Source, s.Tag, s.Bytes)
+}
+
+// frame is the unit of transport: an addressed, tagged payload within a
+// communicator context. Collective operations share the user's transport
+// but live in the reserved (negative) tag space.
+type frame struct {
+	Ctx  int64 // communicator context id
+	Src  int   // sender's rank within Ctx (what the receiver matches on)
+	WSrc int   // sender's world rank (what transports route/model on)
+	Dst  int   // receiver's world rank (what the transport routes on)
+	Tag  int
+	Data []byte
+}

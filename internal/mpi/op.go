@@ -1,0 +1,83 @@
+package mpi
+
+// Op names a built-in reduction operator, mirroring MPI_SUM, MPI_PROD,
+// MPI_MAX, MPI_MIN, MPI_LAND, and MPI_LOR. The generic collectives accept an
+// arbitrary combine function; Op supplies the standard ones.
+type Op int
+
+const (
+	// Sum adds values.
+	Sum Op = iota
+	// Prod multiplies values.
+	Prod
+	// Max keeps the larger value.
+	Max
+	// Min keeps the smaller value.
+	Min
+)
+
+// String names the operator as MPI spells it.
+func (op Op) String() string {
+	switch op {
+	case Sum:
+		return "MPI_SUM"
+	case Prod:
+		return "MPI_PROD"
+	case Max:
+		return "MPI_MAX"
+	case Min:
+		return "MPI_MIN"
+	default:
+		return "MPI_OP(?)"
+	}
+}
+
+// Number constrains the built-in operators to ordered numeric types.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Combine applies op to a pair of numbers.
+func Combine[T Number](op Op) func(a, b T) T {
+	switch op {
+	case Sum:
+		return func(a, b T) T { return a + b }
+	case Prod:
+		return func(a, b T) T { return a * b }
+	case Max:
+		return func(a, b T) T {
+			if a > b {
+				return a
+			}
+			return b
+		}
+	case Min:
+		return func(a, b T) T {
+			if a < b {
+				return a
+			}
+			return b
+		}
+	default:
+		panic("mpi: unknown Op")
+	}
+}
+
+// CombineSlices returns an elementwise combiner for slices, the analogue of
+// MPI's array reductions. It panics if the slices differ in length, which in
+// MPI would be an erroneous program.
+func CombineSlices[T Number](op Op) func(a, b []T) []T {
+	elem := Combine[T](op)
+	return func(a, b []T) []T {
+		if len(a) != len(b) {
+			panic("mpi: reduction buffers differ in length")
+		}
+		out := make([]T, len(a))
+		for i := range a {
+			out[i] = elem(a[i], b[i])
+		}
+		return out
+	}
+}

@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColorUndefined makes Split return a nil communicator for the calling
+// rank, mirroring MPI_UNDEFINED: the rank takes part in the collective but
+// joins no group.
+const ColorUndefined = -1
+
+// maxSplitsPerComm bounds how many Split/Dup calls a single communicator
+// supports; context ids for children are packed into a radix-64 digit of
+// the parent's id.
+const maxSplitsPerComm = 63
+
+// splitEntry is exchanged during Split so every rank can compute the group
+// membership and ordering locally and identically.
+type splitEntry struct {
+	Color int
+	Key   int
+	Rank  int // rank within the parent communicator
+}
+
+// Split partitions the communicator into disjoint sub-communicators, one
+// per distinct color, ordering ranks within each group by (key, parent
+// rank): MPI_Comm_split. Every member of the communicator must call Split
+// (it is collective); ranks passing ColorUndefined receive a nil
+// communicator.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	seq := c.nextCtx
+	c.nextCtx++
+	if seq > maxSplitsPerComm {
+		return nil, fmt.Errorf("mpi: more than %d Split/Dup calls on one communicator", maxSplitsPerComm)
+	}
+	childCtx := c.ctx*64 + seq
+
+	entries, err := Allgather(c, splitEntry{Color: color, Key: key, Rank: c.rank})
+	if err != nil {
+		return nil, err
+	}
+	if color == ColorUndefined {
+		return nil, nil
+	}
+
+	var group []splitEntry
+	for _, e := range entries {
+		if e.Color == color {
+			group = append(group, e)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].Key != group[j].Key {
+			return group[i].Key < group[j].Key
+		}
+		return group[i].Rank < group[j].Rank
+	})
+
+	ranks := make([]int, len(group))
+	newRank := -1
+	for i, e := range group {
+		ranks[i] = c.worldRank(e.Rank)
+		if e.Rank == c.rank {
+			newRank = i
+		}
+	}
+	return &Comm{
+		world:   c.world,
+		ctx:     childCtx,
+		rank:    newRank,
+		ranks:   ranks,
+		nextCtx: 1,
+	}, nil
+}
+
+// Dup creates a communicator with the same group but an isolated message
+// namespace: MPI_Comm_dup. Like Split, it is collective over the
+// communicator.
+func (c *Comm) Dup() (*Comm, error) {
+	return c.Split(0, c.rank)
+}

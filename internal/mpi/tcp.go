@@ -1,0 +1,356 @@
+package mpi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// The TCP transport gives each rank its own connection to a routing hub, so
+// ranks may live in different OS processes (or different machines sharing a
+// network), the way an MPI job runs across a Beowulf cluster. The hub plays
+// the role of the interconnect: it preserves per-connection FIFO order, so
+// the non-overtaking guarantee carries over from the in-process transport.
+//
+// Wire protocol, per connection, as a gob stream:
+//
+//	hello{Rank}            worker -> hub, once, identifies the rank
+//	frame{Tag: tagStart}   hub -> worker, once, after all ranks joined
+//	frame{...}             either direction, user and collective traffic
+//	frame{Dst: ctrlDst, Tag: tagDone}  worker -> hub, rank finished
+const (
+	tagStart = -100
+	tagDone  = -101
+	ctrlDst  = -100
+)
+
+type hello struct {
+	Rank int
+}
+
+// Hub routes frames between the ranks of one TCP-transport world. Create
+// one with StartHub, hand its Addr to the workers, and Wait for the job to
+// finish.
+type Hub struct {
+	ln net.Listener
+	np int
+
+	mu    sync.Mutex
+	conns map[int]*hubConn
+	done  int
+	err   error
+
+	finished chan struct{}
+}
+
+type hubConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex // serializes writes to enc
+}
+
+func (hc *hubConn) send(f frame) error {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.enc.Encode(f)
+}
+
+// StartHub listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// routes for a world of np ranks. It returns as soon as the listener is
+// ready; workers may join immediately.
+func StartHub(addr string, np int) (*Hub, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("mpi: hub needs at least 1 process, got %d", np)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: hub listen: %w", err)
+	}
+	h := &Hub{
+		ln:       ln,
+		np:       np,
+		conns:    make(map[int]*hubConn),
+		finished: make(chan struct{}),
+	}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr reports the address workers should dial.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+func (h *Hub) acceptLoop() {
+	for i := 0; i < h.np; i++ {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			h.fail(fmt.Errorf("mpi: hub accept: %w", err))
+			return
+		}
+		go h.admit(conn)
+	}
+}
+
+// admit registers a worker connection and, once the world is complete,
+// releases all workers with the start signal.
+func (h *Hub) admit(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	var hi hello
+	if err := dec.Decode(&hi); err != nil {
+		h.fail(fmt.Errorf("mpi: hub handshake: %w", err))
+		conn.Close()
+		return
+	}
+	h.mu.Lock()
+	if hi.Rank < 0 || hi.Rank >= h.np {
+		h.mu.Unlock()
+		h.fail(fmt.Errorf("mpi: hub: worker announced invalid rank %d", hi.Rank))
+		conn.Close()
+		return
+	}
+	if _, dup := h.conns[hi.Rank]; dup {
+		h.mu.Unlock()
+		h.fail(fmt.Errorf("mpi: hub: duplicate worker for rank %d", hi.Rank))
+		conn.Close()
+		return
+	}
+	hc := &hubConn{conn: conn, enc: gob.NewEncoder(conn)}
+	h.conns[hi.Rank] = hc
+	complete := len(h.conns) == h.np
+	var all []*hubConn
+	if complete {
+		for _, c := range h.conns {
+			all = append(all, c)
+		}
+	}
+	h.mu.Unlock()
+
+	if complete {
+		for _, c := range all {
+			if err := c.send(frame{Tag: tagStart}); err != nil {
+				h.fail(fmt.Errorf("mpi: hub start signal: %w", err))
+				return
+			}
+		}
+	}
+	h.route(hi.Rank, dec)
+}
+
+// route forwards every frame read from one worker until the worker reports
+// done or the connection drops.
+func (h *Hub) route(rank int, dec *gob.Decoder) {
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			h.fail(fmt.Errorf("mpi: hub: connection to rank %d: %w", rank, err))
+			return
+		}
+		if f.Dst == ctrlDst {
+			if f.Tag == tagDone {
+				// The worker sends nothing after done; stop reading so its
+				// connection teardown is not mistaken for a failure.
+				h.workerDone()
+				return
+			}
+			continue
+		}
+		h.mu.Lock()
+		dst := h.conns[f.Dst]
+		h.mu.Unlock()
+		if dst == nil {
+			h.fail(fmt.Errorf("mpi: hub: frame for unknown rank %d", f.Dst))
+			return
+		}
+		if err := dst.send(f); err != nil {
+			h.fail(fmt.Errorf("mpi: hub: forwarding to rank %d: %w", f.Dst, err))
+			return
+		}
+	}
+}
+
+// workerDone counts a finished rank; when the last one reports, the hub
+// shuts the world down. It reports whether this was the final rank.
+func (h *Hub) workerDone() bool {
+	h.mu.Lock()
+	h.done++
+	last := h.done == h.np
+	h.mu.Unlock()
+	if last {
+		h.shutdown()
+	}
+	return last
+}
+
+// fail records the first error and shuts the hub down, unless the job had
+// already completed cleanly.
+func (h *Hub) fail(err error) {
+	h.mu.Lock()
+	alreadyFinished := h.done == h.np
+	if h.err == nil && !alreadyFinished {
+		h.err = err
+	}
+	h.mu.Unlock()
+	if !alreadyFinished {
+		h.shutdown()
+	}
+}
+
+func (h *Hub) shutdown() {
+	h.mu.Lock()
+	conns := h.conns
+	h.conns = map[int]*hubConn{}
+	h.mu.Unlock()
+	h.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	select {
+	case <-h.finished:
+	default:
+		close(h.finished)
+	}
+}
+
+// Wait blocks until every rank has reported completion (or the hub failed)
+// and returns the hub's error state.
+func (h *Hub) Wait() error {
+	<-h.finished
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done == h.np {
+		return nil
+	}
+	return h.err
+}
+
+// Close shuts the hub down immediately.
+func (h *Hub) Close() { h.shutdown() }
+
+// tcpTransport is one rank's sending side of the TCP world.
+type tcpTransport struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+func (t *tcpTransport) Send(f frame) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(f); err != nil {
+		return fmt.Errorf("mpi: tcp send: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpTransport) Close() error { return t.conn.Close() }
+
+// JoinTCP connects to the hub at addr as the given rank of an np-rank world
+// and runs main there: the worker half of a distributed "mpirun". It
+// returns when main returns (converting panics to errors, as Run does).
+func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option) (err error) {
+	if rank < 0 || rank >= np {
+		return fmt.Errorf("%w: %d (np %d)", ErrInvalidRank, rank, np)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mpi: joining hub %s: %w", addr, err)
+	}
+	t := &tcpTransport{conn: conn, enc: gob.NewEncoder(conn)}
+	defer t.Close()
+
+	if err := t.enc.Encode(hello{Rank: rank}); err != nil {
+		return fmt.Errorf("mpi: hello to hub: %w", err)
+	}
+
+	box := newMailbox()
+	dec := gob.NewDecoder(conn)
+
+	// The start frame arrives before any routed traffic.
+	var start frame
+	if err := dec.Decode(&start); err != nil {
+		return fmt.Errorf("mpi: waiting for world start: %w", err)
+	}
+	if start.Tag != tagStart {
+		return fmt.Errorf("mpi: unexpected frame before start signal (tag %d)", start.Tag)
+	}
+
+	go func() {
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				box.close()
+				return
+			}
+			box.deliver(f)
+		}
+	}()
+
+	host, herr := os.Hostname()
+	if herr != nil || host == "" {
+		host = "localhost"
+	}
+	names := make([]string, np)
+	for i := range names {
+		if i < len(cfg.names) && cfg.names[i] != "" {
+			names[i] = cfg.names[i]
+		} else {
+			names[i] = host
+		}
+	}
+	boxes := make([]*mailbox, np)
+	boxes[rank] = box
+
+	w := &World{np: np, transport: cfg.wrapTransport(t), boxes: boxes, names: names, gate: cfg.gate, epoch: time.Now()}
+
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+		}
+		// Report completion regardless of outcome so the hub can finish.
+		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+	}()
+	if err := main(w.comm(rank)); err != nil {
+		return fmt.Errorf("mpi: rank %d: %w", rank, err)
+	}
+	return nil
+}
+
+// RunTCP executes main as an SPMD program of np ranks connected through a
+// loopback TCP hub, all within the calling process: functionally Run, but
+// exercising the real network transport. It is the single-machine analogue
+// of a cluster job and the transport the ablation benchmarks compare
+// against the in-process one.
+func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
+	hub, err := StartHub("127.0.0.1:0", np)
+	if err != nil {
+		return err
+	}
+	defer hub.Close()
+
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for rank := 0; rank < np; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = JoinTCP(hub.Addr(), rank, np, main, opts...)
+		}(rank)
+	}
+	wg.Wait()
+	if err := hub.Wait(); err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

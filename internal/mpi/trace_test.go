@@ -1,0 +1,173 @@
+package mpi
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+// countMessages runs body on np ranks with a counter installed and returns
+// the counter.
+func countMessages(t *testing.T, np int, body func(c *Comm) error) *MessageCounter {
+	t.Helper()
+	mc := NewMessageCounter()
+	if err := Run(np, body, WithCounter(mc)); err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func TestCounterPointToPoint(t *testing.T) {
+	mc := countMessages(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				if err := c.Send(1, 0, i); err != nil {
+					return err
+				}
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				if _, err := c.Recv(0, 0, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if mc.Total() != 5 {
+		t.Fatalf("total = %d, want 5", mc.Total())
+	}
+	if mc.Pair(0, 1) != 5 || mc.Pair(1, 0) != 0 {
+		t.Fatalf("pairs: 0->1=%d 1->0=%d", mc.Pair(0, 1), mc.Pair(1, 0))
+	}
+	if mc.Bytes() == 0 {
+		t.Fatal("no payload bytes recorded")
+	}
+}
+
+// TestCollectiveMessageComplexity pins the algorithms' message counts —
+// the quantities the ablation benchmarks trade off.
+func TestCollectiveMessageComplexity(t *testing.T) {
+	for _, np := range []int{2, 4, 7, 8} {
+		// Linear reduce: n-1 messages to the root.
+		mc := countMessages(t, np, func(c *Comm) error {
+			_, err := ReduceWith(c, c.Rank(), Combine[int](Sum), 0, ReduceLinear)
+			return err
+		})
+		if got, want := mc.Total(), np-1; got != want {
+			t.Errorf("np=%d linear reduce: %d messages, want %d", np, got, want)
+		}
+
+		// Tree reduce: also n-1 messages (one per non-root node), but
+		// spread over log n rounds.
+		mc = countMessages(t, np, func(c *Comm) error {
+			_, err := ReduceWith(c, c.Rank(), Combine[int](Sum), 0, ReduceTree)
+			return err
+		})
+		if got, want := mc.Total(), np-1; got != want {
+			t.Errorf("np=%d tree reduce: %d messages, want %d", np, got, want)
+		}
+
+		// Bcast tree: n-1 messages.
+		mc = countMessages(t, np, func(c *Comm) error {
+			_, err := Bcast(c, 1, 0)
+			return err
+		})
+		if got, want := mc.Total(), np-1; got != want {
+			t.Errorf("np=%d bcast: %d messages, want %d", np, got, want)
+		}
+
+		// Linear barrier: 2(n-1) messages.
+		mc = countMessages(t, np, func(c *Comm) error {
+			return c.Barrier()
+		})
+		if got, want := mc.Total(), 2*(np-1); got != want {
+			t.Errorf("np=%d linear barrier: %d messages, want %d", np, got, want)
+		}
+
+		// Dissemination barrier: n * ceil(log2 n) messages.
+		mc = countMessages(t, np, func(c *Comm) error {
+			return c.BarrierWith(BarrierDissemination)
+		})
+		rounds := bits.Len(uint(np - 1)) // ceil(log2 np)
+		if got, want := mc.Total(), np*rounds; got != want {
+			t.Errorf("np=%d dissemination barrier: %d messages, want %d", np, got, want)
+		}
+
+		// Alltoall: n(n-1) messages.
+		mc = countMessages(t, np, func(c *Comm) error {
+			items := make([]int, np)
+			_, err := Alltoall(c, items)
+			return err
+		})
+		if got, want := mc.Total(), np*(np-1); got != want {
+			t.Errorf("np=%d alltoall: %d messages, want %d", np, got, want)
+		}
+	}
+}
+
+func TestCounterTagBreakdown(t *testing.T) {
+	mc := countMessages(t, 4, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return c.Send(1, 9, "x")
+		}
+		if c.Rank() == 1 {
+			_, err := c.Recv(0, 9, nil)
+			return err
+		}
+		return nil
+	})
+	if mc.Tag(9) != 1 {
+		t.Fatalf("tag 9 count = %d", mc.Tag(9))
+	}
+	if mc.Tag(tagBarrier) != 6 { // 2(n-1) barrier tokens
+		t.Fatalf("barrier tag count = %d", mc.Tag(tagBarrier))
+	}
+}
+
+func TestCounterResetAndString(t *testing.T) {
+	mc := countMessages(t, 2, func(c *Comm) error {
+		return c.Barrier()
+	})
+	s := mc.String()
+	if !strings.Contains(s, "messages") || !strings.Contains(s, "->") {
+		t.Fatalf("String() = %q", s)
+	}
+	mc.Reset()
+	if mc.Total() != 0 || mc.Bytes() != 0 || mc.Pair(0, 1) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestCounterOnTCPTransport(t *testing.T) {
+	mc := NewMessageCounter()
+	err := RunTCP(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, "over tcp")
+		}
+		_, err := c.Recv(0, 0, nil)
+		return err
+	}, WithCounter(mc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Total() != 1 {
+		t.Fatalf("tcp counter total = %d", mc.Total())
+	}
+}
+
+func TestScanMessageCount(t *testing.T) {
+	// Linear chain: n-1 messages.
+	for _, np := range []int{1, 3, 6} {
+		mc := countMessages(t, np, func(c *Comm) error {
+			_, err := Scan(c, 1, Combine[int](Sum))
+			return err
+		})
+		if got := mc.Total(); got != np-1 {
+			t.Errorf("np=%d scan: %d messages, want %d", np, got, np-1)
+		}
+	}
+}

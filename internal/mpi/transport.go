@@ -1,0 +1,55 @@
+package mpi
+
+import "time"
+
+// Transport moves frames between ranks. Implementations must preserve the
+// order of frames sent from one rank to another (per-pair FIFO); the
+// mailbox layer turns that into MPI's non-overtaking matching guarantee.
+type Transport interface {
+	// Send routes f to the mailbox of rank f.Dst. It must not block
+	// indefinitely: sends in this runtime are buffered, as in MPI's
+	// buffered mode (and as in mpi4py's default for small messages).
+	Send(f frame) error
+	// Close releases transport resources and unblocks pending receives.
+	Close() error
+}
+
+// localTransport routes frames through in-memory mailboxes: all ranks are
+// goroutines of one process, the analogue of running mpirun on one node.
+type localTransport struct {
+	boxes []*mailbox
+	// latency, if set, is consulted on every send to simulate network
+	// cost between ranks (see WithLatency); it returns the artificial
+	// delay to impose before delivery.
+	latency func(src, dst int) time.Duration
+}
+
+func newLocalTransport(np int) *localTransport {
+	t := &localTransport{boxes: make([]*mailbox, np)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t
+}
+
+func (t *localTransport) Send(f frame) error {
+	if f.Dst < 0 || f.Dst >= len(t.boxes) {
+		return ErrInvalidRank
+	}
+	if t.latency != nil {
+		if d := t.latency(f.WSrc, f.Dst); d > 0 {
+			// Delay delivery without reordering: sleeping on the sender's
+			// goroutine before the append preserves per-pair FIFO order.
+			time.Sleep(d)
+		}
+	}
+	t.boxes[f.Dst].deliver(f)
+	return nil
+}
+
+func (t *localTransport) Close() error {
+	for _, b := range t.boxes {
+		b.close()
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// World is one SPMD execution: np ranks sharing a transport. It corresponds
+// to everything set up by MPI_Init across the job.
+type World struct {
+	np        int
+	transport Transport
+	boxes     []*mailbox // receive queues, indexed by world rank
+	names     []string   // processor name per world rank
+	gate      func(fn func())
+	epoch     time.Time // when the world initialized; Wtime's zero point
+}
+
+// Option configures a Run.
+type Option func(*config)
+
+type config struct {
+	names   []string
+	latency func(src, dst int) time.Duration
+	gate    func(fn func())
+	counter *MessageCounter
+}
+
+// wrapTransport applies configured decorations to a transport.
+func (c *config) wrapTransport(t Transport) Transport {
+	if c.counter != nil {
+		return &countingTransport{inner: t, mc: c.counter}
+	}
+	return t
+}
+
+// WithProcessorNames assigns each world rank the processor (host) name it
+// reports from ProcessorName. Missing entries fall back to the OS hostname.
+// The cluster package uses this to place ranks on modeled nodes.
+func WithProcessorNames(names []string) Option {
+	return func(c *config) { c.names = names }
+}
+
+// WithLatency imposes an artificial delay on every message between a pair of
+// world ranks, as computed by d. The cluster package uses this to model
+// inter-node network cost on multi-node platforms.
+func WithLatency(d func(src, dst int) time.Duration) Option {
+	return func(c *config) { c.latency = d }
+}
+
+// WithComputeGate installs a gate that every call to Comm.Compute runs
+// under. The cluster package uses a counting semaphore sized to a platform's
+// core count, so that (for example) four ranks on the paper's unicore Colab
+// VM make progress but show no speedup.
+func WithComputeGate(gate func(fn func())) Option {
+	return func(c *config) { c.gate = gate }
+}
+
+// Run executes main as an SPMD program on np in-process ranks, one goroutine
+// per rank, and returns after every rank's main has returned: the analogue
+// of "mpirun -np N prog" on a single node.
+//
+// If any rank returns a non-nil error, Run reports the error from the
+// lowest-numbered failing rank, wrapped with its rank. A panic in any rank
+// is converted to an error the same way.
+func Run(np int, main func(c *Comm) error, opts ...Option) error {
+	if np < 1 {
+		return fmt.Errorf("mpi: Run needs at least 1 process, got %d", np)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	t := newLocalTransport(np)
+	t.latency = cfg.latency
+
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	names := make([]string, np)
+	for i := range names {
+		if i < len(cfg.names) && cfg.names[i] != "" {
+			names[i] = cfg.names[i]
+		} else {
+			names[i] = host
+		}
+	}
+
+	w := &World{np: np, transport: cfg.wrapTransport(t), boxes: t.boxes, names: names, gate: cfg.gate, epoch: time.Now()}
+	defer t.Close()
+
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for rank := 0; rank < np; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+			}()
+			if err := main(w.comm(rank)); err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// comm builds the world communicator view for one rank.
+func (w *World) comm(rank int) *Comm {
+	ranks := make([]int, w.np)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{
+		world:   w,
+		ctx:     0,
+		rank:    rank,
+		ranks:   ranks,
+		nextCtx: 1,
+	}
+}

@@ -1,0 +1,57 @@
+package notebook
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestForestFireNotebookStructure(t *testing.T) {
+	nb := ForestFireNotebook()
+	// Title markdown, one writefile, four mpirun cells.
+	if len(nb.Cells) != 6 {
+		t.Fatalf("cells = %d", len(nb.Cells))
+	}
+	if !strings.HasPrefix(nb.Cells[1].Source, "%%writefile fire.py") {
+		t.Fatalf("cell 1 = %q", nb.Cells[1].Source)
+	}
+	for i, np := range []int{1, 2, 4, 8} {
+		want := "!mpirun -np "
+		if !strings.HasPrefix(nb.Cells[2+i].Source, want) || !strings.Contains(nb.Cells[2+i].Source, "fire.py") {
+			t.Fatalf("cell %d = %q", 2+i, nb.Cells[2+i].Source)
+		}
+		_ = np
+	}
+}
+
+func TestRunFireNotebookOnChameleon(t *testing.T) {
+	ch := cluster.Chameleon(2, 4)
+	out, err := RunFireNotebook(ch.Launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every np produced a burn curve from rank 0.
+	for _, np := range []string{"1 processes", "2 processes", "4 processes", "8 processes"} {
+		if !strings.Contains(out, "burn curve from "+np) {
+			t.Errorf("missing output for %s:\n%s", np, out)
+		}
+	}
+	if !strings.Contains(out, "spread prob") {
+		t.Error("burn-curve table missing")
+	}
+	// The curve itself is identical at every np (per-trial seeding): check
+	// the p=1.0 row says 100%.
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("p=1 row missing full burn:\n%s", out)
+	}
+}
+
+func TestRunFireNotebookErrorPropagates(t *testing.T) {
+	rt := NewRuntime(nil)
+	// No binding installed: the mpirun cell must fail cleanly.
+	nb := ForestFireNotebook()
+	if err := rt.RunAll(nb); err == nil {
+		t.Fatal("unbound fire.py executed")
+	}
+}

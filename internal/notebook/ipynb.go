@@ -1,0 +1,128 @@
+package notebook
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The paper's notebook artifacts are .ipynb files (mpi4py_patternlets.ipynb
+// on Colab, the forest-fire notebook on Chameleon's Jupyter). This file
+// converts between this package's Notebook model and nbformat v4 JSON, so
+// an exported notebook opens in real Jupyter or Colab and a downloaded
+// .ipynb imports back into the engine.
+
+// nbformat v4 document structure (the subset the module's notebooks use).
+type ipynbFile struct {
+	Cells         []ipynbCell    `json:"cells"`
+	Metadata      map[string]any `json:"metadata"`
+	NBFormat      int            `json:"nbformat"`
+	NBFormatMinor int            `json:"nbformat_minor"`
+}
+
+type ipynbCell struct {
+	CellType string         `json:"cell_type"`
+	Metadata map[string]any `json:"metadata"`
+	// Source is the cell text, split into lines with trailing newlines
+	// retained — the convention real Jupyter files follow.
+	Source []string `json:"source"`
+	// Code cells carry execution metadata and outputs.
+	ExecutionCount *int          `json:"execution_count,omitempty"`
+	Outputs        []ipynbOutput `json:"outputs,omitempty"`
+}
+
+type ipynbOutput struct {
+	OutputType string   `json:"output_type"`
+	Name       string   `json:"name,omitempty"`
+	Text       []string `json:"text,omitempty"`
+}
+
+// splitLines converts cell text to Jupyter's line-array form.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// ExportIPYNB serializes the notebook as an nbformat 4 document. Shell
+// cells become code cells (their "!" prefix is how Jupyter spells shell
+// commands anyway); captured outputs become stream outputs.
+func ExportIPYNB(nb *Notebook) ([]byte, error) {
+	doc := ipynbFile{
+		Metadata: map[string]any{
+			"colab": map[string]any{"name": nb.Title},
+			"language_info": map[string]any{
+				"name": "python",
+			},
+		},
+		NBFormat:      4,
+		NBFormatMinor: 5,
+	}
+	execution := 0
+	for _, cell := range nb.Cells {
+		out := ipynbCell{Metadata: map[string]any{}, Source: splitLines(cell.Source)}
+		switch cell.Type {
+		case Markdown:
+			out.CellType = "markdown"
+		case Code, Shell:
+			out.CellType = "code"
+			execution++
+			n := execution
+			out.ExecutionCount = &n
+			out.Outputs = []ipynbOutput{}
+			if cell.Output != "" {
+				out.Outputs = append(out.Outputs, ipynbOutput{
+					OutputType: "stream",
+					Name:       "stdout",
+					Text:       splitLines(cell.Output),
+				})
+			}
+		default:
+			return nil, fmt.Errorf("notebook: cannot export cell type %v", cell.Type)
+		}
+		doc.Cells = append(doc.Cells, out)
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// ImportIPYNB parses an nbformat 4 document back into a Notebook. Code
+// cells whose source begins with "!" round-trip to Shell cells; stream
+// outputs are restored into Output.
+func ImportIPYNB(data []byte, title string) (*Notebook, error) {
+	var doc ipynbFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("notebook: parsing ipynb: %w", err)
+	}
+	if doc.NBFormat != 4 {
+		return nil, fmt.Errorf("notebook: unsupported nbformat %d (want 4)", doc.NBFormat)
+	}
+	nb := &Notebook{Title: title}
+	for i, c := range doc.Cells {
+		source := strings.Join(c.Source, "")
+		cell := &Cell{Source: source}
+		switch c.CellType {
+		case "markdown":
+			cell.Type = Markdown
+		case "code":
+			if strings.HasPrefix(strings.TrimLeft(source, "\n"), "!") {
+				cell.Type = Shell
+			} else {
+				cell.Type = Code
+			}
+			for _, o := range c.Outputs {
+				if o.OutputType == "stream" {
+					cell.Output += strings.Join(o.Text, "")
+				}
+			}
+		default:
+			return nil, fmt.Errorf("notebook: cell %d has unsupported type %q", i, c.CellType)
+		}
+		nb.Cells = append(nb.Cells, cell)
+	}
+	return nb, nil
+}

@@ -1,0 +1,116 @@
+package notebook
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestExportIPYNBIsValidNBFormat4(t *testing.T) {
+	nb := MPI4PyPatternletsNotebook()
+	data, err := ExportIPYNB(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc["nbformat"].(float64) != 4 {
+		t.Fatalf("nbformat = %v", doc["nbformat"])
+	}
+	cells := doc["cells"].([]any)
+	if len(cells) != len(nb.Cells) {
+		t.Fatalf("exported %d cells, want %d", len(cells), len(nb.Cells))
+	}
+	// The Figure 2 writefile cell survives with its source intact.
+	if !strings.Contains(string(data), `"%%writefile 00spmd.py\n"`) {
+		t.Error("writefile magic line missing from export")
+	}
+	if !strings.Contains(string(data), "from mpi4py import MPI") {
+		t.Error("mpi4py source missing from export")
+	}
+}
+
+func TestIPYNBRoundTrip(t *testing.T) {
+	orig := MPI4PyPatternletsNotebook()
+	data, err := ExportIPYNB(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportIPYNB(data, orig.Title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(orig.Cells) {
+		t.Fatalf("cells = %d, want %d", len(back.Cells), len(orig.Cells))
+	}
+	for i := range orig.Cells {
+		if back.Cells[i].Type != orig.Cells[i].Type {
+			t.Errorf("cell %d type %v, want %v", i, back.Cells[i].Type, orig.Cells[i].Type)
+		}
+		if back.Cells[i].Source != orig.Cells[i].Source {
+			t.Errorf("cell %d source mismatch:\n got %q\nwant %q", i, back.Cells[i].Source, orig.Cells[i].Source)
+		}
+	}
+}
+
+func TestIPYNBRoundTripPreservesOutputs(t *testing.T) {
+	// Execute the notebook first so cells carry outputs, then round-trip.
+	colab := cluster.ColabVM()
+	rt := NewRuntime(colab.Launch)
+	if err := BindPatternlets(rt); err != nil {
+		t.Fatal(err)
+	}
+	nb := MPI4PyPatternletsNotebook()
+	if err := rt.RunAll(nb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ExportIPYNB(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Greetings from process") {
+		t.Fatal("executed output missing from export")
+	}
+	back, err := ImportIPYNB(data, nb.Title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mpirun cell for 00spmd.py (index 3) kept its output.
+	if !strings.Contains(back.Cells[3].Output, "Greetings from process") {
+		t.Fatalf("output lost in round trip: %q", back.Cells[3].Output)
+	}
+}
+
+func TestImportIPYNBValidation(t *testing.T) {
+	if _, err := ImportIPYNB([]byte("not json"), "x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ImportIPYNB([]byte(`{"nbformat": 3, "cells": []}`), "x"); err == nil {
+		t.Fatal("nbformat 3 accepted")
+	}
+	if _, err := ImportIPYNB([]byte(`{"nbformat": 4, "cells": [{"cell_type": "raw"}]}`), "x"); err == nil {
+		t.Fatal("unsupported cell type accepted")
+	}
+}
+
+func TestImportClassifiesShellCells(t *testing.T) {
+	doc := `{"nbformat": 4, "nbformat_minor": 5, "metadata": {}, "cells": [
+		{"cell_type": "code", "metadata": {}, "source": ["!mpirun -np 4 python x.py"]},
+		{"cell_type": "code", "metadata": {}, "source": ["%%writefile x.py\n", "pass\n"]},
+		{"cell_type": "markdown", "metadata": {}, "source": ["# hi"]}
+	]}`
+	nb, err := ImportIPYNB([]byte(doc), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Cells[0].Type != Shell || nb.Cells[1].Type != Code || nb.Cells[2].Type != Markdown {
+		t.Fatalf("types = %v %v %v", nb.Cells[0].Type, nb.Cells[1].Type, nb.Cells[2].Type)
+	}
+	if nb.Cells[1].Source != "%%writefile x.py\npass\n" {
+		t.Fatalf("joined source = %q", nb.Cells[1].Source)
+	}
+}

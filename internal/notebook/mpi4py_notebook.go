@@ -1,0 +1,247 @@
+package notebook
+
+import (
+	"fmt"
+
+	"repro/internal/patternlets"
+)
+
+// fileBindings maps each virtual Python file the notebook writes to the
+// patternlet that implements its behaviour.
+var fileBindings = []struct {
+	File       string
+	Patternlet string
+	Heading    string
+	Intro      string
+	NP         int
+}{
+	{"00spmd.py", "mpiSpmd", "Single Program, Multiple Data",
+		"This code forms the basis of all of the other examples that follow. " +
+			"It is the fundamental way we structure parallel programs today.", 4},
+	{"01sendRecv.py", "mpiSendRecv", "Send and Receive",
+		"Processes share no memory: the only way to move data between them " +
+			"is to send and receive messages.", 4},
+	{"02masterWorker.py", "mpiMasterWorker", "Master-Worker",
+		"One process (the master) coordinates while the others (the workers) " +
+			"compute and report back.", 4},
+	{"03parallelLoopEqualChunks.py", "mpiParallelLoopEqualChunks", "Parallel Loop, Equal Chunks",
+		"Each process computes its own contiguous block of the loop's " +
+			"iterations from its rank and the number of processes.", 4},
+	{"04parallelLoopChunksOf1.py", "mpiParallelLoopChunksOf1", "Parallel Loop, Chunks of 1",
+		"Each process strides through the iterations by the number of " +
+			"processes: the cyclic decomposition.", 4},
+	{"05broadcast.py", "mpiBroadcast", "Broadcast",
+		"The root distributes a data structure to every process in " +
+			"logarithmically many rounds.", 4},
+	{"06reduction.py", "mpiReduction", "Reduction",
+		"Every process contributes a value; an associative operation combines " +
+			"them into one result at the root.", 4},
+	{"07scatterGather.py", "mpiScatterGather", "Scatter and Gather",
+		"Scatter hands each process one piece of an array; gather collects " +
+			"the transformed pieces back in rank order.", 4},
+	{"08barrierSequence.py", "mpiBarrierSequence", "Barrier and Sequenced Output",
+		"Barriers divide execution into phases; with one turn per phase the " +
+			"processes can produce deterministic, ordered output.", 4},
+	{"09ring.py", "mpiRing", "Ring Communication",
+		"A token circulates the ring of processes, accumulating each rank " +
+			"along the way.", 4},
+}
+
+// pythonSources holds the mpi4py text each %%writefile cell saves. The
+// sources are real mpi4py renderings of the patternlets (00spmd.py is
+// exactly the cell shown in the paper's Figure 2); the runtime executes
+// their Go twins.
+var pythonSources = map[string]string{
+	"00spmd.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()            #number of the process running the code
+    numProcesses = comm.Get_size()  #total number of processes running
+    myHostName = MPI.Get_processor_name()  #machine name running the code
+
+    print("Greetings from process {} of {} on {}"\
+          .format(id, numProcesses, myHostName))
+
+########## Run the main function
+main()
+`,
+	"01sendRecv.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+
+    if numProcesses % 2 != 0:
+        if id == 0:
+            print("Please run this program with an even number of processes")
+        return
+    if id % 2 == 0:
+        comm.send("a message from process {}".format(id), dest=id+1)
+    else:
+        message = comm.recv(source=id-1)
+        print("Process {} received: {}".format(id, message))
+
+main()
+`,
+	"02masterWorker.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+
+    if id == 0:        # master
+        for i in range(1, numProcesses):
+            result = comm.recv(source=MPI.ANY_SOURCE, tag=1)
+            print("Master received {}".format(result))
+    else:              # worker
+        comm.send(id*id, dest=0, tag=1)
+
+main()
+`,
+	"03parallelLoopEqualChunks.py": `from mpi4py import MPI
+
+REPS = 8
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    chunkSize = REPS // numProcesses
+    start = id * chunkSize
+    stop = start + chunkSize if id < numProcesses - 1 else REPS
+    for i in range(start, stop):
+        print("Process {} is performing iteration {}".format(id, i))
+
+main()
+`,
+	"04parallelLoopChunksOf1.py": `from mpi4py import MPI
+
+REPS = 8
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    for i in range(id, REPS, numProcesses):
+        print("Process {} is performing iteration {}".format(id, i))
+
+main()
+`,
+	"05broadcast.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    if id == 0:
+        data = [i*i for i in range(1, numProcesses + 1)]
+    else:
+        data = None
+    data = comm.bcast(data, root=0)
+    print("Process {} has list {}".format(id, data))
+
+main()
+`,
+	"06reduction.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    square = (id + 1) * (id + 1)
+    total = comm.reduce(square, op=MPI.SUM, root=0)
+    if id == 0:
+        print("Sum of squares computed across processes: {}".format(total))
+
+main()
+`,
+	"07scatterGather.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    if id == 0:
+        pieces = [i + 1 for i in range(numProcesses)]
+    else:
+        pieces = None
+    mine = comm.scatter(pieces, root=0)
+    cubes = comm.gather(mine ** 3, root=0)
+    if id == 0:
+        print("Gathered cubes: {}".format(cubes))
+
+main()
+`,
+	"08barrierSequence.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    print("Unordered greeting from process {}".format(id))
+    for turn in range(numProcesses):
+        comm.Barrier()
+        if turn == id:
+            print("Ordered greeting from process {}".format(id))
+    comm.Barrier()
+
+main()
+`,
+	"09ring.py": `from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    right = (id + 1) % numProcesses
+    left = (id - 1) % numProcesses
+    if id == 0:
+        comm.send(0, dest=right, tag=3)
+        token = comm.recv(source=left, tag=3)
+        print("Token returned carrying {}".format(token))
+    else:
+        token = comm.recv(source=left, tag=3)
+        comm.send(token + id, dest=right, tag=3)
+
+main()
+`,
+}
+
+// MPI4PyPatternletsNotebook builds the module's Colab notebook:
+// "Distributed Parallel Programming Patterns using mpi4py". Each patternlet
+// contributes a markdown heading, the %%writefile cell with its mpi4py
+// source, and the mpirun cell that executes it — the exact cell triple the
+// paper's Figure 2 shows for 00spmd.py.
+func MPI4PyPatternletsNotebook() *Notebook {
+	nb := &Notebook{Title: "mpi4py_patternlets.ipynb"}
+	nb.Cells = append(nb.Cells, &Cell{
+		Type: Markdown,
+		Source: "# Distributed Parallel Programming Patterns using mpi4py\n\n" +
+			"Work through each pattern at your own pace: read the text, run the " +
+			"%%writefile cell to save the program, then run the mpirun cell to " +
+			"execute it with several processes.",
+	})
+	for _, b := range fileBindings {
+		nb.Cells = append(nb.Cells,
+			&Cell{Type: Markdown, Source: fmt.Sprintf("## %s\n\n%s", b.Heading, b.Intro)},
+			&Cell{Type: Code, Source: fmt.Sprintf("%%%%writefile %s\n%s", b.File, pythonSources[b.File])},
+			&Cell{Type: Shell, Source: fmt.Sprintf("!mpirun --allow-run-as-root -np %d python %s", b.NP, b.File)},
+		)
+	}
+	return nb
+}
+
+// BindPatternlets installs the notebook's program bindings into a runtime:
+// each virtual Python file executes its Go patternlet twin.
+func BindPatternlets(rt *Runtime) error {
+	for _, b := range fileBindings {
+		p, err := patternlets.Lookup(b.Patternlet)
+		if err != nil {
+			return fmt.Errorf("notebook: binding %s: %w", b.File, err)
+		}
+		rt.Bind(b.File, p.RunRank)
+	}
+	return nil
+}

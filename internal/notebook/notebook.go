@@ -1,0 +1,244 @@
+// Package notebook implements the Colab/Jupyter-style notebook engine the
+// paper's distributed-memory module is delivered through. A notebook is a
+// sequence of cells: markdown exposition, "%%writefile" code cells that save
+// program text to the notebook's virtual filesystem (exactly how the
+// paper's Colab material ships the mpi4py patternlets — see Figure 2), and
+// "!" shell cells whose mpirun invocations execute those programs.
+//
+// Programs cannot literally be Python here; instead the runtime binds each
+// virtual file name to a Go implementation with the same observable
+// behaviour (the patternlets package). The mpirun cells then really do
+// launch an np-rank SPMD job — on the in-process runtime by default, or on
+// any platform launcher (the modeled unicore Colab VM, the Chameleon
+// cluster, ...) the caller supplies.
+package notebook
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// CellType distinguishes the cell flavours the module uses.
+type CellType int
+
+const (
+	// Markdown cells carry exposition; executing them is a no-op.
+	Markdown CellType = iota
+	// Code cells hold program text; the module's code cells all begin
+	// with the %%writefile magic, as in Figure 2.
+	Code
+	// Shell cells start with '!' and run a command, e.g. mpirun.
+	Shell
+)
+
+// String names the cell type.
+func (t CellType) String() string {
+	switch t {
+	case Markdown:
+		return "markdown"
+	case Code:
+		return "code"
+	case Shell:
+		return "shell"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(t))
+	}
+}
+
+// Cell is one notebook cell. Output accumulates across executions and is
+// cleared by Notebook.ClearOutputs.
+type Cell struct {
+	Type   CellType
+	Source string
+	Output string
+}
+
+// Notebook is an ordered list of cells plus a title.
+type Notebook struct {
+	Title string
+	Cells []*Cell
+}
+
+// ClearOutputs erases every cell's output, like "Edit > Clear all outputs".
+func (nb *Notebook) ClearOutputs() {
+	for _, c := range nb.Cells {
+		c.Output = ""
+	}
+}
+
+// RankProgram is one rank's body of a bound program, matching the
+// patternlets package's RunRank shape.
+type RankProgram func(w io.Writer, c *mpi.Comm) error
+
+// Launcher starts an np-rank SPMD job; cluster.Platform.Launch and mpi.Run
+// both fit (after currying np for the latter).
+type Launcher func(np int, main func(c *mpi.Comm) error) error
+
+// Runtime executes notebook cells: it holds the virtual filesystem
+// populated by %%writefile, the program bindings, and the launcher that
+// backs mpirun.
+type Runtime struct {
+	files    map[string]string
+	programs map[string]RankProgram
+	launch   Launcher
+}
+
+// NewRuntime builds a runtime over the given launcher. A nil launcher
+// defaults to the in-process mpi runtime.
+func NewRuntime(launch Launcher) *Runtime {
+	if launch == nil {
+		launch = func(np int, main func(c *mpi.Comm) error) error {
+			return mpi.Run(np, main)
+		}
+	}
+	return &Runtime{
+		files:    map[string]string{},
+		programs: map[string]RankProgram{},
+		launch:   launch,
+	}
+}
+
+// Bind associates a virtual file name with the program mpirun runs for it.
+func (rt *Runtime) Bind(file string, prog RankProgram) { rt.programs[file] = prog }
+
+// File returns the saved contents of a virtual file.
+func (rt *Runtime) File(name string) (string, bool) {
+	src, ok := rt.files[name]
+	return src, ok
+}
+
+// ErrNotExecutable marks shell commands the runtime does not understand.
+var ErrNotExecutable = errors.New("notebook: unsupported shell command")
+
+// ExecuteCell runs one cell, appending to its Output, and returns the
+// output produced by this execution.
+func (rt *Runtime) ExecuteCell(cell *Cell) (string, error) {
+	var out string
+	var err error
+	switch cell.Type {
+	case Markdown:
+		return "", nil
+	case Code:
+		out, err = rt.execCode(cell.Source)
+	case Shell:
+		out, err = rt.execShell(cell.Source)
+	default:
+		return "", fmt.Errorf("notebook: unknown cell type %v", cell.Type)
+	}
+	cell.Output += out
+	return out, err
+}
+
+// RunAll executes every cell in order, stopping at the first error.
+func (rt *Runtime) RunAll(nb *Notebook) error {
+	for i, cell := range nb.Cells {
+		if _, err := rt.ExecuteCell(cell); err != nil {
+			return fmt.Errorf("notebook: cell %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// execCode handles code cells. The module's code cells all start with the
+// %%writefile magic; a bare code cell is saved nowhere and produces no
+// output (it would be Python source we cannot run).
+func (rt *Runtime) execCode(source string) (string, error) {
+	trimmed := strings.TrimLeft(source, "\n")
+	if !strings.HasPrefix(trimmed, "%%writefile") {
+		return "", errors.New("notebook: code cell without %%writefile magic cannot be executed")
+	}
+	nl := strings.IndexByte(trimmed, '\n')
+	header := trimmed
+	body := ""
+	if nl >= 0 {
+		header = trimmed[:nl]
+		body = trimmed[nl+1:]
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 2 {
+		return "", fmt.Errorf("notebook: malformed magic %q", header)
+	}
+	name := fields[1]
+	_, existed := rt.files[name]
+	rt.files[name] = body
+	if existed {
+		return fmt.Sprintf("Overwriting %s\n", name), nil
+	}
+	return fmt.Sprintf("Writing %s\n", name), nil
+}
+
+// execShell handles "!" cells. The only command the module needs is
+// mpirun, in the exact shape Figure 2 shows:
+//
+//	!mpirun --allow-run-as-root -np 4 python 00spmd.py
+func (rt *Runtime) execShell(source string) (string, error) {
+	cmdline := strings.TrimSpace(source)
+	cmdline = strings.TrimPrefix(cmdline, "!")
+	fields := strings.Fields(cmdline)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("%w: empty command", ErrNotExecutable)
+	}
+	if fields[0] != "mpirun" {
+		return "", fmt.Errorf("%w: %q", ErrNotExecutable, fields[0])
+	}
+
+	np := 1
+	var file string
+	for i := 1; i < len(fields); i++ {
+		switch f := fields[i]; {
+		case f == "--allow-run-as-root" || f == "--oversubscribe":
+			// Accepted and ignored, as on the Colab VM.
+		case f == "-np" || f == "-n":
+			if i+1 >= len(fields) {
+				return "", fmt.Errorf("notebook: %s needs a value", f)
+			}
+			v, err := strconv.Atoi(fields[i+1])
+			if err != nil || v < 1 {
+				return "", fmt.Errorf("notebook: bad process count %q", fields[i+1])
+			}
+			np = v
+			i++
+		case f == "python" || f == "python3":
+			// The interpreter name; the next token is the program file.
+		default:
+			file = f
+		}
+	}
+	if file == "" {
+		return "", errors.New("notebook: mpirun command names no program file")
+	}
+	if _, saved := rt.files[file]; !saved {
+		return "", fmt.Errorf("notebook: python: can't open file %q: run its %%%%writefile cell first", file)
+	}
+	prog, bound := rt.programs[file]
+	if !bound {
+		return "", fmt.Errorf("notebook: no program bound for %q", file)
+	}
+
+	var buf strings.Builder
+	var mu = newLockedWriter(&buf)
+	err := rt.launch(np, func(c *mpi.Comm) error {
+		return prog(mu, c)
+	})
+	return buf.String(), err
+}
+
+// lockedWriter serializes rank output lines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newLockedWriter(w io.Writer) *lockedWriter { return &lockedWriter{w: w} }
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

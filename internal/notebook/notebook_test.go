@@ -1,0 +1,225 @@
+package notebook
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestWritefileCell(t *testing.T) {
+	rt := NewRuntime(nil)
+	cell := &Cell{Type: Code, Source: "%%writefile hello.py\nprint('hi')\n"}
+	out, err := rt.ExecuteCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "Writing hello.py\n" {
+		t.Fatalf("out = %q", out)
+	}
+	src, ok := rt.File("hello.py")
+	if !ok || src != "print('hi')\n" {
+		t.Fatalf("saved file = %q, %v", src, ok)
+	}
+	// Re-running the cell reports Overwriting, like Colab.
+	out, err = rt.ExecuteCell(cell)
+	if err != nil || out != "Overwriting hello.py\n" {
+		t.Fatalf("second run = %q, %v", out, err)
+	}
+	if !strings.Contains(cell.Output, "Writing hello.py") || !strings.Contains(cell.Output, "Overwriting hello.py") {
+		t.Fatalf("cell output accumulation wrong: %q", cell.Output)
+	}
+}
+
+func TestMarkdownCellIsNoOp(t *testing.T) {
+	rt := NewRuntime(nil)
+	cell := &Cell{Type: Markdown, Source: "# heading"}
+	out, err := rt.ExecuteCell(cell)
+	if err != nil || out != "" {
+		t.Fatalf("markdown execution = %q, %v", out, err)
+	}
+}
+
+func TestCodeCellWithoutMagicRejected(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.ExecuteCell(&Cell{Type: Code, Source: "print('hi')"}); err == nil {
+		t.Fatal("bare code cell executed")
+	}
+	if _, err := rt.ExecuteCell(&Cell{Type: Code, Source: "%%writefile"}); err == nil {
+		t.Fatal("malformed magic accepted")
+	}
+}
+
+func TestShellCellValidation(t *testing.T) {
+	rt := NewRuntime(nil)
+	cases := []string{
+		"!ls",                       // unsupported command
+		"!mpirun -np 4 python",      // no file
+		"!mpirun -np x python a.py", // bad np
+		"!mpirun -np",               // missing value
+		"!",                         // empty
+	}
+	for _, src := range cases {
+		if _, err := rt.ExecuteCell(&Cell{Type: Shell, Source: src}); err == nil {
+			t.Errorf("shell %q accepted", src)
+		}
+	}
+	if _, err := rt.ExecuteCell(&Cell{Type: Shell, Source: "!mpirun -np 2 python missing.py"}); err == nil ||
+		!strings.Contains(err.Error(), "writefile") {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestMpirunRunsBoundProgram(t *testing.T) {
+	rt := NewRuntime(nil)
+	rt.Bind("prog.py", func(w io.Writer, c *mpi.Comm) error {
+		fmt.Fprintf(w, "rank %d of %d\n", c.Rank(), c.Size())
+		return nil
+	})
+	if _, err := rt.ExecuteCell(&Cell{Type: Code, Source: "%%writefile prog.py\npass\n"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.ExecuteCell(&Cell{Type: Shell, Source: "!mpirun -np 3 python prog.py"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if !strings.Contains(out, fmt.Sprintf("rank %d of 3", r)) {
+			t.Fatalf("missing rank %d in %q", r, out)
+		}
+	}
+}
+
+func TestMpirunUnboundFileErrors(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.ExecuteCell(&Cell{Type: Code, Source: "%%writefile loose.py\npass\n"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ExecuteCell(&Cell{Type: Shell, Source: "!mpirun -np 2 python loose.py"}); err == nil {
+		t.Fatal("unbound program ran")
+	}
+}
+
+func TestNotebookStructure(t *testing.T) {
+	nb := MPI4PyPatternletsNotebook()
+	// Title cell + (markdown, writefile, mpirun) per patternlet.
+	if want := 1 + 3*len(fileBindings); len(nb.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(nb.Cells), want)
+	}
+	if nb.Cells[0].Type != Markdown {
+		t.Fatal("notebook does not open with markdown")
+	}
+	// The Figure 2 cells: heading, %%writefile 00spmd.py, mpirun -np 4.
+	if !strings.Contains(nb.Cells[1].Source, "Single Program, Multiple Data") {
+		t.Fatalf("cell 1 = %q", nb.Cells[1].Source)
+	}
+	if !strings.HasPrefix(nb.Cells[2].Source, "%%writefile 00spmd.py") ||
+		!strings.Contains(nb.Cells[2].Source, "from mpi4py import MPI") ||
+		!strings.Contains(nb.Cells[2].Source, "Greetings from process {} of {} on {}") {
+		t.Fatalf("cell 2 = %q", nb.Cells[2].Source)
+	}
+	if nb.Cells[3].Source != "!mpirun --allow-run-as-root -np 4 python 00spmd.py" {
+		t.Fatalf("cell 3 = %q", nb.Cells[3].Source)
+	}
+}
+
+func TestEveryPythonSourceExists(t *testing.T) {
+	for _, b := range fileBindings {
+		src, ok := pythonSources[b.File]
+		if !ok || !strings.Contains(src, "mpi4py") {
+			t.Errorf("missing or bogus python source for %s", b.File)
+		}
+	}
+}
+
+// TestFigure2SPMD reproduces the paper's Figure 2 end to end: executing the
+// notebook's %%writefile and mpirun cells for 00spmd.py on the modeled
+// Colab VM prints one "Greetings from process i of 4 on d6ff4f902ed6" line
+// per process, all naming the same single-core container host.
+func TestFigure2SPMD(t *testing.T) {
+	colab := cluster.ColabVM()
+	rt := NewRuntime(colab.Launch)
+	if err := BindPatternlets(rt); err != nil {
+		t.Fatal(err)
+	}
+	nb := MPI4PyPatternletsNotebook()
+
+	// Cells 2 and 3 are the Figure 2 pair.
+	if _, err := rt.ExecuteCell(nb.Cells[2]); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.ExecuteCell(nb.Cells[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("Greetings from process %d of 4 on d6ff4f902ed6", r)
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Figure 2 line missing: %q\ngot: %q", want, out)
+		}
+	}
+}
+
+func TestRunAllNotebookOnColab(t *testing.T) {
+	colab := cluster.ColabVM()
+	rt := NewRuntime(colab.Launch)
+	if err := BindPatternlets(rt); err != nil {
+		t.Fatal(err)
+	}
+	nb := MPI4PyPatternletsNotebook()
+	if err := rt.RunAll(nb); err != nil {
+		t.Fatal(err)
+	}
+	// Every mpirun cell must have produced output.
+	for i, cell := range nb.Cells {
+		if cell.Type == Shell && strings.TrimSpace(cell.Output) == "" {
+			t.Errorf("cell %d (%q) produced no output", i, cell.Source)
+		}
+	}
+	nb.ClearOutputs()
+	for _, cell := range nb.Cells {
+		if cell.Output != "" {
+			t.Fatal("ClearOutputs left output behind")
+		}
+	}
+}
+
+func TestRunAllStopsAtFirstError(t *testing.T) {
+	rt := NewRuntime(nil)
+	nb := &Notebook{Cells: []*Cell{
+		{Type: Markdown, Source: "ok"},
+		{Type: Shell, Source: "!rm -rf /"},
+		{Type: Markdown, Source: "never reached matters not"},
+	}}
+	err := rt.RunAll(nb)
+	if err == nil || !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "cell 1") {
+		t.Fatalf("error does not locate the cell: %v", err)
+	}
+}
+
+func TestCellTypeString(t *testing.T) {
+	if Markdown.String() != "markdown" || Code.String() != "code" || Shell.String() != "shell" {
+		t.Fatal("cell type names wrong")
+	}
+	if CellType(9).String() != "CellType(9)" {
+		t.Fatal("unknown cell type name wrong")
+	}
+}

@@ -1,0 +1,197 @@
+package patternlets
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestMpiSpmdGreetings(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiSpmd", 4)
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("Greetings from process %d of 4 on ", r)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing greeting for rank %d", r)
+		}
+	}
+}
+
+func TestMpiSendRecvPairs(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiSendRecv", 4)
+	if len(lines) != 2 {
+		t.Fatalf("got %v", lines)
+	}
+	sort.Strings(lines)
+	if !strings.Contains(lines[0], "Process 1 received: a message from process 0") ||
+		!strings.Contains(lines[1], "Process 3 received: a message from process 2") {
+		t.Fatalf("pairs wrong: %v", lines)
+	}
+}
+
+func TestMpiSendRecvOddWorldPrintsAdvice(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiSendRecv", 3)
+	if countMatching(lines, "even number of processes") != 1 {
+		t.Fatalf("odd-world advice missing: %v", lines)
+	}
+}
+
+func TestMpiMasterWorkerCollectsSquares(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiMasterWorker", 4)
+	if len(lines) != 3 {
+		t.Fatalf("got %v", lines)
+	}
+	for r := 1; r < 4; r++ {
+		want := fmt.Sprintf("Master received %d from worker %d", r*r, r)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestMpiMasterWorkerAlone(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiMasterWorker", 1)
+	if countMatching(lines, "no workers") != 1 {
+		t.Fatalf("solo master advice missing: %v", lines)
+	}
+}
+
+func TestMpiParallelLoopDecompositions(t *testing.T) {
+	block := runDistributedOutput(t, "mpiParallelLoopEqualChunks", 4)
+	cyclic := runDistributedOutput(t, "mpiParallelLoopChunksOf1", 4)
+	if len(block) != 8 || len(cyclic) != 8 {
+		t.Fatalf("block %d lines, cyclic %d lines", len(block), len(cyclic))
+	}
+	for i := 0; i < 8; i++ {
+		if want := fmt.Sprintf("Process %d is performing iteration %d", i/2, i); countMatching(block, want) != 1 {
+			t.Errorf("block decomposition missing %q", want)
+		}
+		if want := fmt.Sprintf("Process %d is performing iteration %d", i%4, i); countMatching(cyclic, want) != 1 {
+			t.Errorf("cyclic decomposition missing %q", want)
+		}
+	}
+}
+
+func TestMpiBroadcastDeliversList(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiBroadcast", 4)
+	if len(lines) != 4 {
+		t.Fatalf("got %v", lines)
+	}
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("Process %d has list [1 4 9 16]", r)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing %q in %v", want, lines)
+		}
+	}
+}
+
+func TestMpiReductionSumOfSquares(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiReduction", 4)
+	if len(lines) != 1 || !strings.Contains(lines[0], "30") { // 1+4+9+16
+		t.Fatalf("got %v", lines)
+	}
+}
+
+func TestMpiScatterGatherCubes(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiScatterGather", 4)
+	if len(lines) != 1 || !strings.Contains(lines[0], "[1 8 27 64]") {
+		t.Fatalf("got %v", lines)
+	}
+}
+
+func TestMpiBarrierSequenceOrdering(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiBarrierSequence", 4)
+	var ordered []string
+	for _, l := range lines {
+		if strings.Contains(l, "Ordered") {
+			ordered = append(ordered, l)
+		}
+	}
+	if len(ordered) != 4 {
+		t.Fatalf("ordered lines = %v", ordered)
+	}
+	for r, l := range ordered {
+		if want := fmt.Sprintf("Ordered greeting from process %d", r); l != want {
+			t.Fatalf("ordered output out of sequence: got %q at position %d", l, r)
+		}
+	}
+	if countMatching(lines, "Unordered") != 4 {
+		t.Fatalf("unordered greetings missing: %v", lines)
+	}
+}
+
+func TestMpiRingAccumulatesRanks(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiRing", 5)
+	want := "carrying 10 (sum of ranks 0..4)"
+	if len(lines) != 1 || !strings.Contains(lines[0], want) {
+		t.Fatalf("got %v", lines)
+	}
+}
+
+func TestMpiRingSolo(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiRing", 1)
+	if countMatching(lines, "stayed home") != 1 {
+		t.Fatalf("got %v", lines)
+	}
+}
+
+func TestDistributedPatternletsRunAtSeveralSizes(t *testing.T) {
+	// Smoke: every message-passing patternlet completes without deadlock or
+	// error at 1, 2, and 6 ranks.
+	for _, p := range ByParadigm(MessagePassing) {
+		for _, np := range []int{1, 2, 6} {
+			var buf bytes.Buffer
+			if err := RunDistributed(p, &buf, np); err != nil {
+				t.Errorf("%s at np=%d: %v", p.Name, np, err)
+			}
+		}
+	}
+}
+
+func TestRunDistributedOnCustomLauncher(t *testing.T) {
+	p, _ := Lookup("mpiSpmd")
+	var buf bytes.Buffer
+	launch := func(main func(c *mpi.Comm) error) error {
+		return mpi.Run(3, main, mpi.WithProcessorNames([]string{"alpha", "beta", "gamma"}))
+	}
+	if err := RunDistributedOn(p, &buf, launch); err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range []string{"alpha", "beta", "gamma"} {
+		if !strings.Contains(buf.String(), "on "+host) {
+			t.Errorf("missing host %s in %q", host, buf.String())
+		}
+	}
+	q, _ := Lookup("spmd")
+	if err := RunDistributedOn(q, &buf, launch); err == nil {
+		t.Fatal("RunDistributedOn accepted a shared-memory patternlet")
+	}
+}
+
+func TestMpiExchangePairs(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiExchange", 4)
+	if len(lines) != 4 {
+		t.Fatalf("got %v", lines)
+	}
+	// Each rank reports its partner's square.
+	for r := 0; r < 4; r++ {
+		partner := r ^ 1
+		want := fmt.Sprintf("Process %d and process %d exchanged: received %d", r, partner, partner*partner)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestMpiExchangeOddWorld(t *testing.T) {
+	lines := runDistributedOutput(t, "mpiExchange", 3)
+	if countMatching(lines, "even number of processes") != 1 {
+		t.Fatalf("odd-world advice missing: %v", lines)
+	}
+}

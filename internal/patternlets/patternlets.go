@@ -1,0 +1,147 @@
+// Package patternlets implements the paper's central teaching device: the
+// patternlet catalog. A patternlet is a very short, runnable program that
+// demonstrates exactly one parallel-programming pattern (Adams, IPDPS-W
+// 2015). The shared-memory module works through OpenMP patternlets on a
+// Raspberry Pi; the distributed-memory module works through mpi4py
+// patternlets in a Colab notebook. This package carries both catalogs as
+// first-class values: each patternlet knows its pattern, its teaching text,
+// the exercise prompt the handout shows, and how to run itself on the shm
+// or mpi runtime.
+package patternlets
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Paradigm distinguishes the two module families.
+type Paradigm string
+
+const (
+	// SharedMemory patternlets run on the shm (OpenMP-analogue) runtime.
+	SharedMemory Paradigm = "shared-memory"
+	// MessagePassing patternlets run on the mpi runtime.
+	MessagePassing Paradigm = "message-passing"
+)
+
+// Patternlet is one runnable teaching example.
+type Patternlet struct {
+	// Name is the catalog key, matching the CSinParallel source file the
+	// patternlet mirrors (e.g. "spmd", "parallelLoopChunksOf1").
+	Name string
+	// Paradigm selects the runtime the patternlet runs on.
+	Paradigm Paradigm
+	// Pattern is the parallel design pattern being taught.
+	Pattern string
+	// Summary is the one-line description shown by listings.
+	Summary string
+	// Explanation is the teaching text the handout or notebook shows
+	// before the code runs.
+	Explanation string
+	// Exercise is the "to explore" prompt inviting the learner to modify
+	// and re-run the patternlet.
+	Exercise string
+
+	// RunShared executes a shared-memory patternlet with the given team
+	// size, writing its output to w. Nil for message-passing patternlets.
+	RunShared func(w io.Writer, numThreads int) error
+	// RunRank executes one rank of a message-passing patternlet. The
+	// runner invokes it once per rank under mpi.Run (or a platform
+	// launcher). Nil for shared-memory patternlets.
+	RunRank func(w io.Writer, c *mpi.Comm) error
+}
+
+// registry holds both catalogs, populated by the shared.go and
+// distributed.go init functions.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Patternlet{}
+)
+
+func register(p Patternlet) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("patternlets: duplicate registration of %q", p.Name))
+	}
+	switch p.Paradigm {
+	case SharedMemory:
+		if p.RunShared == nil {
+			panic(fmt.Sprintf("patternlets: %q lacks RunShared", p.Name))
+		}
+	case MessagePassing:
+		if p.RunRank == nil {
+			panic(fmt.Sprintf("patternlets: %q lacks RunRank", p.Name))
+		}
+	default:
+		panic(fmt.Sprintf("patternlets: %q has unknown paradigm %q", p.Name, p.Paradigm))
+	}
+	registry[p.Name] = p
+}
+
+// All returns every patternlet, ordered by paradigm (shared-memory first)
+// and then by the order a learner meets them in the modules.
+func All() []Patternlet {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Patternlet, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Paradigm != out[j].Paradigm {
+			return out[i].Paradigm == SharedMemory
+		}
+		return catalogOrder(out[i].Name) < catalogOrder(out[j].Name)
+	})
+	return out
+}
+
+// ByParadigm returns the catalog for one module family, in teaching order.
+func ByParadigm(par Paradigm) []Patternlet {
+	var out []Patternlet
+	for _, p := range All() {
+		if p.Paradigm == par {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Lookup finds a patternlet by name.
+func Lookup(name string) (Patternlet, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	p, ok := registry[name]
+	if !ok {
+		return Patternlet{}, fmt.Errorf("patternlets: no patternlet named %q", name)
+	}
+	return p, nil
+}
+
+// teachingOrder fixes the order learners meet the patternlets, mirroring
+// the numbering of the CSinParallel materials (00spmd, 01sendRecv, ...).
+var teachingOrder = []string{
+	// Shared-memory module order.
+	"spmd", "forkJoin", "barrier", "masterOnly", "singleExecution",
+	"parallelLoopEqualChunks", "parallelLoopChunksOf1", "dynamicSchedule",
+	"raceCondition", "mutualExclusion", "atomicUpdate", "reduction",
+	"sections", "taskParallelism", "privateVariable",
+	// Message-passing module order.
+	"mpiSpmd", "mpiSendRecv", "mpiMasterWorker", "mpiParallelLoopEqualChunks",
+	"mpiParallelLoopChunksOf1", "mpiBroadcast", "mpiReduction",
+	"mpiScatterGather", "mpiBarrierSequence", "mpiExchange", "mpiRing",
+}
+
+func catalogOrder(name string) int {
+	for i, n := range teachingOrder {
+		if n == name {
+			return i
+		}
+	}
+	return len(teachingOrder)
+}

@@ -1,0 +1,129 @@
+package patternlets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogIsComplete(t *testing.T) {
+	all := All()
+	if len(all) != 26 {
+		t.Fatalf("catalog holds %d patternlets, want 26 (15 shared + 11 message-passing)", len(all))
+	}
+	if got := len(ByParadigm(SharedMemory)); got != 15 {
+		t.Fatalf("shared-memory catalog size = %d, want 15", got)
+	}
+	if got := len(ByParadigm(MessagePassing)); got != 11 {
+		t.Fatalf("message-passing catalog size = %d, want 11", got)
+	}
+}
+
+func TestCatalogMetadataFilled(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "" || p.Pattern == "" || p.Summary == "" || p.Explanation == "" || p.Exercise == "" {
+			t.Errorf("patternlet %+v has empty metadata", p.Name)
+		}
+		switch p.Paradigm {
+		case SharedMemory:
+			if p.RunShared == nil || p.RunRank != nil {
+				t.Errorf("%s: wrong run hooks for shared-memory", p.Name)
+			}
+		case MessagePassing:
+			if p.RunRank == nil || p.RunShared != nil {
+				t.Errorf("%s: wrong run hooks for message-passing", p.Name)
+			}
+		}
+	}
+}
+
+func TestTeachingOrder(t *testing.T) {
+	all := All()
+	// spmd comes first, mpiSpmd opens the message-passing half.
+	if all[0].Name != "spmd" {
+		t.Fatalf("catalog starts with %q", all[0].Name)
+	}
+	shared := ByParadigm(SharedMemory)
+	if shared[len(shared)-1].Paradigm != SharedMemory {
+		t.Fatal("paradigm filter leaked")
+	}
+	mp := ByParadigm(MessagePassing)
+	if mp[0].Name != "mpiSpmd" {
+		t.Fatalf("message-passing catalog starts with %q", mp[0].Name)
+	}
+	// Every catalog name appears in the declared teaching order.
+	for _, p := range all {
+		if catalogOrder(p.Name) == len(teachingOrder) {
+			t.Errorf("%s missing from teachingOrder", p.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p, err := Lookup("reduction")
+	if err != nil || p.Name != "reduction" {
+		t.Fatalf("Lookup(reduction) = %v, %v", p.Name, err)
+	}
+	if _, err := Lookup("quantum"); err == nil {
+		t.Fatal("Lookup of unknown patternlet succeeded")
+	}
+}
+
+func TestRunSharedRejectsWrongParadigm(t *testing.T) {
+	p, _ := Lookup("mpiSpmd")
+	if err := RunShared(p, &bytes.Buffer{}, 2); err == nil {
+		t.Fatal("RunShared accepted a message-passing patternlet")
+	}
+	q, _ := Lookup("spmd")
+	if err := RunDistributed(q, &bytes.Buffer{}, 2); err == nil {
+		t.Fatal("RunDistributed accepted a shared-memory patternlet")
+	}
+}
+
+// runSharedOutput runs a shared-memory patternlet and returns its lines.
+func runSharedOutput(t *testing.T, name string, threads int) []string {
+	t.Helper()
+	p, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunShared(p, &buf, threads); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return nonEmptyLines(buf.String())
+}
+
+// runDistributedOutput runs a message-passing patternlet and returns lines.
+func runDistributedOutput(t *testing.T, name string, np int) []string {
+	t.Helper()
+	p, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunDistributed(p, &buf, np); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return nonEmptyLines(buf.String())
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func countMatching(lines []string, substr string) int {
+	n := 0
+	for _, l := range lines {
+		if strings.Contains(l, substr) {
+			n++
+		}
+	}
+	return n
+}

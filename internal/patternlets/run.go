@@ -1,0 +1,68 @@
+package patternlets
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// SyncWriter serializes whole Write calls from concurrently executing
+// threads or ranks onto one underlying writer, so interleaving happens at
+// line granularity (the way terminal output interleaves when an OpenMP or
+// MPI program prints) instead of mid-byte.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// RunShared executes a shared-memory patternlet with the given team size,
+// writing through a SyncWriter.
+func RunShared(p Patternlet, w io.Writer, numThreads int) error {
+	if p.RunShared == nil {
+		return fmt.Errorf("patternlets: %q is not a shared-memory patternlet", p.Name)
+	}
+	return p.RunShared(NewSyncWriter(w), numThreads)
+}
+
+// RunDistributed executes a message-passing patternlet as an np-rank SPMD
+// job on the in-process mpi runtime, writing all ranks through one
+// SyncWriter — the interleaved-output experience the notebook shows.
+func RunDistributed(p Patternlet, w io.Writer, np int) error {
+	if p.RunRank == nil {
+		return fmt.Errorf("patternlets: %q is not a message-passing patternlet", p.Name)
+	}
+	sw := NewSyncWriter(w)
+	return mpi.Run(np, func(c *mpi.Comm) error {
+		return p.RunRank(sw, c)
+	})
+}
+
+// RunDistributedOn executes a message-passing patternlet through an
+// arbitrary launcher, such as a cluster.Platform's Launch method or
+// mpi.RunTCP, keeping this package free of a dependency on the platform
+// models.
+func RunDistributedOn(
+	p Patternlet,
+	w io.Writer,
+	launch func(main func(c *mpi.Comm) error) error,
+) error {
+	if p.RunRank == nil {
+		return fmt.Errorf("patternlets: %q is not a message-passing patternlet", p.Name)
+	}
+	sw := NewSyncWriter(w)
+	return launch(func(c *mpi.Comm) error {
+		return p.RunRank(sw, c)
+	})
+}

@@ -1,0 +1,201 @@
+package patternlets
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSpmdGreetsEveryThread(t *testing.T) {
+	lines := runSharedOutput(t, "spmd", 4)
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	for id := 0; id < 4; id++ {
+		want := fmt.Sprintf("Hello from thread %d of 4", id)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing or duplicated greeting for thread %d", id)
+		}
+	}
+}
+
+func TestForkJoinBracketsRegion(t *testing.T) {
+	lines := runSharedOutput(t, "forkJoin", 3)
+	if lines[0] != "Before..." {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	if lines[len(lines)-1] != "After." {
+		t.Fatalf("last line = %q", lines[len(lines)-1])
+	}
+	if countMatching(lines, "During...") != 3 {
+		t.Fatalf("During count wrong: %v", lines)
+	}
+}
+
+func TestBarrierSeparatesPhases(t *testing.T) {
+	lines := runSharedOutput(t, "barrier", 4)
+	lastBefore, firstAfter := -1, len(lines)
+	for i, l := range lines {
+		if strings.Contains(l, "BEFORE") && i > lastBefore {
+			lastBefore = i
+		}
+		if strings.Contains(l, "AFTER") && i < firstAfter {
+			firstAfter = i
+		}
+	}
+	if lastBefore > firstAfter {
+		t.Fatalf("an AFTER line printed before all BEFORE lines:\n%s", strings.Join(lines, "\n"))
+	}
+	if countMatching(lines, "BEFORE") != 4 || countMatching(lines, "AFTER") != 4 {
+		t.Fatalf("wrong phase counts: %v", lines)
+	}
+}
+
+func TestMasterOnlyRunsOnce(t *testing.T) {
+	lines := runSharedOutput(t, "masterOnly", 4)
+	if countMatching(lines, "Master thread 0 of 4") != 1 {
+		t.Fatalf("master line wrong: %v", lines)
+	}
+	if countMatching(lines, "is alive") != 4 {
+		t.Fatalf("alive lines wrong: %v", lines)
+	}
+}
+
+func TestSingleExecutionRunsOnce(t *testing.T) {
+	lines := runSharedOutput(t, "singleExecution", 4)
+	if countMatching(lines, "won the race") != 1 {
+		t.Fatalf("single ran wrong number of times: %v", lines)
+	}
+	if countMatching(lines, "continues after") != 4 {
+		t.Fatalf("continuation lines wrong: %v", lines)
+	}
+}
+
+func TestParallelLoopEqualChunksCoversIterations(t *testing.T) {
+	lines := runSharedOutput(t, "parallelLoopEqualChunks", 4)
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// With 8 iterations on 4 threads, thread th runs iterations 2th, 2th+1.
+	for th := 0; th < 4; th++ {
+		for _, i := range []int{2 * th, 2*th + 1} {
+			want := fmt.Sprintf("Thread %d performed iteration %d", th, i)
+			if countMatching(lines, want) != 1 {
+				t.Errorf("missing %q", want)
+			}
+		}
+	}
+}
+
+func TestParallelLoopChunksOf1IsCyclic(t *testing.T) {
+	lines := runSharedOutput(t, "parallelLoopChunksOf1", 4)
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("Thread %d performed iteration %d", i%4, i)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestDynamicScheduleAccountsForAllIterations(t *testing.T) {
+	lines := runSharedOutput(t, "dynamicSchedule", 4)
+	if len(lines) != 4 {
+		t.Fatalf("got %d summary lines", len(lines))
+	}
+	total := 0
+	for _, l := range lines {
+		var th, n int
+		if _, err := fmt.Sscanf(l, "Thread %d performed %d iterations", &th, &n); err != nil {
+			t.Fatalf("unparseable line %q", l)
+		}
+		total += n
+	}
+	if total != 16 {
+		t.Fatalf("threads performed %d iterations in total, want 16", total)
+	}
+}
+
+func TestRaceConditionReportsExpectedAndActual(t *testing.T) {
+	lines := runSharedOutput(t, "raceCondition", 4)
+	if countMatching(lines, "Expected balance: 4000") != 1 {
+		t.Fatalf("expected-balance line missing: %v", lines)
+	}
+	if countMatching(lines, "Actual balance:") != 1 {
+		t.Fatalf("actual-balance line missing: %v", lines)
+	}
+	// The actual value must never exceed the expected one: increments can
+	// only be lost, never invented.
+	var actual int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Actual balance:") {
+			fmt.Sscanf(strings.TrimSpace(strings.TrimPrefix(l, "Actual balance:")), "%d", &actual)
+		}
+	}
+	if actual > 4000 || actual <= 0 {
+		t.Fatalf("actual balance %d outside (0, 4000]", actual)
+	}
+}
+
+func TestMutualExclusionAndAtomicAreExact(t *testing.T) {
+	for _, name := range []string{"mutualExclusion", "atomicUpdate"} {
+		lines := runSharedOutput(t, name, 4)
+		if countMatching(lines, "Expected balance: 4000") != 1 ||
+			countMatching(lines, "Actual balance:   4000") != 1 {
+			t.Fatalf("%s: balance not exact:\n%s", name, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+func TestReductionMatchesClosedForm(t *testing.T) {
+	lines := runSharedOutput(t, "reduction", 4)
+	if countMatching(lines, "500500") != 2 { // both the parallel sum and n(n+1)/2
+		t.Fatalf("reduction output:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestSectionsEachPrintOnce(t *testing.T) {
+	for _, threads := range []int{2, 4} {
+		lines := runSharedOutput(t, "sections", threads)
+		for _, s := range []string{"A", "B", "C", "D"} {
+			if countMatching(lines, "Section "+s+" executed") != 1 {
+				t.Fatalf("threads=%d: section %s wrong:\n%s", threads, s, strings.Join(lines, "\n"))
+			}
+		}
+	}
+}
+
+func TestPrivateVariableSquares(t *testing.T) {
+	lines := runSharedOutput(t, "privateVariable", 4)
+	for th := 0; th < 4; th++ {
+		want := fmt.Sprintf("Thread %d computed %d", th, th*th)
+		if countMatching(lines, want) != 1 {
+			t.Errorf("missing %q in %v", want, lines)
+		}
+	}
+}
+
+func TestSharedPatternletsRunWithOneThread(t *testing.T) {
+	// Every shared-memory patternlet must degrade gracefully to a single
+	// thread — learners often start there.
+	for _, p := range ByParadigm(SharedMemory) {
+		lines := runSharedOutput(t, p.Name, 1)
+		if len(lines) == 0 {
+			t.Errorf("%s produced no output with 1 thread", p.Name)
+		}
+	}
+}
+
+func TestTaskParallelismRunsEveryTask(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		lines := runSharedOutput(t, "taskParallelism", threads)
+		for i := 0; i < 6; i++ {
+			want := fmt.Sprintf("Task %d executed", i)
+			if countMatching(lines, want) != 1 {
+				t.Fatalf("threads=%d: missing %q in %v", threads, want, lines)
+			}
+		}
+		if countMatching(lines, "All 6 tasks complete") != 1 {
+			t.Fatalf("threads=%d: completion line missing", threads)
+		}
+	}
+}

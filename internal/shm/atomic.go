@@ -1,0 +1,67 @@
+package shm
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicInt64 is a shared integer whose updates are race-free without a
+// critical section: the analogue of "#pragma omp atomic" applied to an
+// integer. The atomic patternlet contrasts it with the (buggy) plain update
+// and the (heavier) critical-section fix.
+type AtomicInt64 struct {
+	v atomic.Int64
+}
+
+// Add atomically adds delta and returns the new value.
+func (a *AtomicInt64) Add(delta int64) int64 { return a.v.Add(delta) }
+
+// Load atomically reads the value.
+func (a *AtomicInt64) Load() int64 { return a.v.Load() }
+
+// Store atomically writes the value.
+func (a *AtomicInt64) Store(v int64) { a.v.Store(v) }
+
+// CompareAndSwap atomically replaces old with new if the value equals old.
+func (a *AtomicInt64) CompareAndSwap(old, new int64) bool { return a.v.CompareAndSwap(old, new) }
+
+// AtomicFloat64 is a shared float64 with atomic add, implemented with a
+// compare-and-swap loop over the bit pattern. OpenMP's atomic construct
+// supports floating-point operands the same way on most hardware.
+type AtomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+// Add atomically adds delta and returns the new value.
+func (a *AtomicFloat64) Add(delta float64) float64 {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		next := cur + delta
+		if a.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// Load atomically reads the value.
+func (a *AtomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Store atomically writes the value.
+func (a *AtomicFloat64) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+// Max atomically raises the value to v if v is larger, returning the
+// resulting value. Useful for "best score so far" accumulations such as the
+// drug-design exemplar's maximum docking score.
+func (a *AtomicFloat64) Max(v float64) float64 {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		if v <= cur {
+			return cur
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}

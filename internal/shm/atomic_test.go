@@ -1,0 +1,116 @@
+package shm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicInt64UnderContention(t *testing.T) {
+	var a AtomicInt64
+	const threads, per = 8, 20000
+	Parallel(threads, func(tc *ThreadContext) {
+		for i := 0; i < per; i++ {
+			a.Add(1)
+		}
+	})
+	if got := a.Load(); got != threads*per {
+		t.Fatalf("atomic counter = %d, want %d", got, threads*per)
+	}
+}
+
+func TestAtomicInt64StoreAndCAS(t *testing.T) {
+	var a AtomicInt64
+	a.Store(41)
+	if !a.CompareAndSwap(41, 42) {
+		t.Fatal("CAS failed with matching old value")
+	}
+	if a.CompareAndSwap(41, 43) {
+		t.Fatal("CAS succeeded with stale old value")
+	}
+	if a.Load() != 42 {
+		t.Fatalf("value = %d, want 42", a.Load())
+	}
+}
+
+func TestAtomicFloat64AddUnderContention(t *testing.T) {
+	var a AtomicFloat64
+	const threads, per = 8, 5000
+	Parallel(threads, func(tc *ThreadContext) {
+		for i := 0; i < per; i++ {
+			a.Add(0.5)
+		}
+	})
+	want := float64(threads*per) * 0.5
+	if got := a.Load(); got != want {
+		t.Fatalf("atomic float sum = %v, want %v", got, want)
+	}
+}
+
+func TestAtomicFloat64StoreLoad(t *testing.T) {
+	var a AtomicFloat64
+	a.Store(3.25)
+	if got := a.Load(); got != 3.25 {
+		t.Fatalf("Load() = %v, want 3.25", got)
+	}
+}
+
+func TestAtomicFloat64MaxUnderContention(t *testing.T) {
+	var a AtomicFloat64
+	a.Store(math.Inf(-1))
+	const threads = 8
+	vals := make([]float64, 1000)
+	for i := range vals {
+		// Deterministic pseudo-random scores.
+		vals[i] = math.Sin(float64(i)*12.9898) * 43758.5453
+	}
+	want := math.Inf(-1)
+	for _, v := range vals {
+		if v > want {
+			want = v
+		}
+	}
+	ParallelFor(threads, len(vals), ChunksOf1(), func(i int) {
+		a.Max(vals[i])
+	})
+	if got := a.Load(); got != want {
+		t.Fatalf("atomic max = %v, want %v", got, want)
+	}
+}
+
+func TestAtomicFloat64MaxReturnsCurrentWhenSmaller(t *testing.T) {
+	var a AtomicFloat64
+	a.Store(10)
+	if got := a.Max(5); got != 10 {
+		t.Fatalf("Max(5) on 10 = %v, want 10", got)
+	}
+	if got := a.Max(15); got != 15 {
+		t.Fatalf("Max(15) on 10 = %v, want 15", got)
+	}
+}
+
+func TestAtomicFloat64MaxProperty(t *testing.T) {
+	prop := func(vals []float64) bool {
+		var a AtomicFloat64
+		a.Store(math.Inf(-1))
+		want := math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v > want {
+				want = v
+			}
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			a.Max(v)
+		}
+		return a.Load() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

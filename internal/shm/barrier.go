@@ -1,0 +1,57 @@
+package shm
+
+import "sync"
+
+// Barrier is a reusable (cyclic) synchronization barrier for a fixed number
+// of participants. All participants must call Wait; the call returns in every
+// participant only once all of them have arrived. The barrier then resets and
+// may be reused for the next phase, which is exactly the behaviour of an
+// OpenMP barrier inside a parallel region.
+//
+// The zero value is not usable; create barriers with NewBarrier.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	// phase flips every time the barrier trips. Waiters block until the
+	// phase they arrived in ends, which makes the barrier safe for
+	// immediate reuse (a thread racing ahead to the next Wait cannot steal
+	// a wakeup from the previous phase).
+	phase uint64
+}
+
+// NewBarrier returns a barrier for the given number of participants.
+// It panics if parties < 1, since a barrier for no threads is meaningless.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("shm: NewBarrier requires at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties reports how many participants the barrier synchronizes.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties have called Wait, then releases them all.
+// It reports true in exactly one of the released participants (the last
+// arriver), which is convenient for "one thread does the phase transition"
+// idioms.
+func (b *Barrier) Wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return true
+	}
+	phase := b.phase
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+package shm
+
+import "sync"
+
+// Lock is a mutual-exclusion lock with the OpenMP lock API surface
+// (omp_init_lock / omp_set_lock / omp_unset_lock / omp_test_lock). The
+// mutual-exclusion patternlets use an explicit lock when the protected code
+// spans constructs that a single critical section cannot cover.
+//
+// The zero value is an unlocked Lock, ready for use.
+type Lock struct {
+	mu sync.Mutex
+}
+
+// Set acquires the lock, blocking until it is available: omp_set_lock.
+func (l *Lock) Set() { l.mu.Lock() }
+
+// Unset releases the lock: omp_unset_lock.
+func (l *Lock) Unset() { l.mu.Unlock() }
+
+// Test tries to acquire the lock without blocking and reports whether it
+// succeeded: omp_test_lock.
+func (l *Lock) Test() bool { return l.mu.TryLock() }
+
+// With runs fn while holding the lock, releasing it even if fn panics.
+func (l *Lock) With(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn()
+}

@@ -1,0 +1,59 @@
+package shm
+
+import "testing"
+
+func TestLockProtectsSharedCounter(t *testing.T) {
+	var l Lock
+	counter := 0
+	const threads, per = 8, 10000
+	Parallel(threads, func(tc *ThreadContext) {
+		for i := 0; i < per; i++ {
+			l.Set()
+			counter++
+			l.Unset()
+		}
+	})
+	if counter != threads*per {
+		t.Fatalf("counter = %d, want %d", counter, threads*per)
+	}
+}
+
+func TestLockTest(t *testing.T) {
+	var l Lock
+	if !l.Test() {
+		t.Fatal("Test() on free lock failed")
+	}
+	if l.Test() {
+		t.Fatal("Test() on held lock succeeded")
+	}
+	l.Unset()
+	if !l.Test() {
+		t.Fatal("Test() after Unset failed")
+	}
+	l.Unset()
+}
+
+func TestLockWithReleasesOnPanic(t *testing.T) {
+	var l Lock
+	func() {
+		defer func() { recover() }()
+		l.With(func() { panic("inside") })
+	}()
+	if !l.Test() {
+		t.Fatal("lock still held after panic inside With")
+	}
+	l.Unset()
+}
+
+func TestLockWithMutualExclusion(t *testing.T) {
+	var l Lock
+	counter := 0
+	Parallel(4, func(tc *ThreadContext) {
+		for i := 0; i < 5000; i++ {
+			l.With(func() { counter++ })
+		}
+	})
+	if counter != 20000 {
+		t.Fatalf("counter = %d, want 20000", counter)
+	}
+}

@@ -1,0 +1,195 @@
+package shm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ThreadContext is the per-thread view of a parallel region. It plays the
+// role of OpenMP's implicit thread state (omp_get_thread_num and friends)
+// plus the region-scoped synchronization constructs.
+//
+// A ThreadContext is only valid inside the region body it was passed to.
+type ThreadContext struct {
+	id   int
+	team *team
+}
+
+// team holds the state shared by all threads of one parallel region.
+type team struct {
+	size    int
+	barrier *Barrier
+
+	mu        sync.Mutex
+	criticals map[string]*sync.Mutex
+	singles   map[string]bool
+	ordered   *orderedState
+
+	// Work-sharing loop state (see team.dynamicCounter).
+	loopCtr      *atomic.Int64
+	loopCtrDone  bool
+	loopArrivals int
+
+	// tasks is the team's explicit-task pool (see task.go).
+	tasks *taskPool
+}
+
+type orderedState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+}
+
+func newTeam(size int) *team {
+	t := &team{
+		size:      size,
+		barrier:   NewBarrier(size),
+		criticals: make(map[string]*sync.Mutex),
+		singles:   make(map[string]bool),
+	}
+	t.ordered = &orderedState{}
+	t.ordered.cond = sync.NewCond(&t.ordered.mu)
+	t.tasks = newTaskPool()
+	return t
+}
+
+// Parallel forks a team of numThreads goroutines, runs body in each of them,
+// and joins the team before returning: the OpenMP "parallel" construct.
+// If numThreads <= 0 the default set by SetNumThreads is used.
+//
+// A panic inside any team member is captured and re-raised on the caller's
+// goroutine after the rest of the team has been allowed to finish, so a bug
+// in region code surfaces as an ordinary panic at the fork point rather than
+// crashing the program from an anonymous goroutine. If several threads
+// panic, the lowest-numbered thread's panic wins.
+func Parallel(numThreads int, body func(tc *ThreadContext)) {
+	n := resolveThreads(numThreads)
+	t := newTeam(n)
+
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for id := 0; id < n; id++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[id] = r
+					// A panicking thread can no longer reach team
+					// barriers; without this the rest of the team would
+					// deadlock waiting for it. Abandon the barrier by
+					// satisfying it on the panicked thread's behalf.
+					go keepBarrierAlive(t.barrier)
+				}
+			}()
+			body(&ThreadContext{id: id, team: t})
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < n; id++ {
+		if panics[id] != nil {
+			panic(fmt.Sprintf("shm: panic in parallel region (thread %d): %v", id, panics[id]))
+		}
+	}
+}
+
+// keepBarrierAlive repeatedly waits on b so that surviving threads of a
+// region whose sibling panicked are not stranded. It leaks only until the
+// region's WaitGroup drains, which bounds it to the region's lifetime in
+// the non-pathological case.
+func keepBarrierAlive(b *Barrier) {
+	defer func() { recover() }()
+	for i := 0; i < 1<<20; i++ {
+		b.Wait()
+	}
+}
+
+// ThreadNum reports this thread's id within its team, 0-based: the analogue
+// of omp_get_thread_num.
+func (tc *ThreadContext) ThreadNum() int { return tc.id }
+
+// NumThreads reports the team size: the analogue of omp_get_num_threads.
+func (tc *ThreadContext) NumThreads() int { return tc.team.size }
+
+// Barrier blocks until every thread in the team has reached it: the
+// "#pragma omp barrier" construct.
+func (tc *ThreadContext) Barrier() { tc.team.barrier.Wait() }
+
+// Critical executes fn while holding the team's named critical-section lock,
+// so at most one thread of the team runs fn (for a given name) at a time:
+// "#pragma omp critical(name)". The empty name designates the anonymous
+// critical section, as in OpenMP.
+func (tc *ThreadContext) Critical(name string, fn func()) {
+	tc.team.mu.Lock()
+	m, ok := tc.team.criticals[name]
+	if !ok {
+		m = new(sync.Mutex)
+		tc.team.criticals[name] = m
+	}
+	tc.team.mu.Unlock()
+
+	m.Lock()
+	defer m.Unlock()
+	fn()
+}
+
+// Master runs fn only on thread 0, without any implied synchronization:
+// "#pragma omp master".
+func (tc *ThreadContext) Master(fn func()) {
+	if tc.id == 0 {
+		fn()
+	}
+}
+
+// Single runs fn on exactly one thread of the team — whichever reaches the
+// construct first — and makes every thread wait at an implicit barrier until
+// fn has completed: "#pragma omp single". The name distinguishes separate
+// single constructs encountered in the same region; reusing a name in a loop
+// requires a distinct name per iteration (or use SingleNowait semantics via
+// Master + Barrier).
+func (tc *ThreadContext) Single(name string, fn func()) {
+	tc.team.mu.Lock()
+	claimed := tc.team.singles[name]
+	if !claimed {
+		tc.team.singles[name] = true
+	}
+	tc.team.mu.Unlock()
+
+	if !claimed {
+		fn()
+	}
+	tc.Barrier()
+}
+
+// Sections distributes the given function sections among the team's threads,
+// each section executing exactly once, and joins the team at an implicit
+// barrier afterwards: "#pragma omp sections". Sections are handed out
+// round-robin by thread id, so with as many threads as sections each thread
+// runs one section, as in the classic patternlet.
+func (tc *ThreadContext) Sections(sections ...func()) {
+	for i := tc.id; i < len(sections); i += tc.team.size {
+		sections[i]()
+	}
+	tc.Barrier()
+}
+
+// Ordered runs fn for loop iteration i only after it has run for all earlier
+// iterations: a simplified "#pragma omp ordered". Iterations must be handed
+// to Ordered exactly once each, starting from the value the state was reset
+// to (0 for a fresh region).
+func (tc *ThreadContext) Ordered(i int, fn func()) {
+	o := tc.team.ordered
+	o.mu.Lock()
+	for o.next != i {
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+
+	fn()
+
+	o.mu.Lock()
+	o.next = i + 1
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}

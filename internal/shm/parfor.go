@@ -1,0 +1,132 @@
+package shm
+
+import "sync/atomic"
+
+// ParallelFor runs body(i) for every i in [0, n) using a team of numThreads
+// threads and the given schedule: the OpenMP "parallel for" construct.
+// If numThreads <= 0 the default team size is used.
+//
+// The iterations of one call never overlap with code after the call (there
+// is an implicit join), but iterations assigned to different threads run
+// concurrently, so body must synchronize any access to shared state — or,
+// better, use ParallelForReduce.
+func ParallelFor(numThreads, n int, sched Schedule, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	nt := resolveThreads(numThreads)
+	if nt > n {
+		nt = n
+	}
+	Parallel(nt, func(tc *ThreadContext) {
+		tc.For(n, sched, body)
+	})
+}
+
+// For distributes the iterations [0, n) of a loop among the team according
+// to the schedule and runs body for the iterations assigned to this thread:
+// the orphaned "#pragma omp for" work-sharing construct. Every thread of the
+// team must call For with the same n and schedule. The call ends with an
+// implicit team barrier, as in OpenMP.
+func (tc *ThreadContext) For(n int, sched Schedule, body func(i int)) {
+	tc.forNowait(n, sched, body)
+	tc.Barrier()
+}
+
+// ForNowait is For without the trailing barrier: "#pragma omp for nowait".
+func (tc *ThreadContext) ForNowait(n int, sched Schedule, body func(i int)) {
+	tc.forNowait(n, sched, body)
+}
+
+func (tc *ThreadContext) forNowait(n int, sched Schedule, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	switch sched.Kind {
+	case ScheduleStatic:
+		lo, hi := staticRange(n, tc.id, tc.team.size)
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	case ScheduleStaticCyclic:
+		chunk := sched.normalizedChunk()
+		for start := tc.id * chunk; start < n; start += tc.team.size * chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i)
+			}
+		}
+	case ScheduleDynamic:
+		chunk := sched.normalizedChunk()
+		ctr := tc.team.dynamicCounter(n)
+		for {
+			start := int(ctr.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i)
+			}
+		}
+	case ScheduleGuided:
+		minChunk := sched.normalizedChunk()
+		ctr := tc.team.dynamicCounter(n)
+		for {
+			// Guided: each grab takes remaining/(2*threads) iterations,
+			// but never fewer than minChunk. Claim optimistically with a
+			// CAS loop on the shared counter.
+			for {
+				cur := ctr.Load()
+				if int(cur) >= n {
+					return
+				}
+				remaining := n - int(cur)
+				chunk := remaining / (2 * tc.team.size)
+				if chunk < minChunk {
+					chunk = minChunk
+				}
+				if ctr.CompareAndSwap(cur, cur+int64(chunk)) {
+					end := int(cur) + chunk
+					if end > n {
+						end = n
+					}
+					for i := int(cur); i < end; i++ {
+						body(i)
+					}
+					break
+				}
+			}
+		}
+	default:
+		panic("shm: unknown schedule kind")
+	}
+}
+
+// dynamicCounter returns the shared iteration counter for the current
+// work-sharing construct. A fresh counter is produced for each construct by
+// letting the winner of a per-team generation race install it; the implicit
+// barrier at the end of For guarantees no two constructs are active at once
+// within a team.
+func (t *team) dynamicCounter(n int) *atomic.Int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.loopCtr == nil || t.loopCtrDone {
+		t.loopCtr = new(atomic.Int64)
+		t.loopCtrDone = false
+		t.loopArrivals = 0
+	}
+	t.loopArrivals++
+	if t.loopArrivals == t.size {
+		// Last thread to pick up the counter marks this construct finished
+		// so the next work-sharing construct installs a fresh counter.
+		t.loopCtrDone = true
+	}
+	return t.loopCtr
+}

@@ -1,0 +1,42 @@
+package shm
+
+// Private holds one value of type T per thread of a team: the analogue of
+// OpenMP's private / threadprivate storage. The private-variables patternlet
+// demonstrates why loop indices and scratch variables must be private — in
+// Go that lesson maps to "declare them inside the region closure", and
+// Private makes the per-thread copies explicit when a slice of them is
+// needed after the join.
+//
+// Create one with NewPrivate sized to the team, have each thread use only
+// its own slot (indexed by ThreadNum), and read all slots after Parallel
+// returns.
+type Private[T any] struct {
+	slots []T
+}
+
+// NewPrivate returns per-thread storage for a team of n threads, each slot
+// initialized to init.
+func NewPrivate[T any](n int, init T) *Private[T] {
+	p := &Private[T]{slots: make([]T, n)}
+	for i := range p.slots {
+		p.slots[i] = init
+	}
+	return p
+}
+
+// Get returns a pointer to the calling thread's slot.
+func (p *Private[T]) Get(tc *ThreadContext) *T { return &p.slots[tc.ThreadNum()] }
+
+// Slot returns a pointer to the slot for an explicit thread id; useful after
+// the region has joined.
+func (p *Private[T]) Slot(id int) *T { return &p.slots[id] }
+
+// Values returns a copy of all per-thread values, in thread order.
+func (p *Private[T]) Values() []T {
+	out := make([]T, len(p.slots))
+	copy(out, p.slots)
+	return out
+}
+
+// Len reports the number of slots.
+func (p *Private[T]) Len() int { return len(p.slots) }

@@ -1,0 +1,64 @@
+package shm
+
+import "testing"
+
+func TestPrivatePerThreadIsolation(t *testing.T) {
+	const threads = 6
+	p := NewPrivate(threads, 0)
+	Parallel(threads, func(tc *ThreadContext) {
+		slot := p.Get(tc)
+		for i := 0; i < 1000; i++ {
+			*slot++ // no synchronization needed: the slot is private
+		}
+	})
+	for id, v := range p.Values() {
+		if v != 1000 {
+			t.Fatalf("thread %d slot = %d, want 1000", id, v)
+		}
+	}
+}
+
+func TestPrivateInitValue(t *testing.T) {
+	p := NewPrivate(4, "seed")
+	for id := 0; id < 4; id++ {
+		if *p.Slot(id) != "seed" {
+			t.Fatalf("slot %d = %q, want seed", id, *p.Slot(id))
+		}
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", p.Len())
+	}
+}
+
+func TestPrivateValuesIsACopy(t *testing.T) {
+	p := NewPrivate(2, 1)
+	vals := p.Values()
+	vals[0] = 99
+	if *p.Slot(0) != 1 {
+		t.Fatal("mutating Values() copy affected internal storage")
+	}
+}
+
+func TestPrivateStructValues(t *testing.T) {
+	type stats struct{ count, sum int }
+	const threads = 4
+	p := NewPrivate(threads, stats{})
+	Parallel(threads, func(tc *ThreadContext) {
+		s := p.Get(tc)
+		tc.ForNowait(100, ChunksOf1(), func(i int) {
+			s.count++
+			s.sum += i
+		})
+	})
+	totalCount, totalSum := 0, 0
+	for _, s := range p.Values() {
+		totalCount += s.count
+		totalSum += s.sum
+	}
+	if totalCount != 100 {
+		t.Fatalf("total count = %d, want 100", totalCount)
+	}
+	if totalSum != 4950 {
+		t.Fatalf("total sum = %d, want 4950", totalSum)
+	}
+}

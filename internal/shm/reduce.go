@@ -1,0 +1,166 @@
+package shm
+
+import (
+	"math"
+	"sync"
+)
+
+// ReduceOp names a reduction operator, mirroring the operator part of
+// OpenMP's reduction(op:var) clause. The reduction patternlet teaches that a
+// reduction is the race-free way to combine per-thread partial results.
+type ReduceOp int
+
+const (
+	// OpSum combines partial results by addition.
+	OpSum ReduceOp = iota
+	// OpProd combines partial results by multiplication.
+	OpProd
+	// OpMax keeps the maximum partial result.
+	OpMax
+	// OpMin keeps the minimum partial result.
+	OpMin
+)
+
+// String names the operator as it appears in an OpenMP reduction clause.
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "+"
+	case OpProd:
+		return "*"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return "?"
+	}
+}
+
+// identityFloat64 returns op's identity element for float64 reductions.
+func (op ReduceOp) identityFloat64() float64 {
+	switch op {
+	case OpSum:
+		return 0
+	case OpProd:
+		return 1
+	case OpMax:
+		return math.Inf(-1)
+	case OpMin:
+		return math.Inf(1)
+	default:
+		panic("shm: unknown reduce op")
+	}
+}
+
+// identityInt64 returns op's identity element for int64 reductions.
+func (op ReduceOp) identityInt64() int64 {
+	switch op {
+	case OpSum:
+		return 0
+	case OpProd:
+		return 1
+	case OpMax:
+		return math.MinInt64
+	case OpMin:
+		return math.MaxInt64
+	default:
+		panic("shm: unknown reduce op")
+	}
+}
+
+func (op ReduceOp) combineFloat64(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic("shm: unknown reduce op")
+	}
+}
+
+func (op ReduceOp) combineInt64(a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic("shm: unknown reduce op")
+	}
+}
+
+// ParallelForReduceFloat64 runs body(i) for i in [0, n) across a team and
+// combines the values body returns with op, returning the reduction:
+// the analogue of
+//
+//	#pragma omp parallel for reduction(op:acc)
+//
+// Each thread accumulates privately (no sharing, no races) and the partials
+// are combined once per thread under a lock at loop end, which is exactly
+// the implementation strategy the reduction patternlet teaches.
+func ParallelForReduceFloat64(numThreads, n int, sched Schedule, op ReduceOp, body func(i int) float64) float64 {
+	result := op.identityFloat64()
+	if n <= 0 {
+		return result
+	}
+	nt := resolveThreads(numThreads)
+	if nt > n {
+		nt = n
+	}
+	var mu sync.Mutex
+	Parallel(nt, func(tc *ThreadContext) {
+		partial := op.identityFloat64()
+		tc.ForNowait(n, sched, func(i int) {
+			partial = op.combineFloat64(partial, body(i))
+		})
+		mu.Lock()
+		result = op.combineFloat64(result, partial)
+		mu.Unlock()
+	})
+	return result
+}
+
+// ParallelForReduceInt64 is ParallelForReduceFloat64 for int64 values.
+func ParallelForReduceInt64(numThreads, n int, sched Schedule, op ReduceOp, body func(i int) int64) int64 {
+	result := op.identityInt64()
+	if n <= 0 {
+		return result
+	}
+	nt := resolveThreads(numThreads)
+	if nt > n {
+		nt = n
+	}
+	var mu sync.Mutex
+	Parallel(nt, func(tc *ThreadContext) {
+		partial := op.identityInt64()
+		tc.ForNowait(n, sched, func(i int) {
+			partial = op.combineInt64(partial, body(i))
+		})
+		mu.Lock()
+		result = op.combineInt64(result, partial)
+		mu.Unlock()
+	})
+	return result
+}

@@ -1,0 +1,141 @@
+package shm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceOpStrings(t *testing.T) {
+	cases := map[ReduceOp]string{OpSum: "+", OpProd: "*", OpMax: "max", OpMin: "min"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := ReduceOp(99).String(); got != "?" {
+		t.Errorf("unknown op String() = %q, want ?", got)
+	}
+}
+
+func TestScheduleKindStrings(t *testing.T) {
+	for _, k := range []ScheduleKind{ScheduleStatic, ScheduleStaticCyclic, ScheduleDynamic, ScheduleGuided} {
+		if k.String() == "" {
+			t.Errorf("schedule kind %d has empty String()", k)
+		}
+	}
+	if got := ScheduleKind(42).String(); got != "ScheduleKind(42)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestReduceSumMatchesSequential(t *testing.T) {
+	const n = 10000
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += float64(i)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		got := ParallelForReduceFloat64(threads, n, Static(), OpSum, func(i int) float64 {
+			return float64(i)
+		})
+		if got != want {
+			t.Fatalf("threads=%d: sum = %v, want %v", threads, got, want)
+		}
+	}
+}
+
+func TestReduceIntOpsMatchSequential(t *testing.T) {
+	vals := []int64{5, -3, 12, 0, 7, -20, 44, 3, 3, 9, -1, 18}
+	n := len(vals)
+	seq := func(op ReduceOp) int64 {
+		acc := op.identityInt64()
+		for _, v := range vals {
+			acc = op.combineInt64(acc, v)
+		}
+		return acc
+	}
+	for _, op := range []ReduceOp{OpSum, OpMax, OpMin} {
+		want := seq(op)
+		got := ParallelForReduceInt64(4, n, Dynamic(2), op, func(i int) int64 { return vals[i] })
+		if got != want {
+			t.Fatalf("op %v: got %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestReduceProd(t *testing.T) {
+	got := ParallelForReduceInt64(3, 10, Static(), OpProd, func(i int) int64 { return int64(i) + 1 })
+	if got != 3628800 { // 10!
+		t.Fatalf("10! = %d, want 3628800", got)
+	}
+}
+
+func TestReduceEmptyRangeReturnsIdentity(t *testing.T) {
+	if got := ParallelForReduceFloat64(4, 0, Static(), OpSum, nil); got != 0 {
+		t.Fatalf("empty sum = %v, want 0", got)
+	}
+	if got := ParallelForReduceFloat64(4, 0, Static(), OpMax, nil); !math.IsInf(got, -1) {
+		t.Fatalf("empty max = %v, want -Inf", got)
+	}
+	if got := ParallelForReduceInt64(4, 0, Static(), OpMin, nil); got != math.MaxInt64 {
+		t.Fatalf("empty int min = %v, want MaxInt64", got)
+	}
+}
+
+// TestReduceIntProperty: parallel integer sum equals sequential sum for
+// arbitrary inputs, thread counts, and schedules.
+func TestReduceIntProperty(t *testing.T) {
+	prop := func(vals []int64, threadsRaw, kindRaw uint8) bool {
+		threads := int(threadsRaw%6) + 1
+		sched := Schedule{Kind: ScheduleKind(kindRaw % 4), Chunk: 2}
+		var want int64
+		for _, v := range vals {
+			want += v
+		}
+		got := ParallelForReduceInt64(threads, len(vals), sched, OpSum, func(i int) int64 {
+			return vals[i]
+		})
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMaxMinProperty(t *testing.T) {
+	prop := func(vals []int64, threadsRaw uint8) bool {
+		threads := int(threadsRaw%6) + 1
+		if len(vals) == 0 {
+			return true
+		}
+		wantMax, wantMin := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v > wantMax {
+				wantMax = v
+			}
+			if v < wantMin {
+				wantMin = v
+			}
+		}
+		gotMax := ParallelForReduceInt64(threads, len(vals), ChunksOf1(), OpMax, func(i int) int64 { return vals[i] })
+		gotMin := ParallelForReduceInt64(threads, len(vals), ChunksOf1(), OpMin, func(i int) int64 { return vals[i] })
+		return gotMax == wantMax && gotMin == wantMin
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceConditionPatternlet demonstrates the pedagogical race: the naive
+// shared counter loses updates while the reduction never does. We cannot
+// assert the racy version always loses updates (it may get lucky), but the
+// reduction side must be exact — this is the invariant the race-condition
+// patternlet teaches.
+func TestRaceConditionFixedByReduction(t *testing.T) {
+	const n = 100000
+	got := ParallelForReduceInt64(8, n, Static(), OpSum, func(i int) int64 { return 1 })
+	if got != n {
+		t.Fatalf("reduction counter = %d, want %d", got, n)
+	}
+}

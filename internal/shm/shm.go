@@ -1,0 +1,71 @@
+// Package shm provides a shared-memory parallel runtime for Go that mirrors
+// the execution model of OpenMP, the library the paper's shared-memory
+// patternlets teach on the Raspberry Pi.
+//
+// OpenMP structures parallel computation around fork-join parallel regions:
+// a team of threads is forked at the top of a region, each thread executes
+// the region body, and the threads join at the end. Within a region the
+// runtime offers work-sharing (parallel loops with static, dynamic, and
+// guided schedules), synchronization (barriers, critical sections, atomics,
+// locks), thread coordination (master, single, sections), and reductions.
+//
+// This package reproduces that model on goroutines:
+//
+//	shm.Parallel(4, func(tc *shm.ThreadContext) {
+//	    fmt.Printf("hello from thread %d of %d\n", tc.ThreadNum(), tc.NumThreads())
+//	})
+//
+// is the analogue of
+//
+//	#pragma omp parallel num_threads(4)
+//	printf("hello from thread %d of %d\n", omp_get_thread_num(), omp_get_num_threads());
+//
+// The package intentionally allows the same mistakes OpenMP allows — for
+// example, unsynchronized updates to shared variables — because the
+// patternlets teach race conditions by letting learners observe them and
+// then fix them with Critical, Atomic, or a Reduction.
+package shm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// defaultThreads holds the team size used when a parallel construct is asked
+// for 0 threads, mirroring omp_set_num_threads / OMP_NUM_THREADS.
+var defaultThreads atomic.Int64
+
+func init() {
+	defaultThreads.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetNumThreads sets the default team size used by Parallel and ParallelFor
+// when they are invoked with numThreads <= 0. It is the analogue of
+// omp_set_num_threads. Values below 1 reset the default to the number of
+// available CPUs.
+func SetNumThreads(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	defaultThreads.Store(int64(n))
+}
+
+// MaxThreads reports the current default team size, the analogue of
+// omp_get_max_threads.
+func MaxThreads() int {
+	return int(defaultThreads.Load())
+}
+
+// NumProcs reports the number of processors available to the program, the
+// analogue of omp_get_num_procs.
+func NumProcs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolveThreads maps a requested team size to an actual one.
+func resolveThreads(n int) int {
+	if n <= 0 {
+		return MaxThreads()
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package shm
+
+import "sync"
+
+// Explicit tasks, the OpenMP 3.0 construct ("#pragma omp task" /
+// "#pragma omp taskwait") that handles irregular parallelism — recursive
+// decomposition, work generated while working — which work-sharing loops
+// cannot express. Any thread of the team may create tasks; threads that
+// reach Taskwait execute pending tasks (their own or siblings') until the
+// team's task pool drains, so task execution parallelizes across however
+// many threads are waiting.
+type taskPool struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []func()
+	outstanding int // queued + currently executing tasks
+}
+
+func newTaskPool() *taskPool {
+	p := &taskPool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push enqueues a task.
+func (p *taskPool) push(fn func()) {
+	p.mu.Lock()
+	p.queue = append(p.queue, fn)
+	p.outstanding++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// drain executes tasks until the pool is empty and every task (including
+// ones still running on other threads, which may spawn more) has finished.
+func (p *taskPool) drain() {
+	p.mu.Lock()
+	for {
+		if len(p.queue) > 0 {
+			fn := p.queue[0]
+			p.queue = p.queue[1:]
+			p.mu.Unlock()
+			fn()
+			p.mu.Lock()
+			p.outstanding--
+			p.cond.Broadcast()
+			continue
+		}
+		if p.outstanding == 0 {
+			p.mu.Unlock()
+			return
+		}
+		// Tasks are still running elsewhere and may spawn more; sleep
+		// until the pool changes.
+		p.cond.Wait()
+	}
+}
+
+// Task submits fn for deferred execution by the team: "#pragma omp task".
+// The task runs on whichever team thread reaches Taskwait (or a task-group
+// Wait) first — possibly this one. Tasks may create further tasks.
+func (tc *ThreadContext) Task(fn func()) {
+	tc.team.tasks.push(fn)
+}
+
+// Taskwait executes pending team tasks and blocks until every task —
+// including tasks spawned by tasks — has completed: a team-scope
+// "#pragma omp taskwait". Threads with nothing else to do should call
+// Taskwait to lend their cycles to the pool.
+//
+// Taskwait must be called from region code, never from inside a task body:
+// a task waiting for "all tasks" would be waiting for itself. Recursive
+// patterns that need to block inside a task use TaskGroup, whose Wait
+// tracks only the group's own children.
+func (tc *ThreadContext) Taskwait() {
+	tc.team.tasks.drain()
+}
+
+// TaskGroup tracks a set of related tasks so their creator can wait for
+// exactly those tasks: the OpenMP "taskgroup" construct. Unlike Taskwait,
+// Wait may be called from inside a task body — while waiting it executes
+// other queued team tasks (help-first scheduling), so recursive
+// decompositions such as divide-and-conquer cannot deadlock.
+type TaskGroup struct {
+	pool    *taskPool
+	pending int // guarded by pool.mu
+}
+
+// NewTaskGroup creates an empty group on the team's task pool.
+func (tc *ThreadContext) NewTaskGroup() *TaskGroup {
+	return &TaskGroup{pool: tc.team.tasks}
+}
+
+// Go submits fn as a task belonging to this group.
+func (g *TaskGroup) Go(fn func()) {
+	p := g.pool
+	p.mu.Lock()
+	g.pending++
+	p.mu.Unlock()
+	p.push(func() {
+		defer func() {
+			p.mu.Lock()
+			g.pending--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}()
+		fn()
+	})
+}
+
+// Wait blocks until every task submitted to this group has completed,
+// executing queued team tasks (from any group) in the meantime.
+func (g *TaskGroup) Wait() {
+	p := g.pool
+	p.mu.Lock()
+	for {
+		if g.pending == 0 {
+			p.mu.Unlock()
+			return
+		}
+		if len(p.queue) > 0 {
+			fn := p.queue[0]
+			p.queue = p.queue[1:]
+			p.mu.Unlock()
+			fn()
+			p.mu.Lock()
+			p.outstanding--
+			p.cond.Broadcast()
+			continue
+		}
+		// The group's tasks are running on other threads; sleep until
+		// something changes.
+		p.cond.Wait()
+	}
+}

@@ -1,0 +1,66 @@
+package shm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceScheduleStatic(t *testing.T) {
+	tr := TraceSchedule(4, 8, Static())
+	for i, th := range tr.Owner {
+		if want := i / 2; th != want {
+			t.Fatalf("iteration %d owned by thread %d, want %d", i, th, want)
+		}
+	}
+	per := tr.PerThread()
+	if len(per) != 4 {
+		t.Fatalf("PerThread rows = %d", len(per))
+	}
+	for th, its := range per {
+		if len(its) != 2 {
+			t.Fatalf("thread %d owns %v", th, its)
+		}
+	}
+}
+
+func TestTraceScheduleCyclic(t *testing.T) {
+	tr := TraceSchedule(3, 9, ChunksOf1())
+	for i, th := range tr.Owner {
+		if th != i%3 {
+			t.Fatalf("iteration %d owned by thread %d, want %d", i, th, i%3)
+		}
+	}
+}
+
+func TestTraceScheduleDynamicCoversAll(t *testing.T) {
+	tr := TraceSchedule(4, 20, Dynamic(1))
+	counts := map[int]int{}
+	for _, th := range tr.Owner {
+		if th < 0 || th >= 4 {
+			t.Fatalf("owner %d out of range", th)
+		}
+		counts[th]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20 {
+		t.Fatalf("owned iterations = %d", total)
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	tr := TraceSchedule(2, 6, Static())
+	out := tr.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, index ruler, two thread rows
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "thread 0 ###...") {
+		t.Fatalf("thread 0 row = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "thread 1 ...###") {
+		t.Fatalf("thread 1 row = %q", lines[3])
+	}
+}

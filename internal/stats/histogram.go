@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations falling into labeled ordinal bins — the
+// shape of the paper's Figures 3 and 4, which bin 1–5 Likert responses under
+// labels like "not at all" through "extremely".
+type Histogram struct {
+	Labels []string
+	Counts []int
+}
+
+// NewLikertHistogram bins integer Likert responses (1-based) under the given
+// labels. Responses outside [1, len(labels)] are rejected.
+func NewLikertHistogram(labels []string, responses []int) (*Histogram, error) {
+	h := &Histogram{
+		Labels: append([]string(nil), labels...),
+		Counts: make([]int, len(labels)),
+	}
+	for _, r := range responses {
+		if r < 1 || r > len(labels) {
+			return nil, fmt.Errorf("stats: Likert response %d outside scale 1..%d", r, len(labels))
+		}
+		h.Counts[r-1]++
+	}
+	return h, nil
+}
+
+// Total returns the number of binned observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Render draws the histogram as horizontal ASCII bars, one row per bin,
+// which is how the assessment harness prints Figures 3 and 4.
+func (h *Histogram) Render(barRune rune, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 0
+	labelWidth := 0
+	for i, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if len(h.Labels[i]) > labelWidth {
+			labelWidth = len(h.Labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s | %s (%d)\n", labelWidth, h.Labels[i], strings.Repeat(string(barRune), bar), c)
+	}
+	return b.String()
+}
+
+// PairedHistograms renders a pre-survey and post-survey histogram side by
+// side row-wise, matching the grouped-bar presentation of the paper's
+// figures.
+func PairedHistograms(pre, post *Histogram, width int) string {
+	if width < 1 {
+		width = 30
+	}
+	labelWidth := 0
+	maxCount := 1
+	for i := range pre.Labels {
+		if len(pre.Labels[i]) > labelWidth {
+			labelWidth = len(pre.Labels[i])
+		}
+		if pre.Counts[i] > maxCount {
+			maxCount = pre.Counts[i]
+		}
+		if post.Counts[i] > maxCount {
+			maxCount = post.Counts[i]
+		}
+	}
+	var b strings.Builder
+	for i := range pre.Labels {
+		preBar := pre.Counts[i] * width / maxCount
+		postBar := post.Counts[i] * width / maxCount
+		fmt.Fprintf(&b, "%-*s  pre  | %s (%d)\n", labelWidth, pre.Labels[i], strings.Repeat("░", preBar), pre.Counts[i])
+		fmt.Fprintf(&b, "%-*s  post | %s (%d)\n", labelWidth, "", strings.Repeat("█", postBar), post.Counts[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+var likert5 = []string{"not at all", "slightly", "moderately", "very", "extremely"}
+
+func TestLikertHistogramCounts(t *testing.T) {
+	h, err := NewLikertHistogram(likert5, []int{1, 2, 2, 3, 3, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestLikertHistogramRejectsOutOfScale(t *testing.T) {
+	if _, err := NewLikertHistogram(likert5, []int{0}); err == nil {
+		t.Fatal("response 0 accepted")
+	}
+	if _, err := NewLikertHistogram(likert5, []int{6}); err == nil {
+		t.Fatal("response 6 accepted")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewLikertHistogram(likert5, []int{2, 2, 3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render('#', 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5", len(lines))
+	}
+	if !strings.Contains(lines[2], "########") {
+		t.Fatalf("max bin not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "(2)") || !strings.Contains(lines[2], "(4)") {
+		t.Fatalf("missing counts: %q / %q", lines[1], lines[2])
+	}
+	// A nonzero bin must show at least one mark even when rounding to 0.
+	if strings.Contains(lines[1], "| (") {
+		t.Fatalf("nonzero bin rendered with empty bar: %q", lines[1])
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h, err := NewLikertHistogram(likert5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render('#', 0) // width 0 falls back to default
+	if !strings.Contains(out, "(0)") {
+		t.Fatalf("empty histogram render: %q", out)
+	}
+}
+
+func TestPairedHistogramsRowsPerBin(t *testing.T) {
+	pre, _ := NewLikertHistogram(likert5, []int{1, 2, 2, 3})
+	post, _ := NewLikertHistogram(likert5, []int{3, 4, 4, 5})
+	out := PairedHistograms(pre, post, 10)
+	if got := strings.Count(out, "pre  |"); got != 5 {
+		t.Fatalf("pre rows = %d, want 5", got)
+	}
+	if got := strings.Count(out, "post |"); got != 5 {
+		t.Fatalf("post rows = %d, want 5", got)
+	}
+}

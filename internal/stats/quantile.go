@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// StudentTQuantile returns the value t with P(T <= t) = p for a Student t
+// variable with df degrees of freedom: the inverse CDF, computed by
+// bracketed bisection on the (monotone) CDF. It is the critical-value
+// lookup behind confidence intervals.
+func StudentTQuantile(p, df float64) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: degrees of freedom must be positive, got %g", df)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: quantile probability must be in (0,1), got %g", p)
+	}
+	if p == 0.5 {
+		return 0, nil
+	}
+	// Expand a bracket [lo, hi] containing the quantile.
+	lo, hi := -1.0, 1.0
+	for {
+		c, err := StudentTCDF(lo, df)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
+			break
+		}
+		lo *= 2
+		if lo < -1e18 {
+			return 0, fmt.Errorf("stats: t quantile bracket underflow (p=%g, df=%g)", p, df)
+		}
+	}
+	for {
+		c, err := StudentTCDF(hi, df)
+		if err != nil {
+			return 0, err
+		}
+		if c > p {
+			break
+		}
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("stats: t quantile bracket overflow (p=%g, df=%g)", p, df)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+math.Abs(lo)+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		c, err := StudentTCDF(mid, df)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// MeanCI returns the two-sided confidence interval for the mean of xs at
+// the given confidence level (e.g. 0.95), using the t distribution — the
+// error bars a careful benchmarking study puts on its timing means.
+func MeanCI(xs []float64, confidence float64) (lo, hi float64, err error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence must be in (0,1), got %g", confidence)
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("stats: confidence interval needs >= 2 observations, got %d", n)
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	df := float64(n - 1)
+	tcrit, err := StudentTQuantile(0.5+confidence/2, df)
+	if err != nil {
+		return 0, 0, err
+	}
+	half := tcrit * sd / math.Sqrt(float64(n))
+	return mean - half, mean + half, nil
+}

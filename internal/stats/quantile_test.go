@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStudentTQuantileCriticalValues(t *testing.T) {
+	// Standard two-sided 95% critical values: quantile at 0.975.
+	cases := []struct{ df, want float64 }{
+		{1, 12.706},
+		{2, 4.303},
+		{5, 2.571},
+		{10, 2.228},
+		{21, 2.080},
+		{30, 2.042},
+		{100, 1.984},
+	}
+	for _, c := range cases {
+		got, err := StudentTQuantile(0.975, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 5e-3 {
+			t.Errorf("df=%g: quantile(0.975) = %.4f, want %.3f", c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileEdges(t *testing.T) {
+	if v, err := StudentTQuantile(0.5, 7); err != nil || v != 0 {
+		t.Fatalf("median = %v, %v", v, err)
+	}
+	if _, err := StudentTQuantile(0, 7); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := StudentTQuantile(1, 7); err == nil {
+		t.Fatal("p=1 accepted")
+	}
+	if _, err := StudentTQuantile(0.9, 0); err == nil {
+		t.Fatal("df=0 accepted")
+	}
+}
+
+func TestStudentTQuantileInvertsCDF(t *testing.T) {
+	prop := func(pRaw, dfRaw uint8) bool {
+		p := (float64(pRaw%98) + 1) / 100 // 0.01 .. 0.98
+		df := float64(dfRaw%50) + 1
+		q, err := StudentTQuantile(p, df)
+		if err != nil {
+			return false
+		}
+		back, err := StudentTCDF(q, df)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTQuantileSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 5, 21} {
+		hi, err := StudentTQuantile(0.9, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := StudentTQuantile(0.1, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hi+lo) > 1e-9 {
+			t.Fatalf("df=%g: q(0.9)=%g, q(0.1)=%g not symmetric", df, hi, lo)
+		}
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 11, 13, 10, 12, 11, 12}
+	lo, hi, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := Mean(xs)
+	if !(lo < mean && mean < hi) {
+		t.Fatalf("CI [%g, %g] does not contain the mean %g", lo, hi, mean)
+	}
+	// Wider confidence → wider interval.
+	lo99, hi99, err := MeanCI(xs, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi99-lo99 <= hi-lo {
+		t.Fatalf("99%% CI [%g, %g] not wider than 95%% [%g, %g]", lo99, hi99, lo, hi)
+	}
+}
+
+func TestMeanCIValidation(t *testing.T) {
+	if _, _, err := MeanCI([]float64{1}, 0.95); err == nil {
+		t.Fatal("singleton accepted")
+	}
+	if _, _, err := MeanCI([]float64{1, 2}, 1.5); err == nil {
+		t.Fatal("confidence > 1 accepted")
+	}
+}
+
+func TestMeanCIKnownValue(t *testing.T) {
+	// n=4, mean 10, sd 2: 95% CI = 10 ± 3.182*2/2 = 10 ± 3.182.
+	xs := []float64{8, 12, 8, 12}
+	lo, hi, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := StdDev(xs)
+	if math.Abs(sd-2.309401) > 1e-5 {
+		t.Fatalf("sd = %v", sd)
+	}
+	want := 3.18245 * sd / 2
+	if math.Abs((hi-lo)/2-want) > 1e-3 {
+		t.Fatalf("half-width = %g, want %g", (hi-lo)/2, want)
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedIncompleteBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x float64
+		want    float64
+		tol     float64
+	}{
+		// I_x(1,1) = x (uniform distribution CDF).
+		{1, 1, 0.25, 0.25, 1e-12},
+		{1, 1, 0.9, 0.9, 1e-12},
+		// I_x(2,2) = x²(3-2x).
+		{2, 2, 0.5, 0.5, 1e-12},
+		{2, 2, 0.25, 0.0625 * (3 - 0.5), 1e-12},
+		// I_x(1,b) = 1-(1-x)^b.
+		{1, 3, 0.2, 1 - math.Pow(0.8, 3), 1e-12},
+		// Symmetry point: I_{1/2}(a,a) = 1/2.
+		{5, 5, 0.5, 0.5, 1e-12},
+		{0.5, 0.5, 0.5, 0.5, 1e-10},
+	}
+	for _, c := range cases {
+		got, err := RegularizedIncompleteBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("I_%g(%g,%g): %v", c.x, c.a, c.b, err)
+		}
+		if !almostEqual(got, c.want, c.tol) {
+			t.Errorf("I_%g(%g,%g) = %.15g, want %.15g", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedIncompleteBetaBoundsAndErrors(t *testing.T) {
+	if v, err := RegularizedIncompleteBeta(2, 3, 0); err != nil || v != 0 {
+		t.Fatalf("I_0 = %v, %v", v, err)
+	}
+	if v, err := RegularizedIncompleteBeta(2, 3, 1); err != nil || v != 1 {
+		t.Fatalf("I_1 = %v, %v", v, err)
+	}
+	if _, err := RegularizedIncompleteBeta(-1, 2, 0.5); err == nil {
+		t.Fatal("negative a accepted")
+	}
+	if _, err := RegularizedIncompleteBeta(1, 2, 1.5); err == nil {
+		t.Fatal("x > 1 accepted")
+	}
+}
+
+func TestIncompleteBetaSymmetryProperty(t *testing.T) {
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	prop := func(aRaw, bRaw, xRaw uint16) bool {
+		a := float64(aRaw%200)/10 + 0.1
+		b := float64(bRaw%200)/10 + 0.1
+		x := float64(xRaw%1000) / 1000
+		lhs, err1 := RegularizedIncompleteBeta(a, b, x)
+		rhs, err2 := RegularizedIncompleteBeta(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(lhs+rhs, 1, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncompleteBetaMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for i := 0; i <= 100; i++ {
+		x := float64(i) / 100
+		v, err := RegularizedIncompleteBeta(3, 7, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("I_x(3,7) not monotone at x=%g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestStudentTKnownCriticalValues pins the t CDF against standard table
+// values: the 97.5th percentile of t(df) for several df.
+func TestStudentTKnownCriticalValues(t *testing.T) {
+	cases := []struct {
+		df, t975 float64
+	}{
+		{1, 12.706},
+		{2, 4.303},
+		{5, 2.571},
+		{10, 2.228},
+		{21, 2.080},
+		{30, 2.042},
+	}
+	for _, c := range cases {
+		p2, err := StudentTPValue2(c.t975, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two-sided p at the 97.5% critical value is 0.05.
+		if !almostEqual(p2, 0.05, 5e-4) {
+			t.Errorf("df=%g: p2(%g) = %g, want 0.05", c.df, c.t975, p2)
+		}
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 3, 21, 100} {
+		for _, x := range []float64{0, 0.5, 1.3, 4.2} {
+			up, err1 := StudentTCDF(x, df)
+			dn, err2 := StudentTCDF(-x, df)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !almostEqual(up+dn, 1, 1e-10) {
+				t.Fatalf("df=%g x=%g: CDF(x)+CDF(-x) = %g", df, x, up+dn)
+			}
+		}
+	}
+	if v, _ := StudentTCDF(0, 7); !almostEqual(v, 0.5, 1e-12) {
+		t.Fatalf("CDF(0) = %g", v)
+	}
+}
+
+func TestStudentTPValueEdgeCases(t *testing.T) {
+	if _, err := StudentTPValue2(1, 0); err == nil {
+		t.Fatal("df=0 accepted")
+	}
+	if p, err := StudentTPValue2(math.Inf(1), 5); err != nil || p != 0 {
+		t.Fatalf("p(inf) = %v, %v", p, err)
+	}
+	if p, err := StudentTPValue2(0, 5); err != nil || !almostEqual(p, 1, 1e-12) {
+		t.Fatalf("p(0) = %v, %v", p, err)
+	}
+}
+
+func TestStudentTLargeDFApproachesNormal(t *testing.T) {
+	// For df = 1e6 the t distribution is essentially standard normal:
+	// P(|T| >= 1.96) ≈ 0.05.
+	p2, err := StudentTPValue2(1.959964, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p2, 0.05, 1e-4) {
+		t.Fatalf("p2 = %g, want ~0.05", p2)
+	}
+}

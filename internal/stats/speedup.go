@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The shared-memory module closes with "a small benchmarking study": learners
+// time an exemplar at 1..N threads and compute speedup and efficiency. These
+// helpers are that study's arithmetic, plus the classic scalability models
+// instructors introduce alongside it.
+
+// ErrNonPositiveTime is returned for non-positive durations.
+var ErrNonPositiveTime = errors.New("stats: durations must be positive")
+
+// Speedup returns sequentialTime / parallelTime.
+func Speedup(sequential, parallel time.Duration) (float64, error) {
+	if sequential <= 0 || parallel <= 0 {
+		return 0, ErrNonPositiveTime
+	}
+	return float64(sequential) / float64(parallel), nil
+}
+
+// Efficiency returns speedup divided by the worker count.
+func Efficiency(sequential, parallel time.Duration, workers int) (float64, error) {
+	if workers < 1 {
+		return 0, fmt.Errorf("stats: worker count must be >= 1, got %d", workers)
+	}
+	s, err := Speedup(sequential, parallel)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(workers), nil
+}
+
+// AmdahlSpeedup predicts the speedup on p workers of a program whose serial
+// fraction is f (0 <= f <= 1): 1 / (f + (1-f)/p).
+func AmdahlSpeedup(serialFraction float64, p int) (float64, error) {
+	if serialFraction < 0 || serialFraction > 1 {
+		return 0, fmt.Errorf("stats: serial fraction %g outside [0,1]", serialFraction)
+	}
+	if p < 1 {
+		return 0, fmt.Errorf("stats: worker count must be >= 1, got %d", p)
+	}
+	return 1 / (serialFraction + (1-serialFraction)/float64(p)), nil
+}
+
+// GustafsonSpeedup predicts scaled speedup on p workers with serial fraction
+// f: p - f*(p-1).
+func GustafsonSpeedup(serialFraction float64, p int) (float64, error) {
+	if serialFraction < 0 || serialFraction > 1 {
+		return 0, fmt.Errorf("stats: serial fraction %g outside [0,1]", serialFraction)
+	}
+	if p < 1 {
+		return 0, fmt.Errorf("stats: worker count must be >= 1, got %d", p)
+	}
+	fp := float64(p)
+	return fp - serialFraction*(fp-1), nil
+}
+
+// KarpFlatt computes the experimentally determined serial fraction from a
+// measured speedup s on p > 1 workers: (1/s - 1/p) / (1 - 1/p).
+func KarpFlatt(speedup float64, p int) (float64, error) {
+	if p < 2 {
+		return 0, fmt.Errorf("stats: Karp-Flatt needs p >= 2, got %d", p)
+	}
+	if speedup <= 0 {
+		return 0, fmt.Errorf("stats: speedup must be positive, got %g", speedup)
+	}
+	invP := 1 / float64(p)
+	return (1/speedup - invP) / (1 - invP), nil
+}
+
+// ScalingPoint is one row of a scaling study.
+type ScalingPoint struct {
+	Workers    int
+	Elapsed    time.Duration
+	Speedup    float64
+	Efficiency float64
+}
+
+// ScalingStudy derives speedup and efficiency rows from measured times,
+// treating times[0] as the 1-worker baseline. workers[i] is the worker count
+// for times[i].
+func ScalingStudy(workers []int, times []time.Duration) ([]ScalingPoint, error) {
+	if len(workers) != len(times) {
+		return nil, fmt.Errorf("stats: %d worker counts but %d times", len(workers), len(times))
+	}
+	if len(workers) == 0 {
+		return nil, ErrEmpty
+	}
+	base := times[0]
+	points := make([]ScalingPoint, len(workers))
+	for i := range workers {
+		s, err := Speedup(base, times[i])
+		if err != nil {
+			return nil, err
+		}
+		e, err := Efficiency(base, times[i], workers[i])
+		if err != nil {
+			return nil, err
+		}
+		points[i] = ScalingPoint{Workers: workers[i], Elapsed: times[i], Speedup: s, Efficiency: e}
+	}
+	return points, nil
+}
+
+// FormatScaling renders a scaling study as the table the benchmarking
+// activity asks learners to fill in.
+func FormatScaling(points []ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %14s %9s %11s\n", "workers", "time", "speedup", "efficiency")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %14s %8.2fx %10.1f%%\n",
+			p.Workers, p.Elapsed.Round(time.Microsecond), p.Speedup, 100*p.Efficiency)
+	}
+	return b.String()
+}

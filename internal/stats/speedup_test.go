@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	s, err := Speedup(8*time.Second, 2*time.Second)
+	if err != nil || s != 4 {
+		t.Fatalf("Speedup = %v, %v", s, err)
+	}
+	e, err := Efficiency(8*time.Second, 2*time.Second, 4)
+	if err != nil || e != 1 {
+		t.Fatalf("Efficiency = %v, %v", e, err)
+	}
+	if _, err := Speedup(0, time.Second); !errors.Is(err, ErrNonPositiveTime) {
+		t.Fatalf("zero sequential err = %v", err)
+	}
+	if _, err := Efficiency(time.Second, time.Second, 0); err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+}
+
+func TestAmdahlKnownValues(t *testing.T) {
+	// Fully parallel program: speedup = p.
+	s, err := AmdahlSpeedup(0, 8)
+	if err != nil || s != 8 {
+		t.Fatalf("Amdahl(0, 8) = %v", s)
+	}
+	// 10% serial at p→∞ caps at 10; at p=10 it's 1/(0.1+0.09) ≈ 5.263.
+	s, err = AmdahlSpeedup(0.1, 10)
+	if err != nil || !almostEqual(s, 1/(0.1+0.9/10), 1e-12) {
+		t.Fatalf("Amdahl(0.1, 10) = %v", s)
+	}
+	// Fully serial program never speeds up.
+	s, err = AmdahlSpeedup(1, 64)
+	if err != nil || s != 1 {
+		t.Fatalf("Amdahl(1, 64) = %v", s)
+	}
+	if _, err := AmdahlSpeedup(-0.1, 2); err == nil {
+		t.Fatal("negative serial fraction accepted")
+	}
+	if _, err := AmdahlSpeedup(0.5, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	s, err := GustafsonSpeedup(0, 16)
+	if err != nil || s != 16 {
+		t.Fatalf("Gustafson(0,16) = %v", s)
+	}
+	s, err = GustafsonSpeedup(0.1, 10)
+	if err != nil || !almostEqual(s, 10-0.1*9, 1e-12) {
+		t.Fatalf("Gustafson(0.1,10) = %v", s)
+	}
+	if _, err := GustafsonSpeedup(2, 4); err == nil {
+		t.Fatal("serial fraction 2 accepted")
+	}
+}
+
+func TestKarpFlattRecoversAmdahlFraction(t *testing.T) {
+	// If the measured speedup follows Amdahl's law exactly, Karp-Flatt must
+	// recover the serial fraction.
+	for _, f := range []float64{0.05, 0.2, 0.5} {
+		for _, p := range []int{2, 4, 16, 64} {
+			s, err := AmdahlSpeedup(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := KarpFlatt(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, f, 1e-9) {
+				t.Fatalf("KarpFlatt(Amdahl(%g,%d)) = %g", f, p, got)
+			}
+		}
+	}
+	if _, err := KarpFlatt(2, 1); err == nil {
+		t.Fatal("p=1 accepted")
+	}
+	if _, err := KarpFlatt(0, 4); err == nil {
+		t.Fatal("speedup=0 accepted")
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	workers := []int{1, 2, 4}
+	times := []time.Duration{8 * time.Second, 4 * time.Second, 2500 * time.Millisecond}
+	pts, err := ScalingStudy(workers, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Fatalf("baseline point = %+v", pts[0])
+	}
+	if pts[1].Speedup != 2 {
+		t.Fatalf("2-worker speedup = %v", pts[1].Speedup)
+	}
+	if !almostEqual(pts[2].Speedup, 3.2, 1e-12) || !almostEqual(pts[2].Efficiency, 0.8, 1e-12) {
+		t.Fatalf("4-worker point = %+v", pts[2])
+	}
+	out := FormatScaling(pts)
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "3.20x") {
+		t.Fatalf("FormatScaling = %q", out)
+	}
+}
+
+func TestScalingStudyErrors(t *testing.T) {
+	if _, err := ScalingStudy([]int{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ScalingStudy(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty study err = %v", err)
+	}
+	if _, err := ScalingStudy([]int{1}, []time.Duration{0}); err == nil {
+		t.Fatal("zero time accepted")
+	}
+}

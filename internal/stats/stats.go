@@ -1,0 +1,104 @@
+// Package stats implements the statistics the paper's evaluation uses —
+// summary statistics of Likert-scale survey responses, paired Student's
+// t-tests (Figures 3 and 4 report t-test p-values of 0.0004 and 4.18e-08),
+// and histogram binning — plus the performance metrics (speedup, efficiency,
+// and the Amdahl/Gustafson/Karp-Flatt models) that the benchmarking study in
+// the shared-memory module asks learners to compute.
+//
+// Everything is implemented from scratch on the standard math package,
+// including the regularized incomplete beta function that underlies the
+// Student t cumulative distribution.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries of empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrLengthMismatch is returned when paired samples differ in length.
+var ErrLengthMismatch = errors.New("stats: paired samples differ in length")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs,
+// which requires at least two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Median returns the median of xs (the average of the two central values
+// for even-length samples).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Round rounds x to the given number of decimal places, half away from
+// zero — the convention the paper's reported means follow (e.g. 100/22
+// reported as 4.55).
+func Round(x float64, places int) float64 {
+	scale := math.Pow(10, float64(places))
+	return math.Round(x*scale) / scale
+}

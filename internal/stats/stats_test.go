@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanAndSum(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Sum(xs); got != 10 {
+		t.Fatalf("Sum = %v", got)
+	}
+	m, err := Mean(xs)
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Mean(nil) err = %v", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations is 32; sample variance = 32/7.
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", v)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v, %v", sd, err)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Variance of singleton err = %v", err)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("MinMax(nil) did not error")
+	}
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Fatalf("odd Median = %v", m)
+	}
+	m, err = Median([]float64{4, 1, 3, 2})
+	if err != nil || m != 2.5 {
+		t.Fatalf("even Median = %v", m)
+	}
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Median(nil) did not error")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestRoundHalfAwayFromZero(t *testing.T) {
+	cases := []struct {
+		x      float64
+		places int
+		want   float64
+	}{
+		{100.0 / 22.0, 2, 4.55}, // the Table II convention
+		{98.0 / 22.0, 2, 4.45},
+		{62.0 / 22.0, 2, 2.82},
+		{2.345, 2, 2.35},
+		{-2.345, 2, -2.35},
+		{1.5, 0, 2},
+	}
+	for _, c := range cases {
+		if got := Round(c.x, c.places); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Round(%v, %d) = %v, want %v", c.x, c.places, got, c.want)
+		}
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m, err := Mean(clean)
+		if err != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(clean)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		v, err := Variance(clean)
+		return err == nil && v >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

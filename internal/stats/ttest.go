@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult reports a Student's t-test: the statistic, its degrees of
+// freedom, the two-sided p-value, and the sample summaries behind it.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // degrees of freedom
+	P2 float64 // two-sided p-value
+
+	N        int     // number of pairs (paired test) or observations
+	MeanDiff float64 // mean of the pair differences
+	SDDiff   float64 // sample standard deviation of the differences
+}
+
+// String formats the test the way results sections cite it.
+func (r TTestResult) String() string {
+	return fmt.Sprintf("t(%g) = %.4f, p = %.4g (two-sided)", r.DF, r.T, r.P2)
+}
+
+// PairedTTest performs the paired Student's t-test the paper applies to its
+// pre/post workshop surveys: it tests whether the mean of the pairwise
+// differences post[i] − pre[i] is zero. It requires at least two pairs and
+// a nonzero difference variance.
+func PairedTTest(pre, post []float64) (TTestResult, error) {
+	if len(pre) != len(post) {
+		return TTestResult{}, ErrLengthMismatch
+	}
+	n := len(pre)
+	if n < 2 {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test needs >= 2 pairs, got %d", n)
+	}
+	diffs := make([]float64, n)
+	for i := range pre {
+		diffs[i] = post[i] - pre[i]
+	}
+	mean, _ := Mean(diffs)
+	sd, _ := StdDev(diffs)
+	if sd == 0 {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test undefined for zero-variance differences")
+	}
+	t := mean / (sd / math.Sqrt(float64(n)))
+	df := float64(n - 1)
+	p2, err := StudentTPValue2(t, df)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	return TTestResult{T: t, DF: df, P2: p2, N: n, MeanDiff: mean, SDDiff: sd}, nil
+}
+
+// OneSampleTTest tests whether the mean of xs differs from mu.
+func OneSampleTTest(xs []float64, mu float64) (TTestResult, error) {
+	n := len(xs)
+	if n < 2 {
+		return TTestResult{}, fmt.Errorf("stats: one-sample t-test needs >= 2 observations, got %d", n)
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	if sd == 0 {
+		return TTestResult{}, fmt.Errorf("stats: one-sample t-test undefined for zero-variance sample")
+	}
+	t := (mean - mu) / (sd / math.Sqrt(float64(n)))
+	df := float64(n - 1)
+	p2, err := StudentTPValue2(t, df)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	return TTestResult{T: t, DF: df, P2: p2, N: n, MeanDiff: mean - mu, SDDiff: sd}, nil
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPairedTTestHandComputedExample(t *testing.T) {
+	// pre/post with differences {1,1,1,1,0,2}: mean d = 1, sd d = sqrt(0.4),
+	// t = 1/(sqrt(0.4)/sqrt(6)) = sqrt(15) ≈ 3.8730, df = 5, p ≈ 0.0117.
+	pre := []float64{2, 3, 1, 4, 3, 2}
+	post := []float64{3, 4, 2, 5, 3, 4}
+	r, err := PairedTTest(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 6 || r.DF != 5 {
+		t.Fatalf("N=%d DF=%g", r.N, r.DF)
+	}
+	if !almostEqual(r.MeanDiff, 1, 1e-12) {
+		t.Fatalf("MeanDiff = %g", r.MeanDiff)
+	}
+	if !almostEqual(r.T, 3.872983346, 1e-8) {
+		t.Fatalf("T = %g", r.T)
+	}
+	if !almostEqual(r.P2, 0.0117, 2e-4) {
+		t.Fatalf("P2 = %g, want ~0.0117", r.P2)
+	}
+}
+
+func TestPairedTTestSignConvention(t *testing.T) {
+	// Post lower than pre must give a negative t with the same p as the
+	// mirrored test.
+	pre := []float64{3, 4, 5, 4, 3, 5, 2}
+	post := []float64{2, 3, 4, 4, 2, 4, 2}
+	fwd, err := PairedTTest(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := PairedTTest(post, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.T >= 0 {
+		t.Fatalf("decline gave t = %g, want negative", fwd.T)
+	}
+	if !almostEqual(fwd.T, -rev.T, 1e-12) || !almostEqual(fwd.P2, rev.P2, 1e-12) {
+		t.Fatalf("asymmetry: fwd %v rev %v", fwd, rev)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length mismatch err = %v", err)
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single pair accepted")
+	}
+	if _, err := PairedTTest([]float64{1, 2, 3}, []float64{2, 3, 4}); err == nil {
+		t.Fatal("zero-variance differences accepted")
+	}
+}
+
+func TestOneSampleTTest(t *testing.T) {
+	xs := []float64{5.1, 4.9, 5.3, 5.0, 4.8, 5.2}
+	r, err := OneSampleTTest(xs, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean is 5.05; the test should be far from significant.
+	if r.P2 < 0.3 {
+		t.Fatalf("p = %g, expected clearly non-significant", r.P2)
+	}
+	if _, err := OneSampleTTest([]float64{1}, 0); err == nil {
+		t.Fatal("singleton accepted")
+	}
+	if _, err := OneSampleTTest([]float64{2, 2, 2}, 0); err == nil {
+		t.Fatal("zero-variance accepted")
+	}
+}
+
+func TestTTestResultString(t *testing.T) {
+	r := TTestResult{T: 4.17, DF: 21, P2: 0.00044}
+	s := r.String()
+	if !strings.Contains(s, "t(21)") || !strings.Contains(s, "0.00044") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestPairedTTestMatchesPaperFigure3 verifies that response vectors with the
+// paper's published pre/post means (2.82, 3.59) yield a p-value that rounds
+// to the published 0.0004. The vectors here mirror internal/survey's data.
+func TestPairedTTestMatchesPaperFigure3(t *testing.T) {
+	// Differences: five 2s, eight 1s, eight 0s, one -1 (sum 17, n 22).
+	diffs := []float64{2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, -1}
+	pre := make([]float64, len(diffs))
+	post := make([]float64, len(diffs))
+	for i, d := range diffs {
+		pre[i] = 3
+		post[i] = 3 + d
+	}
+	r, err := PairedTTest(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.MeanDiff, 17.0/22.0, 1e-12) {
+		t.Fatalf("MeanDiff = %g", r.MeanDiff)
+	}
+	if r.P2 < 0.00035 || r.P2 > 0.00045 {
+		t.Fatalf("P2 = %g, want to round to the paper's 0.0004", r.P2)
+	}
+}

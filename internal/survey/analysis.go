@@ -1,0 +1,234 @@
+package survey
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// TableIIResult carries the recomputed Table II: mean usefulness of each
+// session for (A) implementing PDC in courses and (B) professional
+// development, rounded to two decimals as the paper prints them.
+type TableIIResult struct {
+	OpenMPImplement float64
+	OpenMPProfDev   float64
+	MPIImplement    float64
+	MPIProfDev      float64
+
+	// Respondent counts per cell (the MPI items were skipped by one
+	// participant).
+	NOpenMP, NMPI int
+}
+
+// ratings collects the non-skipped values of one item.
+func ratings(ps []Participant, item func(Participant) int) []float64 {
+	var out []float64
+	for _, p := range ps {
+		if v := item(p); v > 0 {
+			out = append(out, float64(v))
+		}
+	}
+	return out
+}
+
+func roundedMean(xs []float64) float64 {
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return stats.Round(m, 2)
+}
+
+// TableII recomputes the paper's Table II from the raw responses.
+func TableII(ps []Participant) TableIIResult {
+	omA := ratings(ps, func(p Participant) int { return p.OpenMPImplement })
+	omB := ratings(ps, func(p Participant) int { return p.OpenMPProfDev })
+	mpA := ratings(ps, func(p Participant) int { return p.MPIImplement })
+	mpB := ratings(ps, func(p Participant) int { return p.MPIProfDev })
+	return TableIIResult{
+		OpenMPImplement: roundedMean(omA),
+		OpenMPProfDev:   roundedMean(omB),
+		MPIImplement:    roundedMean(mpA),
+		MPIProfDev:      roundedMean(mpB),
+		NOpenMP:         len(omA),
+		NMPI:            len(mpA),
+	}
+}
+
+// FormatTableII renders the table the way the paper prints it.
+func FormatTableII(r TableIIResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "TABLE II — How useful was each session for (A) implementing PDC in")
+	fmt.Fprintln(&b, "your courses; (B) your professional development?")
+	fmt.Fprintf(&b, "%-36s %6s %6s\n", "Session", "(A)", "(B)")
+	fmt.Fprintf(&b, "%-36s %6.2f %6.2f\n", "OpenMP on Raspberry Pi", r.OpenMPImplement, r.OpenMPProfDev)
+	fmt.Fprintf(&b, "%-36s %6.2f %6.2f\n", "MPI & Distr. Cluster Computing", r.MPIImplement, r.MPIProfDev)
+	return b.String()
+}
+
+// PrePostResult carries one pre/post figure: the two histograms, the
+// rounded means, and the paired t-test.
+type PrePostResult struct {
+	Title    string
+	Pre      *stats.Histogram
+	Post     *stats.Histogram
+	PreMean  float64
+	PostMean float64
+	TTest    stats.TTestResult
+}
+
+// prePost computes a figure from paired responses on a labeled scale.
+func prePost(title string, labels []string, pre, post []int) (PrePostResult, error) {
+	preH, err := stats.NewLikertHistogram(labels, pre)
+	if err != nil {
+		return PrePostResult{}, err
+	}
+	postH, err := stats.NewLikertHistogram(labels, post)
+	if err != nil {
+		return PrePostResult{}, err
+	}
+	preF := make([]float64, len(pre))
+	postF := make([]float64, len(post))
+	for i := range pre {
+		preF[i] = float64(pre[i])
+		postF[i] = float64(post[i])
+	}
+	tt, err := stats.PairedTTest(preF, postF)
+	if err != nil {
+		return PrePostResult{}, err
+	}
+	return PrePostResult{
+		Title:    title,
+		Pre:      preH,
+		Post:     postH,
+		PreMean:  stats.Round(mustMean(preF), 2),
+		PostMean: stats.Round(mustMean(postF), 2),
+		TTest:    tt,
+	}, nil
+}
+
+func mustMean(xs []float64) float64 {
+	m, _ := stats.Mean(xs)
+	return m
+}
+
+// Figure3 recomputes the paper's Figure 3: confidence in implementing PDC
+// topics, before and after the workshop.
+func Figure3(ps []Participant) (PrePostResult, error) {
+	pre := make([]int, len(ps))
+	post := make([]int, len(ps))
+	for i, p := range ps {
+		pre[i], post[i] = p.ConfidencePre, p.ConfidencePost
+	}
+	return prePost("Indicate your current level of confidence in implementing PDC topics in your courses.",
+		ConfidenceScale, pre, post)
+}
+
+// Figure4 recomputes the paper's Figure 4: preparedness to implement PDC
+// topics, before and after the workshop.
+func Figure4(ps []Participant) (PrePostResult, error) {
+	pre := make([]int, len(ps))
+	post := make([]int, len(ps))
+	for i, p := range ps {
+		pre[i], post[i] = p.PreparednessPre, p.PreparednessPost
+	}
+	return prePost("How prepared do you feel to successfully implement PDC topics in your courses?",
+		PreparednessScale, pre, post)
+}
+
+// FormatPrePost renders a figure as paired histograms with the t-test line
+// the paper reports beneath it.
+func FormatPrePost(r PrePostResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, r.Title)
+	fmt.Fprintln(&b)
+	b.WriteString(stats.PairedHistograms(r.Pre, r.Post, 24))
+	fmt.Fprintf(&b, "\npre mean = %.2f, post mean = %.2f\n", r.PreMean, r.PostMean)
+	fmt.Fprintf(&b, "paired %s\n", r.TTest)
+	return b.String()
+}
+
+// Demographic summarizes the cohort as percentages of respondents, rounded
+// half away from zero, as the paper reports them.
+type Demographic struct {
+	N int
+
+	PctFaculty, PctGradStudents                 float64
+	NContinentalUS, NPuertoRico, NInternational int
+	PctMale, PctFemale, PctOther                float64
+	PctTenure, PctNonTenure, PctGradTrack       float64
+
+	PctFullyRemote, PctHybrid, PctInPerson, PctUndecided float64
+	PctInstitutionHybrid                                 float64
+}
+
+func pct(count, n int) float64 {
+	return stats.Round(100*float64(count)/float64(n), 0)
+}
+
+// Demographics recomputes the Section IV cohort description.
+func Demographics(ps []Participant) Demographic {
+	d := Demographic{N: len(ps)}
+	counts := map[string]int{}
+	for _, p := range ps {
+		switch p.Role {
+		case Faculty:
+			counts["faculty"]++
+		case GradStudent:
+			counts["grad"]++
+		}
+		switch p.Location {
+		case ContinentalUS:
+			d.NContinentalUS++
+		case PuertoRico:
+			d.NPuertoRico++
+		case International:
+			d.NInternational++
+		}
+		switch p.Gender {
+		case Male:
+			counts["male"]++
+		case Female:
+			counts["female"]++
+		case OtherGender:
+			counts["other"]++
+		}
+		switch p.Track {
+		case TenureTrack:
+			counts["tenure"]++
+		case NonTenureTrack:
+			counts["nontenure"]++
+		case GradTrack:
+			counts["gradtrack"]++
+		}
+		switch p.FallPlan {
+		case FullyRemote:
+			counts["remote"]++
+		case HybridTeaching:
+			counts["hybrid"]++
+		case InPerson:
+			counts["inperson"]++
+		case Undecided:
+			counts["undecided"]++
+		}
+		if p.InstitutionHybrid {
+			counts["insthybrid"]++
+		}
+	}
+	n := len(ps)
+	d.PctFaculty = pct(counts["faculty"], n)
+	d.PctGradStudents = pct(counts["grad"], n)
+	d.PctMale = pct(counts["male"], n)
+	d.PctFemale = pct(counts["female"], n)
+	d.PctOther = pct(counts["other"], n)
+	d.PctTenure = pct(counts["tenure"], n)
+	d.PctNonTenure = pct(counts["nontenure"], n)
+	d.PctGradTrack = pct(counts["gradtrack"], n)
+	d.PctFullyRemote = pct(counts["remote"], n)
+	d.PctHybrid = pct(counts["hybrid"], n)
+	d.PctInPerson = pct(counts["inperson"], n)
+	d.PctUndecided = pct(counts["undecided"], n)
+	d.PctInstitutionHybrid = pct(counts["insthybrid"], n)
+	return d
+}

@@ -1,0 +1,91 @@
+package survey
+
+// The paper's Section IV quotes the participants' open-ended feedback at
+// length; those quotes are part of the published evaluation, so they are
+// carried here verbatim, tagged by session and theme, and surfaced by the
+// workshop reporting tools.
+
+// Quote is one open-ended survey response.
+type Quote struct {
+	// Session names which part of the workshop the comment addresses:
+	// "openmp-pi", "mpi-distributed", or "workshop" for overall remarks.
+	Session string
+	// Theme is a short tag for what the comment is evidence of.
+	Theme string
+	Text  string
+}
+
+// OpenEndedFeedback returns the participant quotes the paper publishes,
+// in the order they appear in Section IV.
+func OpenEndedFeedback() []Quote {
+	return []Quote{
+		{
+			Session: "openmp-pi",
+			Theme:   "classroom adoption",
+			Text: "We can see — using the Pi — several key concepts demonstrated. The level " +
+				"of difficulty was well in the range of our students. After this day — I " +
+				"immediately saw where we can show and use the exercises in our class!!",
+		},
+		{
+			Session: "openmp-pi",
+			Theme:   "manipulative value",
+			Text:    "it brings concepts home in a way that nothing else seems to do",
+		},
+		{
+			Session: "openmp-pi",
+			Theme:   "consistent environment",
+			Text:    "Having a consistent system makes life so much easier and allows for a consistent experience",
+		},
+		{
+			Session: "openmp-pi",
+			Theme:   "local device advantage",
+			Text: "Having students connect to Zoom and separately connect to a remote server " +
+				"can be hard on some wireless connections",
+		},
+		{
+			Session: "mpi-distributed",
+			Theme:   "python viability",
+			Text: "It did show me that MPI can be used in Python; this makes Python somewhat " +
+				"viable as a parallel teaching tool",
+		},
+		{
+			Session: "mpi-distributed",
+			Theme:   "accessibility",
+			Text: "Although they seem difficult, the parallel programming basics are not " +
+				"[difficult] when introduced correctly.",
+		},
+		{
+			Session: "mpi-distributed",
+			Theme:   "platform friction",
+			Text:    "The platform switches seem to be a little confusing.",
+		},
+		{
+			Session: "workshop",
+			Theme:   "material quality",
+			Text:    "The level where the material was presented was perfect",
+		},
+		{
+			Session: "workshop",
+			Theme:   "preparedness",
+			Text: "I got a lot of material and I feel quite prepared to offer a course on " +
+				"parallel computing this coming Fall",
+		},
+		{
+			Session: "workshop",
+			Theme:   "remote-format anxiety",
+			Text: "I'm pretty quiet/shy in general and have telephone anxiety... I think I " +
+				"would have contributed more if we weren't trapped in the online format.",
+		},
+	}
+}
+
+// FeedbackBySession filters the quotes for one session tag.
+func FeedbackBySession(session string) []Quote {
+	var out []Quote
+	for _, q := range OpenEndedFeedback() {
+		if q.Session == session {
+			out = append(out, q)
+		}
+	}
+	return out
+}

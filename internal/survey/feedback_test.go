@@ -1,0 +1,56 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenEndedFeedbackCoverage(t *testing.T) {
+	quotes := OpenEndedFeedback()
+	if len(quotes) != 10 {
+		t.Fatalf("quotes = %d, want the paper's 10", len(quotes))
+	}
+	sessions := map[string]int{}
+	for _, q := range quotes {
+		if q.Text == "" || q.Theme == "" {
+			t.Errorf("quote with empty fields: %+v", q)
+		}
+		sessions[q.Session]++
+	}
+	if sessions["openmp-pi"] != 4 || sessions["mpi-distributed"] != 3 || sessions["workshop"] != 3 {
+		t.Fatalf("session distribution = %v", sessions)
+	}
+}
+
+func TestFeedbackContainsKeyQuotes(t *testing.T) {
+	all := OpenEndedFeedback()
+	var joined strings.Builder
+	for _, q := range all {
+		joined.WriteString(q.Text)
+	}
+	for _, want := range []string{
+		"brings concepts home",
+		"MPI can be used in Python",
+		"platform switches",
+		"consistent experience",
+	} {
+		if !strings.Contains(joined.String(), want) {
+			t.Errorf("missing published quote %q", want)
+		}
+	}
+}
+
+func TestFeedbackBySession(t *testing.T) {
+	pi := FeedbackBySession("openmp-pi")
+	if len(pi) != 4 {
+		t.Fatalf("openmp-pi quotes = %d", len(pi))
+	}
+	for _, q := range pi {
+		if q.Session != "openmp-pi" {
+			t.Fatalf("filter leaked %+v", q)
+		}
+	}
+	if got := FeedbackBySession("nonexistent"); got != nil {
+		t.Fatalf("unknown session returned %v", got)
+	}
+}

@@ -1,0 +1,192 @@
+package survey
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCohortSize(t *testing.T) {
+	ps := Workshop2020()
+	if len(ps) != 22 {
+		t.Fatalf("participants = %d, want the paper's 22", len(ps))
+	}
+	ids := map[int]bool{}
+	for _, p := range ps {
+		if ids[p.ID] {
+			t.Fatalf("duplicate participant id %d", p.ID)
+		}
+		ids[p.ID] = true
+	}
+}
+
+func TestResponsesOnScale(t *testing.T) {
+	for _, p := range Workshop2020() {
+		for name, v := range map[string]int{
+			"ConfidencePre": p.ConfidencePre, "ConfidencePost": p.ConfidencePost,
+			"PreparednessPre": p.PreparednessPre, "PreparednessPost": p.PreparednessPost,
+			"OpenMPImplement": p.OpenMPImplement, "OpenMPProfDev": p.OpenMPProfDev,
+		} {
+			if v < 1 || v > 5 {
+				t.Errorf("participant %d: %s = %d outside 1..5", p.ID, name, v)
+			}
+		}
+		// MPI items may be skipped (0) but never out of scale.
+		for name, v := range map[string]int{"MPIImplement": p.MPIImplement, "MPIProfDev": p.MPIProfDev} {
+			if v < 0 || v > 5 {
+				t.Errorf("participant %d: %s = %d", p.ID, name, v)
+			}
+		}
+	}
+}
+
+// TestTableII pins the recomputed Table II to the paper's published means.
+func TestTableII(t *testing.T) {
+	r := TableII(Workshop2020())
+	if r.OpenMPImplement != 4.55 {
+		t.Errorf("OpenMP (A) = %.2f, want 4.55", r.OpenMPImplement)
+	}
+	if r.OpenMPProfDev != 4.45 {
+		t.Errorf("OpenMP (B) = %.2f, want 4.45", r.OpenMPProfDev)
+	}
+	if r.MPIImplement != 4.38 {
+		t.Errorf("MPI (A) = %.2f, want 4.38", r.MPIImplement)
+	}
+	if r.MPIProfDev != 4.29 {
+		t.Errorf("MPI (B) = %.2f, want 4.29", r.MPIProfDev)
+	}
+	if r.NOpenMP != 22 || r.NMPI != 21 {
+		t.Errorf("respondents = %d/%d, want 22/21", r.NOpenMP, r.NMPI)
+	}
+}
+
+func TestTableIIRatedFourOrHigher(t *testing.T) {
+	// "they rated each of the workshop's sessions at 4 or higher".
+	r := TableII(Workshop2020())
+	for _, v := range []float64{r.OpenMPImplement, r.OpenMPProfDev, r.MPIImplement, r.MPIProfDev} {
+		if v < 4 {
+			t.Errorf("session mean %.2f below 4", v)
+		}
+	}
+	// And the OpenMP/Pi session is the highest-rated in both columns.
+	if r.OpenMPImplement <= r.MPIImplement || r.OpenMPProfDev <= r.MPIProfDev {
+		t.Error("OpenMP on Raspberry Pi is not the top-rated session")
+	}
+}
+
+func TestFormatTableII(t *testing.T) {
+	out := FormatTableII(TableII(Workshop2020()))
+	for _, want := range []string{"TABLE II", "OpenMP on Raspberry Pi", "4.55", "4.45", "4.38", "4.29"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure3 pins the confidence analysis to the paper's published
+// statistics: pre mean 2.82, post mean 3.59, p = 0.0004.
+func TestFigure3(t *testing.T) {
+	r, err := Figure3(Workshop2020())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreMean != 2.82 {
+		t.Errorf("pre mean = %.2f, want 2.82", r.PreMean)
+	}
+	if r.PostMean != 3.59 {
+		t.Errorf("post mean = %.2f, want 3.59", r.PostMean)
+	}
+	if r.TTest.DF != 21 {
+		t.Errorf("df = %g, want 21", r.TTest.DF)
+	}
+	// The paper prints p = 0.0004; the recomputed p must round there.
+	if r.TTest.P2 < 0.00035 || r.TTest.P2 >= 0.00045 {
+		t.Errorf("p = %g, does not round to the paper's 0.0004", r.TTest.P2)
+	}
+	if r.Pre.Total() != 22 || r.Post.Total() != 22 {
+		t.Errorf("histogram totals %d/%d", r.Pre.Total(), r.Post.Total())
+	}
+}
+
+// TestFigure4 pins the preparedness analysis: pre 2.59, post 3.77,
+// p = 4.18e-08 (order of magnitude 1e-8).
+func TestFigure4(t *testing.T) {
+	r, err := Figure4(Workshop2020())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreMean != 2.59 {
+		t.Errorf("pre mean = %.2f, want 2.59", r.PreMean)
+	}
+	if r.PostMean != 3.77 {
+		t.Errorf("post mean = %.2f, want 3.77", r.PostMean)
+	}
+	// The recomputed p-value lands on the paper's printed 4.18e-08 to
+	// three significant figures.
+	if r.TTest.P2 < 4.15e-8 || r.TTest.P2 > 4.21e-8 {
+		t.Errorf("p = %g, want the paper's 4.18e-08", r.TTest.P2)
+	}
+	// Both figures show significant growth; Figure 4's is stronger.
+	f3, _ := Figure3(Workshop2020())
+	if !(r.TTest.P2 < f3.TTest.P2) {
+		t.Error("preparedness gain not stronger than confidence gain")
+	}
+	if !(r.TTest.T > 0 && f3.TTest.T > 0) {
+		t.Error("t statistics should be positive (post > pre)")
+	}
+}
+
+func TestFigureRenders(t *testing.T) {
+	for _, figure := range []func([]Participant) (PrePostResult, error){Figure3, Figure4} {
+		r, err := figure(Workshop2020())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := FormatPrePost(r)
+		for _, want := range []string{"pre  |", "post |", "pre mean", "paired t(21)"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("figure render missing %q:\n%s", want, out)
+			}
+		}
+	}
+}
+
+// TestDemographics checks the cohort description against Section IV's
+// percentages, with ±2 points of slack where the paper's rounding is loose
+// (see the package comment) and exact counts where it gives counts.
+func TestDemographics(t *testing.T) {
+	d := Demographics(Workshop2020())
+	if d.N != 22 {
+		t.Fatalf("N = %d", d.N)
+	}
+	if d.NContinentalUS != 19 || d.NPuertoRico != 1 || d.NInternational != 2 {
+		t.Errorf("locations = %d/%d/%d, want 19/1/2", d.NContinentalUS, d.NPuertoRico, d.NInternational)
+	}
+	within := func(name string, got, want float64) {
+		if math.Abs(got-want) > 2 {
+			t.Errorf("%s = %.0f%%, want %.0f%% ± 2", name, got, want)
+		}
+	}
+	within("faculty", d.PctFaculty, 85)
+	within("grad students", d.PctGradStudents, 15)
+	within("male", d.PctMale, 77)
+	within("female", d.PctFemale, 18)
+	within("other", d.PctOther, 5)
+	within("tenure", d.PctTenure, 46)
+	within("non-tenure", d.PctNonTenure, 39)
+	within("grad track", d.PctGradTrack, 15)
+	within("fully remote", d.PctFullyRemote, 39)
+	within("hybrid", d.PctHybrid, 35)
+	within("in person", d.PctInPerson, 17)
+	within("institution hybrid", d.PctInstitutionHybrid, 74)
+}
+
+func TestGenderAndRoleSumToWhole(t *testing.T) {
+	d := Demographics(Workshop2020())
+	if got := d.PctMale + d.PctFemale + d.PctOther; math.Abs(got-100) > 1 {
+		t.Errorf("gender percentages sum to %v", got)
+	}
+	if got := d.PctFaculty + d.PctGradStudents; math.Abs(got-100) > 1 {
+		t.Errorf("role percentages sum to %v", got)
+	}
+}

@@ -1,0 +1,17 @@
+# Standard entry points. `make check` is the pre-merge gate (build + vet +
+# race-enabled tests); `make bench-mpi` regenerates BENCH_mpi.json, the
+# tracked before/after numbers for the message-transport fast path.
+
+.PHONY: check test bench bench-mpi
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test ./... -run '^$$' -bench . -benchtime 0.5s
+
+bench-mpi:
+	go run ./cmd/benchlab -mpibench

@@ -35,8 +35,18 @@ func main() {
 		sweep    = flag.String("sweep", "1,2,4", "comma-separated worker counts")
 		model    = flag.Bool("model", false, "print the platform's predicted speedup curve instead of measuring")
 		repeat   = flag.Int("repeat", 1, "measure each configuration this many times; >1 adds a 95% confidence interval")
+		mpibench = flag.Bool("mpibench", false, "run the MPI transport microbenchmarks and write BENCH_mpi.json")
+		mpiout   = flag.String("mpibench-out", "BENCH_mpi.json", "output path for -mpibench")
+		mpiiters = flag.Int("mpibench-iters", 20000, "ping-pong iterations for -mpibench")
 	)
 	flag.Parse()
+
+	if *mpibench {
+		if err := runMPIBench(*mpiout, *mpiiters); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	plat, err := cluster.Lookup(*platform)
 	if err != nil {

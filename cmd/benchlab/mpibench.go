@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// The -mpibench mode times the message-transport fast path the way a
+// regression harness wants it: fixed-shape microbenchmarks, one JSON file,
+// before/after comparable across commits. The "gob" numbers force every
+// message through the wire encoding (mpi.WithSerialization), so fast vs gob
+// is exactly what the zero-serialization local delivery saves.
+
+// mpiBenchReport is the schema of BENCH_mpi.json.
+type mpiBenchReport struct {
+	// NsPerMessage: local []float64 ping-pong (128 elements), halved round
+	// trips, through each payload representation.
+	NsPerMessage struct {
+		Fast float64 `json:"fast"`
+		Gob  float64 `json:"gob"`
+		// Speedup = Gob/Fast; the acceptance floor for the fast path is 3.
+		Speedup float64 `json:"speedup"`
+	} `json:"ns_per_message"`
+	// CollectiveNs: latency per call at np=8. Barrier is reported for both
+	// algorithms twice: with free messages (where the dissemination pattern's
+	// extra messages cost more than its shorter critical path saves) and
+	// under 200us simulated pair latency (where the O(log n) critical path
+	// dominates and dissemination wins).
+	CollectiveNs struct {
+		BarrierDissemination        float64 `json:"barrier_dissemination"`
+		BarrierLinear               float64 `json:"barrier_linear"`
+		BarrierDisseminationLatency float64 `json:"barrier_dissemination_200us"`
+		BarrierLinearLatency        float64 `json:"barrier_linear_200us"`
+		AllreduceFast               float64 `json:"allreduce_fast"`
+		AllreduceGob                float64 `json:"allreduce_gob"`
+	} `json:"collective_ns_np8"`
+	Iterations int    `json:"iterations"`
+	NP         int    `json:"np"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// runMPIBench executes the microbenchmarks and writes the report to path.
+func runMPIBench(path string, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("mpibench-iters must be >= 1, got %d", iters)
+	}
+	var r mpiBenchReport
+	r.Iterations = iters
+	r.NP = 8
+	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	fast, err := timePingPong(iters)
+	if err != nil {
+		return err
+	}
+	gob, err := timePingPong(iters, mpi.WithSerialization())
+	if err != nil {
+		return err
+	}
+	r.NsPerMessage.Fast = fast
+	r.NsPerMessage.Gob = gob
+	if fast > 0 {
+		r.NsPerMessage.Speedup = gob / fast
+	}
+
+	// Collectives run fewer iterations: each call involves 8 ranks.
+	ci := iters / 10
+	if ci < 100 {
+		ci = 100
+	}
+	barrier := func(c *mpi.Comm) error { return c.Barrier() }
+	linear := func(c *mpi.Comm) error { return c.BarrierWith(mpi.BarrierLinear) }
+	if r.CollectiveNs.BarrierDissemination, err = timeCollective(8, ci, barrier); err != nil {
+		return err
+	}
+	if r.CollectiveNs.BarrierLinear, err = timeCollective(8, ci, linear); err != nil {
+		return err
+	}
+	// Under latency the per-call cost is milliseconds, so a handful of
+	// iterations suffices to separate log2(8)=3 rounds from 2*(8-1)=14
+	// sequential hops through the root.
+	lat := func(src, dst int) time.Duration { return 200 * time.Microsecond }
+	if r.CollectiveNs.BarrierDisseminationLatency, err = timeCollective(8, 20, barrier, mpi.WithLatency(lat)); err != nil {
+		return err
+	}
+	if r.CollectiveNs.BarrierLinearLatency, err = timeCollective(8, 20, linear, mpi.WithLatency(lat)); err != nil {
+		return err
+	}
+	allreduce := func(c *mpi.Comm) error {
+		_, err := mpi.Allreduce(c, float64(c.Rank()), mpi.Combine[float64](mpi.Sum))
+		return err
+	}
+	if r.CollectiveNs.AllreduceFast, err = timeCollective(8, ci, allreduce); err != nil {
+		return err
+	}
+	if r.CollectiveNs.AllreduceGob, err = timeCollective(8, ci, allreduce, mpi.WithSerialization()); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("MPI transport microbenchmarks (np=%d, %d iterations)\n\n", r.NP, iters)
+	fmt.Printf("  ping-pong []float64 x128:  fast %8.0f ns/msg   gob %8.0f ns/msg   (%.1fx)\n",
+		r.NsPerMessage.Fast, r.NsPerMessage.Gob, r.NsPerMessage.Speedup)
+	fmt.Printf("  barrier np=8 (free msgs):  dissemination %8.0f ns   linear %8.0f ns\n",
+		r.CollectiveNs.BarrierDissemination, r.CollectiveNs.BarrierLinear)
+	fmt.Printf("  barrier np=8 (200us/msg):  dissemination %8.0f ns   linear %8.0f ns\n",
+		r.CollectiveNs.BarrierDisseminationLatency, r.CollectiveNs.BarrierLinearLatency)
+	fmt.Printf("  allreduce np=8:            fast %8.0f ns        gob %8.0f ns\n",
+		r.CollectiveNs.AllreduceFast, r.CollectiveNs.AllreduceGob)
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// timePingPong reports nanoseconds per one-way message for a rank-0/rank-1
+// []float64 ping-pong, i.e. half the round-trip time.
+func timePingPong(iters int, opts ...mpi.Option) (float64, error) {
+	payload := make([]float64, 128)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	var elapsed time.Duration
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			var got []float64
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := c.Send(1, 0, payload); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 0, &got); err != nil {
+					return err
+				}
+			}
+			elapsed = time.Since(start)
+			return c.Send(1, 1, true)
+		}
+		for {
+			st, err := c.Probe(0, mpi.AnyTag)
+			if err != nil {
+				return err
+			}
+			if st.Tag == 1 {
+				_, err := c.Recv(0, 1, nil)
+				return err
+			}
+			var in []float64
+			if _, err := c.Recv(0, 0, &in); err != nil {
+				return err
+			}
+			if err := c.Send(0, 0, in); err != nil {
+				return err
+			}
+		}
+	}, opts...)
+	if err != nil {
+		return 0, err
+	}
+	// Each iteration is two messages (there and back).
+	return float64(elapsed.Nanoseconds()) / float64(2*iters), nil
+}
+
+// timeCollective reports nanoseconds per collective call at the given world
+// size, timed on rank 0; collectives synchronize the ranks, so rank 0's
+// clock sees the steady-state cost.
+func timeCollective(np, iters int, op func(c *mpi.Comm) error, opts ...mpi.Option) (float64, error) {
+	var elapsed time.Duration
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := op(c); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			elapsed = time.Since(start)
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters), nil
+}

@@ -90,6 +90,102 @@ func BenchmarkCommSplit(b *testing.B) {
 	}
 }
 
+// The fast-path acceptance benchmarks: the same []float64 ping-pong through
+// the typed fast path and through the forced-gob path. The fast path must
+// be at least 3x cheaper per message (in practice far more; see
+// BENCH_mpi.json from cmd/benchlab for the tracked numbers).
+func benchPingPongFloats(b *testing.B, opts ...Option) {
+	payload := make([]float64, 128)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			var got []float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(1, 0, payload); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 0, &got); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			return c.Send(1, 1, true) // stop marker
+		}
+		for {
+			st, err := c.Probe(0, AnyTag)
+			if err != nil {
+				return err
+			}
+			if st.Tag == 1 {
+				_, err := c.Recv(0, 1, nil)
+				return err
+			}
+			var in []float64
+			if _, err := c.Recv(0, 0, &in); err != nil {
+				return err
+			}
+			if err := c.Send(0, 0, in); err != nil {
+				return err
+			}
+		}
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPongFloat64SliceFast(b *testing.B) { benchPingPongFloats(b) }
+func BenchmarkPingPongFloat64SliceGob(b *testing.B)  { benchPingPongFloats(b, WithSerialization()) }
+
+// benchCollective times one collective per iteration with every rank
+// looping; collectives synchronize the ranks, so rank 0's timer covers the
+// steady-state cost.
+func benchCollective(b *testing.B, np int, op func(c *Comm) error, opts ...Option) {
+	err := Run(np, func(c *Comm) error {
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			if err := op(c); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			b.StopTimer()
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduceNP8(b *testing.B) {
+	benchCollective(b, 8, func(c *Comm) error {
+		_, err := Allreduce(c, float64(c.Rank()), Combine[float64](Sum))
+		return err
+	})
+}
+
+func BenchmarkAllreduceNP8Gob(b *testing.B) {
+	benchCollective(b, 8, func(c *Comm) error {
+		_, err := Allreduce(c, float64(c.Rank()), Combine[float64](Sum))
+		return err
+	}, WithSerialization())
+}
+
+func BenchmarkBarrierNP8(b *testing.B) {
+	benchCollective(b, 8, func(c *Comm) error { return c.Barrier() })
+}
+
+func BenchmarkBarrierLinearNP8(b *testing.B) {
+	benchCollective(b, 8, func(c *Comm) error { return c.BarrierWith(BarrierLinear) })
+}
+
 func BenchmarkGobEncodeDecodeRoundTrip(b *testing.B) {
 	type sample struct {
 		Xs   []float64

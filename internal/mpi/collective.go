@@ -10,9 +10,18 @@ import "fmt"
 // students collectives *could* be built.
 
 // Barrier blocks until every rank of the communicator has entered it:
-// MPI_Barrier. It is implemented as a linear gather of arrival tokens to
-// rank 0 followed by a broadcast release.
+// MPI_Barrier. It is implemented as a dissemination barrier — ceil(log2 n)
+// rounds, in each of which every rank signals a rank a power-of-two ahead
+// and waits on the mirror-image rank behind — so its critical path is
+// O(log n) rounds rather than the O(n) of the linear gather-and-release
+// (still available as BarrierWith(BarrierLinear) for the ablation study).
 func (c *Comm) Barrier() error {
+	return c.disseminationBarrier()
+}
+
+// linearBarrier gathers arrival tokens at rank 0 and broadcasts a release:
+// the textbook O(n)-round algorithm, kept for BarrierWith(BarrierLinear).
+func (c *Comm) linearBarrier() error {
 	const token = 0
 	if c.rank == 0 {
 		for src := 1; src < c.Size(); src++ {
@@ -36,11 +45,7 @@ func (c *Comm) Barrier() error {
 
 // sendReserved sends a value under a reserved (negative) tag.
 func (c *Comm) sendReserved(dest, tag int, v any) error {
-	data, err := encodeValue(v)
-	if err != nil {
-		return err
-	}
-	return c.send(dest, tag, data)
+	return c.sendValue(dest, tag, v)
 }
 
 // recvReserved receives a value under a reserved tag; v may be nil to
@@ -109,10 +114,14 @@ const (
 
 // Reduce combines every rank's v with the given function and delivers the
 // result to root: MPI_Reduce. Ranks other than root receive the zero value.
-// combine must be associative; for the linear algorithm values are combined
-// in rank order v0 ⊕ v1 ⊕ ... ⊕ v(n-1).
+// combine must be associative. The default algorithm is the binary tree
+// (the same shape Bcast uses): O(log n) communication rounds on the
+// critical path. Programs that need the strict rank-order fold
+// v0 ⊕ v1 ⊕ ... ⊕ v(n-1) — e.g. to make a non-associative floating-point
+// sum deterministic against a sequential reference — should call
+// ReduceWith(..., ReduceLinear).
 func Reduce[T any](c *Comm, v T, combine func(a, b T) T, root int) (T, error) {
-	return ReduceWith(c, v, combine, root, ReduceLinear)
+	return ReduceWith(c, v, combine, root, ReduceTree)
 }
 
 // ReduceWith is Reduce with an explicit algorithm choice.
@@ -172,7 +181,8 @@ func ReduceWith[T any](c *Comm, v T, combine func(a, b T) T, root int, algo Redu
 }
 
 // Allreduce combines every rank's v and delivers the result to all ranks:
-// MPI_Allreduce, implemented as Reduce-to-0 followed by Bcast.
+// MPI_Allreduce, implemented as a tree Reduce-to-0 followed by a tree
+// Bcast — O(log n) rounds end to end.
 func Allreduce[T any](c *Comm, v T, combine func(a, b T) T) (T, error) {
 	red, err := Reduce(c, v, combine, 0)
 	if err != nil {
@@ -238,13 +248,32 @@ func Gather[T any](c *Comm, v T, root int) ([]T, error) {
 }
 
 // Allgather collects every rank's v at every rank: MPI_Allgather,
-// implemented as Gather-to-0 followed by Bcast.
+// implemented as the classic ring. In step s each rank forwards the block
+// it learned in step s-1 (starting with its own) to its right neighbour
+// and receives block (rank-s-1) mod n from its left neighbour, so after
+// n-1 steps every rank holds all n blocks. The ring moves n(n-1) messages
+// like the naive all-to-all but its critical path is n-1 single-hop rounds,
+// every link carries exactly one block per step (bandwidth-optimal), and no
+// rank is a bottleneck — unlike the old gather-to-root-then-broadcast,
+// whose root serialized n-1 receives and re-sent the whole vector.
 func Allgather[T any](c *Comm, v T) ([]T, error) {
-	all, err := Gather(c, v, 0)
-	if err != nil {
-		return nil, err
+	n := c.Size()
+	out := make([]T, n)
+	out[c.rank] = v
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendIdx := (c.rank - step + n*n) % n
+		recvIdx := (c.rank - step - 1 + n*n) % n
+		// Sends are buffered, so send-then-receive cannot deadlock the ring.
+		if err := c.sendReserved(right, tagAllgat, out[sendIdx]); err != nil {
+			return nil, err
+		}
+		if _, err := c.recvReserved(left, tagAllgat, &out[recvIdx]); err != nil {
+			return nil, err
+		}
 	}
-	return Bcast(c, all, 0)
+	return out, nil
 }
 
 // Alltoall performs the full exchange: rank i's items[j] is delivered to

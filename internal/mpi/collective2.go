@@ -89,7 +89,7 @@ const (
 	BarrierLinear BarrierAlgorithm = iota
 	// BarrierDissemination is the classic ceil(log2 n)-round algorithm:
 	// in round k each rank signals the rank 2^k ahead and waits for the
-	// rank 2^k behind.
+	// rank 2^k behind. This is what Barrier itself runs.
 	BarrierDissemination
 )
 
@@ -97,25 +97,45 @@ const (
 func (c *Comm) BarrierWith(algo BarrierAlgorithm) error {
 	switch algo {
 	case BarrierLinear:
-		return c.Barrier()
+		return c.linearBarrier()
 	case BarrierDissemination:
-		n := c.Size()
-		for dist := 1; dist < n; dist *= 2 {
-			to := (c.rank + dist) % n
-			from := (c.rank - dist + n) % n
-			if err := c.sendReserved(to, tagDissem, dist); err != nil {
-				return err
-			}
-			var got int
-			if _, err := c.recvReserved(from, tagDissem, &got); err != nil {
-				return err
-			}
-			if got != dist {
-				return fmt.Errorf("mpi: dissemination barrier round mismatch: got %d, want %d", got, dist)
-			}
-		}
-		return nil
+		return c.disseminationBarrier()
 	default:
 		return fmt.Errorf("mpi: unknown barrier algorithm %d", algo)
 	}
+}
+
+// disseminationRounds reports how many communication rounds the
+// dissemination barrier performs for an n-rank world: ceil(log2 n). The
+// round-count scaling test pins Barrier's O(log n) critical path to this
+// function, and the implementation below sends exactly one message per rank
+// per round.
+func disseminationRounds(n int) int {
+	rounds := 0
+	for dist := 1; dist < n; dist *= 2 {
+		rounds++
+	}
+	return rounds
+}
+
+// disseminationBarrier runs the ceil(log2 n)-round dissemination algorithm.
+// Each round's token carries its distance so a skewed world surfaces as a
+// mismatch error instead of silent miscounting.
+func (c *Comm) disseminationBarrier() error {
+	n := c.Size()
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		if err := c.sendReserved(to, tagDissem, dist); err != nil {
+			return err
+		}
+		var got int
+		if _, err := c.recvReserved(from, tagDissem, &got); err != nil {
+			return err
+		}
+		if got != dist {
+			return fmt.Errorf("mpi: dissemination barrier round mismatch: got %d, want %d", got, dist)
+		}
+	}
+	return nil
 }

@@ -66,25 +66,39 @@ func (c *Comm) checkRank(r int) error {
 	return nil
 }
 
-// send routes an already-encoded payload to a communicator-local rank under
-// an arbitrary (possibly reserved) tag.
-func (c *Comm) send(dest, tag int, data []byte) error {
+// sendValue routes v to a communicator-local rank under an arbitrary
+// (possibly reserved) tag. On a typed world (local transport, serialization
+// not forced) whitelisted values travel as copy-on-send typed payloads and
+// never touch gob; everything else — and every frame on a serializing
+// transport — is gob-encoded here, before the transport sees it.
+func (c *Comm) sendValue(dest, tag int, v any) error {
 	if err := c.checkRank(dest); err != nil {
 		return err
 	}
-	return c.world.transport.Send(frame{
+	f := frame{
 		Ctx:  c.ctx,
 		Src:  c.rank,
 		WSrc: c.worldRank(c.rank),
 		Dst:  c.worldRank(dest),
 		Tag:  tag,
-		Data: data,
-	})
+	}
+	if c.world.typed {
+		if pv, ok := typedPayload(v); ok {
+			f.Val, f.HasVal = pv, true
+			return c.world.transport.Send(f)
+		}
+	}
+	data, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+	f.Data = data
+	return c.world.transport.Send(f)
 }
 
 // recv takes the earliest message matching (source, tag) — which may use
-// AnySource/AnyTag — decodes it into v (unless v is nil), and reports its
-// Status.
+// AnySource/AnyTag — materializes it into v (unless v is nil), and reports
+// its Status.
 func (c *Comm) recv(source, tag int, v any) (Status, error) {
 	if source != AnySource {
 		if err := c.checkRank(source); err != nil {
@@ -95,9 +109,9 @@ func (c *Comm) recv(source, tag int, v any) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	st := Status{Source: f.Src, Tag: f.Tag, Bytes: len(f.Data)}
+	st := f.status()
 	if v != nil {
-		if err := decodeValue(f.Data, v); err != nil {
+		if err := f.decodeInto(v); err != nil {
 			return st, err
 		}
 	}
@@ -106,16 +120,15 @@ func (c *Comm) recv(source, tag int, v any) (Status, error) {
 
 // Send delivers v to rank dest under the given tag, blocking at most for
 // local buffering (MPI buffered-mode semantics; there is no rendezvous).
-// Tags must be non-negative, as in MPI.
+// Tags must be non-negative, as in MPI. The value the receiver observes is
+// always a private copy: the local transport copies whitelisted payloads on
+// send (and gob round-trips the rest), so mutating v — or a slice it
+// contains — after Send never races with the receiver.
 func (c *Comm) Send(dest, tag int, v any) error {
 	if tag < 0 {
 		return fmt.Errorf("%w: user tags must be >= 0, got %d", ErrInvalidTag, tag)
 	}
-	data, err := encodeValue(v)
-	if err != nil {
-		return err
-	}
-	return c.send(dest, tag, data)
+	return c.sendValue(dest, tag, v)
 }
 
 // Recv blocks until a message matching (source, tag) arrives and decodes it

@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"encoding"
+	"encoding/gob"
+	"reflect"
+	"sync"
+)
+
+// The zero-serialization fast path. When every rank lives in one process
+// (the local transport), a message does not need a wire format at all: the
+// runtime can hand the receiver a private copy of the Go value directly.
+// This file decides which values qualify and performs the copy-on-send /
+// assign-on-receive halves of that contract.
+//
+// Semantics are pinned to the serialized path: the receiver observes a value
+// it exclusively owns (mutating it never affects the sender and vice versa),
+// and a type mismatch between sender and receiver behaves exactly as it
+// would have under gob — including gob's cross-numeric-type flexibility and
+// its error text — because mismatches fall back to a gob round trip.
+
+// typedPayload returns a self-contained copy of v for in-memory delivery
+// and reports whether v is on the fast-path whitelist. Scalars and strings
+// are copied by the interface boxing itself; slices of scalars are copied
+// explicitly (copy-on-send, so the sender may mutate its buffer immediately
+// after Send, as with a buffered MPI send); structs qualify when a shallow
+// copy is provably a full copy (only exported scalar/string/array-of-scalar
+// fields, no custom gob encoding).
+func typedPayload(v any) (any, bool) {
+	switch x := v.(type) {
+	case bool, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, complex64, complex128, string:
+		return x, true
+	case []float64:
+		return append([]float64(nil), x...), true
+	case []int:
+		return append([]int(nil), x...), true
+	case []byte:
+		return append([]byte(nil), x...), true
+	case []int64:
+		return append([]int64(nil), x...), true
+	case []int32:
+		return append([]int32(nil), x...), true
+	case []float32:
+		return append([]float32(nil), x...), true
+	case []bool:
+		return append([]bool(nil), x...), true
+	case []string:
+		return append([]string(nil), x...), true
+	case nil:
+		// Let the gob path report its usual nil-payload error.
+		return nil, false
+	}
+	if shallowCopyable(reflect.TypeOf(v)) {
+		// Boxing a struct into an interface already copied it by value, so
+		// v is a private copy the receiver can own outright.
+		return v, true
+	}
+	return nil, false
+}
+
+// shallowCache memoizes the per-type whitelist decision (reflect.Type -> bool).
+var shallowCache sync.Map
+
+var (
+	gobEncoderType      = reflect.TypeOf((*gob.GobEncoder)(nil)).Elem()
+	binaryMarshalerType = reflect.TypeOf((*encoding.BinaryMarshaler)(nil)).Elem()
+)
+
+// shallowCopyable reports whether assigning a value of type t copies all of
+// its state, so the copy can cross a rank boundary without serialization
+// while preserving gob-path semantics. Unexported fields disqualify a struct
+// (gob would silently drop them; a shallow copy would smuggle them through),
+// as do custom gob/binary encoders (their wire behavior is not assignment).
+func shallowCopyable(t reflect.Type) bool {
+	if c, ok := shallowCache.Load(t); ok {
+		return c.(bool)
+	}
+	ok := shallowCopyableUncached(t)
+	shallowCache.Store(t, ok)
+	return ok
+}
+
+func shallowCopyableUncached(t reflect.Type) bool {
+	if t.Implements(gobEncoderType) || t.Implements(binaryMarshalerType) {
+		return false
+	}
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	case reflect.Array:
+		return shallowCopyable(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() || !shallowCopyable(f.Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// assignTyped stores a fast-path payload into the receive pointer dst when
+// the types match exactly, reporting whether it did. The common patternlet
+// payload shapes avoid reflection entirely. A false return means the caller
+// must fall back to the gob round trip (which handles gob's legal
+// cross-type decodes and produces gob's errors for the illegal ones).
+func assignTyped(val any, dst any) bool {
+	switch p := dst.(type) {
+	case *int:
+		if v, ok := val.(int); ok {
+			*p = v
+			return true
+		}
+	case *int64:
+		if v, ok := val.(int64); ok {
+			*p = v
+			return true
+		}
+	case *float64:
+		if v, ok := val.(float64); ok {
+			*p = v
+			return true
+		}
+	case *bool:
+		if v, ok := val.(bool); ok {
+			*p = v
+			return true
+		}
+	case *string:
+		if v, ok := val.(string); ok {
+			*p = v
+			return true
+		}
+	case *[]float64:
+		if v, ok := val.([]float64); ok {
+			*p = v
+			return true
+		}
+	case *[]int:
+		if v, ok := val.([]int); ok {
+			*p = v
+			return true
+		}
+	case *[]byte:
+		if v, ok := val.([]byte); ok {
+			*p = v
+			return true
+		}
+	}
+	rd := reflect.ValueOf(dst)
+	if rd.Kind() != reflect.Pointer || rd.IsNil() {
+		return false
+	}
+	rv := reflect.ValueOf(val)
+	if !rv.IsValid() || rv.Type() != rd.Type().Elem() {
+		return false
+	}
+	rd.Elem().Set(rv)
+	return true
+}
+
+// typedSize reports the in-memory payload size of a fast-path value: what
+// Status.Bytes and the MessageCounter record for messages that never had a
+// wire encoding. Slices count their element storage, strings their length,
+// everything else its shallow reflect size.
+func typedSize(v any) int {
+	switch x := v.(type) {
+	case string:
+		return len(x)
+	case []byte:
+		return len(x)
+	case []bool:
+		return len(x)
+	case []float64:
+		return 8 * len(x)
+	case []int:
+		return 8 * len(x)
+	case []int64:
+		return 8 * len(x)
+	case []int32:
+		return 4 * len(x)
+	case []float32:
+		return 4 * len(x)
+	case []string:
+		n := 0
+		for _, s := range x {
+			n += len(s)
+		}
+		return n
+	case bool:
+		return 1
+	}
+	if t := reflect.TypeOf(v); t != nil {
+		return int(t.Size())
+	}
+	return 0
+}
+
+// decodeInto materializes the frame's payload into the pointer v, whichever
+// representation the frame carries. Fast-path frames whose stored type does
+// not exactly match *v are round-tripped through gob so the observable
+// behavior (numeric widening, error text) is identical to the serialized
+// path.
+func (f frame) decodeInto(v any) error {
+	if !f.HasVal {
+		return decodeValue(f.Data, v)
+	}
+	if assignTyped(f.Val, v) {
+		return nil
+	}
+	data, err := encodeValue(f.Val)
+	if err != nil {
+		return err
+	}
+	return decodeValue(data, v)
+}
+
+// payloadSize reports the frame's payload size: wire bytes for serialized
+// frames, in-memory size for fast-path frames.
+func (f frame) payloadSize() int {
+	if f.HasVal {
+		return typedSize(f.Val)
+	}
+	return len(f.Data)
+}
+
+// status summarizes the frame for Probe/Recv results.
+func (f frame) status() Status {
+	return Status{Source: f.Src, Tag: f.Tag, Bytes: f.payloadSize()}
+}

@@ -7,23 +7,46 @@ import "sync"
 // matching arrival — which, combined with order-preserving transports,
 // yields MPI's non-overtaking guarantee for any (sender, receiver, context)
 // pair.
+//
+// Frames are indexed by their exact (context, source, tag) key. An exact
+// receive — the overwhelmingly common case; every collective is one — pops
+// the head of a single per-key queue in O(1) instead of scanning the whole
+// backlog. Wildcard receives (AnySource/AnyTag) compare the heads of the
+// candidate key queues by a global arrival sequence number, so they still
+// take the earliest matching arrival, at O(distinct pending keys) rather
+// than O(pending frames).
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []frame
+	seq    uint64                 // next arrival number
+	byKey  map[mailKey][]seqFrame // pending frames, FIFO per exact key
 	closed bool
 }
 
+// mailKey is the exact-match index key.
+type mailKey struct {
+	ctx      int64
+	src, tag int
+}
+
+// seqFrame stamps a frame with its arrival order across the whole mailbox.
+type seqFrame struct {
+	seq uint64
+	f   frame
+}
+
 func newMailbox() *mailbox {
-	m := &mailbox{}
+	m := &mailbox{byKey: make(map[mailKey][]seqFrame)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
 // deliver appends an arriving frame and wakes blocked receivers.
 func (m *mailbox) deliver(f frame) {
+	key := mailKey{ctx: f.Ctx, src: f.Src, tag: f.Tag}
 	m.mu.Lock()
-	m.queue = append(m.queue, f)
+	m.byKey[key] = append(m.byKey[key], seqFrame{seq: m.seq, f: f})
+	m.seq++
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }
@@ -43,17 +66,52 @@ func matches(f frame, ctx int64, src, tag int) bool {
 	return true
 }
 
+// findLocked returns the key whose head frame is the earliest arrival
+// matching (ctx, src, tag). Exact receives hit the index directly; wildcard
+// receives scan queue heads. Caller holds m.mu.
+func (m *mailbox) findLocked(ctx int64, src, tag int) (mailKey, bool) {
+	if src != AnySource && tag != AnyTag {
+		key := mailKey{ctx: ctx, src: src, tag: tag}
+		if len(m.byKey[key]) > 0 {
+			return key, true
+		}
+		return mailKey{}, false
+	}
+	var best mailKey
+	bestSeq, found := uint64(0), false
+	for key, q := range m.byKey {
+		if len(q) == 0 || !matches(q[0].f, ctx, src, tag) {
+			continue
+		}
+		if !found || q[0].seq < bestSeq {
+			best, bestSeq, found = key, q[0].seq, true
+		}
+	}
+	return best, found
+}
+
+// popLocked removes and returns the head frame of key's queue. Caller holds
+// m.mu and guarantees the queue is non-empty.
+func (m *mailbox) popLocked(key mailKey) frame {
+	q := m.byKey[key]
+	f := q[0].f
+	q[0] = seqFrame{} // release the payload reference held by the backing array
+	if len(q) == 1 {
+		delete(m.byKey, key)
+	} else {
+		m.byKey[key] = q[1:]
+	}
+	return f
+}
+
 // take removes and returns the earliest frame matching (ctx, src, tag),
 // blocking until one arrives or the mailbox closes.
 func (m *mailbox) take(ctx int64, src, tag int) (frame, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, f := range m.queue {
-			if matches(f, ctx, src, tag) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return f, nil
-			}
+		if key, ok := m.findLocked(ctx, src, tag); ok {
+			return m.popLocked(key), nil
 		}
 		if m.closed {
 			return frame{}, ErrShutdown
@@ -67,10 +125,8 @@ func (m *mailbox) take(ctx int64, src, tag int) (frame, error) {
 func (m *mailbox) peek(ctx int64, src, tag int) (Status, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, f := range m.queue {
-		if matches(f, ctx, src, tag) {
-			return Status{Source: f.Src, Tag: f.Tag, Bytes: len(f.Data)}, true
-		}
+	if key, ok := m.findLocked(ctx, src, tag); ok {
+		return m.byKey[key][0].f.status(), true
 	}
 	return Status{}, false
 }
@@ -81,10 +137,8 @@ func (m *mailbox) waitMatch(ctx int64, src, tag int) (Status, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for _, f := range m.queue {
-			if matches(f, ctx, src, tag) {
-				return Status{Source: f.Src, Tag: f.Tag, Bytes: len(f.Data)}, nil
-			}
+		if key, ok := m.findLocked(ctx, src, tag); ok {
+			return m.byKey[key][0].f.status(), nil
 		}
 		if m.closed {
 			return Status{}, ErrShutdown

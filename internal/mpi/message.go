@@ -22,6 +22,7 @@ const (
 	tagScan    = -7
 	tagSplit   = -8
 	tagAll     = -9
+	tagAllgat  = -13 // ring Allgather (-10..-12 live in collective2.go)
 )
 
 // ErrInvalidRank is returned when a destination or source rank is outside
@@ -36,7 +37,11 @@ var ErrInvalidTag = errors.New("mpi: invalid tag")
 var ErrShutdown = errors.New("mpi: world shut down")
 
 // Status describes a received message, mirroring MPI_Status: which rank sent
-// it, under which tag, and how many payload bytes arrived.
+// it, under which tag, and how large the payload was. Bytes reports wire
+// bytes for serialized transports (TCP, or local with WithSerialization) and
+// the in-memory payload size for the local transport's zero-serialization
+// fast path; it is positive whenever the payload is non-empty, but its exact
+// value is transport-dependent, as MPI_Get_count is datatype-dependent.
 type Status struct {
 	Source int
 	Tag    int
@@ -51,11 +56,21 @@ func (s Status) String() string {
 // frame is the unit of transport: an addressed, tagged payload within a
 // communicator context. Collective operations share the user's transport
 // but live in the reserved (negative) tag space.
+//
+// The payload has two representations. Data carries gob bytes — the wire
+// format, and the only representation that ever crosses a TCP connection.
+// Val carries a typed in-memory value (flagged by HasVal) for the local
+// transport's zero-serialization fast path; it is always a private copy the
+// receiver may own outright (see typedPayload). A serializing transport
+// handed a typed frame encodes it on the spot (see tcpTransport.Send), so
+// HasVal is an in-process optimization invisible on the wire.
 type frame struct {
-	Ctx  int64 // communicator context id
-	Src  int   // sender's rank within Ctx (what the receiver matches on)
-	WSrc int   // sender's world rank (what transports route/model on)
-	Dst  int   // receiver's world rank (what the transport routes on)
-	Tag  int
-	Data []byte
+	Ctx    int64 // communicator context id
+	Src    int   // sender's rank within Ctx (what the receiver matches on)
+	WSrc   int   // sender's world rank (what transports route/model on)
+	Dst    int   // receiver's world rank (what the transport routes on)
+	Tag    int
+	Data   []byte
+	Val    any // typed fast-path payload; never leaves the process
+	HasVal bool
 }

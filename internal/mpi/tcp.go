@@ -236,6 +236,16 @@ type tcpTransport struct {
 }
 
 func (t *tcpTransport) Send(f frame) error {
+	// TCP worlds never produce typed frames (they are not typedCapable),
+	// but serialize defensively so a typed frame can never leak an
+	// in-memory payload onto the wire.
+	if f.HasVal {
+		data, err := encodeValue(f.Val)
+		if err != nil {
+			return err
+		}
+		f.Data, f.Val, f.HasVal = data, nil, false
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.enc.Encode(f); err != nil {
@@ -307,7 +317,16 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 	boxes := make([]*mailbox, np)
 	boxes[rank] = box
 
-	w := &World{np: np, transport: cfg.wrapTransport(t), boxes: boxes, names: names, gate: cfg.gate, epoch: time.Now()}
+	transport := cfg.wrapTransport(t)
+	w := &World{
+		np:        np,
+		transport: transport,
+		boxes:     boxes,
+		names:     names,
+		gate:      cfg.gate,
+		epoch:     time.Now(),
+		typed:     cfg.typedWorld(transport), // always false: tcpTransport serializes
+	}
 
 	defer func() {
 		if r := recover(); r != nil {

@@ -28,11 +28,12 @@ func NewMessageCounter() *MessageCounter {
 	}
 }
 
-// observe records one frame.
+// observe records one frame. Fast-path frames carry no wire bytes, so their
+// in-memory payload size is recorded instead (see Status.Bytes).
 func (mc *MessageCounter) observe(f frame) {
 	mc.mu.Lock()
 	mc.total++
-	mc.bytes += len(f.Data)
+	mc.bytes += f.payloadSize()
 	mc.byPair[[2]int{f.WSrc, f.Dst}]++
 	mc.byTag[f.Tag]++
 	mc.mu.Unlock()
@@ -119,3 +120,10 @@ func (t *countingTransport) Send(f frame) error {
 }
 
 func (t *countingTransport) Close() error { return t.inner.Close() }
+
+// deliversTyped forwards the wrapped transport's fast-path capability, so
+// counting a world does not silently change how its messages travel.
+func (t *countingTransport) deliversTyped() bool {
+	tc, ok := t.inner.(typedCapable)
+	return ok && tc.deliversTyped()
+}

@@ -79,19 +79,29 @@ func TestCollectiveMessageComplexity(t *testing.T) {
 
 		// Linear barrier: 2(n-1) messages.
 		mc = countMessages(t, np, func(c *Comm) error {
-			return c.Barrier()
+			return c.BarrierWith(BarrierLinear)
 		})
 		if got, want := mc.Total(), 2*(np-1); got != want {
 			t.Errorf("np=%d linear barrier: %d messages, want %d", np, got, want)
 		}
 
-		// Dissemination barrier: n * ceil(log2 n) messages.
+		// Dissemination barrier (the Barrier default): n * ceil(log2 n)
+		// messages.
 		mc = countMessages(t, np, func(c *Comm) error {
-			return c.BarrierWith(BarrierDissemination)
+			return c.Barrier()
 		})
 		rounds := bits.Len(uint(np - 1)) // ceil(log2 np)
 		if got, want := mc.Total(), np*rounds; got != want {
 			t.Errorf("np=%d dissemination barrier: %d messages, want %d", np, got, want)
+		}
+
+		// Ring allgather: n(n-1) messages, one per link per step.
+		mc = countMessages(t, np, func(c *Comm) error {
+			_, err := Allgather(c, c.Rank())
+			return err
+		})
+		if got, want := mc.Total(), np*(np-1); got != want {
+			t.Errorf("np=%d ring allgather: %d messages, want %d", np, got, want)
 		}
 
 		// Alltoall: n(n-1) messages.
@@ -123,8 +133,43 @@ func TestCounterTagBreakdown(t *testing.T) {
 	if mc.Tag(9) != 1 {
 		t.Fatalf("tag 9 count = %d", mc.Tag(9))
 	}
-	if mc.Tag(tagBarrier) != 6 { // 2(n-1) barrier tokens
-		t.Fatalf("barrier tag count = %d", mc.Tag(tagBarrier))
+	if mc.Tag(tagDissem) != 8 { // np * ceil(log2 np) dissemination tokens
+		t.Fatalf("barrier tag count = %d", mc.Tag(tagDissem))
+	}
+}
+
+// TestBarrierRoundsScaleLogarithmically pins Barrier's O(log n) critical
+// path structurally, not by timing: the dissemination barrier performs
+// disseminationRounds(n) = ceil(log2 n) rounds, every rank sends exactly
+// one message per round (asserted via the per-pair counter), and the round
+// count grows by at most one when the world doubles.
+func TestBarrierRoundsScaleLogarithmically(t *testing.T) {
+	for _, np := range []int{2, 3, 4, 8, 16, 32, 64} {
+		rounds := disseminationRounds(np)
+		if want := bits.Len(uint(np - 1)); rounds != want {
+			t.Fatalf("np=%d: disseminationRounds = %d, want ceil(log2 n) = %d", np, rounds, want)
+		}
+		mc := countMessages(t, np, func(c *Comm) error {
+			return c.Barrier()
+		})
+		// One send per rank per round: the rounds ARE the per-rank message
+		// count, so O(log n) rounds is equivalent to this assertion.
+		for src := 0; src < np; src++ {
+			sent := 0
+			for dst := 0; dst < np; dst++ {
+				sent += mc.Pair(src, dst)
+			}
+			if sent != rounds {
+				t.Errorf("np=%d: rank %d sent %d messages, want %d (one per round)", np, src, sent, rounds)
+			}
+		}
+	}
+	// Doubling the world adds exactly one round — the logarithmic signature
+	// (a linear barrier would double its rounds instead).
+	for np := 2; np <= 512; np *= 2 {
+		if got, want := disseminationRounds(2*np), disseminationRounds(np)+1; got != want {
+			t.Fatalf("rounds(%d) = %d, want rounds(%d)+1 = %d", 2*np, got, np, want)
+		}
 	}
 }
 

@@ -14,6 +14,15 @@ type Transport interface {
 	Close() error
 }
 
+// typedCapable is implemented by transports that can deliver a frame's
+// typed in-memory payload (frame.Val) without serialization. Transports
+// that lack the method — or report false — receive only gob-encoded frames
+// from the send path. Wrapping transports (see countingTransport) must
+// forward the capability of the transport they wrap.
+type typedCapable interface {
+	deliversTyped() bool
+}
+
 // localTransport routes frames through in-memory mailboxes: all ranks are
 // goroutines of one process, the analogue of running mpirun on one node.
 type localTransport struct {
@@ -32,14 +41,27 @@ func newLocalTransport(np int) *localTransport {
 	return t
 }
 
+// deliversTyped: in-process mailboxes can hand typed values straight to the
+// receiver, enabling the zero-serialization fast path.
+func (t *localTransport) deliversTyped() bool { return true }
+
+// Send delivers f to its destination mailbox, after imposing any modeled
+// latency.
+//
+// The simulated latency sleeps on the *sender's* goroutine, before the
+// mailbox append. That is what preserves per-pair FIFO order (nothing is
+// reordered because nothing is concurrent per sender), but it deliberately
+// over-serializes the model: while rank A sleeps on a slow send to B, A's
+// subsequent sends to every other rank are delayed too, as if the rank had
+// a single half-duplex NIC. A future async-delivery implementation must
+// keep the per-pair FIFO guarantee (pinned by TestLatencyPreservesPerPairFIFO)
+// even when it stops serializing a sender's unrelated sends.
 func (t *localTransport) Send(f frame) error {
 	if f.Dst < 0 || f.Dst >= len(t.boxes) {
 		return ErrInvalidRank
 	}
 	if t.latency != nil {
 		if d := t.latency(f.WSrc, f.Dst); d > 0 {
-			// Delay delivery without reordering: sleeping on the sender's
-			// goroutine before the append preserves per-pair FIFO order.
 			time.Sleep(d)
 		}
 	}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestLatencyPreservesPerPairFIFO pins the per-pair FIFO guarantee under
+// simulated latency, so a future async-delivery implementation (one that
+// stops sleeping on the sender's goroutine) cannot silently reorder
+// messages. Rank 0 interleaves sequence-numbered sends to ranks 1 and 2
+// under deliberately asymmetric pair latencies; each receiver must still
+// observe its own stream strictly in send order, with wildcard receives.
+func TestLatencyPreservesPerPairFIFO(t *testing.T) {
+	const msgs = 15
+	lat := func(src, dst int) time.Duration {
+		// Slow pair (0->1) vs fast pair (0->2): an implementation that
+		// delivered each pair on its own clock would let dst 2's later
+		// messages overtake dst 1's earlier ones in *global* time, which is
+		// allowed — but within a pair, order must hold.
+		if dst == 1 {
+			return 2 * time.Millisecond
+		}
+		return 0
+	}
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, 0, i); err != nil {
+					return err
+				}
+				if err := c.Send(2, 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			var got int
+			if _, err := c.Recv(AnySource, AnyTag, &got); err != nil {
+				return err
+			}
+			if got != i {
+				return fmt.Errorf("rank %d: message %d arrived with sequence %d (reordered)", c.Rank(), i, got)
+			}
+		}
+		return nil
+	}, WithLatency(lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexedMailboxMixedExactAndWildcard stresses the mailbox's exact-key
+// index against concurrent wildcard receives: frames under many (src, tag)
+// keys, drained by a mix of exact and wildcard receives, must each be
+// delivered exactly once and in per-key order.
+func TestIndexedMailboxMixedExactAndWildcard(t *testing.T) {
+	const perTag = 10
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			for i := 0; i < perTag; i++ {
+				for tag := 0; tag < 3; tag++ {
+					if err := c.Send(0, tag, c.Rank()*1000+tag*100+i); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		// Exact receives drain the (src=1, tag=0) stream through the index
+		// while frames under five other keys pile up around it; the
+		// wildcard drain then takes the backlog strictly by arrival order
+		// per key. (Wildcards must come second: a wildcard receive may
+		// legally consume any stream, including the exact one.)
+		seen := map[int]int{} // (src*10+tag) -> next expected i
+		for i := 0; i < perTag; i++ {
+			var got int
+			if _, err := c.Recv(1, 0, &got); err != nil {
+				return err
+			}
+			if got != 1000+i {
+				return fmt.Errorf("exact stream: got %d, want %d", got, 1000+i)
+			}
+		}
+		seen[10] = perTag
+		for n := 0; n < 5*perTag; n++ {
+			var got int
+			st, err := c.Recv(AnySource, AnyTag, &got)
+			if err != nil {
+				return err
+			}
+			key := st.Source*10 + st.Tag
+			wantI := seen[key]
+			if got != st.Source*1000+st.Tag*100+wantI {
+				return fmt.Errorf("stream (src=%d,tag=%d): got %d, want sequence %d", st.Source, st.Tag, got, wantI)
+			}
+			seen[key]++
+		}
+		for key, n := range seen {
+			if n != perTag {
+				return fmt.Errorf("stream %d delivered %d messages, want %d", key, n, perTag)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,24 +16,40 @@ type World struct {
 	names     []string   // processor name per world rank
 	gate      func(fn func())
 	epoch     time.Time // when the world initialized; Wtime's zero point
+	typed     bool      // transport delivers typed payloads (the fast path)
 }
 
 // Option configures a Run.
 type Option func(*config)
 
 type config struct {
-	names   []string
-	latency func(src, dst int) time.Duration
-	gate    func(fn func())
-	counter *MessageCounter
+	names        []string
+	latency      func(src, dst int) time.Duration
+	gate         func(fn func())
+	counter      *MessageCounter
+	serializeAll bool
+	wrap         func(Transport) Transport // test hook: outermost decoration
 }
 
 // wrapTransport applies configured decorations to a transport.
 func (c *config) wrapTransport(t Transport) Transport {
 	if c.counter != nil {
-		return &countingTransport{inner: t, mc: c.counter}
+		t = &countingTransport{inner: t, mc: c.counter}
+	}
+	if c.wrap != nil {
+		t = c.wrap(t)
 	}
 	return t
+}
+
+// typedWorld reports whether a world on the given (already wrapped)
+// transport should use the zero-serialization fast path.
+func (c *config) typedWorld(t Transport) bool {
+	if c.serializeAll {
+		return false
+	}
+	tc, ok := t.(typedCapable)
+	return ok && tc.deliversTyped()
 }
 
 // WithProcessorNames assigns each world rank the processor (host) name it
@@ -56,6 +72,15 @@ func WithLatency(d func(src, dst int) time.Duration) Option {
 // VM make progress but show no speedup.
 func WithComputeGate(gate func(fn func())) Option {
 	return func(c *config) { c.gate = gate }
+}
+
+// WithSerialization forces every message through the gob encode/decode
+// path even on transports that could deliver typed payloads in memory.
+// The benchmark harness uses it to measure what the fast path saves, and
+// the parity suite uses it to prove the two paths are observationally
+// identical; it costs real programs only speed.
+func WithSerialization() Option {
+	return func(c *config) { c.serializeAll = true }
 }
 
 // Run executes main as an SPMD program on np in-process ranks, one goroutine
@@ -90,7 +115,16 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 		}
 	}
 
-	w := &World{np: np, transport: cfg.wrapTransport(t), boxes: t.boxes, names: names, gate: cfg.gate, epoch: time.Now()}
+	transport := cfg.wrapTransport(t)
+	w := &World{
+		np:        np,
+		transport: transport,
+		boxes:     t.boxes,
+		names:     names,
+		gate:      cfg.gate,
+		epoch:     time.Now(),
+		typed:     cfg.typedWorld(transport),
+	}
 	defer t.Close()
 
 	errs := make([]error, np)

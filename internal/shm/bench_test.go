@@ -73,6 +73,24 @@ func BenchmarkScheduleOverheadCyclic(b *testing.B)  { benchScheduleOverhead(b, C
 func BenchmarkScheduleOverheadDynamic(b *testing.B) { benchScheduleOverhead(b, Dynamic(1)) }
 func BenchmarkScheduleOverheadGuided(b *testing.B)  { benchScheduleOverhead(b, Guided(1)) }
 
+// Guided-schedule CAS contention: many threads racing for tiny chunks of an
+// empty loop, the worst case for the claim loop in forNowait. The guided
+// grab shrinks toward minChunk=1 near the end of the iteration space, so
+// every thread hammers the shared counter at once; the Gosched on CAS
+// failure is what keeps 8- and 16-thread teams from serializing on the
+// cache line.
+func benchGuidedContention(b *testing.B, threads int) {
+	for i := 0; i < b.N; i++ {
+		Parallel(threads, func(tc *ThreadContext) {
+			tc.For(4096, Guided(1), func(int) {})
+		})
+	}
+}
+
+func BenchmarkGuidedContention2T(b *testing.B)  { benchGuidedContention(b, 2) }
+func BenchmarkGuidedContention8T(b *testing.B)  { benchGuidedContention(b, 8) }
+func BenchmarkGuidedContention16T(b *testing.B) { benchGuidedContention(b, 16) }
+
 func BenchmarkSingleConstruct(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Parallel(4, func(tc *ThreadContext) {

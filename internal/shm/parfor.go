@@ -1,6 +1,9 @@
 package shm
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // ParallelFor runs body(i) for every i in [0, n) using a team of numThreads
 // threads and the given schedule: the OpenMP "parallel for" construct.
@@ -102,6 +105,11 @@ func (tc *ThreadContext) forNowait(n int, sched Schedule, body func(i int)) {
 					}
 					break
 				}
+				// CAS lost: another thread advanced the counter. Yield
+				// instead of immediately re-contending — with 8+ threads on
+				// a tiny minChunk, tight respins serialize on the cache line
+				// and burn cycles the winner could use to run its chunk.
+				runtime.Gosched()
 			}
 		}
 	default:

@@ -1,0 +1,11 @@
+#!/bin/sh
+# The full pre-merge gate: build everything, vet everything, run every test
+# under the race detector. The runtime is a message-passing system built on
+# goroutines, so a -race pass is part of correctness, not a nicety.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -7,19 +7,31 @@
 //	mpirun -np 4 -platform colab mpiSpmd        # on a modeled platform
 //	mpirun -np 4 -transport tcp mpiRing         # loopback TCP transport
 //	mpirun -np 4 -transport procs mpiRing       # one OS process per rank
+//	mpirun -np 4 -deadline 5s mpiRing           # diagnose stalls, don't hang
 //	mpirun -np 8 forestfire | drugdesign | integration
 //
 // With -transport procs the launcher starts a TCP hub and re-executes
 // itself once per rank in worker mode, so the ranks really are separate OS
 // processes exchanging messages over the network — a single-machine Beowulf.
+//
+// Exit codes distinguish failure classes, so scripts (and autograders) can
+// tell a user mistake from a runtime failure:
+//
+//	0  success
+//	1  launcher error (unknown program, platform, I/O)
+//	2  usage error
+//	3  a rank failed: the world was aborted (includes deadline reports)
+//	4  the world never formed within the join timeout
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"strconv"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/exemplars/drugdesign"
@@ -31,36 +43,53 @@ import (
 
 // Environment variables of worker mode.
 const (
-	envHub  = "MPIRUN_HUB"
-	envRank = "MPIRUN_RANK"
-	envNP   = "MPIRUN_NP"
-	envProg = "MPIRUN_PROG"
+	envHub      = "MPIRUN_HUB"
+	envRank     = "MPIRUN_RANK"
+	envNP       = "MPIRUN_NP"
+	envProg     = "MPIRUN_PROG"
+	envDeadline = "MPIRUN_DEADLINE"
+)
+
+// Exit codes (see the package comment).
+const (
+	exitOK        = 0
+	exitLauncher  = 1
+	exitUsage     = 2
+	exitRank      = 3
+	exitFormation = 4
 )
 
 func main() {
 	if os.Getenv(envHub) != "" {
 		if err := workerMode(); err != nil {
 			fmt.Fprintln(os.Stderr, "mpirun worker:", err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		return
 	}
 
 	var (
-		np        = flag.Int("np", 4, "number of processes")
-		platform  = flag.String("platform", "", "modeled platform (pi, colab, chameleon, stolaf)")
-		transport = flag.String("transport", "local", "local (goroutine ranks), tcp (loopback TCP), or procs (separate OS processes)")
+		np          = flag.Int("np", 4, "number of processes")
+		platform    = flag.String("platform", "", "modeled platform (pi, colab, chameleon, stolaf)")
+		transport   = flag.String("transport", "local", "local (goroutine ranks), tcp (loopback TCP), or procs (separate OS processes)")
+		deadline    = flag.Duration("deadline", 0, "per-operation receive deadline; a stall becomes a blocked-ranks report instead of a hang (0 disables)")
+		joinTimeout = flag.Duration("join-timeout", 30*time.Second, "how long tcp/procs worlds may take to assemble before failing with the missing ranks")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs] <program>")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs] [-deadline D] <program>")
+		os.Exit(exitUsage)
 	}
 	prog := flag.Arg(0)
 	body, err := resolveProgram(prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpirun:", err)
-		os.Exit(1)
+		os.Exit(exitLauncher)
+	}
+
+	var opts []mpi.Option
+	if *deadline > 0 {
+		opts = append(opts, mpi.WithDeadline(*deadline))
 	}
 
 	switch *transport {
@@ -69,27 +98,42 @@ func main() {
 			plat, err := cluster.Lookup(*platform)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mpirun:", err)
-				os.Exit(1)
+				os.Exit(exitLauncher)
 			}
 			err = plat.Launch(*np, body)
 			exitOn(err)
 			return
 		}
-		exitOn(mpi.Run(*np, body))
+		exitOn(mpi.Run(*np, body, opts...))
 	case "tcp":
-		exitOn(mpi.RunTCP(*np, body))
+		opts = append(opts, mpi.WithHubOptions(mpi.HubFormationTimeout(*joinTimeout)))
+		exitOn(mpi.RunTCP(*np, body, opts...))
 	case "procs":
-		exitOn(runProcs(*np, prog))
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout))
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown transport %q\n", *transport)
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+}
+
+// exitCode maps a runtime error to the launcher's exit code contract.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, mpi.ErrFormationTimeout):
+		return exitFormation
+	case errors.Is(err, mpi.ErrWorldAborted) || errors.Is(err, mpi.ErrDeadlineExceeded):
+		return exitRank
+	default:
+		return exitLauncher
 	}
 }
 
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpirun:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -144,9 +188,11 @@ func resolveProgram(name string) (func(c *mpi.Comm) error, error) {
 }
 
 // runProcs starts a hub and one OS process per rank (re-executing this
-// binary in worker mode), then waits for the job.
-func runProcs(np int, prog string) error {
-	hub, err := mpi.StartHub("127.0.0.1:0", np)
+// binary in worker mode), then waits for the job. The hub's error is
+// authoritative when the world fails: it names the failing or missing rank,
+// where a worker's exit status only says that its process died.
+func runProcs(np int, prog string, deadline, joinTimeout time.Duration) error {
+	hub, err := mpi.StartHub("127.0.0.1:0", np, mpi.HubFormationTimeout(joinTimeout))
 	if err != nil {
 		return err
 	}
@@ -164,6 +210,7 @@ func runProcs(np int, prog string) error {
 			envRank+"="+strconv.Itoa(rank),
 			envNP+"="+strconv.Itoa(np),
 			envProg+"="+prog,
+			envDeadline+"="+deadline.String(),
 		)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -172,16 +219,16 @@ func runProcs(np int, prog string) error {
 		}
 		cmds[rank] = cmd
 	}
-	var firstErr error
+	var cmdErr error
 	for rank, cmd := range cmds {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("rank %d: %w", rank, err)
+		if err := cmd.Wait(); err != nil && cmdErr == nil {
+			cmdErr = fmt.Errorf("rank %d: %w", rank, err)
 		}
 	}
-	if err := hub.Wait(); err != nil && firstErr == nil {
-		firstErr = err
+	if err := hub.Wait(); err != nil {
+		return err
 	}
-	return firstErr
+	return cmdErr
 }
 
 // workerMode is the re-executed half of -transport procs.
@@ -198,5 +245,9 @@ func workerMode() error {
 	if err != nil {
 		return err
 	}
-	return mpi.JoinTCP(os.Getenv(envHub), rank, np, body)
+	var opts []mpi.Option
+	if d, err := time.ParseDuration(os.Getenv(envDeadline)); err == nil && d > 0 {
+		opts = append(opts, mpi.WithDeadline(d))
+	}
+	return mpi.JoinTCP(os.Getenv(envHub), rank, np, body, opts...)
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/mpi"
 )
@@ -34,5 +37,48 @@ func TestResolveProgramRejections(t *testing.T) {
 	// Shared-memory patternlets are not mpirun-able.
 	if _, err := resolveProgram("spmd"); err == nil || !strings.Contains(err.Error(), "shared-memory") {
 		t.Fatalf("shared-memory patternlet err = %v", err)
+	}
+}
+
+// TestExitCodes: the launcher's exit-code contract — scripts must be able
+// to tell a user mistake from a rank failure from a world that never
+// assembled.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, exitOK},
+		{"launcher", errors.New("unknown program"), exitLauncher},
+		{"formation", fmt.Errorf("wrapped: %w", mpi.ErrFormationTimeout), exitFormation},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+
+	// A real rank failure, as Run reports it, maps to the rank-failure code.
+	deliberate := errors.New("boom")
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			return deliberate
+		}
+		_, rerr := c.Recv(1, 0, nil)
+		return rerr
+	})
+	if got := exitCode(err); got != exitRank {
+		t.Errorf("rank failure: exitCode(%v) = %d, want %d", err, got, exitRank)
+	}
+
+	// A deadline report maps to the rank-failure code too: the program is
+	// at fault, not the launcher.
+	derr := mpi.Run(2, func(c *mpi.Comm) error {
+		_, rerr := c.Recv(1-c.Rank(), 0, nil)
+		return rerr
+	}, mpi.WithDeadline(50*time.Millisecond))
+	if got := exitCode(derr); got != exitRank {
+		t.Errorf("deadline: exitCode(%v) = %d, want %d", derr, got, exitRank)
 	}
 }

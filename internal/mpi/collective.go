@@ -7,7 +7,10 @@ import "fmt"
 // same rule MPI imposes. The implementations below use only the runtime's
 // own point-to-point layer (with reserved tags), which is both how early
 // MPI implementations worked and how the master-worker patternlet teaches
-// students collectives *could* be built.
+// students collectives *could* be built. Building on that layer also means
+// the failure model comes for free: a collective stalled on a failed rank
+// fails with ErrWorldAborted when the world is revoked, and WithDeadline
+// reports it as a blocked Recv under the collective's reserved tag.
 
 // Barrier blocks until every rank of the communicator has entered it:
 // MPI_Barrier. It is implemented as a dissemination barrier — ceil(log2 n)

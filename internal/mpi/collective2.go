@@ -120,7 +120,9 @@ func disseminationRounds(n int) int {
 
 // disseminationBarrier runs the ceil(log2 n)-round dissemination algorithm.
 // Each round's token carries its distance so a skewed world surfaces as a
-// mismatch error instead of silent miscounting.
+// mismatch error instead of silent miscounting — including the skew a
+// fault-injected duplicate or drop produces, which the failure suite uses
+// to push collectives off their happy path deliberately.
 func (c *Comm) disseminationBarrier() error {
 	n := c.Size()
 	for dist := 1; dist < n; dist *= 2 {

@@ -72,6 +72,9 @@ func (c *Comm) checkRank(r int) error {
 // never touch gob; everything else — and every frame on a serializing
 // transport — is gob-encoded here, before the transport sees it.
 func (c *Comm) sendValue(dest, tag int, v any) error {
+	if err := c.world.abortErr(); err != nil {
+		return err
+	}
 	if err := c.checkRank(dest); err != nil {
 		return err
 	}
@@ -96,6 +99,22 @@ func (c *Comm) sendValue(dest, tag int, v any) error {
 	return c.world.transport.Send(f)
 }
 
+// waitFrame is the blocking core under Recv and Probe: it applies the
+// world's deadline (if any) and, on expiry, converts the stall into the
+// world's single deadline report via deadlineFired.
+func (c *Comm) waitFrame(op string, source, tag int, pop bool) (frame, error) {
+	w := c.world
+	box := c.mailbox()
+	if w.deadline <= 0 {
+		return box.wait(op, c.ctx, source, tag, 0, nil, pop)
+	}
+	self := c.worldRank(c.rank)
+	onTimeout := func() error {
+		return w.deadlineFired(self, op, c.ctx, source, tag)
+	}
+	return box.wait(op, c.ctx, source, tag, w.deadline, onTimeout, pop)
+}
+
 // recv takes the earliest message matching (source, tag) — which may use
 // AnySource/AnyTag — materializes it into v (unless v is nil), and reports
 // its Status.
@@ -105,7 +124,7 @@ func (c *Comm) recv(source, tag int, v any) (Status, error) {
 			return Status{}, err
 		}
 	}
-	f, err := c.mailbox().take(c.ctx, source, tag)
+	f, err := c.waitFrame("Recv", source, tag, true)
 	if err != nil {
 		return Status{}, err
 	}
@@ -153,14 +172,19 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendVal any, source, recvTag int, rec
 }
 
 // Probe blocks until a message matching (source, tag) is available and
-// reports its Status without receiving it: MPI_Probe.
+// reports its Status without receiving it: MPI_Probe. Like Recv, it fails
+// with ErrWorldAborted on a revoked world and honours WithDeadline.
 func (c *Comm) Probe(source, tag int) (Status, error) {
 	if source != AnySource {
 		if err := c.checkRank(source); err != nil {
 			return Status{}, err
 		}
 	}
-	return c.mailbox().waitMatch(c.ctx, source, tag)
+	f, err := c.waitFrame("Probe", source, tag, false)
+	if err != nil {
+		return Status{}, err
+	}
+	return f.status(), nil
 }
 
 // Iprobe reports whether a message matching (source, tag) is available,

@@ -30,7 +30,10 @@ func TestHubSurvivesWorkerCrash(t *testing.T) {
 		})
 	}()
 
-	// "Worker 1" handshakes and then crashes (closes without done).
+	// "Worker 1" handshakes and then crashes (closes without done). Waiting
+	// for the start frame proves the hub admitted the rank — deterministic,
+	// unlike a sleep — so the close below is unambiguously a post-admission
+	// crash rather than a failed handshake.
 	conn, err := net.Dial("tcp", hub.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +41,13 @@ func TestHubSurvivesWorkerCrash(t *testing.T) {
 	if err := gob.NewEncoder(conn).Encode(hello{Rank: 1}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond) // let the hub admit the rank
+	var start frame
+	if err := gob.NewDecoder(conn).Decode(&start); err != nil {
+		t.Fatalf("reading start frame: %v", err)
+	}
+	if start.Tag != tagStart {
+		t.Fatalf("first frame tag = %d, want start (%d)", start.Tag, tagStart)
+	}
 	conn.Close()
 
 	if err := hub.Wait(); err == nil {

@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection. WithFaults layers a transport decorator
+// that drops, delays, duplicates, or kills according to a seeded plan, so a
+// failure scenario — the kind the paper's students hit on flaky remote
+// substrates — becomes a reproducible test case instead of a war story. The
+// failure suite uses it to prove the abort and deadline machinery fires
+// under each fault class, and a deadlock lab can hand students a plan that
+// breaks their program the same way every run.
+
+// FaultAction is what a matched FaultRule does to a frame.
+type FaultAction int
+
+const (
+	// FaultDrop discards the frame; the send succeeds, the receiver waits
+	// forever — the fault class the deadline machinery exists for.
+	FaultDrop FaultAction = iota + 1
+	// FaultDelay sleeps on the sender before delivery, like WithLatency but
+	// targeted. Delaying on the sending goroutine preserves per-pair FIFO.
+	FaultDelay
+	// FaultDuplicate delivers the frame twice. Protocols that count
+	// messages (barriers, rings) surface the duplicate as a clean protocol
+	// error; plain receives simply observe the message again.
+	FaultDuplicate
+	// FaultKillRank fails the sending rank: the triggering send — and every
+	// later send by that rank — returns an error wrapping ErrRankKilled,
+	// which propagates out of the rank's main and revokes the world, as a
+	// crashed process would.
+	FaultKillRank
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultKillRank:
+		return "kill-rank"
+	}
+	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// FaultRule selects frames by (src, dst, tag) and applies an action to
+// them. Src and Dst are world ranks; AnySource (-1) matches every rank and
+// AnyTag (-1) every tag, including the collectives' reserved negative tags —
+// so a wildcard rule perturbs collective protocols too, deliberately.
+//
+// Counting makes rules deterministic: each rule passes its first SkipFirst
+// matching frames through untouched, then acts on the next Count of them
+// (Count 0 = unlimited). "Kill rank 1 after its 3rd send" is
+// {Src: 1, SkipFirst: 3, Action: FaultKillRank}. Prob < 1 makes an armed
+// rule fire with that probability, drawn from the plan's seeded generator;
+// Prob 0 means always, so the zero value stays deterministic.
+type FaultRule struct {
+	Src, Dst, Tag int
+	SkipFirst     int
+	Count         int
+	Prob          float64
+	Action        FaultAction
+	Delay         time.Duration // used by FaultDelay
+}
+
+func (r *FaultRule) matches(f frame) bool {
+	if r.Src != AnySource && r.Src != f.WSrc {
+		return false
+	}
+	if r.Dst != AnySource && r.Dst != f.Dst {
+		return false
+	}
+	if r.Tag != AnyTag && r.Tag != f.Tag {
+		return false
+	}
+	return true
+}
+
+// FaultPlan is a seeded set of fault rules. The same plan against the same
+// program reproduces the same per-sender fault sequence: rule counters
+// advance with each sender's FIFO stream, and probabilistic rules draw from
+// a generator seeded with Seed. (Across concurrent senders on a shared
+// local transport the interleaving of draws follows the schedule, so fully
+// deterministic plans should use counting rules scoped to one sender.)
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+}
+
+// WithFaults installs the plan's fault injector on the world's transport,
+// beneath any message counter. An empty plan is free: the decorator
+// forwards without taking a lock, which is what the benchmark harness pins.
+func WithFaults(plan FaultPlan) Option {
+	return func(c *config) {
+		p := plan
+		c.faults = &p
+	}
+}
+
+// faultTransport applies a FaultPlan to every frame a transport carries.
+// In-process worlds share one instance across all ranks; each JoinTCP
+// process gets its own, which only ever sees its own rank's sends.
+type faultTransport struct {
+	inner Transport
+	inert bool // no rules: pure pass-through, no locking
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []faultRuleState
+	killed map[int]error // world rank -> injected kill error
+}
+
+type faultRuleState struct {
+	FaultRule
+	seen  int // matching frames observed
+	acted int // matching frames acted on
+}
+
+func newFaultTransport(inner Transport, plan *FaultPlan) *faultTransport {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &faultTransport{
+		inner:  inner,
+		inert:  len(plan.Rules) == 0,
+		rng:    rand.New(rand.NewSource(seed)),
+		killed: make(map[int]error),
+	}
+	for _, r := range plan.Rules {
+		t.rules = append(t.rules, faultRuleState{FaultRule: r})
+	}
+	return t
+}
+
+func (t *faultTransport) Send(f frame) error {
+	if t.inert {
+		return t.inner.Send(f)
+	}
+	t.mu.Lock()
+	if err := t.killed[f.WSrc]; err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	var action FaultAction
+	var delay time.Duration
+	for i := range t.rules {
+		r := &t.rules[i]
+		if !r.matches(f) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.SkipFirst {
+			continue
+		}
+		if r.Count > 0 && r.acted >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && t.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.acted++
+		action, delay = r.Action, r.Delay
+		break // first matching armed rule wins
+	}
+	if action == FaultKillRank {
+		err := fmt.Errorf("%w: rank %d (fault plan, on send to rank %d tag %d)",
+			ErrRankKilled, f.WSrc, f.Dst, f.Tag)
+		t.killed[f.WSrc] = err
+		t.mu.Unlock()
+		return err
+	}
+	t.mu.Unlock()
+
+	switch action {
+	case FaultDrop:
+		return nil
+	case FaultDelay:
+		if delay > 0 {
+			time.Sleep(delay) // on the sender, like WithLatency: FIFO-safe
+		}
+		return t.inner.Send(f)
+	case FaultDuplicate:
+		dup := f
+		if f.HasVal {
+			// Re-copy the typed payload so the two deliveries never share
+			// a buffer: each receiver must own its value outright.
+			if pv, ok := typedPayload(f.Val); ok {
+				dup.Val = pv
+			}
+		}
+		if err := t.inner.Send(f); err != nil {
+			return err
+		}
+		return t.inner.Send(dup)
+	default:
+		return t.inner.Send(f)
+	}
+}
+
+func (t *faultTransport) Close() error { return t.inner.Close() }
+
+// deliversTyped forwards the wrapped transport's fast-path capability:
+// injecting faults must not silently change how surviving messages travel.
+func (t *faultTransport) deliversTyped() bool {
+	tc, ok := t.inner.(typedCapable)
+	return ok && tc.deliversTyped()
+}

@@ -1,0 +1,267 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFaultDropTriggersDeadline: a dropped message leaves its receiver
+// stalled, and the deadline machinery converts the stall into a report that
+// names the stuck rank and what it was waiting for. Run twice to show the
+// seeded plan reproduces the identical failure.
+func TestFaultDropTriggersDeadline(t *testing.T) {
+	plan := FaultPlan{
+		Seed:  7,
+		Rules: []FaultRule{{Src: 0, Dst: 1, Tag: 5, Count: 1, Action: FaultDrop}},
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		err := runWithWatchdog(t, 10*time.Second, func() error {
+			return Run(2, func(c *Comm) error {
+				if c.Rank() == 0 {
+					return c.Send(1, 5, 42)
+				}
+				_, rerr := c.Recv(0, 5, nil)
+				return rerr
+			}, WithFaults(plan), WithDeadline(100*time.Millisecond))
+		})
+		var derr *DeadlineError
+		if !errors.As(err, &derr) {
+			t.Fatalf("attempt %d: err = %v, want a deadline report", attempt, err)
+		}
+		if derr.Rank != 1 || derr.Op != "Recv" || derr.Src != 0 || derr.Tag != 5 {
+			t.Fatalf("attempt %d: report %+v, want rank 1 stuck in Recv(src 0, tag 5)", attempt, derr)
+		}
+	}
+}
+
+// TestFaultDelayIsTargetedLatency: a delay rule slows exactly the matched
+// traffic and nothing else; the program still completes.
+func TestFaultDelayIsTargetedLatency(t *testing.T) {
+	const delay = 40 * time.Millisecond
+	plan := FaultPlan{Rules: []FaultRule{{Src: 0, Dst: 1, Tag: 2, Count: 1, Action: FaultDelay, Delay: delay}}}
+	start := time.Now()
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 2, "slow")
+		}
+		_, rerr := c.Recv(0, 2, nil)
+		return rerr
+	}, WithFaults(plan))
+	if err != nil {
+		t.Fatalf("delayed world failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("world finished in %v, want >= %v (delay not applied)", elapsed, delay)
+	}
+}
+
+// TestFaultDuplicateDeliversTwice: the receiver observes the duplicated
+// message twice, and the two deliveries own independent payload copies —
+// mutating the first must not corrupt the second.
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	plan := FaultPlan{Rules: []FaultRule{{Src: 0, Dst: 1, Tag: 3, Count: 1, Action: FaultDuplicate}}}
+	err := runWithWatchdog(t, 10*time.Second, func() error {
+		return Run(2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 3, []int{1, 2, 3})
+			}
+			var first, second []int
+			if _, err := c.Recv(0, 3, &first); err != nil {
+				return err
+			}
+			first[0] = 99 // must not alias the duplicate's payload
+			if _, err := c.Recv(0, 3, &second); err != nil {
+				return err
+			}
+			if second[0] != 1 || second[1] != 2 || second[2] != 3 {
+				return fmt.Errorf("duplicate payload corrupted: %v", second)
+			}
+			return nil
+		}, WithFaults(plan), WithDeadline(2*time.Second))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultKillRank: the selected rank dies at its matched send — the send
+// and all its later sends fail with ErrRankKilled — and the failure revokes
+// the world like any real crash, on both transports.
+func TestFaultKillRank(t *testing.T) {
+	plan := FaultPlan{
+		Rules: []FaultRule{{Src: 1, Dst: AnySource, Tag: AnyTag, SkipFirst: 1, Action: FaultKillRank}},
+	}
+	main := func(c *Comm) error {
+		if c.Rank() == 1 {
+			if err := c.Send(0, 4, "first"); err != nil {
+				return err
+			}
+			return c.Send(0, 4, "second") // the kill fires here
+		}
+		if _, err := c.Recv(1, 4, nil); err != nil {
+			return err
+		}
+		_, rerr := c.Recv(1, 4, nil) // never arrives: revoke must unblock it
+		return rerr
+	}
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"local", func() error { return Run(2, main, WithFaults(plan)) }},
+		{"tcp", func() error { return RunTCP(2, main, WithFaults(plan)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runWithWatchdog(t, 15*time.Second, tc.run)
+			if !errors.Is(err, ErrWorldAborted) {
+				t.Fatalf("err = %v, want ErrWorldAborted", err)
+			}
+			if !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "killed") {
+				t.Fatalf("err = %v, want the killed rank named", err)
+			}
+			if tc.name == "local" && !errors.Is(err, ErrRankKilled) {
+				t.Fatalf("err = %v, want ErrRankKilled identity", err)
+			}
+		})
+	}
+}
+
+// TestFaultPlanDeterminism: the same seeded probabilistic plan against the
+// same single-sender schedule acts on the same messages every run.
+func TestFaultPlanDeterminism(t *testing.T) {
+	plan := FaultPlan{
+		Seed:  42,
+		Rules: []FaultRule{{Src: 0, Dst: 1, Tag: AnyTag, Prob: 0.5, Action: FaultDrop}},
+	}
+	const msgs = 16
+	outcome := func() []int {
+		var got []int
+		err := Run(2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				for i := 0; i < msgs; i++ {
+					if err := c.Send(1, i, i); err != nil {
+						return err
+					}
+				}
+				return c.Send(1, 100, -1) // sentinel, also subject to the coin
+			}
+			for {
+				var v int
+				st, err := c.Recv(0, AnyTag, &v)
+				if err != nil {
+					return nil // drained: remaining traffic was dropped
+				}
+				if st.Tag == 100 {
+					return nil
+				}
+				got = append(got, st.Tag)
+			}
+		}, WithFaults(plan), WithDeadline(150*time.Millisecond))
+		// A dropped sentinel legitimately ends the run in a deadline report.
+		if err != nil && !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrWorldAborted) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return got
+	}
+	first := outcome()
+	second := outcome()
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("seeded plan diverged:\n  run 1: %v\n  run 2: %v", first, second)
+	}
+}
+
+// TestFaultSoak: randomized seeded plans across both transports. Every run
+// must terminate — in success or in a rank-attributed error — never hang;
+// the -race build of this test doubles as the data-race check on the whole
+// failure path. Each iteration's plan derives from a fixed master seed, so a
+// failure message pinpoints a reproducible plan.
+func TestFaultSoak(t *testing.T) {
+	const np = 3
+	master := rand.New(rand.NewSource(2026))
+	randomPlan := func() FaultPlan {
+		actions := []FaultAction{FaultDrop, FaultDelay, FaultDuplicate, FaultKillRank}
+		plan := FaultPlan{Seed: master.Int63()}
+		nRules := 1 + master.Intn(3)
+		for i := 0; i < nRules; i++ {
+			r := FaultRule{
+				Src:       master.Intn(np+1) - 1, // -1 = AnySource
+				Dst:       master.Intn(np+1) - 1,
+				Tag:       AnyTag,
+				SkipFirst: master.Intn(3),
+				Count:     master.Intn(3), // 0 = unlimited
+				Action:    actions[master.Intn(len(actions))],
+			}
+			if r.Action == FaultDelay {
+				r.Delay = time.Duration(1+master.Intn(10)) * time.Millisecond
+			}
+			plan.Rules = append(plan.Rules, r)
+		}
+		return plan
+	}
+	// A ring exchange with a closing barrier: enough traffic (point-to-point
+	// and collective) for every fault class to land somewhere interesting.
+	main := func(c *Comm) error {
+		next, prev := (c.Rank()+1)%np, (c.Rank()+np-1)%np
+		for i := 0; i < 4; i++ {
+			if err := c.Send(next, i, c.Rank()*10+i); err != nil {
+				return err
+			}
+			if _, err := c.Recv(prev, i, nil); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	}
+	check := func(t *testing.T, label string, err error) {
+		t.Helper()
+		if err == nil {
+			return
+		}
+		if !strings.Contains(err.Error(), "rank ") {
+			t.Fatalf("%s: error lacks rank attribution: %v", label, err)
+		}
+		ok := errors.Is(err, ErrWorldAborted) || errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrRankKilled)
+		if !ok {
+			t.Fatalf("%s: error outside the failure model: %v", label, err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		plan := randomPlan()
+		err := runWithWatchdog(t, 20*time.Second, func() error {
+			return Run(np, main, WithFaults(plan), WithDeadline(250*time.Millisecond))
+		})
+		check(t, fmt.Sprintf("local iteration %d (plan %+v)", i, plan), err)
+	}
+	for i := 0; i < 4; i++ {
+		plan := randomPlan()
+		err := runWithWatchdog(t, 30*time.Second, func() error {
+			return RunTCP(np, main, WithFaults(plan), WithDeadline(300*time.Millisecond))
+		})
+		check(t, fmt.Sprintf("tcp iteration %d (plan %+v)", i, plan), err)
+	}
+}
+
+// TestEmptyFaultPlanIsInert: WithFaults with no rules must not perturb the
+// program — it is the configuration the overhead benchmark pins.
+func TestEmptyFaultPlanIsInert(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, "hello")
+		}
+		var s string
+		if _, err := c.Recv(0, 0, &s); err != nil {
+			return err
+		}
+		if s != "hello" {
+			return fmt.Errorf("got %q", s)
+		}
+		return nil
+	}, WithFaults(FaultPlan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // mailbox is one rank's incoming message queue. Receives match messages by
 // (context, source, tag) with wildcard support, always taking the earliest
@@ -15,12 +18,21 @@ import "sync"
 // candidate key queues by a global arrival sequence number, so they still
 // take the earliest matching arrival, at O(distinct pending keys) rather
 // than O(pending frames).
+//
+// A mailbox can end in two ways. close (transport shutdown) lets pending
+// frames drain and then fails further waits with ErrShutdown. fail (world
+// abort) poisons the mailbox outright: blocked and future operations return
+// the abort error immediately, pending frames included — the revoke
+// semantic that turns one rank's failure into a prompt error everywhere
+// instead of a hang.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	seq    uint64                 // next arrival number
-	byKey  map[mailKey][]seqFrame // pending frames, FIFO per exact key
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     uint64                 // next arrival number
+	byKey   map[mailKey][]seqFrame // pending frames, FIFO per exact key
+	closed  bool
+	failErr error     // abort poison; checked before matching
+	blocked []*waiter // registered blocked operations (deadline worlds only)
 }
 
 // mailKey is the exact-match index key.
@@ -33,6 +45,16 @@ type mailKey struct {
 type seqFrame struct {
 	seq uint64
 	f   frame
+}
+
+// waiter records one blocked receive/probe for the deadline machinery's
+// who-waits-on-whom snapshot. Waiters are registered only in worlds with a
+// deadline, so the default hot path never touches the registry.
+type waiter struct {
+	op       string
+	ctx      int64
+	src, tag int
+	since    time.Time
 }
 
 func newMailbox() *mailbox {
@@ -104,53 +126,139 @@ func (m *mailbox) popLocked(key mailKey) frame {
 	return f
 }
 
-// take removes and returns the earliest frame matching (ctx, src, tag),
-// blocking until one arrives or the mailbox closes.
-func (m *mailbox) take(ctx int64, src, tag int) (frame, error) {
+// wait blocks until a frame matching (ctx, src, tag) is available and
+// returns it, popping it for receives (pop) and leaving it queued for
+// probes (!pop). It is the single blocking primitive under Recv, Probe, and
+// every collective.
+//
+// The checks run in revoke order: a poisoned mailbox fails immediately
+// (even with matching frames queued — the world is revoked); a match wins
+// over a close, so pending frames drain after transport shutdown; and only
+// then does a timeout fire. With timeout > 0 the blocked operation is
+// registered for snapshots, and on expiry onTimeout is invoked with the
+// waiter still registered and m.mu released — it may inspect other
+// mailboxes and poison this one — and its error is returned verbatim.
+func (m *mailbox) wait(op string, ctx int64, src, tag int, timeout time.Duration, onTimeout func() error, pop bool) (frame, error) {
+	var deadlineAt time.Time
+	if timeout > 0 {
+		deadlineAt = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			// Wake the waiter so the loop observes the expiry; locking
+			// around the broadcast closes the missed-wakeup window.
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var wt *waiter
+	defer func() {
+		if wt != nil {
+			m.removeWaiterLocked(wt)
+		}
+	}()
 	for {
+		if m.failErr != nil {
+			return frame{}, m.failErr
+		}
 		if key, ok := m.findLocked(ctx, src, tag); ok {
+			if !pop {
+				return m.byKey[key][0].f, nil
+			}
 			return m.popLocked(key), nil
 		}
 		if m.closed {
 			return frame{}, ErrShutdown
 		}
+		if timeout > 0 {
+			if wt == nil {
+				wt = &waiter{op: op, ctx: ctx, src: src, tag: tag, since: time.Now()}
+				m.blocked = append(m.blocked, wt)
+			}
+			if !time.Now().Before(deadlineAt) {
+				m.mu.Unlock()
+				err := onTimeout()
+				m.mu.Lock()
+				return frame{}, err
+			}
+		}
 		m.cond.Wait()
 	}
 }
 
+func (m *mailbox) removeWaiterLocked(wt *waiter) {
+	for i, w := range m.blocked {
+		if w == wt {
+			last := len(m.blocked) - 1
+			m.blocked[i], m.blocked[last] = m.blocked[last], nil
+			m.blocked = m.blocked[:last]
+			return
+		}
+	}
+}
+
+// blockedWaiters snapshots the registered blocked operations.
+func (m *mailbox) blockedWaiters() []waiter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]waiter, 0, len(m.blocked))
+	for _, wt := range m.blocked {
+		out = append(out, *wt)
+	}
+	return out
+}
+
+// take removes and returns the earliest frame matching (ctx, src, tag),
+// blocking until one arrives, the mailbox closes, or the world aborts.
+func (m *mailbox) take(ctx int64, src, tag int) (frame, error) {
+	return m.wait("Recv", ctx, src, tag, 0, nil, true)
+}
+
 // peek reports whether a frame matching (ctx, src, tag) is queued, and if so
-// returns its status, without removing it: the core of Iprobe.
+// returns its status, without removing it: the core of Iprobe. A poisoned
+// mailbox reports nothing available, matching the failing Recv it precedes.
 func (m *mailbox) peek(ctx int64, src, tag int) (Status, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.failErr != nil {
+		return Status{}, false
+	}
 	if key, ok := m.findLocked(ctx, src, tag); ok {
 		return m.byKey[key][0].f.status(), true
 	}
 	return Status{}, false
 }
 
-// waitMatch blocks until a matching frame is queued (without removing it) or
-// the mailbox closes: the core of the blocking Probe.
+// waitMatch blocks until a matching frame is queued (without removing it),
+// the mailbox closes, or the world aborts: the core of the blocking Probe.
 func (m *mailbox) waitMatch(ctx int64, src, tag int) (Status, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		if key, ok := m.findLocked(ctx, src, tag); ok {
-			return m.byKey[key][0].f.status(), nil
-		}
-		if m.closed {
-			return Status{}, ErrShutdown
-		}
-		m.cond.Wait()
+	f, err := m.wait("Probe", ctx, src, tag, 0, nil, false)
+	if err != nil {
+		return Status{}, err
 	}
+	return f.status(), nil
 }
 
-// close marks the mailbox closed and wakes all blocked receivers.
+// close marks the mailbox closed and wakes all blocked receivers. Pending
+// frames stay receivable; only waits that would block fail, with
+// ErrShutdown.
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// fail poisons the mailbox with the world's abort error: every blocked and
+// future operation returns err immediately, pending frames included. The
+// first error sticks.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	if m.failErr == nil {
+		m.failErr = err
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

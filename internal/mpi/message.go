@@ -36,6 +36,29 @@ var ErrInvalidTag = errors.New("mpi: invalid tag")
 // ErrShutdown is returned by operations on a world that has been stopped.
 var ErrShutdown = errors.New("mpi: world shut down")
 
+// ErrWorldAborted is returned by every operation on a world that has been
+// revoked: when any rank fails (error or panic), the runtime poisons the
+// surviving ranks' mailboxes so blocked receives, pending requests, and
+// in-flight collectives return this error instead of hanging — the
+// ULFM-style revoke semantic. Use errors.Is to detect it; the error chain
+// also wraps the originating rank's failure.
+var ErrWorldAborted = errors.New("mpi: world aborted")
+
+// ErrDeadlineExceeded is returned by a blocking receive or probe that
+// outlived the world's WithDeadline budget. The concrete error is a
+// *DeadlineError carrying a who-waits-on-whom snapshot of every blocked
+// rank; the first deadline breach also revokes the world.
+var ErrDeadlineExceeded = errors.New("mpi: operation deadline exceeded")
+
+// ErrFormationTimeout is returned by Hub.Wait when HubFormationTimeout
+// elapsed before every rank joined; the error names the missing ranks.
+var ErrFormationTimeout = errors.New("mpi: world formation timed out")
+
+// ErrRankKilled is injected by a FaultKillRank rule: the killed rank's
+// sends fail with an error wrapping this sentinel, which then propagates
+// through the abort machinery like any other rank failure.
+var ErrRankKilled = errors.New("mpi: fault injection killed rank")
+
 // Status describes a received message, mirroring MPI_Status: which rank sent
 // it, under which tag, and how large the payload was. Bytes reports wire
 // bytes for serialized transports (TCP, or local with WithSerialization) and

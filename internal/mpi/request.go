@@ -6,7 +6,10 @@ import (
 )
 
 // Request is a handle on a nonblocking operation, mirroring MPI_Request.
-// Complete it with Wait (blocking) or poll it with Test.
+// Complete it with Wait (blocking) or poll it with Test. A pending Irecv
+// rides on the same mailbox primitive as a blocking Recv, so a world abort
+// or a WithDeadline expiry completes the request with that error instead of
+// leaving Wait blocked.
 type Request struct {
 	mu     sync.Mutex
 	done   bool

@@ -2,7 +2,9 @@ package mpi
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -20,10 +22,18 @@ import (
 //	hello{Rank}            worker -> hub, once, identifies the rank
 //	frame{Tag: tagStart}   hub -> worker, once, after all ranks joined
 //	frame{...}             either direction, user and collective traffic
-//	frame{Dst: ctrlDst, Tag: tagDone}  worker -> hub, rank finished
+//	frame{Dst: ctrlDst, Tag: tagDone}   worker -> hub, rank finished
+//	frame{Dst: ctrlDst, Tag: tagAbort}  worker -> hub, rank failed; Data
+//	                                    carries a gob abortInfo
+//	frame{Tag: tagAbort}   hub -> worker, world revoked (broadcast)
+//	frame{Tag: tagPing}    hub -> worker, heartbeat probe
+//	frame{Dst: ctrlDst, Tag: tagPong}   worker -> hub, heartbeat reply
 const (
 	tagStart = -100
 	tagDone  = -101
+	tagAbort = -102
+	tagPing  = -103
+	tagPong  = -104
 	ctrlDst  = -100
 )
 
@@ -31,19 +41,78 @@ type hello struct {
 	Rank int
 }
 
+// abortInfo is the wire form of a world revoke: which rank failed (or -1
+// when the hub itself did) and its error, surviving only as text.
+type abortInfo struct {
+	Rank int
+	Msg  string
+}
+
+func (ai abortInfo) err() error {
+	return &abortError{cause: &remoteAbortError{rank: ai.Rank, msg: ai.Msg}}
+}
+
+// HubOption configures a StartHub.
+type HubOption func(*hubOptions)
+
+type hubOptions struct {
+	formation time.Duration
+	heartbeat time.Duration
+}
+
+// HubFormationTimeout bounds how long the hub waits for the world to form.
+// If the deadline passes before every rank has joined, the job fails with
+// an error wrapping ErrFormationTimeout that lists the missing ranks —
+// instead of waiting forever on a worker that never dialed. Zero (the
+// default) waits indefinitely.
+func HubFormationTimeout(d time.Duration) HubOption {
+	return func(o *hubOptions) { o.formation = d }
+}
+
+// HubHeartbeat makes the hub ping every worker each interval once the
+// world has started. A worker that misses three consecutive intervals —
+// a frozen process, a dead VM, a stalled connection — fails the job and
+// revokes the world for the survivors. It cannot detect a rank that is
+// alive but stuck in user code (its connection still answers); that is
+// what WithDeadline is for. Zero (the default) disables the heartbeat.
+func HubHeartbeat(interval time.Duration) HubOption {
+	return func(o *hubOptions) { o.heartbeat = interval }
+}
+
+// WithHubOptions forwards hub configuration (formation timeout, heartbeat)
+// to the hub RunTCP starts internally. Standalone hubs take the same
+// options directly via StartHub; JoinTCP ignores this option.
+func WithHubOptions(opts ...HubOption) Option {
+	return func(c *config) { c.hubOpts = append(c.hubOpts, opts...) }
+}
+
+// WithDialRetry bounds JoinTCP's dial retry budget: failed dials are
+// retried with exponential backoff and jitter until the budget elapses, so
+// a worker that starts before its hub is listening joins as soon as the hub
+// comes up. Zero keeps the default (3s); a negative budget disables
+// retrying entirely.
+func WithDialRetry(budget time.Duration) Option {
+	return func(c *config) { c.dialRetry = budget }
+}
+
 // Hub routes frames between the ranks of one TCP-transport world. Create
 // one with StartHub, hand its Addr to the workers, and Wait for the job to
 // finish.
 type Hub struct {
-	ln net.Listener
-	np int
+	ln   net.Listener
+	np   int
+	opts hubOptions
 
-	mu    sync.Mutex
-	conns map[int]*hubConn
-	done  int
-	err   error
+	mu       sync.Mutex
+	conns    map[int]*hubConn
+	complete bool // all np ranks admitted
+	done     int
+	err      error
+	abortErr error // first rank-reported abort; preferred by Wait
+	lastPong map[int]time.Time
 
-	finished chan struct{}
+	formTimer *time.Timer
+	finished  chan struct{}
 }
 
 type hubConn struct {
@@ -61,9 +130,13 @@ func (hc *hubConn) send(f frame) error {
 // StartHub listens on addr (use "127.0.0.1:0" for an ephemeral port) and
 // routes for a world of np ranks. It returns as soon as the listener is
 // ready; workers may join immediately.
-func StartHub(addr string, np int) (*Hub, error) {
+func StartHub(addr string, np int, opts ...HubOption) (*Hub, error) {
 	if np < 1 {
 		return nil, fmt.Errorf("mpi: hub needs at least 1 process, got %d", np)
+	}
+	var ho hubOptions
+	for _, o := range opts {
+		o(&ho)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -72,8 +145,16 @@ func StartHub(addr string, np int) (*Hub, error) {
 	h := &Hub{
 		ln:       ln,
 		np:       np,
+		opts:     ho,
 		conns:    make(map[int]*hubConn),
 		finished: make(chan struct{}),
+	}
+	if ho.formation > 0 {
+		// Assign under the lock: the timer callback (and the shutdown path
+		// it triggers) reads formTimer from other goroutines.
+		h.mu.Lock()
+		h.formTimer = time.AfterFunc(ho.formation, h.formationExpired)
+		h.mu.Unlock()
 	}
 	go h.acceptLoop()
 	return h, nil
@@ -91,6 +172,26 @@ func (h *Hub) acceptLoop() {
 		}
 		go h.admit(conn)
 	}
+}
+
+// formationExpired fires when the world-formation timeout elapses: any
+// still-missing rank fails the job with a list of who never joined.
+func (h *Hub) formationExpired() {
+	h.mu.Lock()
+	if h.complete {
+		h.mu.Unlock()
+		return
+	}
+	var missing []int
+	for r := 0; r < h.np; r++ {
+		if _, ok := h.conns[r]; !ok {
+			missing = append(missing, r)
+		}
+	}
+	d := h.opts.formation
+	h.mu.Unlock()
+	h.fail(fmt.Errorf("%w: %d of %d ranks missing after %s: %v",
+		ErrFormationTimeout, len(missing), h.np, d, missing))
 }
 
 // admit registers a worker connection and, once the world is complete,
@@ -121,8 +222,19 @@ func (h *Hub) admit(conn net.Conn) {
 	complete := len(h.conns) == h.np
 	var all []*hubConn
 	if complete {
+		h.complete = true
+		if h.formTimer != nil {
+			h.formTimer.Stop()
+		}
 		for _, c := range h.conns {
 			all = append(all, c)
+		}
+		if h.opts.heartbeat > 0 {
+			h.lastPong = make(map[int]time.Time, h.np)
+			now := time.Now()
+			for r := range h.conns {
+				h.lastPong[r] = now
+			}
 		}
 	}
 	h.mu.Unlock()
@@ -134,8 +246,44 @@ func (h *Hub) admit(conn net.Conn) {
 				return
 			}
 		}
+		if h.opts.heartbeat > 0 {
+			go h.heartbeatLoop()
+		}
 	}
 	h.route(hi.Rank, dec)
+}
+
+// heartbeatLoop pings every worker each interval and fails the job when a
+// worker has not answered for three intervals.
+func (h *Hub) heartbeatLoop() {
+	iv := h.opts.heartbeat
+	ticker := time.NewTicker(iv)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.finished:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		h.mu.Lock()
+		var stale []int
+		conns := make([]*hubConn, 0, len(h.conns))
+		for r, c := range h.conns {
+			conns = append(conns, c)
+			if now.Sub(h.lastPong[r]) > 3*iv {
+				stale = append(stale, r)
+			}
+		}
+		h.mu.Unlock()
+		if len(stale) > 0 {
+			h.fail(fmt.Errorf("mpi: hub: ranks %v unresponsive (no heartbeat within %s); world revoked", stale, 3*iv))
+			return
+		}
+		for _, c := range conns {
+			_ = c.send(frame{Tag: tagPing})
+		}
+	}
 }
 
 // route forwards every frame read from one worker until the worker reports
@@ -148,11 +296,20 @@ func (h *Hub) route(rank int, dec *gob.Decoder) {
 			return
 		}
 		if f.Dst == ctrlDst {
-			if f.Tag == tagDone {
+			switch f.Tag {
+			case tagDone:
 				// The worker sends nothing after done; stop reading so its
 				// connection teardown is not mistaken for a failure.
 				h.workerDone()
 				return
+			case tagAbort:
+				h.rankAborted(rank, f.Data)
+			case tagPong:
+				h.mu.Lock()
+				if h.lastPong != nil {
+					h.lastPong[rank] = time.Now()
+				}
+				h.mu.Unlock()
 			}
 			continue
 		}
@@ -170,6 +327,31 @@ func (h *Hub) route(rank int, dec *gob.Decoder) {
 	}
 }
 
+// rankAborted records a worker-reported failure and broadcasts the revoke
+// to every other worker, which poisons their mailboxes. The world still
+// winds down through the normal done protocol: every surviving rank's main
+// returns promptly with ErrWorldAborted.
+func (h *Hub) rankAborted(origin int, payload []byte) {
+	var info abortInfo
+	if err := decodeValue(payload, &info); err != nil {
+		info = abortInfo{Rank: origin, Msg: "rank failed (undecodable abort report)"}
+	}
+	h.mu.Lock()
+	if h.abortErr == nil {
+		h.abortErr = info.err()
+	}
+	others := make([]*hubConn, 0, len(h.conns))
+	for r, c := range h.conns {
+		if r != origin {
+			others = append(others, c)
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range others {
+		_ = c.send(frame{Tag: tagAbort, Data: payload})
+	}
+}
+
 // workerDone counts a finished rank; when the last one reports, the hub
 // shuts the world down. It reports whether this was the final rank.
 func (h *Hub) workerDone() bool {
@@ -184,23 +366,38 @@ func (h *Hub) workerDone() bool {
 }
 
 // fail records the first error and shuts the hub down, unless the job had
-// already completed cleanly.
+// already completed cleanly. Before tearing connections down it broadcasts
+// the revoke to every worker, so survivors blocked in a receive observe
+// ErrWorldAborted naming the failure rather than a bare disconnect.
 func (h *Hub) fail(err error) {
 	h.mu.Lock()
 	alreadyFinished := h.done == h.np
 	if h.err == nil && !alreadyFinished {
 		h.err = err
 	}
-	h.mu.Unlock()
-	if !alreadyFinished {
-		h.shutdown()
+	conns := make([]*hubConn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
 	}
+	h.mu.Unlock()
+	if alreadyFinished {
+		return
+	}
+	if data, encErr := encodeValue(abortInfo{Rank: -1, Msg: err.Error()}); encErr == nil {
+		for _, c := range conns {
+			_ = c.send(frame{Tag: tagAbort, Data: data})
+		}
+	}
+	h.shutdown()
 }
 
 func (h *Hub) shutdown() {
 	h.mu.Lock()
 	conns := h.conns
 	h.conns = map[int]*hubConn{}
+	if h.formTimer != nil {
+		h.formTimer.Stop()
+	}
 	h.mu.Unlock()
 	h.ln.Close()
 	for _, c := range conns {
@@ -214,11 +411,16 @@ func (h *Hub) shutdown() {
 }
 
 // Wait blocks until every rank has reported completion (or the hub failed)
-// and returns the hub's error state.
+// and returns the hub's error state: nil for a clean run, the revoke error
+// (wrapping the originating rank's failure) for an aborted world, or the
+// hub's own first failure.
 func (h *Hub) Wait() error {
 	<-h.finished
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.abortErr != nil {
+		return h.abortErr
+	}
 	if h.done == h.np {
 		return nil
 	}
@@ -256,10 +458,55 @@ func (t *tcpTransport) Send(f frame) error {
 
 func (t *tcpTransport) Close() error { return t.conn.Close() }
 
+// defaultDialRetry is JoinTCP's dial budget when WithDialRetry is not set:
+// long enough to ride out a hub that is still binding its listener, short
+// enough that a dead address fails the worker promptly.
+const defaultDialRetry = 3 * time.Second
+
+// dialHub dials addr, retrying failed dials with exponential backoff and
+// jitter until the budget elapses — so launching workers before the hub is
+// a race the runtime absorbs instead of a crash.
+func dialHub(addr string, budget time.Duration) (net.Conn, error) {
+	if budget == 0 {
+		budget = defaultDialRetry
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err == nil || budget < 0 {
+		if err != nil {
+			return nil, fmt.Errorf("mpi: joining hub %s: %w", addr, err)
+		}
+		return conn, nil
+	}
+	deadline := time.Now().Add(budget)
+	backoff := 5 * time.Millisecond
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("mpi: joining hub %s (retried for %s): %w", addr, budget, err)
+		}
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+	}
+}
+
 // JoinTCP connects to the hub at addr as the given rank of an np-rank world
 // and runs main there: the worker half of a distributed "mpirun". It
 // returns when main returns (converting panics to errors, as Run does).
-func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option) (err error) {
+// Dials are retried with backoff while the hub is still coming up. If this
+// rank fails, the failure is reported to the hub, which revokes the world
+// for every peer; if a peer fails first, main's blocked operations return
+// ErrWorldAborted naming the failing rank.
+func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option) error {
 	if rank < 0 || rank >= np {
 		return fmt.Errorf("%w: %d (np %d)", ErrInvalidRank, rank, np)
 	}
@@ -268,9 +515,9 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		o(&cfg)
 	}
 
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialHub(addr, cfg.dialRetry)
 	if err != nil {
-		return fmt.Errorf("mpi: joining hub %s: %w", addr, err)
+		return err
 	}
 	t := &tcpTransport{conn: conn, enc: gob.NewEncoder(conn)}
 	defer t.Close()
@@ -282,25 +529,24 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 	box := newMailbox()
 	dec := gob.NewDecoder(conn)
 
-	// The start frame arrives before any routed traffic.
+	// The start frame arrives before any routed traffic. A pre-start abort
+	// (another worker failed the handshake, or formation timed out) arrives
+	// here instead of the start signal.
 	var start frame
 	if err := dec.Decode(&start); err != nil {
 		return fmt.Errorf("mpi: waiting for world start: %w", err)
 	}
-	if start.Tag != tagStart {
+	switch start.Tag {
+	case tagStart:
+	case tagAbort:
+		var info abortInfo
+		if err := decodeValue(start.Data, &info); err != nil {
+			return fmt.Errorf("mpi: world aborted before start: %w", err)
+		}
+		return fmt.Errorf("mpi: rank %d: %w", rank, info.err())
+	default:
 		return fmt.Errorf("mpi: unexpected frame before start signal (tag %d)", start.Tag)
 	}
-
-	go func() {
-		for {
-			var f frame
-			if err := dec.Decode(&f); err != nil {
-				box.close()
-				return
-			}
-			box.deliver(f)
-		}
-	}()
 
 	host, herr := os.Hostname()
 	if herr != nil || host == "" {
@@ -326,19 +572,57 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		gate:      cfg.gate,
 		epoch:     time.Now(),
 		typed:     cfg.typedWorld(transport), // always false: tcpTransport serializes
+		deadline:  cfg.deadline,
 	}
 
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+	// The read loop demultiplexes routed traffic from control frames: a
+	// broadcast revoke poisons this rank's mailbox; heartbeat pings are
+	// answered from here, so a rank stuck in user code still pongs (the
+	// heartbeat detects dead processes, WithDeadline detects stuck ranks).
+	go func() {
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				w.abort(fmt.Errorf("mpi: rank %d: connection to hub lost: %w", rank, err))
+				box.close()
+				return
+			}
+			switch f.Tag {
+			case tagAbort:
+				var info abortInfo
+				if err := decodeValue(f.Data, &info); err != nil {
+					info = abortInfo{Rank: -1, Msg: "world aborted (undecodable revoke)"}
+				}
+				w.abort(&remoteAbortError{rank: info.Rank, msg: info.Msg})
+			case tagPing:
+				_ = t.Send(frame{Dst: ctrlDst, Tag: tagPong})
+			default:
+				box.deliver(f)
+			}
 		}
-		// Report completion regardless of outcome so the hub can finish.
-		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
 	}()
-	if err := main(w.comm(rank)); err != nil {
-		return fmt.Errorf("mpi: rank %d: %w", rank, err)
+
+	runErr := runRank(w, rank, main)
+	if runErr == nil {
+		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+		return nil
 	}
-	return nil
+	if errors.Is(runErr, ErrWorldAborted) {
+		// A victim of someone else's failure: the revoke is already
+		// propagating, so just finish the done protocol.
+		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+		return runErr
+	}
+	// This rank originated the failure: revoke locally (unblocks any of its
+	// own pending Irecv goroutines), report to the hub so peers revoke too,
+	// then complete the done protocol. The abort must precede done — the
+	// hub stops reading this connection at done.
+	w.abort(runErr)
+	if data, encErr := encodeValue(abortInfo{Rank: rank, Msg: runErr.Error()}); encErr == nil {
+		_ = t.Send(frame{Dst: ctrlDst, Tag: tagAbort, Data: data})
+	}
+	_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+	return &abortError{cause: runErr}
 }
 
 // RunTCP executes main as an SPMD program of np ranks connected through a
@@ -347,7 +631,11 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 // of a cluster job and the transport the ablation benchmarks compare
 // against the in-process one.
 func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
-	hub, err := StartHub("127.0.0.1:0", np)
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	hub, err := StartHub("127.0.0.1:0", np, cfg.hubOpts...)
 	if err != nil {
 		return err
 	}
@@ -363,13 +651,27 @@ func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
 		}(rank)
 	}
 	wg.Wait()
-	if err := hub.Wait(); err != nil {
-		return err
-	}
+	hubErr := hub.Wait()
+
+	// Prefer the originating failure: a victim's error carries only the
+	// remote description of the cause, while the originator's JoinTCP
+	// return still wraps the rank's own error with errors.Is identity.
+	var victim error
 	for _, e := range errs {
-		if e != nil {
-			return e
+		if e == nil {
+			continue
 		}
+		var remote *remoteAbortError
+		if errors.As(e, &remote) {
+			if victim == nil {
+				victim = e
+			}
+			continue
+		}
+		return e
 	}
-	return nil
+	if hubErr != nil {
+		return hubErr
+	}
+	return victim
 }

@@ -5,6 +5,12 @@ import "time"
 // Transport moves frames between ranks. Implementations must preserve the
 // order of frames sent from one rank to another (per-pair FIFO); the
 // mailbox layer turns that into MPI's non-overtaking matching guarantee.
+// Decorators stack on the base transport in wrapTransport's fixed order —
+// fault injection innermost, then message counting, then the test hook —
+// so counters observe what a program tried to send, faults included.
+// Failure propagation does not pass through Send: a world abort poisons
+// the receiving mailboxes directly (local) or travels as a control frame
+// outside the user frame stream (TCP), so no fault rule can suppress it.
 type Transport interface {
 	// Send routes f to the mailbox of rank f.Dst. It must not block
 	// indefinitely: sends in this runtime are buffered, as in MPI's

@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,8 +17,17 @@ type World struct {
 	boxes     []*mailbox // receive queues, indexed by world rank
 	names     []string   // processor name per world rank
 	gate      func(fn func())
-	epoch     time.Time // when the world initialized; Wtime's zero point
-	typed     bool      // transport delivers typed payloads (the fast path)
+	epoch     time.Time     // when the world initialized; Wtime's zero point
+	typed     bool          // transport delivers typed payloads (the fast path)
+	deadline  time.Duration // per-operation receive budget; 0 = unbounded
+
+	// Revoke state (see abort.go). abortedFlag is the hot-path gate: one
+	// atomic load per send; the cause and the report serialization live
+	// behind their own mutexes.
+	abortedFlag atomic.Bool
+	abortMu     sync.Mutex
+	abortCause  error      // first rank-attributed failure; latched
+	reportMu    sync.Mutex // serializes deadline reports (abort.go)
 }
 
 // Option configures a Run.
@@ -28,11 +39,20 @@ type config struct {
 	gate         func(fn func())
 	counter      *MessageCounter
 	serializeAll bool
+	deadline     time.Duration
+	faults       *FaultPlan
+	dialRetry    time.Duration // JoinTCP dial budget; 0 = default, <0 = single attempt
+	hubOpts      []HubOption   // consumed by RunTCP's internal hub
 	wrap         func(Transport) Transport // test hook: outermost decoration
 }
 
-// wrapTransport applies configured decorations to a transport.
+// wrapTransport applies configured decorations to a transport. The fault
+// injector sits innermost — closest to delivery, so counters and test wraps
+// observe the frames a program tried to send, faults and all.
 func (c *config) wrapTransport(t Transport) Transport {
+	if c.faults != nil {
+		t = newFaultTransport(t, c.faults)
+	}
 	if c.counter != nil {
 		t = &countingTransport{inner: t, mc: c.counter}
 	}
@@ -87,9 +107,11 @@ func WithSerialization() Option {
 // per rank, and returns after every rank's main has returned: the analogue
 // of "mpirun -np N prog" on a single node.
 //
-// If any rank returns a non-nil error, Run reports the error from the
-// lowest-numbered failing rank, wrapped with its rank. A panic in any rank
-// is converted to an error the same way.
+// If any rank returns a non-nil error or panics, the world is revoked: the
+// surviving ranks' blocked receives and in-flight collectives fail with
+// ErrWorldAborted instead of hanging, and Run returns the first failure,
+// rank-attributed and wrapped so that errors.Is matches both
+// ErrWorldAborted and the originating rank's own error.
 func Run(np int, main func(c *Comm) error, opts ...Option) error {
 	if np < 1 {
 		return fmt.Errorf("mpi: Run needs at least 1 process, got %d", np)
@@ -124,6 +146,7 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 		gate:      cfg.gate,
 		epoch:     time.Now(),
 		typed:     cfg.typedWorld(transport),
+		deadline:  cfg.deadline,
 	}
 	defer t.Close()
 
@@ -133,21 +156,50 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 	for rank := 0; rank < np; rank++ {
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
-				}
-			}()
-			if err := main(w.comm(rank)); err != nil {
-				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+			err := runRank(w, rank, main)
+			if err == nil {
+				return
+			}
+			errs[rank] = err
+			// Victims of the revoke do not re-abort: the cause is already
+			// latched, and they must never displace the originating error.
+			if !errors.Is(err, ErrWorldAborted) {
+				w.abort(err)
 			}
 		}(rank)
 	}
 	wg.Wait()
+	// Report the lowest-ranked originator, deterministically: the abort
+	// latch is first-wins (a race when several ranks fail independently),
+	// but errs remembers every rank's own failure, and victims of the
+	// revoke are distinguishable by the ErrWorldAborted identity.
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ErrWorldAborted) {
+			return &abortError{cause: e}
+		}
+	}
+	if err := w.abortErr(); err != nil {
+		return err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return e
 		}
+	}
+	return nil
+}
+
+// runRank executes one rank's main, converting a panic to a rank-attributed
+// error the same way a returned error is wrapped. Shared by Run and JoinTCP
+// so a panic is observationally identical across transports.
+func runRank(w *World, rank int, main func(c *Comm) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+		}
+	}()
+	if merr := main(w.comm(rank)); merr != nil {
+		return fmt.Errorf("mpi: rank %d: %w", rank, merr)
 	}
 	return nil
 }

@@ -2,10 +2,21 @@
 # The full pre-merge gate: build everything, vet everything, run every test
 # under the race detector. The runtime is a message-passing system built on
 # goroutines, so a -race pass is part of correctness, not a nicety.
+#
+# The global -timeout enforces the failure model's core promise at the CI
+# level: no failure mode is allowed to hang — a regression that re-introduces
+# a hang fails the gate instead of wedging it.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test -race ./...
+go test -race -timeout 300s ./...
+
+# Run the failure suite (abort propagation, deadlines, fault injection, TCP
+# hardening) once more under a tighter timeout: these tests exist to prove
+# failures terminate promptly, so hold them to a prompter standard.
+go test -race -timeout 120s -count=1 \
+  -run 'TestRunRankFailure|TestRunPanic|TestAbort|TestSendAfterAbort|TestJoinTCPAbort|TestLowest|TestDeadline|TestFault|TestEmptyFaultPlan|TestHub|TestDialRetry|TestGarbage|TestRunTCP' \
+  ./internal/mpi/

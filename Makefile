@@ -1,8 +1,10 @@
 # Standard entry points. `make check` is the pre-merge gate (build + vet +
 # race-enabled tests); `make bench-mpi` regenerates BENCH_mpi.json, the
-# tracked before/after numbers for the message-transport fast path.
+# tracked before/after numbers for the message-transport fast path, and
+# `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
+# (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi
+.PHONY: check test bench bench-mpi bench-shm
 
 check:
 	./scripts/check.sh
@@ -15,3 +17,6 @@ bench:
 
 bench-mpi:
 	go run ./cmd/benchlab -mpibench
+
+bench-shm:
+	go run ./cmd/benchlab -shmbench

@@ -38,11 +38,20 @@ func main() {
 		mpibench = flag.Bool("mpibench", false, "run the MPI transport microbenchmarks and write BENCH_mpi.json")
 		mpiout   = flag.String("mpibench-out", "BENCH_mpi.json", "output path for -mpibench")
 		mpiiters = flag.Int("mpibench-iters", 20000, "ping-pong iterations for -mpibench")
+		shmbench = flag.Bool("shmbench", false, "run the shm runtime microbenchmarks and write BENCH_shm.json")
+		shmout   = flag.String("shmbench-out", "BENCH_shm.json", "output path for -shmbench")
+		shmiters = flag.Int("shmbench-iters", 20000, "region-launch iterations for -shmbench")
 	)
 	flag.Parse()
 
 	if *mpibench {
 		if err := runMPIBench(*mpiout, *mpiiters); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *shmbench {
+		if err := runSHMBench(*shmout, *shmiters); err != nil {
 			fail(err)
 		}
 		return

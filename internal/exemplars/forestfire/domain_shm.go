@@ -1,0 +1,135 @@
+package forestfire
+
+import (
+	"repro/internal/shm"
+)
+
+// SimulateHashShared burns one forest split into row slabs across the
+// threads of a shared-memory team: the shared-memory twin of
+// SimulateDomainMPI, and the stencil-style counterpart to SweepShared's
+// trial-level parallelism.
+//
+// Each thread owns a contiguous slab of rows and is the only writer of its
+// slab's cells. A step runs in two phases separated by team barriers. In the
+// generation phase each thread walks its own burning front and produces
+// ignition attempts; attempts against its own slab go to a private list,
+// and attempts crossing a slab boundary are appended to a per-(source,
+// destination) outbox batch — the halo exchange is one batch handed over
+// per worker pair per step, not a synchronization per cell. In the apply
+// phase each thread applies the attempts addressed to it (its own plus
+// every other thread's outbox row for it); because ignition decisions are
+// the counter-based hash of (seed, step, from, to), the outcome is
+// independent of apply order and the result is identical to SimulateHash
+// for the same arguments, for any thread count.
+//
+// Only the slice-length reads at the termination check and the outbox reads
+// in the apply phase cross thread boundaries, and both are ordered by the
+// barriers, so the simulation is race-free without a single atomic or lock
+// in the step loop.
+func SimulateHashShared(rows, cols int, prob float64, seed int64, numThreads int) TrialResult {
+	if rows < 1 || cols < 1 {
+		return TrialResult{}
+	}
+	nt := shm.TeamSize(numThreads)
+
+	grid := make([]cellState, rows*cols)
+	center := (rows/2)*cols + cols/2
+	grid[center] = stateBurning
+
+	// Row → owning thread, inverse of blockRows' split. With more threads
+	// than rows, base is 0 and every row falls in the remainder branch;
+	// the surplus threads own empty slabs and just keep the barriers full.
+	base, rem := rows/nt, rows%nt
+	ownerOfRow := func(r int) int {
+		if r < rem*(base+1) {
+			return r / (base + 1)
+		}
+		return rem + (r-rem*(base+1))/base
+	}
+
+	// Per-thread fronts and attempt batches. burning[t] and locals[t] are
+	// written only by thread t; outbox[t][u] is written only by t and read
+	// only by u, on opposite sides of a barrier.
+	burning := make([][]int, nt)
+	locals := make([][]attack, nt)
+	outbox := make([][][]attack, nt)
+	for t := 0; t < nt; t++ {
+		outbox[t] = make([][]attack, nt)
+	}
+	burning[ownerOfRow(rows/2)] = []int{center}
+
+	var steps int
+	burned := shm.ParallelReduceInt64(nt, shm.OpSum, func(tc *shm.ThreadContext) int64 {
+		me := tc.ThreadNum()
+		var burnedLocal int64
+		mySteps := 0
+		for {
+			// Termination: every thread computes the same total over the
+			// fronts published before the previous barrier, so all threads
+			// leave the loop on the same step.
+			total := 0
+			for t := 0; t < nt; t++ {
+				total += len(burning[t])
+			}
+			if total == 0 {
+				break
+			}
+			mySteps++
+
+			// Generation phase: burn own front, batch up attempts.
+			out := outbox[me]
+			for t := range out {
+				out[t] = out[t][:0]
+			}
+			mine := locals[me][:0]
+			for _, cell := range burning[me] {
+				r, c := cell/cols, cell%cols
+				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					nr, nc := r+d[0], c+d[1]
+					if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+						continue
+					}
+					a := attack{From: cell, To: nr*cols + nc}
+					if owner := ownerOfRow(nr); owner == me {
+						mine = append(mine, a)
+					} else {
+						out[owner] = append(out[owner], a)
+					}
+				}
+				grid[cell] = stateBurned
+				burnedLocal++
+			}
+			locals[me] = mine
+			tc.Barrier()
+
+			// Apply phase: every attempt addressed to this slab, own batch
+			// first, then each neighbour's outbox row for us. The hash makes
+			// the outcome order-independent.
+			next := burning[me][:0]
+			apply := func(as []attack) {
+				for _, a := range as {
+					if grid[a.To] == stateTree && igniteDecision(seed, mySteps, a.From, a.To) < prob {
+						grid[a.To] = stateBurning
+						next = append(next, a.To)
+					}
+				}
+			}
+			apply(locals[me])
+			for t := 0; t < nt; t++ {
+				if t != me {
+					apply(outbox[t][me])
+				}
+			}
+			burning[me] = next
+			tc.Barrier()
+		}
+		if me == 0 {
+			steps = mySteps
+		}
+		return burnedLocal
+	})
+	return TrialResult{
+		BurnedFraction: float64(burned) / float64(rows*cols),
+		Steps:          steps,
+	}
+}

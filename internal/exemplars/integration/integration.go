@@ -89,18 +89,18 @@ func MonteCarloPi(n int, seed int64) (float64, error) {
 
 // MonteCarloPiShared splits the darts across threads. Each thread uses its
 // own generator seeded from (seed, thread), so the estimate is deterministic
-// for a given (n, seed, numThreads).
+// for a given (n, seed, numThreads). The thread count is resolved by
+// shm.TeamSize, and each thread's dart count is one region-level reduction
+// partial: this is bulk per-thread work (a private RNG stream), so the
+// whole-region ParallelReduceInt64 fits better than a parallel loop.
 func MonteCarloPiShared(n int, seed int64, numThreads int) (float64, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("integration: need at least 1 dart, got %d", n)
 	}
-	nt := numThreads
-	if nt <= 0 {
-		nt = shm.MaxThreads()
-	}
-	hits := shm.ParallelForReduceInt64(nt, nt, shm.Static(), shm.OpSum, func(t int) int64 {
-		lo, hi := blockRange(n, t, nt)
-		return countHits(hi-lo, subSeed(seed, t))
+	nt := shm.TeamSize(numThreads)
+	hits := shm.ParallelReduceInt64(nt, shm.OpSum, func(tc *shm.ThreadContext) int64 {
+		lo, hi := blockRange(n, tc.ThreadNum(), tc.NumThreads())
+		return countHits(hi-lo, subSeed(seed, tc.ThreadNum()))
 	})
 	return 4 * float64(hits) / float64(n), nil
 }

@@ -1,7 +1,6 @@
 package shm
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -17,22 +16,26 @@ type ThreadContext struct {
 }
 
 // team holds the state shared by all threads of one parallel region.
+//
+// Every field beyond size is created lazily, on first use, because region
+// launch is the runtime's hottest path: a region that never calls Barrier,
+// Critical, Single, Ordered, or Task should not pay for their state. The
+// accessors below (bar, taskPool, orderedState) publish the lazily created
+// object through an atomic pointer so the fast path after creation is one
+// atomic load.
 type team struct {
-	size    int
-	barrier *Barrier
+	size int
+
+	barrier atomic.Pointer[Barrier]
+	tasks   atomic.Pointer[taskPool]
 
 	mu        sync.Mutex
 	criticals map[string]*sync.Mutex
 	singles   map[string]bool
 	ordered   *orderedState
 
-	// Work-sharing loop state (see team.dynamicCounter).
-	loopCtr      *atomic.Int64
-	loopCtrDone  bool
-	loopArrivals int
-
-	// tasks is the team's explicit-task pool (see task.go).
-	tasks *taskPool
+	// Work-sharing loop state (see team.loopEnter in steal.go).
+	loop *loopState
 }
 
 type orderedState struct {
@@ -42,62 +45,88 @@ type orderedState struct {
 }
 
 func newTeam(size int) *team {
-	t := &team{
-		size:      size,
-		barrier:   NewBarrier(size),
-		criticals: make(map[string]*sync.Mutex),
-		singles:   make(map[string]bool),
-	}
-	t.ordered = &orderedState{}
-	t.ordered.cond = sync.NewCond(&t.ordered.mu)
-	t.tasks = newTaskPool()
-	return t
+	return &team{size: size}
 }
 
-// Parallel forks a team of numThreads goroutines, runs body in each of them,
+// bar returns the team barrier, creating it on first use.
+func (t *team) bar() *Barrier {
+	if b := t.barrier.Load(); b != nil {
+		return b
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.barrier.Load(); b != nil {
+		return b
+	}
+	b := NewBarrier(t.size)
+	t.barrier.Store(b)
+	return b
+}
+
+// taskPool returns the team's explicit-task pool, creating it on first use.
+func (t *team) taskPool() *taskPool {
+	if p := t.tasks.Load(); p != nil {
+		return p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p := t.tasks.Load(); p != nil {
+		return p
+	}
+	p := newTaskPool()
+	t.tasks.Store(p)
+	return p
+}
+
+// orderedState returns the team's ordered-construct state, creating it on
+// first use.
+func (t *team) orderedState() *orderedState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ordered == nil {
+		t.ordered = &orderedState{}
+		t.ordered.cond = sync.NewCond(&t.ordered.mu)
+	}
+	return t.ordered
+}
+
+// Parallel forks a team of numThreads threads, runs body in each of them,
 // and joins the team before returning: the OpenMP "parallel" construct.
-// If numThreads <= 0 the default set by SetNumThreads is used.
+// The thread count is resolved by TeamSize (numThreads <= 0 uses the
+// SetNumThreads default).
+//
+// Dispatch goes through the persistent worker pool (pool.go): thread 0 is
+// the calling goroutine itself — as in OpenMP, where the encountering thread
+// becomes the team master — and threads 1..n-1 are parked pool workers, so
+// a region launch costs n-1 channel handoffs rather than n goroutine
+// creations. ParallelSpawn preserves the spawn-per-region strategy.
 //
 // A panic inside any team member is captured and re-raised on the caller's
 // goroutine after the rest of the team has been allowed to finish, so a bug
 // in region code surfaces as an ordinary panic at the fork point rather than
-// crashing the program from an anonymous goroutine. If several threads
+// crashing the program (or poisoning a pool worker). If several threads
 // panic, the lowest-numbered thread's panic wins.
 func Parallel(numThreads int, body func(tc *ThreadContext)) {
 	n := resolveThreads(numThreads)
-	t := newTeam(n)
-
-	panics := make([]any, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for id := 0; id < n; id++ {
-		go func(id int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[id] = r
-					// A panicking thread can no longer reach team
-					// barriers; without this the rest of the team would
-					// deadlock waiting for it. Abandon the barrier by
-					// satisfying it on the panicked thread's behalf.
-					go keepBarrierAlive(t.barrier)
-				}
-			}()
-			body(&ThreadContext{id: id, team: t})
-		}(id)
+	r := getRegion(n)
+	join := &r.join
+	join.wg.Add(n - 1)
+	for id := 1; id < n; id++ {
+		w := acquireWorker()
+		w.ch <- workItem{tc: &r.ctxs[id], body: body, join: join}
 	}
-	wg.Wait()
-	for id := 0; id < n; id++ {
-		if panics[id] != nil {
-			panic(fmt.Sprintf("shm: panic in parallel region (thread %d): %v", id, panics[id]))
-		}
+	runMember(workItem{tc: &r.ctxs[0], body: body, join: join})
+	join.wg.Wait()
+	if join.panicked {
+		join.rethrow()
 	}
+	putRegion(r)
 }
 
 // keepBarrierAlive repeatedly waits on b so that surviving threads of a
 // region whose sibling panicked are not stranded. It leaks only until the
-// region's WaitGroup drains, which bounds it to the region's lifetime in
-// the non-pathological case.
+// region's join drains, which bounds it to the region's lifetime in the
+// non-pathological case.
 func keepBarrierAlive(b *Barrier) {
 	defer func() { recover() }()
 	for i := 0; i < 1<<20; i++ {
@@ -114,7 +143,7 @@ func (tc *ThreadContext) NumThreads() int { return tc.team.size }
 
 // Barrier blocks until every thread in the team has reached it: the
 // "#pragma omp barrier" construct.
-func (tc *ThreadContext) Barrier() { tc.team.barrier.Wait() }
+func (tc *ThreadContext) Barrier() { tc.team.bar().Wait() }
 
 // Critical executes fn while holding the team's named critical-section lock,
 // so at most one thread of the team runs fn (for a given name) at a time:
@@ -122,6 +151,9 @@ func (tc *ThreadContext) Barrier() { tc.team.barrier.Wait() }
 // critical section, as in OpenMP.
 func (tc *ThreadContext) Critical(name string, fn func()) {
 	tc.team.mu.Lock()
+	if tc.team.criticals == nil {
+		tc.team.criticals = make(map[string]*sync.Mutex)
+	}
 	m, ok := tc.team.criticals[name]
 	if !ok {
 		m = new(sync.Mutex)
@@ -150,6 +182,9 @@ func (tc *ThreadContext) Master(fn func()) {
 // Master + Barrier).
 func (tc *ThreadContext) Single(name string, fn func()) {
 	tc.team.mu.Lock()
+	if tc.team.singles == nil {
+		tc.team.singles = make(map[string]bool)
+	}
 	claimed := tc.team.singles[name]
 	if !claimed {
 		tc.team.singles[name] = true
@@ -179,7 +214,7 @@ func (tc *ThreadContext) Sections(sections ...func()) {
 // to Ordered exactly once each, starting from the value the state was reset
 // to (0 for a fresh region).
 func (tc *ThreadContext) Ordered(i int, fn func()) {
-	o := tc.team.ordered
+	o := tc.team.orderedState()
 	o.mu.Lock()
 	for o.next != i {
 		o.cond.Wait()

@@ -1,13 +1,10 @@
 package shm
 
-import (
-	"runtime"
-	"sync/atomic"
-)
+import "runtime"
 
 // ParallelFor runs body(i) for every i in [0, n) using a team of numThreads
 // threads and the given schedule: the OpenMP "parallel for" construct.
-// If numThreads <= 0 the default team size is used.
+// The thread count is resolved by TeamSize and additionally clamped to n.
 //
 // The iterations of one call never overlap with code after the call (there
 // is an implicit join), but iterations assigned to different threads run
@@ -64,7 +61,12 @@ func (tc *ThreadContext) forNowait(n int, sched Schedule, body func(i int)) {
 		}
 	case ScheduleDynamic:
 		chunk := sched.normalizedChunk()
-		ctr := tc.team.dynamicCounter(n)
+		ls := tc.team.loopEnter(n)
+		if ls.engine == LoopWorkStealing {
+			tc.stealLoop(ls, chunk, nil, body)
+			return
+		}
+		ctr := &ls.counter
 		for {
 			start := int(ctr.Add(int64(chunk))) - chunk
 			if start >= n {
@@ -80,26 +82,29 @@ func (tc *ThreadContext) forNowait(n int, sched Schedule, body func(i int)) {
 		}
 	case ScheduleGuided:
 		minChunk := sched.normalizedChunk()
-		ctr := tc.team.dynamicCounter(n)
+		ls := tc.team.loopEnter(n)
+		if ls.engine == LoopWorkStealing {
+			// Per-thread guided: each claim halves the thread's own
+			// remaining range (threads=1 in the guidedChunk formula, since
+			// the range is private), floored at minChunk. The steal-half
+			// balancing plays the role the shrinking global chunk played.
+			tc.stealLoop(ls, 0, func(remaining int) int {
+				return guidedChunk(remaining, 1, minChunk)
+			}, body)
+			return
+		}
+		ctr := &ls.counter
 		for {
-			// Guided: each grab takes remaining/(2*threads) iterations,
-			// but never fewer than minChunk. Claim optimistically with a
-			// CAS loop on the shared counter.
+			// Guided over a shared counter: each grab takes a chunk sized
+			// by guidedChunk. Claim optimistically with a CAS loop.
 			for {
 				cur := ctr.Load()
 				if int(cur) >= n {
 					return
 				}
-				remaining := n - int(cur)
-				chunk := remaining / (2 * tc.team.size)
-				if chunk < minChunk {
-					chunk = minChunk
-				}
+				chunk := guidedChunk(n-int(cur), tc.team.size, minChunk)
 				if ctr.CompareAndSwap(cur, cur+int64(chunk)) {
 					end := int(cur) + chunk
-					if end > n {
-						end = n
-					}
 					for i := int(cur); i < end; i++ {
 						body(i)
 					}
@@ -115,26 +120,4 @@ func (tc *ThreadContext) forNowait(n int, sched Schedule, body func(i int)) {
 	default:
 		panic("shm: unknown schedule kind")
 	}
-}
-
-// dynamicCounter returns the shared iteration counter for the current
-// work-sharing construct. A fresh counter is produced for each construct by
-// letting the winner of a per-team generation race install it; the implicit
-// barrier at the end of For guarantees no two constructs are active at once
-// within a team.
-func (t *team) dynamicCounter(n int) *atomic.Int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.loopCtr == nil || t.loopCtrDone {
-		t.loopCtr = new(atomic.Int64)
-		t.loopCtrDone = false
-		t.loopArrivals = 0
-	}
-	t.loopArrivals++
-	if t.loopArrivals == t.size {
-		// Last thread to pick up the counter marks this construct finished
-		// so the next work-sharing construct installs a fresh counter.
-		t.loopCtrDone = true
-	}
-	return t.loopCtr
 }

@@ -1,9 +1,6 @@
 package shm
 
-import (
-	"math"
-	"sync"
-)
+import "math"
 
 // ReduceOp names a reduction operator, mirroring the operator part of
 // OpenMP's reduction(op:var) clause. The reduction patternlet teaches that a
@@ -111,15 +108,32 @@ func (op ReduceOp) combineInt64(a, b int64) int64 {
 	}
 }
 
+// The typed reduction fast path. Each thread accumulates into a register
+// (the closure-local partial) and deposits exactly one value into its own
+// cache-line-padded slot at loop end; the caller folds the slots serially
+// after the join. Nothing is shared while the loop runs — no mutex, no
+// atomic, and, because the slots are padded to 64 bytes, not even a cache
+// line. This is the strategy the reduction patternlet teaches, and it is
+// what the AtomicFloat64 CAS-retry alternative is benchmarked against in
+// BENCH_shm.json (reduce_ns_per_iter).
+//
+// paddedFloat64 and paddedInt64 hold one per-thread partial each, padded so
+// adjacent threads' final writes cannot false-share.
+type paddedFloat64 struct {
+	v float64
+	_ [56]byte
+}
+
+type paddedInt64 struct {
+	v int64
+	_ [56]byte
+}
+
 // ParallelForReduceFloat64 runs body(i) for i in [0, n) across a team and
 // combines the values body returns with op, returning the reduction:
 // the analogue of
 //
 //	#pragma omp parallel for reduction(op:acc)
-//
-// Each thread accumulates privately (no sharing, no races) and the partials
-// are combined once per thread under a lock at loop end, which is exactly
-// the implementation strategy the reduction patternlet teaches.
 func ParallelForReduceFloat64(numThreads, n int, sched Schedule, op ReduceOp, body func(i int) float64) float64 {
 	result := op.identityFloat64()
 	if n <= 0 {
@@ -129,16 +143,17 @@ func ParallelForReduceFloat64(numThreads, n int, sched Schedule, op ReduceOp, bo
 	if nt > n {
 		nt = n
 	}
-	var mu sync.Mutex
+	slots := make([]paddedFloat64, nt)
 	Parallel(nt, func(tc *ThreadContext) {
 		partial := op.identityFloat64()
 		tc.ForNowait(n, sched, func(i int) {
 			partial = op.combineFloat64(partial, body(i))
 		})
-		mu.Lock()
-		result = op.combineFloat64(result, partial)
-		mu.Unlock()
+		slots[tc.id].v = partial
 	})
+	for i := range slots {
+		result = op.combineFloat64(result, slots[i].v)
+	}
 	return result
 }
 
@@ -152,15 +167,53 @@ func ParallelForReduceInt64(numThreads, n int, sched Schedule, op ReduceOp, body
 	if nt > n {
 		nt = n
 	}
-	var mu sync.Mutex
+	slots := make([]paddedInt64, nt)
 	Parallel(nt, func(tc *ThreadContext) {
 		partial := op.identityInt64()
 		tc.ForNowait(n, sched, func(i int) {
 			partial = op.combineInt64(partial, body(i))
 		})
-		mu.Lock()
-		result = op.combineInt64(result, partial)
-		mu.Unlock()
+		slots[tc.id].v = partial
 	})
+	for i := range slots {
+		result = op.combineInt64(result, slots[i].v)
+	}
+	return result
+}
+
+// ParallelReduceFloat64 runs body once per thread of a numThreads team and
+// reduces the per-thread return values with op: a whole-region reduction,
+// the analogue of
+//
+//	#pragma omp parallel reduction(op:acc)
+//
+// It is the right shape when each thread computes its partial from bulk
+// per-thread work (its own RNG stream, its own block of a data set) rather
+// than from individual loop iterations. The combine uses the same padded
+// per-thread slots as the loop reductions.
+func ParallelReduceFloat64(numThreads int, op ReduceOp, body func(tc *ThreadContext) float64) float64 {
+	nt := resolveThreads(numThreads)
+	slots := make([]paddedFloat64, nt)
+	Parallel(nt, func(tc *ThreadContext) {
+		slots[tc.id].v = body(tc)
+	})
+	result := op.identityFloat64()
+	for i := range slots {
+		result = op.combineFloat64(result, slots[i].v)
+	}
+	return result
+}
+
+// ParallelReduceInt64 is ParallelReduceFloat64 for int64 values.
+func ParallelReduceInt64(numThreads int, op ReduceOp, body func(tc *ThreadContext) int64) int64 {
+	nt := resolveThreads(numThreads)
+	slots := make([]paddedInt64, nt)
+	Parallel(nt, func(tc *ThreadContext) {
+		slots[tc.id].v = body(tc)
+	})
+	result := op.identityInt64()
+	for i := range slots {
+		result = op.combineInt64(result, slots[i].v)
+	}
 	return result
 }

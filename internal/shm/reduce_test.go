@@ -127,6 +127,62 @@ func TestReduceMaxMinProperty(t *testing.T) {
 	}
 }
 
+// TestParallelReduceRegionLevel covers the whole-region reductions: one
+// partial per thread, combined after the join.
+func TestParallelReduceRegionLevel(t *testing.T) {
+	for _, nt := range []int{1, 2, 4, 7} {
+		got := ParallelReduceInt64(nt, OpSum, func(tc *ThreadContext) int64 {
+			return int64(tc.ThreadNum()) + 1
+		})
+		want := int64(nt*(nt+1)) / 2
+		if got != want {
+			t.Fatalf("nt=%d: region sum = %d, want %d", nt, got, want)
+		}
+		gotMax := ParallelReduceFloat64(nt, OpMax, func(tc *ThreadContext) float64 {
+			return float64(tc.ThreadNum())
+		})
+		if gotMax != float64(nt-1) {
+			t.Fatalf("nt=%d: region max = %v, want %v", nt, gotMax, float64(nt-1))
+		}
+	}
+	// The TeamSize rule applies: non-positive counts use the default.
+	SetNumThreads(3)
+	defer SetNumThreads(0)
+	if got := ParallelReduceInt64(-1, OpSum, func(*ThreadContext) int64 { return 1 }); got != 3 {
+		t.Fatalf("ParallelReduceInt64(-1) with default 3 = %d, want 3", got)
+	}
+}
+
+// The reduce_ns_per_iter comparison for BENCH_shm.json: the typed fast path
+// (register accumulation + one padded-slot deposit per thread) against the
+// pre-existing strategy of one AtomicFloat64 CAS-retry Add per iteration.
+const reduceBenchN = 1 << 15
+
+func BenchmarkReduceTypedFloat64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got := ParallelForReduceFloat64(4, reduceBenchN, Static(), OpSum, func(i int) float64 {
+			return float64(i)
+		})
+		if got == 0 {
+			b.Fatal("bad sum")
+		}
+	}
+}
+
+func BenchmarkReduceAtomicFloat64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var acc AtomicFloat64
+		ParallelFor(4, reduceBenchN, Static(), func(i int) {
+			acc.Add(float64(i))
+		})
+		if acc.Load() == 0 {
+			b.Fatal("bad sum")
+		}
+	}
+}
+
 // TestRaceConditionPatternlet demonstrates the pedagogical race: the naive
 // shared counter loses updates while the reduction never does. We cannot
 // assert the racy version always loses updates (it may get lucky), but the

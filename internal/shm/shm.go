@@ -62,10 +62,25 @@ func NumProcs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// resolveThreads maps a requested team size to an actual one.
-func resolveThreads(n int) int {
+// TeamSize maps a requested thread count to the team size a parallel
+// construct will actually use. This is the package's single clamping rule,
+// applied uniformly by Parallel, ParallelFor, the reductions, and
+// TraceSchedule (callers outside the package that need the resolved count —
+// to size per-thread storage, say — should call it rather than re-implement
+// it):
+//
+//	n >= 1  →  n threads, exactly as requested (even if n exceeds NumProcs)
+//	n <= 0  →  the SetNumThreads default, which is runtime.GOMAXPROCS(0)
+//	           unless overridden
+//
+// Loop constructs additionally never use more threads than iterations, but
+// that clamp depends on the loop bound and lives at the loop entry points.
+func TeamSize(n int) int {
 	if n <= 0 {
 		return MaxThreads()
 	}
 	return n
 }
+
+// resolveThreads is the internal spelling of TeamSize.
+func resolveThreads(n int) int { return TeamSize(n) }

@@ -60,7 +60,7 @@ func (p *taskPool) drain() {
 // The task runs on whichever team thread reaches Taskwait (or a task-group
 // Wait) first — possibly this one. Tasks may create further tasks.
 func (tc *ThreadContext) Task(fn func()) {
-	tc.team.tasks.push(fn)
+	tc.team.taskPool().push(fn)
 }
 
 // Taskwait executes pending team tasks and blocks until every task —
@@ -73,7 +73,7 @@ func (tc *ThreadContext) Task(fn func()) {
 // patterns that need to block inside a task use TaskGroup, whose Wait
 // tracks only the group's own children.
 func (tc *ThreadContext) Taskwait() {
-	tc.team.tasks.drain()
+	tc.team.taskPool().drain()
 }
 
 // TaskGroup tracks a set of related tasks so their creator can wait for
@@ -88,7 +88,7 @@ type TaskGroup struct {
 
 // NewTaskGroup creates an empty group on the team's task pool.
 func (tc *ThreadContext) NewTaskGroup() *TaskGroup {
-	return &TaskGroup{pool: tc.team.tasks}
+	return &TaskGroup{pool: tc.team.taskPool()}
 }
 
 // Go submits fn as a task belonging to this group.

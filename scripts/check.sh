@@ -20,3 +20,14 @@ go test -race -timeout 300s ./...
 go test -race -timeout 120s -count=1 \
   -run 'TestRunRankFailure|TestRunPanic|TestAbort|TestSendAfterAbort|TestJoinTCPAbort|TestLowest|TestDeadline|TestFault|TestEmptyFaultPlan|TestHub|TestDialRetry|TestGarbage|TestRunTCP' \
   ./internal/mpi/
+
+# The shm runtime (worker pool, work-stealing loops, reductions) and the
+# exemplars that ride on it get a fresh -count=1 race pass: the pool and the
+# steal deques are the most concurrency-dense code in the repo, and cached
+# results must never stand in for a real run of them.
+go test -race -timeout 120s -count=1 ./internal/shm/ ./internal/exemplars/...
+
+# Benchmark smoke pass: one iteration of every benchmark, so a refactor that
+# breaks a benchmark body (the BENCH_shm.json / BENCH_mpi.json inputs) fails
+# the gate instead of being discovered at regeneration time.
+go test -run '^$' -bench . -benchtime 1x -timeout 300s ./internal/shm/ ./internal/exemplars/...

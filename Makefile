@@ -4,7 +4,7 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm
+.PHONY: check test bench bench-mpi bench-shm bench-recovery
 
 check:
 	./scripts/check.sh
@@ -20,3 +20,8 @@ bench-mpi:
 
 bench-shm:
 	go run ./cmd/benchlab -shmbench
+
+# The recovery-overhead pin on its own: inert WithRecovery ping-pong must
+# stay within 2% of the plain fast path.
+bench-recovery:
+	go run ./cmd/benchlab -recoverpin

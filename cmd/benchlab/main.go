@@ -41,9 +41,16 @@ func main() {
 		shmbench = flag.Bool("shmbench", false, "run the shm runtime microbenchmarks and write BENCH_shm.json")
 		shmout   = flag.String("shmbench-out", "BENCH_shm.json", "output path for -shmbench")
 		shmiters = flag.Int("shmbench-iters", 20000, "region-launch iterations for -shmbench")
+		recpin   = flag.Bool("recoverpin", false, "check that inert WithRecovery costs <= 2% on the ping-pong path (exit 1 if not)")
 	)
 	flag.Parse()
 
+	if *recpin {
+		if err := runRecoverPin(*mpiiters); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *mpibench {
 		if err := runMPIBench(*mpiout, *mpiiters); err != nil {
 			fail(err)

@@ -44,6 +44,21 @@ type mpiBenchReport struct {
 		AllreduceFast               float64 `json:"allreduce_fast"`
 		AllreduceGob                float64 `json:"allreduce_gob"`
 	} `json:"collective_ns_np8"`
+	// Recovery: survive-and-continue costs. InertNs re-times the fast
+	// ping-pong under WithRecovery with no failures (pinned <= 2% over Fast
+	// by scripts/check.sh); CheckpointSaveNs is one collective 4-rank
+	// ckpt.Save of 16 KiB shards; TimeToRecoverNs is a survivor's full
+	// detect -> Revoke -> Shrink -> first-barrier cycle after a rank dies.
+	Recovery struct {
+		InertNs          float64 `json:"inert_ns_per_message"`
+		InertOverheadPct float64 `json:"inert_overhead_pct"`
+		CheckpointSaveNs float64 `json:"checkpoint_save_ns_np4"`
+		TimeToRecoverNs  struct {
+			NP2 float64 `json:"np2"`
+			NP4 float64 `json:"np4"`
+			NP8 float64 `json:"np8"`
+		} `json:"time_to_recover_ns"`
+	} `json:"recovery"`
 	Iterations int    `json:"iterations"`
 	NP         int    `json:"np"`
 	Timestamp  string `json:"timestamp"`
@@ -119,6 +134,10 @@ func runMPIBench(path string, iters int) error {
 		return err
 	}
 
+	if err := benchRecovery(&r, iters, fast); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -137,6 +156,11 @@ func runMPIBench(path string, iters int) error {
 		r.CollectiveNs.BarrierDisseminationLatency, r.CollectiveNs.BarrierLinearLatency)
 	fmt.Printf("  allreduce np=8:            fast %8.0f ns        gob %8.0f ns\n",
 		r.CollectiveNs.AllreduceFast, r.CollectiveNs.AllreduceGob)
+	fmt.Printf("  inert recovery machinery:  %8.0f ns/msg  overhead %+.2f%%\n",
+		r.Recovery.InertNs, r.Recovery.InertOverheadPct)
+	fmt.Printf("  checkpoint save np=4:      %8.0f ns (16 KiB/rank)\n", r.Recovery.CheckpointSaveNs)
+	fmt.Printf("  time to recover:           np=2 %8.0f ns   np=4 %8.0f ns   np=8 %8.0f ns\n",
+		r.Recovery.TimeToRecoverNs.NP2, r.Recovery.TimeToRecoverNs.NP4, r.Recovery.TimeToRecoverNs.NP8)
 	fmt.Printf("\nwrote %s\n", path)
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/mpi"
 )
 
@@ -80,5 +81,70 @@ func TestExitCodes(t *testing.T) {
 	}, mpi.WithDeadline(50*time.Millisecond))
 	if got := exitCode(derr); got != exitRank {
 		t.Errorf("deadline: exitCode(%v) = %d, want %d", derr, got, exitRank)
+	}
+}
+
+// TestRecoverBodyResolution: only the two checkpoint-restart exemplars have
+// survive-and-continue variants; everything else is a launcher error.
+func TestRecoverBodyResolution(t *testing.T) {
+	store := ckpt.NewMemStore()
+	for _, name := range []string{"forestfire", "drugdesign"} {
+		if _, err := recoverBody(name, store, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"integration", "mpiRing", "noSuchThing"} {
+		if _, err := recoverBody(name, store, 3); err == nil {
+			t.Fatalf("%s: want error, got nil", name)
+		}
+	}
+}
+
+// TestRecoverRunEndToEnd: the exact body mpirun -recover launches survives a
+// seeded kill in-process and the launcher-level run reports success — the
+// exit-0-on-recovery contract, minus the process boundary.
+func TestRecoverRunEndToEnd(t *testing.T) {
+	store := ckpt.NewMemStore()
+	body, err := recoverBody("forestfire", store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := mpi.Run(4, body,
+		mpi.WithRecovery(),
+		mpi.WithFaults(killPlan(2, 5)))
+	if runErr != nil {
+		t.Fatalf("recovered run should succeed, got %v", runErr)
+	}
+	if got := exitCode(runErr); got != exitOK {
+		t.Fatalf("exitCode(recovered) = %d, want %d", got, exitOK)
+	}
+}
+
+// TestKillPlanShape: -kill-rank builds a single-rule plan targeting exactly
+// the victim's sends.
+func TestKillPlanShape(t *testing.T) {
+	plan := killPlan(3, 7)
+	if len(plan.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(plan.Rules))
+	}
+	r := plan.Rules[0]
+	if r.Src != 3 || r.SkipFirst != 7 || r.Action != mpi.FaultKillRank {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+// TestChooseStore: in-memory by default, file-backed when a directory is
+// named.
+func TestChooseStore(t *testing.T) {
+	if s, err := chooseStore(""); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*ckpt.MemStore); !ok {
+		t.Fatalf("empty dir: got %T, want *ckpt.MemStore", s)
+	}
+	dir := t.TempDir()
+	if s, err := chooseStore(dir); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*ckpt.FileStore); !ok {
+		t.Fatalf("dir: got %T, want *ckpt.FileStore", s)
 	}
 }

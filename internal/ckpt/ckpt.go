@@ -1,0 +1,112 @@
+// Package ckpt provides versioned checkpoint stores and collective
+// checkpoint/restore helpers for recovery-mode MPI programs (see
+// mpi.WithRecovery). A checkpoint is one committed version: one opaque
+// shard per rank plus a manifest recording how many shards exist and a
+// CRC for each. Commit is atomic — a version either has a complete
+// manifest or is invisible to Latest — so a rank that dies mid-save can
+// never leave a half-checkpoint that a restore would trust. Shards are
+// deliberately self-describing blobs: after a Shrink the surviving ranks
+// re-read ALL shards of the last committed version and re-decompose the
+// state over the smaller world, so the shard count of a checkpoint is
+// independent of the world size that restores it.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Manifest describes one committed checkpoint version.
+type Manifest struct {
+	Version int      // strictly increasing; Latest returns the largest
+	NP      int      // number of shards (the world size at save time)
+	CRCs    []uint32 // CRC-32 (IEEE) of each shard, indexed by shard
+}
+
+// Store is versioned shard storage. WriteShard calls for one version may
+// run concurrently (one per rank); Commit publishes the version and must
+// be atomic with respect to Latest.
+type Store interface {
+	WriteShard(version, shard int, data []byte) error
+	ReadShard(version, shard int) ([]byte, error)
+	Commit(m Manifest) error
+	// Latest returns the newest committed manifest; ok is false when no
+	// version has ever been committed.
+	Latest() (m Manifest, ok bool, err error)
+}
+
+// Checksum is the shard checksum the manifests record.
+func Checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// Encode serializes an application state value into a shard payload.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("ckpt: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a shard payload into ptr.
+func Decode(data []byte, ptr any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(ptr); err != nil {
+		return fmt.Errorf("ckpt: decode: %w", err)
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store, shared by all ranks of an in-process
+// world (and by the respawn-free TCP harness, where every rank lives in
+// one test process). Safe for concurrent use.
+type MemStore struct {
+	mu       sync.Mutex
+	shards   map[[2]int][]byte // (version, shard) -> payload
+	manifest Manifest
+	ok       bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{shards: make(map[[2]int][]byte)}
+}
+
+func (s *MemStore) WriteShard(version, shard int, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.shards[[2]int{version, shard}] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *MemStore) ReadShard(version, shard int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.shards[[2]int{version, shard}]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: no shard %d for version %d", shard, version)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+func (s *MemStore) Commit(m Manifest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ok && m.Version <= s.manifest.Version {
+		return fmt.Errorf("ckpt: commit version %d not newer than committed %d", m.Version, s.manifest.Version)
+	}
+	s.manifest = m
+	s.ok = true
+	return nil
+}
+
+func (s *MemStore) Latest() (Manifest, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifest, s.ok, nil
+}

@@ -1,0 +1,216 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestMemStoreVersioning(t *testing.T) {
+	s := NewMemStore()
+	if _, ok, err := s.Latest(); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	for v := 1; v <= 3; v++ {
+		data := []byte(fmt.Sprintf("state-v%d", v))
+		if err := s.WriteShard(v, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(Manifest{Version: v, NP: 1, CRCs: []uint32{Checksum(data)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, ok, err := s.Latest()
+	if err != nil || !ok || m.Version != 3 {
+		t.Fatalf("latest = %+v ok=%v err=%v, want version 3", m, ok, err)
+	}
+	if err := s.Commit(Manifest{Version: 2, NP: 1}); err == nil {
+		t.Fatal("stale commit should be rejected")
+	}
+	// Older committed versions stay readable.
+	data, err := s.ReadShard(1, 0)
+	if err != nil || string(data) != "state-v1" {
+		t.Fatalf("old shard: %q err=%v", data, err)
+	}
+}
+
+func TestMemStoreShardIsolation(t *testing.T) {
+	s := NewMemStore()
+	buf := []byte("mutable")
+	if err := s.WriteShard(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // caller mutates after write; the store must hold a copy
+	got, err := s.ReadShard(1, 0)
+	if err != nil || string(got) != "mutable" {
+		t.Fatalf("shard aliased caller buffer: %q err=%v", got, err)
+	}
+	got[0] = 'Y' // and reads must not alias the stored copy either
+	again, _ := s.ReadShard(1, 0)
+	if string(again) != "mutable" {
+		t.Fatalf("stored shard mutated through read: %q", again)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Latest(); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	shards := [][]byte{[]byte("slab-0"), []byte("slab-1")}
+	crcs := make([]uint32, len(shards))
+	for i, data := range shards {
+		if err := s.WriteShard(1, i, data); err != nil {
+			t.Fatal(err)
+		}
+		crcs[i] = Checksum(data)
+	}
+	if err := s.Commit(Manifest{Version: 1, NP: 2, CRCs: crcs}); err != nil {
+		t.Fatal(err)
+	}
+	// A second store on the same directory (another process, in real use)
+	// sees the committed version.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := s2.Latest()
+	if err != nil || !ok || m.Version != 1 || m.NP != 2 {
+		t.Fatalf("latest via second store = %+v ok=%v err=%v", m, ok, err)
+	}
+	for i, want := range shards {
+		got, err := s2.ReadShard(1, i)
+		if err != nil || string(got) != string(want) {
+			t.Fatalf("shard %d: %q err=%v", i, got, err)
+		}
+	}
+}
+
+func TestCorruptShardDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveLocal(s, []byte("precious state")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bits behind the store's back, as a torn disk would.
+	if err := os.WriteFile(s.shardPath(1, 0), []byte("precious stAte"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, lerr := LoadLocal(s)
+	if lerr == nil || !strings.Contains(lerr.Error(), "corrupt") {
+		t.Fatalf("corruption should fail the load, got %v", lerr)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type state struct {
+		Step    int
+		Grid    []byte
+		Burning []int
+	}
+	in := state{Step: 7, Grid: []byte{0, 1, 2}, Burning: []int{3, 9}}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out state
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Step != in.Step || string(out.Grid) != string(in.Grid) || len(out.Burning) != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestCollectiveSaveLoad(t *testing.T) {
+	store := NewMemStore()
+	const np = 4
+	// Two generations of checkpoints, then every rank restores the newest
+	// and sees all shards.
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		for gen := 0; gen < 2; gen++ {
+			shard, err := Encode([]int{c.Rank(), gen})
+			if err != nil {
+				return err
+			}
+			v, err := Save(c, store, shard)
+			if err != nil {
+				return err
+			}
+			if v != gen+1 {
+				return fmt.Errorf("save version %d, want %d", v, gen+1)
+			}
+		}
+		m, shards, ok, err := LoadLatest(c, store)
+		if err != nil {
+			return err
+		}
+		if !ok || m.Version != 2 || m.NP != np || len(shards) != np {
+			return fmt.Errorf("load: m=%+v ok=%v len=%d", m, ok, len(shards))
+		}
+		for r, data := range shards {
+			var got []int
+			if err := Decode(data, &got); err != nil {
+				return err
+			}
+			if len(got) != 2 || got[0] != r || got[1] != 1 {
+				return fmt.Errorf("shard %d decoded to %v", r, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveLoadEmpty(t *testing.T) {
+	store := NewMemStore()
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		_, shards, ok, err := LoadLatest(c, store)
+		if err != nil {
+			return err
+		}
+		if ok || shards != nil {
+			return fmt.Errorf("empty store should restore nothing, got ok=%v", ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentShardWrites(t *testing.T) {
+	store := NewMemStore()
+	const np = 8
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for r := 0; r < np; r++ {
+		go func(r int) {
+			defer wg.Done()
+			data := []byte(fmt.Sprintf("shard-%d", r))
+			if err := store.WriteShard(1, r, data); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < np; r++ {
+		got, err := store.ReadShard(1, r)
+		if err != nil || string(got) != fmt.Sprintf("shard-%d", r) {
+			t.Fatalf("shard %d: %q err=%v", r, got, err)
+		}
+	}
+}

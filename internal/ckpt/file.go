@@ -1,0 +1,100 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileStore keeps checkpoints in a directory: one file per shard and a
+// JSON manifest. Both shard writes and the manifest commit go through a
+// temp-file + rename, so a process killed mid-write can never corrupt a
+// committed version — at worst it leaves orphaned temp or shard files
+// that the next commit ignores. Multiple processes may share the
+// directory (the mpirun -recover harness points every rank at one dir);
+// rename is the only publication step, so readers never observe a
+// partial manifest.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore opens (creating if needed) a checkpoint directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) shardPath(version, shard int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("v%06d.s%03d", version, shard))
+}
+
+func (s *FileStore) manifestPath() string {
+	return filepath.Join(s.dir, "MANIFEST")
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, the classic crash-consistent publish.
+func (s *FileStore) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+func (s *FileStore) WriteShard(version, shard int, data []byte) error {
+	return s.writeAtomic(s.shardPath(version, shard), data)
+}
+
+func (s *FileStore) ReadShard(version, shard int) ([]byte, error) {
+	data, err := os.ReadFile(s.shardPath(version, shard))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return data, nil
+}
+
+func (s *FileStore) Commit(m Manifest) error {
+	if prev, ok, err := s.Latest(); err != nil {
+		return err
+	} else if ok && m.Version <= prev.Version {
+		return fmt.Errorf("ckpt: commit version %d not newer than committed %d", m.Version, prev.Version)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return s.writeAtomic(s.manifestPath(), data)
+}
+
+func (s *FileStore) Latest() (Manifest, bool, error) {
+	data, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, fmt.Errorf("ckpt: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("ckpt: manifest corrupt: %w", err)
+	}
+	return m, true, nil
+}

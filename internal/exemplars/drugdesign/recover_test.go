@@ -1,0 +1,127 @@
+package drugdesign
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/mpi"
+)
+
+// The survive-and-continue invariant for the master-worker pattern: a run
+// that loses workers — or the master itself — to a seeded kill plan still
+// reports exactly the Sequential result, because the score table is
+// idempotent and the checkpoint re-queues precisely the unscored ligands.
+
+func runDDRecoverTrial(t *testing.T, launch func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error,
+	np int, plan *mpi.FaultPlan, every int) {
+	t.Helper()
+	p := DefaultParams()
+	want, err := Sequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := ckpt.NewMemStore()
+	var mu sync.Mutex
+	results := map[int]Result{}
+	opts := []mpi.Option{mpi.WithRecovery()}
+	if plan != nil {
+		opts = append(opts, mpi.WithFaults(*plan))
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- launch(np, func(c *mpi.Comm) error {
+			got, err := MPIMasterWorkerRecover(c, p, store, every)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = got
+			mu.Unlock()
+			return nil
+		}, opts...)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("recovered run should report success, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("recovery run wedged")
+	}
+	if len(results) == 0 {
+		t.Fatal("no survivor returned a result")
+	}
+	for rank, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d: recovered result %+v != sequential %+v", rank, got, want)
+		}
+	}
+	if plan != nil && len(results) == np {
+		t.Fatal("fault plan injected no failure: every rank survived")
+	}
+}
+
+func ddKillPlan(victim, skipFirst int) *mpi.FaultPlan {
+	return &mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{{
+		Src: victim, Dst: mpi.AnySource, Tag: mpi.AnyTag,
+		SkipFirst: skipFirst,
+		Action:    mpi.FaultKillRank,
+	}}}
+}
+
+func TestMasterWorkerRecoverNoFailure(t *testing.T) {
+	runDDRecoverTrial(t, mpi.Run, 4, nil, 8)
+}
+
+func TestMasterWorkerRecoverKills(t *testing.T) {
+	cases := []struct {
+		name   string
+		np     int
+		victim int
+		skip   int
+		every  int
+	}{
+		{"worker-before-first-checkpoint", 4, 2, 0, 10},
+		{"worker-mid-queue", 4, 3, 15, 5},
+		{"master-dies", 4, 0, 9, 4},
+		{"master-dies-late", 5, 0, 60, 8},
+	}
+	launchers := []struct {
+		name string
+		run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+	}{
+		{"local", mpi.Run},
+		{"tcp", mpi.RunTCP},
+	}
+	for _, l := range launchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, tc := range cases {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					runDDRecoverTrial(t, l.run, tc.np, ddKillPlan(tc.victim, tc.skip), tc.every)
+				})
+			}
+		})
+	}
+}
+
+func TestMasterWorkerRecoverTwoWorkersDie(t *testing.T) {
+	// Shrink twice: np=5 loses two workers at different points, finishing
+	// with a master and two workers.
+	plan := &mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{
+		{Src: 1, Dst: mpi.AnySource, Tag: mpi.AnyTag, SkipFirst: 3, Action: mpi.FaultKillRank},
+		{Src: 4, Dst: mpi.AnySource, Tag: mpi.AnyTag, SkipFirst: 20, Action: mpi.FaultKillRank},
+	}}
+	runDDRecoverTrial(t, mpi.Run, 5, plan, 6)
+}
+
+func TestMasterWorkerRecoverShrinkToOne(t *testing.T) {
+	// np=2 and the worker dies: the master finishes the queue alone via
+	// the sequential path.
+	runDDRecoverTrial(t, mpi.Run, 2, ddKillPlan(1, 7), 10)
+}

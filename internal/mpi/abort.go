@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -58,6 +59,11 @@ func (w *World) abort(cause error) {
 		if b != nil {
 			b.fail(err)
 		}
+	}
+	if w.recov != nil {
+		// Recovery does not survive a revoked world: release every blocked
+		// agreement with the abort error so no Agree caller hangs.
+		w.recov.abortPending(err)
 	}
 }
 
@@ -127,7 +133,11 @@ func (e *DeadlineError) Error() string {
 	return b.String()
 }
 
-func (e *DeadlineError) Is(target error) bool { return target == ErrDeadlineExceeded }
+// Is matches both the package sentinel and context.DeadlineExceeded, so a
+// caller already handling stdlib timeouts handles MPI deadlines for free.
+func (e *DeadlineError) Is(target error) bool {
+	return target == ErrDeadlineExceeded || target == context.DeadlineExceeded
+}
 
 // WithDeadline bounds every blocking receive and probe in the world by d. A
 // stuck operation fails with a *DeadlineError naming every blocked rank and
@@ -177,6 +187,18 @@ func (w *World) deadlineFired(rank int, op string, ctx int64, src, tag int) erro
 	defer w.reportMu.Unlock()
 	if err := w.abortErr(); err != nil {
 		return err
+	}
+	// Attribution check: if the fault plan already killed a rank, this stall
+	// is a downstream casualty of that kill, not an independent deadlock.
+	// Attribute the failure to the injected fault so the report names the
+	// true cause instead of a cascading deadline.
+	if w.faults != nil {
+		if killed := w.faults.killedRanks(); len(killed) > 0 {
+			cause := fmt.Errorf("mpi: rank %d %s(src %s, tag %s) stalled after the fault plan killed rank(s) %v: %w",
+				rank, op, wildcardStr(src, AnySource, "any"), wildcardStr(tag, AnyTag, "any"), killed, ErrRankKilled)
+			w.abort(cause)
+			return cause
+		}
 	}
 	derr := &DeadlineError{
 		Rank:    rank,

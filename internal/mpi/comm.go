@@ -15,11 +15,15 @@ type Comm struct {
 	rank  int   // this process's rank within the communicator
 	ranks []int // world rank of each communicator rank
 
-	// nextCtx numbers the Split/Dup calls made on this communicator. All
-	// members make collective calls in the same order (an MPI requirement),
-	// so the sequence — and therefore each derived context id — is
-	// identical on every member without any extra communication.
+	// nextCtx numbers the Split/Dup/Shrink calls made on this communicator.
+	// All members make collective calls in the same order (an MPI
+	// requirement), so the sequence — and therefore each derived context
+	// id — is identical on every member without any extra communication.
 	nextCtx int64
+
+	// agreeSeq numbers the Agree calls the same way, identifying each
+	// agreement instance consistently across members.
+	agreeSeq uint64
 }
 
 // Rank reports this process's rank within the communicator, 0-based:
@@ -78,6 +82,11 @@ func (c *Comm) sendValue(dest, tag int, v any) error {
 	if err := c.checkRank(dest); err != nil {
 		return err
 	}
+	if r := c.world.recov; r != nil {
+		if err := r.sendErr(c.ctx, c.worldRank(dest)); err != nil {
+			return err
+		}
+	}
 	f := frame{
 		Ctx:  c.ctx,
 		Src:  c.rank,
@@ -101,18 +110,30 @@ func (c *Comm) sendValue(dest, tag int, v any) error {
 
 // waitFrame is the blocking core under Recv and Probe: it applies the
 // world's deadline (if any) and, on expiry, converts the stall into the
-// world's single deadline report via deadlineFired.
+// world's single deadline report via deadlineFired. Under WithRecovery it
+// also installs the interruption check: a rank failure or revoke observed
+// while blocked turns the wait into a retryable *RankFailedError — after a
+// match miss, so frames already queued from a failed rank still deliver.
 func (c *Comm) waitFrame(op string, source, tag int, pop bool) (frame, error) {
 	w := c.world
 	box := c.mailbox()
+	var check func() error
+	if r := w.recov; r != nil {
+		srcWorld := -1
+		if source != AnySource {
+			srcWorld = c.worldRank(source)
+		}
+		startFail := r.failVersion.Load()
+		check = func() error { return r.opErr(c, srcWorld, startFail) }
+	}
 	if w.deadline <= 0 {
-		return box.wait(op, c.ctx, source, tag, 0, nil, pop)
+		return box.wait(op, c.ctx, source, tag, 0, nil, check, pop)
 	}
 	self := c.worldRank(c.rank)
 	onTimeout := func() error {
 		return w.deadlineFired(self, op, c.ctx, source, tag)
 	}
-	return box.wait(op, c.ctx, source, tag, w.deadline, onTimeout, pop)
+	return box.wait(op, c.ctx, source, tag, w.deadline, onTimeout, check, pop)
 }
 
 // recv takes the earliest message matching (source, tag) — which may use

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -104,12 +105,75 @@ func WithFaults(plan FaultPlan) Option {
 	}
 }
 
+// InjectedFault records one fault the plan actually injected: which rule
+// fired, what it did, and the (src, dst, tag) of the frame it acted on.
+type InjectedFault struct {
+	Rule   int // index into the plan's Rules
+	Action FaultAction
+	Src    int // sender's world rank
+	Dst    int // receiver's world rank
+	Tag    int
+}
+
+func (f InjectedFault) String() string {
+	return fmt.Sprintf("rule %d: %s on frame %d->%d tag %d", f.Rule, f.Action, f.Src, f.Dst, f.Tag)
+}
+
+// FaultReport collects the faults a plan injected during a run, so a test or
+// postmortem can attribute an observed failure to the fault that caused it —
+// in particular, a rank killed mid-collective is attributed to the injected
+// kill here even when the visible symptom downstream would otherwise be a
+// cascading deadline on a surviving rank. Install with WithFaultReport; safe
+// for concurrent use.
+type FaultReport struct {
+	mu       sync.Mutex
+	injected []InjectedFault
+}
+
+// Injected returns the faults injected so far, in injection order.
+func (r *FaultReport) Injected() []InjectedFault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]InjectedFault, len(r.injected))
+	copy(out, r.injected)
+	return out
+}
+
+// Killed returns the world ranks killed by FaultKillRank rules, sorted.
+func (r *FaultReport) Killed() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[int]bool)
+	var out []int
+	for _, f := range r.injected {
+		if f.Action == FaultKillRank && !seen[f.Src] {
+			seen[f.Src] = true
+			out = append(out, f.Src)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (r *FaultReport) record(f InjectedFault) {
+	r.mu.Lock()
+	r.injected = append(r.injected, f)
+	r.mu.Unlock()
+}
+
+// WithFaultReport makes the world's fault injector record every injected
+// fault into rep. Pair it with WithFaults; without a plan it is inert.
+func WithFaultReport(rep *FaultReport) Option {
+	return func(c *config) { c.faultReport = rep }
+}
+
 // faultTransport applies a FaultPlan to every frame a transport carries.
 // In-process worlds share one instance across all ranks; each JoinTCP
 // process gets its own, which only ever sees its own rank's sends.
 type faultTransport struct {
-	inner Transport
-	inert bool // no rules: pure pass-through, no locking
+	inner  Transport
+	inert  bool // no rules: pure pass-through, no locking
+	report *FaultReport
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -123,7 +187,7 @@ type faultRuleState struct {
 	acted int // matching frames acted on
 }
 
-func newFaultTransport(inner Transport, plan *FaultPlan) *faultTransport {
+func newFaultTransport(inner Transport, plan *FaultPlan, report *FaultReport) *faultTransport {
 	seed := plan.Seed
 	if seed == 0 {
 		seed = 1
@@ -131,6 +195,7 @@ func newFaultTransport(inner Transport, plan *FaultPlan) *faultTransport {
 	t := &faultTransport{
 		inner:  inner,
 		inert:  len(plan.Rules) == 0,
+		report: report,
 		rng:    rand.New(rand.NewSource(seed)),
 		killed: make(map[int]error),
 	}
@@ -138,6 +203,20 @@ func newFaultTransport(inner Transport, plan *FaultPlan) *faultTransport {
 		t.rules = append(t.rules, faultRuleState{FaultRule: r})
 	}
 	return t
+}
+
+// killedRanks returns the world ranks the plan has killed so far, sorted.
+// The deadline machinery consults it to attribute downstream stalls to the
+// injected kill rather than reporting a spurious deadlock.
+func (t *faultTransport) killedRanks() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.killed))
+	for r := range t.killed {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func (t *faultTransport) Send(f frame) error {
@@ -151,6 +230,7 @@ func (t *faultTransport) Send(f frame) error {
 	}
 	var action FaultAction
 	var delay time.Duration
+	rule := -1
 	for i := range t.rules {
 		r := &t.rules[i]
 		if !r.matches(f) {
@@ -167,8 +247,11 @@ func (t *faultTransport) Send(f frame) error {
 			continue
 		}
 		r.acted++
-		action, delay = r.Action, r.Delay
+		action, delay, rule = r.Action, r.Delay, i
 		break // first matching armed rule wins
+	}
+	if action != 0 && t.report != nil {
+		t.report.record(InjectedFault{Rule: rule, Action: action, Src: f.WSrc, Dst: f.Dst, Tag: f.Tag})
 	}
 	if action == FaultKillRank {
 		err := fmt.Errorf("%w: rank %d (fault plan, on send to rank %d tag %d)",

@@ -133,12 +133,15 @@ func (m *mailbox) popLocked(key mailKey) frame {
 //
 // The checks run in revoke order: a poisoned mailbox fails immediately
 // (even with matching frames queued — the world is revoked); a match wins
-// over a close, so pending frames drain after transport shutdown; and only
-// then does a timeout fire. With timeout > 0 the blocked operation is
-// registered for snapshots, and on expiry onTimeout is invoked with the
-// waiter still registered and m.mu released — it may inspect other
-// mailboxes and poison this one — and its error is returned verbatim.
-func (m *mailbox) wait(op string, ctx int64, src, tag int, timeout time.Duration, onTimeout func() error, pop bool) (frame, error) {
+// over a close, so pending frames drain after transport shutdown; the
+// recovery check (if any) runs only after a match miss, so frames already
+// queued from a rank that later failed still deliver; and only then does a
+// timeout fire. With timeout > 0 the blocked operation is registered for
+// snapshots, and on expiry onTimeout is invoked with the waiter still
+// registered and m.mu released — it may inspect other mailboxes and poison
+// this one — and its error is returned verbatim. check is called with m.mu
+// held and must not block.
+func (m *mailbox) wait(op string, ctx int64, src, tag int, timeout time.Duration, onTimeout func() error, check func() error, pop bool) (frame, error) {
 	var deadlineAt time.Time
 	if timeout > 0 {
 		deadlineAt = time.Now().Add(timeout)
@@ -168,6 +171,11 @@ func (m *mailbox) wait(op string, ctx int64, src, tag int, timeout time.Duration
 				return m.byKey[key][0].f, nil
 			}
 			return m.popLocked(key), nil
+		}
+		if check != nil {
+			if err := check(); err != nil {
+				return frame{}, err
+			}
 		}
 		if m.closed {
 			return frame{}, ErrShutdown
@@ -213,7 +221,16 @@ func (m *mailbox) blockedWaiters() []waiter {
 // take removes and returns the earliest frame matching (ctx, src, tag),
 // blocking until one arrives, the mailbox closes, or the world aborts.
 func (m *mailbox) take(ctx int64, src, tag int) (frame, error) {
-	return m.wait("Recv", ctx, src, tag, 0, nil, true)
+	return m.wait("Recv", ctx, src, tag, 0, nil, nil, true)
+}
+
+// poke wakes every blocked waiter so it re-runs its checks — how a rank
+// failure observed under recovery interrupts pending operations without
+// poisoning the mailbox.
+func (m *mailbox) poke() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 // peek reports whether a frame matching (ctx, src, tag) is queued, and if so
@@ -234,7 +251,7 @@ func (m *mailbox) peek(ctx int64, src, tag int) (Status, bool) {
 // waitMatch blocks until a matching frame is queued (without removing it),
 // the mailbox closes, or the world aborts: the core of the blocking Probe.
 func (m *mailbox) waitMatch(ctx int64, src, tag int) (Status, error) {
-	f, err := m.wait("Probe", ctx, src, tag, 0, nil, false)
+	f, err := m.wait("Probe", ctx, src, tag, 0, nil, nil, false)
 	if err != nil {
 		return Status{}, err
 	}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -44,11 +45,35 @@ var ErrShutdown = errors.New("mpi: world shut down")
 // also wraps the originating rank's failure.
 var ErrWorldAborted = errors.New("mpi: world aborted")
 
+// sentinelError is a package sentinel that additionally matches a related
+// standard-library error under errors.Is, so callers can test for either the
+// runtime's condition or the stdlib one interchangeably.
+type sentinelError struct {
+	msg  string
+	also error
+}
+
+func (e *sentinelError) Error() string { return e.msg }
+func (e *sentinelError) Is(target error) bool {
+	return e.also != nil && target == e.also
+}
+
 // ErrDeadlineExceeded is returned by a blocking receive or probe that
 // outlived the world's WithDeadline budget. The concrete error is a
 // *DeadlineError carrying a who-waits-on-whom snapshot of every blocked
-// rank; the first deadline breach also revokes the world.
-var ErrDeadlineExceeded = errors.New("mpi: operation deadline exceeded")
+// rank; the first deadline breach also revokes the world. It composes with
+// the standard library: errors.Is(err, context.DeadlineExceeded) is true for
+// every error that matches this sentinel.
+var ErrDeadlineExceeded error = &sentinelError{
+	msg:  "mpi: operation deadline exceeded",
+	also: context.DeadlineExceeded,
+}
+
+// ErrRankFailed is the sentinel for a peer rank's failure observed under
+// WithRecovery: pending and affected operations return a *RankFailedError
+// (which matches this sentinel under errors.Is) instead of the world being
+// revoked, so survivors can Agree/Shrink and continue.
+var ErrRankFailed = errors.New("mpi: peer rank failed")
 
 // ErrFormationTimeout is returned by Hub.Wait when HubFormationTimeout
 // elapsed before every rank joined; the error names the missing ranks.

@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Survive-and-continue recovery (the opt-in half of the failure model).
+// Under WithRecovery a rank's failure no longer revokes the world: the
+// runtime records the failed rank, wakes every survivor blocked on a
+// communicator operation, and surfaces the failure as a retryable
+// *RankFailedError. Survivors then follow the ULFM lifecycle the recovery
+// API exposes: Revoke the working communicator (so stragglers deep in the
+// old protocol fail out too), Agree on the failed set, Shrink to a dense
+// communicator of survivors, restore state from a checkpoint, and continue.
+//
+// The design keeps the healthy path untouched: every recovery check is
+// gated on a single atomic load of an event counter that stays zero until
+// the first failure or revoke, so a recovery-enabled world that never
+// fails pays (and is pinned to) the same ping-pong cost as a plain one.
+
+// maxRecoveryRanks bounds WithRecovery worlds: the agreement protocol
+// exchanges the failed set as a 64-bit rank bitmask.
+const maxRecoveryRanks = 64
+
+// RankFailedError reports that a peer rank failed while the world runs in
+// recovery mode. It is retryable: the world is still alive, and the caller
+// should Revoke its working communicator, Shrink, restore from a
+// checkpoint, and continue on the surviving ranks. It matches ErrRankFailed
+// under errors.Is, and Unwrap exposes the first failed rank's own error
+// (when known locally), so e.g. an injected kill still matches
+// ErrRankKilled through it.
+type RankFailedError struct {
+	Ranks   []int // world ranks known failed when the operation was interrupted
+	Revoked bool  // the operation's communicator had been revoked
+	cause   error // first failed rank's own error; may be nil on remote observers
+}
+
+func (e *RankFailedError) Error() string {
+	what := fmt.Sprintf("mpi: rank(s) %v failed", e.Ranks)
+	if e.Revoked {
+		what = fmt.Sprintf("mpi: communicator revoked after rank failure(s) %v", e.Ranks)
+	}
+	return what + "; world continues under recovery (Agree/Shrink to proceed)"
+}
+
+func (e *RankFailedError) Is(target error) bool { return target == ErrRankFailed }
+func (e *RankFailedError) Unwrap() error        { return e.cause }
+
+// WithRecovery opts the world into survive-and-continue semantics: a rank
+// that returns an error or panics is recorded as failed instead of revoking
+// the world; survivors' pending operations return a retryable
+// *RankFailedError, and the Revoke/Agree/Shrink API lets them re-form and
+// continue. Run and RunTCP report success if at least one rank completes
+// and the world was never revoked outright. Limited to 64 ranks (the
+// agreement bitmask); explicit aborts and deadline breaches still revoke
+// the world as before.
+func WithRecovery() Option {
+	return func(c *config) { c.recovery = true }
+}
+
+// recoveryState is the per-World failure ledger plus the agreement engine
+// binding. In-process worlds (Run) share one instance across all ranks and
+// use the local engine; each JoinTCP process holds its own, synchronized
+// through hub control frames.
+type recoveryState struct {
+	world *World
+
+	// events gates every recovery check on the hot paths: it is bumped on
+	// each failure and revoke, and while it is zero all checks short-circuit
+	// on one atomic load.
+	events      atomic.Uint64
+	failVersion atomic.Uint64 // bumped on failures only; pending ops capture it at start
+
+	mu      sync.Mutex
+	failed  map[int]error // world rank -> its failure (or a remote description)
+	mask    uint64        // bitmask form of failed's keys
+	revoked map[int64]bool
+
+	engine   *agreeEngine      // in-process worlds
+	ctrlSend func(frame) error // TCP worlds: raw control-plane sender to the hub
+	downErr  error             // latched when the world aborts; fails pending agreements
+	waiters  map[agreeKey]chan agreeOutcome
+}
+
+func newRecoveryState(w *World) *recoveryState {
+	return &recoveryState{
+		world:   w,
+		failed:  make(map[int]error),
+		revoked: make(map[int64]bool),
+		waiters: make(map[agreeKey]chan agreeOutcome),
+	}
+}
+
+// rankFailed records a failed world rank and interrupts every survivor's
+// pending operations. Safe to call from any goroutine; duplicates are
+// no-ops. cause may be the rank's own error (local observation) or a
+// description built from a control frame (TCP).
+func (w *World) rankFailed(rank int, cause error) {
+	r := w.recov
+	r.mu.Lock()
+	if _, dup := r.failed[rank]; dup {
+		r.mu.Unlock()
+		return
+	}
+	r.failed[rank] = cause
+	r.mask |= 1 << uint(rank)
+	r.mu.Unlock()
+	r.failVersion.Add(1)
+	r.events.Add(1)
+	for _, b := range w.boxes {
+		if b != nil {
+			b.poke()
+		}
+	}
+	if r.engine != nil {
+		r.engine.reevaluate()
+	}
+}
+
+// failedSnapshot returns the failed world ranks, sorted.
+func (r *recoveryState) failedSnapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.failed))
+	for rank := range r.failed {
+		out = append(out, rank)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// maskSnapshot returns the failed set as a bitmask.
+func (r *recoveryState) maskSnapshot() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mask
+}
+
+// rfeLocked builds a RankFailedError from the current failed set. Caller
+// holds r.mu.
+func (r *recoveryState) rfeLocked(revoked bool) *RankFailedError {
+	ranks := make([]int, 0, len(r.failed))
+	for rank := range r.failed {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	var cause error
+	if len(ranks) > 0 {
+		cause = r.failed[ranks[0]]
+	}
+	return &RankFailedError{Ranks: ranks, Revoked: revoked, cause: cause}
+}
+
+// opErr decides whether a blocked receive/probe must be interrupted. An
+// operation fails when its communicator was revoked; when any rank failed
+// after the operation started (startFail is the failVersion captured at op
+// entry) — the "pending operations are interrupted" rule; when its named
+// source is a failed rank; or, for AnySource, when ANY other member of the
+// communicator is failed — ULFM's wildcard rule: the match can never again
+// be guaranteed once a potential sender is dead, and deciding by the failed
+// set (not by when the receive started) closes the race where a failure
+// lands between a caller's own liveness check and its receive. Named-source
+// operations started after a failure otherwise proceed — survivors must be
+// able to talk to each other while recovering.
+func (r *recoveryState) opErr(c *Comm, srcWorld int, startFail uint64) error {
+	if r.events.Load() == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.revoked[c.ctx] {
+		return r.rfeLocked(true)
+	}
+	if len(r.failed) == 0 {
+		return nil
+	}
+	if r.failVersion.Load() > startFail {
+		return r.rfeLocked(false)
+	}
+	if srcWorld >= 0 {
+		if _, bad := r.failed[srcWorld]; bad {
+			return r.rfeLocked(false)
+		}
+		return nil
+	}
+	// AnySource: any failed member of this communicator poisons the match.
+	for _, wr := range c.ranks {
+		if _, bad := r.failed[wr]; bad {
+			return r.rfeLocked(false)
+		}
+	}
+	return nil
+}
+
+// sendErr rejects sends into a revoked context or to a failed rank.
+func (r *recoveryState) sendErr(ctx int64, dstWorld int) error {
+	if r.events.Load() == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.revoked[ctx] {
+		return r.rfeLocked(true)
+	}
+	if _, bad := r.failed[dstWorld]; bad {
+		return r.rfeLocked(false)
+	}
+	return nil
+}
+
+// revokeCtx marks one communicator context revoked and wakes blocked
+// waiters. It reports whether this call changed anything (first revoke).
+func (w *World) revokeCtx(ctx int64) bool {
+	r := w.recov
+	r.mu.Lock()
+	if r.revoked[ctx] {
+		r.mu.Unlock()
+		return false
+	}
+	r.revoked[ctx] = true
+	r.mu.Unlock()
+	r.events.Add(1)
+	for _, b := range w.boxes {
+		if b != nil {
+			b.poke()
+		}
+	}
+	return true
+}
+
+// adoptFailures folds an agreed decision into the local failed set: a TCP
+// process may learn of a failure first through the agreement's decided
+// mask, before (or instead of) the hub's failure broadcast reaching it.
+func (r *recoveryState) adoptFailures(decision uint64, members []int) {
+	for _, wr := range members {
+		if decision&(1<<uint(wr)) == 0 {
+			continue
+		}
+		r.mu.Lock()
+		_, known := r.failed[wr]
+		r.mu.Unlock()
+		if !known {
+			r.world.rankFailed(wr, fmt.Errorf("%w: rank %d (agreed)", ErrRankFailed, wr))
+		}
+	}
+}
+
+// abortPending fails every outstanding agreement when the world aborts
+// outright (explicit abort, deadline breach): recovery does not survive a
+// revoked world.
+func (r *recoveryState) abortPending(err error) {
+	if r.engine != nil {
+		r.engine.fail(err)
+	}
+	r.mu.Lock()
+	if r.downErr == nil {
+		r.downErr = err
+	}
+	waiters := r.waiters
+	r.waiters = make(map[agreeKey]chan agreeOutcome)
+	r.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- agreeOutcome{err: err}
+	}
+}
+
+// Revoke marks the communicator's message context revoked everywhere:
+// every member's pending and future operations on it fail with a
+// *RankFailedError whose Revoked field is set (MPIX_Comm_revoke). It is
+// how a survivor that detected a failure kicks peers still blocked deep in
+// the old protocol out to the recovery path; call it before Shrink.
+// Requires WithRecovery; it is not collective and any member may call it.
+func (c *Comm) Revoke() error {
+	w := c.world
+	if w.recov == nil {
+		return fmt.Errorf("mpi: Revoke requires WithRecovery")
+	}
+	changed := w.revokeCtx(c.ctx)
+	if changed && w.recov.ctrlSend != nil {
+		// Fan the revoke out through the hub so remote members observe it.
+		if err := w.recov.ctrlSend(frame{Ctx: c.ctx, Dst: ctrlDst, Tag: tagRevoke}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailedRanks reports the communicator-local ranks currently known failed,
+// sorted (MPIX_Comm_failure_ack + get_acked, collapsed). Unlike Agree it
+// is purely local: different members may transiently observe different
+// sets.
+func (c *Comm) FailedRanks() []int {
+	w := c.world
+	if w.recov == nil {
+		return nil
+	}
+	w.recov.mu.Lock()
+	defer w.recov.mu.Unlock()
+	var out []int
+	for i, wr := range c.ranks {
+		if _, bad := w.recov.failed[wr]; bad {
+			out = append(out, i)
+		}
+	}
+	return out
+}

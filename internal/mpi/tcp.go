@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -28,13 +29,30 @@ import (
 //	frame{Tag: tagAbort}   hub -> worker, world revoked (broadcast)
 //	frame{Tag: tagPing}    hub -> worker, heartbeat probe
 //	frame{Dst: ctrlDst, Tag: tagPong}   worker -> hub, heartbeat reply
+//
+// Recovery worlds (HubRecovery + WithRecovery) add:
+//
+//	frame{Dst: ctrlDst, Tag: tagFailed}     worker -> hub, this rank failed
+//	                                        recoverably; Data: gob abortInfo
+//	frame{Tag: tagFailed}                   hub -> worker, a peer failed
+//	                                        (broadcast); Data: gob abortInfo
+//	frame{Dst: ctrlDst, Tag: tagAgreeReq}   worker -> hub, agreement
+//	                                        contribution; Data: gob agreeReq
+//	frame{Tag: tagAgreeResp}                hub -> worker, agreement decision;
+//	                                        Data: gob agreeResp
+//	frame{Dst: ctrlDst, Tag: tagRevoke, Ctx: c} worker -> hub, context c revoked
+//	frame{Tag: tagRevoke, Ctx: c}           hub -> worker, revoke broadcast
 const (
-	tagStart = -100
-	tagDone  = -101
-	tagAbort = -102
-	tagPing  = -103
-	tagPong  = -104
-	ctrlDst  = -100
+	tagStart     = -100
+	tagDone      = -101
+	tagAbort     = -102
+	tagPing      = -103
+	tagPong      = -104
+	tagFailed    = -105
+	tagAgreeReq  = -106
+	tagAgreeResp = -107
+	tagRevoke    = -108
+	ctrlDst      = -100
 )
 
 type hello struct {
@@ -58,6 +76,7 @@ type HubOption func(*hubOptions)
 type hubOptions struct {
 	formation time.Duration
 	heartbeat time.Duration
+	recovery  bool
 }
 
 // HubFormationTimeout bounds how long the hub waits for the world to form.
@@ -77,6 +96,15 @@ func HubFormationTimeout(d time.Duration) HubOption {
 // what WithDeadline is for. Zero (the default) disables the heartbeat.
 func HubHeartbeat(interval time.Duration) HubOption {
 	return func(o *hubOptions) { o.heartbeat = interval }
+}
+
+// HubRecovery opts the hub into survive-and-continue worlds: a worker that
+// reports a recoverable failure (or whose connection drops after the world
+// started) is recorded as failed and announced to the survivors instead of
+// revoking the world, and the hub coordinates the survivors' Agree calls.
+// Pair it with WithRecovery on the workers; RunTCP adds it automatically.
+func HubRecovery() HubOption {
+	return func(o *hubOptions) { o.recovery = true }
 }
 
 // WithHubOptions forwards hub configuration (formation timeout, heartbeat)
@@ -111,8 +139,19 @@ type Hub struct {
 	abortErr error // first rank-reported abort; preferred by Wait
 	lastPong map[int]time.Time
 
+	// Recovery bookkeeping (HubRecovery): which ranks failed recoverably,
+	// and the open agreement instances the hub is coordinating.
+	failedRanks map[int]bool
+	agreements  map[agreeKey]*hubAgree
+
 	formTimer *time.Timer
 	finished  chan struct{}
+}
+
+// hubAgree is one open hub-coordinated agreement instance.
+type hubAgree struct {
+	members []int
+	masks   map[int]uint64 // contributing world rank -> mask
 }
 
 type hubConn struct {
@@ -143,11 +182,13 @@ func StartHub(addr string, np int, opts ...HubOption) (*Hub, error) {
 		return nil, fmt.Errorf("mpi: hub listen: %w", err)
 	}
 	h := &Hub{
-		ln:       ln,
-		np:       np,
-		opts:     ho,
-		conns:    make(map[int]*hubConn),
-		finished: make(chan struct{}),
+		ln:          ln,
+		np:          np,
+		opts:        ho,
+		conns:       make(map[int]*hubConn),
+		failedRanks: make(map[int]bool),
+		agreements:  make(map[agreeKey]*hubAgree),
+		finished:    make(chan struct{}),
 	}
 	if ho.formation > 0 {
 		// Assign under the lock: the timer callback (and the shutdown path
@@ -268,15 +309,29 @@ func (h *Hub) heartbeatLoop() {
 		now := time.Now()
 		h.mu.Lock()
 		var stale []int
+		var staleConns []*hubConn
 		conns := make([]*hubConn, 0, len(h.conns))
 		for r, c := range h.conns {
 			conns = append(conns, c)
-			if now.Sub(h.lastPong[r]) > 3*iv {
+			if lp, ok := h.lastPong[r]; ok && now.Sub(lp) > 3*iv {
 				stale = append(stale, r)
+				staleConns = append(staleConns, c)
+				if h.opts.recovery {
+					// Stop tracking so the rank is handled exactly once.
+					delete(h.lastPong, r)
+				}
 			}
 		}
 		h.mu.Unlock()
 		if len(stale) > 0 {
+			if h.opts.recovery {
+				// Close the silent connections: each one's route loop turns
+				// the broken read into a recoverable rank failure.
+				for _, c := range staleConns {
+					c.conn.Close()
+				}
+				continue
+			}
 			h.fail(fmt.Errorf("mpi: hub: ranks %v unresponsive (no heartbeat within %s); world revoked", stale, 3*iv))
 			return
 		}
@@ -292,6 +347,9 @@ func (h *Hub) route(rank int, dec *gob.Decoder) {
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
+			if h.connDropped(rank) {
+				return
+			}
 			h.fail(fmt.Errorf("mpi: hub: connection to rank %d: %w", rank, err))
 			return
 		}
@@ -304,6 +362,12 @@ func (h *Hub) route(rank int, dec *gob.Decoder) {
 				return
 			case tagAbort:
 				h.rankAborted(rank, f.Data)
+			case tagFailed:
+				h.rankFailedHub(rank, f.Data)
+			case tagAgreeReq:
+				h.agreeRequest(f.Data)
+			case tagRevoke:
+				h.broadcastRevoke(rank, f.Ctx)
 			case tagPong:
 				h.mu.Lock()
 				if h.lastPong != nil {
@@ -315,16 +379,168 @@ func (h *Hub) route(rank int, dec *gob.Decoder) {
 		}
 		h.mu.Lock()
 		dst := h.conns[f.Dst]
+		recovery := h.opts.recovery
 		h.mu.Unlock()
 		if dst == nil {
+			if recovery {
+				continue // destination already torn down; drop the frame
+			}
 			h.fail(fmt.Errorf("mpi: hub: frame for unknown rank %d", f.Dst))
 			return
 		}
 		if err := dst.send(f); err != nil {
+			if recovery {
+				// The destination's connection is going down; its own route
+				// loop converts that into a rank failure. Drop the frame.
+				continue
+			}
 			h.fail(fmt.Errorf("mpi: hub: forwarding to rank %d: %w", f.Dst, err))
 			return
 		}
 	}
+}
+
+// connDropped absorbs a worker connection breaking mid-run under recovery:
+// the rank is recorded failed, survivors are notified, and the rank is
+// counted done so the world still winds down. It reports whether the drop
+// was absorbed (recovery hub, world already formed).
+func (h *Hub) connDropped(rank int) bool {
+	h.mu.Lock()
+	active := h.opts.recovery && h.complete
+	already := h.failedRanks[rank]
+	h.mu.Unlock()
+	if !active {
+		return false
+	}
+	if !already {
+		data, err := encodeValue(abortInfo{Rank: rank, Msg: "connection to hub lost"})
+		if err == nil {
+			h.rankFailedHub(rank, data)
+		}
+	}
+	h.workerDone()
+	return true
+}
+
+// rankFailedHub records a recoverable rank failure, announces it to the
+// survivors (who interrupt their pending operations), and settles any open
+// agreement that was waiting on the failed rank.
+func (h *Hub) rankFailedHub(origin int, payload []byte) {
+	h.mu.Lock()
+	if !h.opts.recovery || h.failedRanks[origin] {
+		h.mu.Unlock()
+		return
+	}
+	h.failedRanks[origin] = true
+	others := make([]*hubConn, 0, len(h.conns))
+	for r, c := range h.conns {
+		if r != origin && !h.failedRanks[r] {
+			others = append(others, c)
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range others {
+		_ = c.send(frame{Tag: tagFailed, Data: payload})
+	}
+	h.settleAgreements()
+}
+
+// agreeRequest folds one worker's agreement contribution in and settles.
+func (h *Hub) agreeRequest(payload []byte) {
+	var req agreeReq
+	if err := decodeValue(payload, &req); err != nil {
+		h.fail(fmt.Errorf("mpi: hub: undecodable agreement request: %w", err))
+		return
+	}
+	h.mu.Lock()
+	key := agreeKey{ctx: req.Ctx, seq: req.Seq}
+	a := h.agreements[key]
+	if a == nil {
+		a = &hubAgree{members: req.Members, masks: make(map[int]uint64)}
+		h.agreements[key] = a
+	}
+	a.masks[req.Rank] = req.Mask
+	h.mu.Unlock()
+	h.settleAgreements()
+}
+
+// settleAgreements applies the decision rule to every open instance: decide
+// once every live member has contributed, with the decided mask the union
+// of the contributions and the hub's own view of the failed members. The
+// decision goes to every live contributor.
+func (h *Hub) settleAgreements() {
+	type decided struct {
+		conns []*hubConn
+		resp  agreeResp
+	}
+	var out []decided
+	h.mu.Lock()
+	for key, a := range h.agreements {
+		decision := uint64(0)
+		ready := true
+		for _, m := range a.members {
+			if h.failedRanks[m] {
+				decision |= 1 << uint(m)
+				continue
+			}
+			if _, ok := a.masks[m]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		for _, mask := range a.masks {
+			decision |= mask
+		}
+		var conns []*hubConn
+		for r := range a.masks {
+			if c := h.conns[r]; c != nil && !h.failedRanks[r] {
+				conns = append(conns, c)
+			}
+		}
+		delete(h.agreements, key)
+		out = append(out, decided{conns: conns, resp: agreeResp{Ctx: key.ctx, Seq: key.seq, Mask: decision}})
+	}
+	h.mu.Unlock()
+	for _, d := range out {
+		data, err := encodeValue(d.resp)
+		if err != nil {
+			continue
+		}
+		for _, c := range d.conns {
+			_ = c.send(frame{Tag: tagAgreeResp, Data: data})
+		}
+	}
+}
+
+// broadcastRevoke fans one worker's context revoke out to its peers.
+func (h *Hub) broadcastRevoke(origin int, ctx int64) {
+	h.mu.Lock()
+	others := make([]*hubConn, 0, len(h.conns))
+	for r, c := range h.conns {
+		if r != origin && !h.failedRanks[r] {
+			others = append(others, c)
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range others {
+		_ = c.send(frame{Tag: tagRevoke, Ctx: ctx})
+	}
+}
+
+// FailedRanks reports the world ranks that failed recoverably, sorted. A
+// recovered run has Wait() == nil and a non-empty FailedRanks.
+func (h *Hub) FailedRanks() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.failedRanks))
+	for r := range h.failedRanks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // rankAborted records a worker-reported failure and broadcasts the revoke
@@ -573,6 +789,16 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		epoch:     time.Now(),
 		typed:     cfg.typedWorld(transport), // always false: tcpTransport serializes
 		deadline:  cfg.deadline,
+		faults:    cfg.faultT,
+	}
+	if cfg.recovery {
+		if np > maxRecoveryRanks {
+			return fmt.Errorf("mpi: WithRecovery supports at most %d ranks, got %d", maxRecoveryRanks, np)
+		}
+		w.recov = newRecoveryState(w)
+		// Control frames bypass the decorated transport: a fault plan that
+		// killed this rank must not also sever its recovery reporting.
+		w.recov.ctrlSend = t.Send
 	}
 
 	// The read loop demultiplexes routed traffic from control frames: a
@@ -594,6 +820,20 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 					info = abortInfo{Rank: -1, Msg: "world aborted (undecodable revoke)"}
 				}
 				w.abort(&remoteAbortError{rank: info.Rank, msg: info.Msg})
+			case tagFailed:
+				var info abortInfo
+				if err := decodeValue(f.Data, &info); err == nil && w.recov != nil {
+					w.rankFailed(info.Rank, fmt.Errorf("%w: rank %d: %s", ErrRankFailed, info.Rank, info.Msg))
+				}
+			case tagAgreeResp:
+				var resp agreeResp
+				if err := decodeValue(f.Data, &resp); err == nil && w.recov != nil {
+					w.recov.deliverDecision(resp)
+				}
+			case tagRevoke:
+				if w.recov != nil {
+					w.revokeCtx(f.Ctx)
+				}
 			case tagPing:
 				_ = t.Send(frame{Dst: ctrlDst, Tag: tagPong})
 			default:
@@ -610,6 +850,18 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 	if errors.Is(runErr, ErrWorldAborted) {
 		// A victim of someone else's failure: the revoke is already
 		// propagating, so just finish the done protocol.
+		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+		return runErr
+	}
+	if w.recov != nil {
+		// Recoverable failure: record it locally (interrupts this process's
+		// own pending requests), report it to the hub — which notifies the
+		// survivors and settles agreements — and complete the done protocol.
+		// The world lives on without this rank.
+		w.rankFailed(rank, runErr)
+		if data, encErr := encodeValue(abortInfo{Rank: rank, Msg: runErr.Error()}); encErr == nil {
+			_ = t.Send(frame{Dst: ctrlDst, Tag: tagFailed, Data: data})
+		}
 		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
 		return runErr
 	}
@@ -635,7 +887,11 @@ func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	hub, err := StartHub("127.0.0.1:0", np, cfg.hubOpts...)
+	hubOpts := cfg.hubOpts
+	if cfg.recovery {
+		hubOpts = append(append([]HubOption(nil), hubOpts...), HubRecovery())
+	}
+	hub, err := StartHub("127.0.0.1:0", np, hubOpts...)
 	if err != nil {
 		return err
 	}
@@ -652,6 +908,17 @@ func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
 	}
 	wg.Wait()
 	hubErr := hub.Wait()
+
+	// Recovery verdict: if the hub wound the world down cleanly and at
+	// least one rank completed, the survivors carried the run to the end —
+	// report success, as Run does.
+	if cfg.recovery && hubErr == nil {
+		for _, e := range errs {
+			if e == nil {
+				return nil
+			}
+		}
+	}
 
 	// Prefer the originating failure: a victim's error carries only the
 	// remote description of the cause, while the originator's JoinTCP

@@ -28,6 +28,12 @@ type World struct {
 	abortMu     sync.Mutex
 	abortCause  error      // first rank-attributed failure; latched
 	reportMu    sync.Mutex // serializes deadline reports (abort.go)
+
+	// recov is non-nil under WithRecovery (recover.go); faults is the
+	// installed fault injector, if any, consulted by the deadline machinery
+	// to attribute stalls to injected kills.
+	recov  *recoveryState
+	faults *faultTransport
 }
 
 // Option configures a Run.
@@ -41,9 +47,13 @@ type config struct {
 	serializeAll bool
 	deadline     time.Duration
 	faults       *FaultPlan
+	faultReport  *FaultReport
+	recovery     bool
 	dialRetry    time.Duration // JoinTCP dial budget; 0 = default, <0 = single attempt
 	hubOpts      []HubOption   // consumed by RunTCP's internal hub
 	wrap         func(Transport) Transport // test hook: outermost decoration
+
+	faultT *faultTransport // set by wrapTransport; handed to the World
 }
 
 // wrapTransport applies configured decorations to a transport. The fault
@@ -51,7 +61,9 @@ type config struct {
 // observe the frames a program tried to send, faults and all.
 func (c *config) wrapTransport(t Transport) Transport {
 	if c.faults != nil {
-		t = newFaultTransport(t, c.faults)
+		ft := newFaultTransport(t, c.faults, c.faultReport)
+		c.faultT = ft
+		t = ft
 	}
 	if c.counter != nil {
 		t = &countingTransport{inner: t, mc: c.counter}
@@ -147,6 +159,14 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 		epoch:     time.Now(),
 		typed:     cfg.typedWorld(transport),
 		deadline:  cfg.deadline,
+		faults:    cfg.faultT,
+	}
+	if cfg.recovery {
+		if np > maxRecoveryRanks {
+			return fmt.Errorf("mpi: WithRecovery supports at most %d ranks, got %d", maxRecoveryRanks, np)
+		}
+		w.recov = newRecoveryState(w)
+		w.recov.engine = newAgreeEngine(w.recov)
 	}
 	defer t.Close()
 
@@ -161,14 +181,37 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 				return
 			}
 			errs[rank] = err
-			// Victims of the revoke do not re-abort: the cause is already
-			// latched, and they must never displace the originating error.
-			if !errors.Is(err, ErrWorldAborted) {
-				w.abort(err)
+			if errors.Is(err, ErrWorldAborted) {
+				// Victims of the revoke do not re-abort: the cause is
+				// already latched, and they must never displace the
+				// originating error.
+				return
 			}
+			if w.recov != nil {
+				// Recovery mode: a failed rank is recorded, survivors are
+				// interrupted with a retryable error, and the world lives on.
+				w.rankFailed(rank, err)
+				return
+			}
+			w.abort(err)
 		}(rank)
 	}
 	wg.Wait()
+	// Recovery verdict: the run succeeded if the world was never revoked
+	// and at least one rank completed — the survivors carried the
+	// computation to the end; the failed ranks are the expected cost.
+	if w.recov != nil && w.abortErr() == nil {
+		for _, e := range errs {
+			if e == nil {
+				return nil
+			}
+		}
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+	}
 	// Report the lowest-ranked originator, deterministically: the abort
 	// latch is first-wins (a race when several ranks fail independently),
 	// but errs remembers every rank's own failure, and victims of the

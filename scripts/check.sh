@@ -21,11 +21,27 @@ go test -race -timeout 120s -count=1 \
   -run 'TestRunRankFailure|TestRunPanic|TestAbort|TestSendAfterAbort|TestJoinTCPAbort|TestLowest|TestDeadline|TestFault|TestEmptyFaultPlan|TestHub|TestDialRetry|TestGarbage|TestRunTCP' \
   ./internal/mpi/
 
+# The recovery suite (ULFM-style Revoke/Agree/Shrink, checkpoint-restart,
+# the randomized kill-rank soak) gets its own fresh -count=1 race pass:
+# recovery correctness is precisely about failure/operation races, so a
+# cached pass proves nothing.
+go test -race -timeout 180s -count=1 \
+  -run 'TestRecover|TestAgree|TestShrink|TestRevoke|TestWithRecovery|TestErrorsCompose|TestKillAttribution' \
+  ./internal/mpi/
+go test -race -timeout 120s -count=1 ./internal/ckpt/
+
 # The shm runtime (worker pool, work-stealing loops, reductions) and the
 # exemplars that ride on it get a fresh -count=1 race pass: the pool and the
 # steal deques are the most concurrency-dense code in the repo, and cached
-# results must never stand in for a real run of them.
+# results must never stand in for a real run of them. The exemplar pass
+# includes the survive-and-continue variants (TestDomainRecover*,
+# TestMasterWorkerRecover*), which replay seeded kill plans on both
+# transports and demand bit-equal results.
 go test -race -timeout 120s -count=1 ./internal/shm/ ./internal/exemplars/...
+
+# The recovery machinery must be free when unused: interleaved best-of-5
+# ping-pongs, plain world vs inert WithRecovery world, pinned at <= 2%.
+go run ./cmd/benchlab -recoverpin
 
 # Benchmark smoke pass: one iteration of every benchmark, so a refactor that
 # breaks a benchmark body (the BENCH_shm.json / BENCH_mpi.json inputs) fails

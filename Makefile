@@ -4,7 +4,7 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm bench-recovery
+.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-vec
 
 check:
 	./scripts/check.sh
@@ -25,3 +25,8 @@ bench-shm:
 # stay within 2% of the plain fast path.
 bench-recovery:
 	go run ./cmd/benchlab -recoverpin
+
+# The large-payload data plane: vector collectives and TCP typed framing,
+# merged into BENCH_mpi.json with the speedup pins enforced.
+bench-vec:
+	go run ./cmd/benchlab -vecbench

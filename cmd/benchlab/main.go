@@ -42,11 +42,19 @@ func main() {
 		shmout   = flag.String("shmbench-out", "BENCH_shm.json", "output path for -shmbench")
 		shmiters = flag.Int("shmbench-iters", 20000, "region-launch iterations for -shmbench")
 		recpin   = flag.Bool("recoverpin", false, "check that inert WithRecovery costs <= 2% on the ping-pong path (exit 1 if not)")
+		vecbench = flag.Bool("vecbench", false, "run the large-payload vector-collective and TCP-framing benchmarks, merge into BENCH_mpi.json, and enforce the speedup pins")
+		vecquick = flag.Bool("vecbench-quick", false, "abbreviated -vecbench smoke: fewest sizes, one round, no pin enforcement")
 	)
 	flag.Parse()
 
 	if *recpin {
 		if err := runRecoverPin(*mpiiters); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *vecbench || *vecquick {
+		if err := runVecBench(*mpiout, *vecquick); err != nil {
 			fail(err)
 		}
 		return

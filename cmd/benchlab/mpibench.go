@@ -59,9 +59,12 @@ type mpiBenchReport struct {
 			NP8 float64 `json:"np8"`
 		} `json:"time_to_recover_ns"`
 	} `json:"recovery"`
-	Iterations int    `json:"iterations"`
-	NP         int    `json:"np"`
-	Timestamp  string `json:"timestamp"`
+	// Vector is the large-payload data-plane section, written by -vecbench
+	// (vecbench.go) and preserved across -mpibench reruns.
+	Vector     *vecBenchReport `json:"vector,omitempty"`
+	Iterations int             `json:"iterations"`
+	NP         int             `json:"np"`
+	Timestamp  string          `json:"timestamp"`
 }
 
 // runMPIBench executes the microbenchmarks and writes the report to path.
@@ -69,7 +72,9 @@ func runMPIBench(path string, iters int) error {
 	if iters < 1 {
 		return fmt.Errorf("mpibench-iters must be >= 1, got %d", iters)
 	}
-	var r mpiBenchReport
+	// Start from any existing report so sections other modes own (the
+	// vector data-plane sweep) survive a transport-only rerun.
+	r := loadMPIReport(path)
 	r.Iterations = iters
 	r.NP = 8
 	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
@@ -80,17 +85,38 @@ func runMPIBench(path string, iters int) error {
 	if _, err := timePingPong(iters / 4); err != nil {
 		return err
 	}
-	fast, err := timePingPong(iters)
-	if err != nil {
-		return err
+	// The four ping-pong configurations are interleaved across rounds and
+	// reported as per-series minima: a one-shot measurement on a loaded
+	// machine regularly reported the guarded or inert world as *faster*
+	// than the plain one (negative overheads of ~10%), which is scheduler
+	// noise, not physics. Minima over interleaved rounds converge to each
+	// configuration's true floor.
+	const pingRounds = 5
+	fast, gob, guarded, inert := -1.0, -1.0, -1.0, -1.0
+	minIn := func(cur float64, opts ...mpi.Option) (float64, error) {
+		v, err := timePingPong(iters, opts...)
+		if err != nil {
+			return cur, err
+		}
+		if cur < 0 || v < cur {
+			return v, nil
+		}
+		return cur, nil
 	}
-	gob, err := timePingPong(iters, mpi.WithSerialization())
-	if err != nil {
-		return err
-	}
-	guarded, err := timePingPong(iters, mpi.WithFaults(mpi.FaultPlan{}))
-	if err != nil {
-		return err
+	var err error
+	for round := 0; round < pingRounds; round++ {
+		if fast, err = minIn(fast); err != nil {
+			return err
+		}
+		if gob, err = minIn(gob, mpi.WithSerialization()); err != nil {
+			return err
+		}
+		if guarded, err = minIn(guarded, mpi.WithFaults(mpi.FaultPlan{})); err != nil {
+			return err
+		}
+		if inert, err = minIn(inert, mpi.WithRecovery()); err != nil {
+			return err
+		}
 	}
 	r.NsPerMessage.Fast = fast
 	r.NsPerMessage.Gob = gob
@@ -134,7 +160,7 @@ func runMPIBench(path string, iters int) error {
 		return err
 	}
 
-	if err := benchRecovery(&r, iters, fast); err != nil {
+	if err := benchRecovery(&r, iters, fast, inert); err != nil {
 		return err
 	}
 

@@ -212,8 +212,12 @@ func Shared(p Params, numThreads int, sched shm.Schedule) (Result, error) {
 }
 
 // MPIStatic scores the pool with a block decomposition: each rank takes a
-// contiguous slab of the pool and a gather at the root assembles the
-// result. Every rank returns the full Result (the root broadcasts it).
+// contiguous slab of the pool and a vector allgather assembles the full
+// score vector on every rank. Blocks concatenate in rank order — exactly
+// the global score array — and the candidate pool is deterministic, so each
+// rank derives the identical Result locally; the old gather-of-boxed-blocks
+// at the root plus Result broadcast collapses into one bandwidth-friendly
+// collective.
 func MPIStatic(c *mpi.Comm, p Params) (Result, error) {
 	ligands, err := GenerateLigands(p)
 	if err != nil {
@@ -226,19 +230,11 @@ func MPIStatic(c *mpi.Comm, p Params) (Result, error) {
 			local[i-lo] = Score(ligands[i], p.Protein)
 		}
 	})
-	parts, err := mpi.Gather(c, local, 0)
+	scores, err := mpi.AllgatherSlice(c, local)
 	if err != nil {
 		return Result{}, err
 	}
-	var res Result
-	if c.Rank() == 0 {
-		scores := make([]int, 0, len(ligands))
-		for _, part := range parts {
-			scores = append(scores, part...)
-		}
-		res = collect(ligands, scores)
-	}
-	return mpi.Bcast(c, res, 0)
+	return collect(ligands, scores), nil
 }
 
 // Tags of the master-worker protocol.

@@ -4,6 +4,16 @@ import (
 	"repro/internal/shm"
 )
 
+// attack is one ignition attempt crossing (or staying within) a slab. Only
+// the shared-memory variant keeps the struct form: its batches never leave
+// the process, so there is nothing to serialize. The MPI variants flatten
+// attempts to []int pairs so the halo exchange rides the typed fast path
+// and the raw wire framing (see domain.go).
+type attack struct {
+	From int // global id of the burning cell
+	To   int // global id of the attacked cell
+}
+
 // SimulateHashShared burns one forest split into row slabs across the
 // threads of a shared-memory team: the shared-memory twin of
 // SimulateDomainMPI, and the stencil-style counterpart to SweepShared's

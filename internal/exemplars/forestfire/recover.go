@@ -149,7 +149,9 @@ func simulateDomainCkpt(c *mpi.Comm, rows, cols int, prob float64, seed int64, s
 		sinceSave++
 		steps++
 
-		var localAttacks, toDown, toUp []attack
+		// Flat (from, to) pairs, same wire shape as SimulateDomainMPI: the
+		// halo payload stays on the typed fast path / raw TCP framing.
+		var localAttacks, toDown, toUp []int
 		for _, cell := range burning {
 			r, col := cell/cols, cell%cols
 			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
@@ -157,34 +159,35 @@ func simulateDomainCkpt(c *mpi.Comm, rows, cols int, prob float64, seed int64, s
 				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
 					continue
 				}
-				a := attack{From: cell, To: nr*cols + nc}
+				to := nr*cols + nc
 				switch {
-				case owns(a.To):
-					localAttacks = append(localAttacks, a)
+				case owns(to):
+					localAttacks = append(localAttacks, cell, to)
 				case nr < rowLo:
-					toDown = append(toDown, a)
+					toDown = append(toDown, cell, to)
 				default:
-					toUp = append(toUp, a)
+					toUp = append(toUp, cell, to)
 				}
 			}
 			*at(cell) = stateBurned
 			burnedLocal++
 		}
 
-		var fromDown, fromUp []attack
+		var fromDown, fromUp []int
 		if _, _, err := cart.SendrecvShift(0, tagHalo, toDown, toUp, &fromDown, &fromUp); err != nil {
 			return TrialResult{}, err
 		}
 
 		var next []int
-		apply := func(as []attack) {
-			for _, a := range as {
-				if !owns(a.To) {
+		apply := func(pairs []int) {
+			for i := 0; i+1 < len(pairs); i += 2 {
+				from, to := pairs[i], pairs[i+1]
+				if !owns(to) {
 					continue
 				}
-				if *at(a.To) == stateTree && igniteDecision(seed, steps, a.From, a.To) < prob {
-					*at(a.To) = stateBurning
-					next = append(next, a.To)
+				if *at(to) == stateTree && igniteDecision(seed, steps, from, to) < prob {
+					*at(to) = stateBurning
+					next = append(next, to)
 				}
 			}
 		}

@@ -100,6 +100,16 @@ func (c *Comm) sendValue(dest, tag int, v any) error {
 			return c.world.transport.Send(f)
 		}
 	}
+	if c.world.wire {
+		if _, ok := rawKindOf(v); ok {
+			// No defensive copy: a wire-capable transport raw-encodes the
+			// slice before Send returns (see wireCapable), so the caller may
+			// mutate v immediately afterwards, exactly as on the copied
+			// local fast path.
+			f.Val, f.HasVal = v, true
+			return c.world.transport.Send(f)
+		}
+	}
 	data, err := encodeValue(v)
 	if err != nil {
 		return err
@@ -154,6 +164,8 @@ func (c *Comm) recv(source, tag int, v any) (Status, error) {
 		if err := f.decodeInto(v); err != nil {
 			return st, err
 		}
+	} else {
+		f.release() // discarded payload: recycle a raw frame's pooled buffer
 	}
 	return st, nil
 }

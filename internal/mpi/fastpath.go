@@ -210,6 +210,25 @@ func typedSize(v any) int {
 // behavior (numeric widening, error text) is identical to the serialized
 // path.
 func (f frame) decodeInto(v any) error {
+	if f.Raw != rawNone {
+		if rawDecodeInto(f.Raw, f.Data, v) {
+			putWireBuf(f.Data)
+			return nil
+		}
+		// The receiver asked for a different type: materialize the sent
+		// value and round-trip it through gob, so numeric widening and error
+		// text are identical to the serialized path.
+		val, err := rawDecode(f.Raw, f.Data)
+		putWireBuf(f.Data)
+		if err != nil {
+			return err
+		}
+		data, err := encodeValue(val)
+		if err != nil {
+			return err
+		}
+		return decodeValue(data, v)
+	}
 	if !f.HasVal {
 		return decodeValue(f.Data, v)
 	}
@@ -224,7 +243,7 @@ func (f frame) decodeInto(v any) error {
 }
 
 // payloadSize reports the frame's payload size: wire bytes for serialized
-// frames, in-memory size for fast-path frames.
+// and raw frames, in-memory size for fast-path frames.
 func (f frame) payloadSize() int {
 	if f.HasVal {
 		return typedSize(f.Val)

@@ -296,3 +296,12 @@ func (t *faultTransport) deliversTyped() bool {
 	tc, ok := t.inner.(typedCapable)
 	return ok && tc.deliversTyped()
 }
+
+// wiresTyped forwards the wrapped transport's raw-framing capability. Every
+// fault action stays synchronous on the sender (delays sleep, duplicates
+// re-send inline), so the wireCapable contract — Val is fully consumed
+// before Send returns — survives the decoration.
+func (t *faultTransport) wiresTyped() bool {
+	wc, ok := t.inner.(wireCapable)
+	return ok && wc.wiresTyped()
+}

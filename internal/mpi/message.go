@@ -105,13 +105,16 @@ func (s Status) String() string {
 // communicator context. Collective operations share the user's transport
 // but live in the reserved (negative) tag space.
 //
-// The payload has two representations. Data carries gob bytes — the wire
-// format, and the only representation that ever crosses a TCP connection.
-// Val carries a typed in-memory value (flagged by HasVal) for the local
-// transport's zero-serialization fast path; it is always a private copy the
-// receiver may own outright (see typedPayload). A serializing transport
-// handed a typed frame encodes it on the spot (see tcpTransport.Send), so
-// HasVal is an in-process optimization invisible on the wire.
+// The payload has three representations. Data with Raw == rawNone carries
+// gob bytes — the self-describing wire format, and the fallback every
+// payload can take. Val carries a typed in-memory value (flagged by HasVal)
+// for the local transport's zero-serialization fast path; it is always a
+// private copy the receiver may own outright (see typedPayload), except on
+// the TCP transport, which serializes the value before Send returns (see
+// wire.go) and so may reference the caller's slice directly. Data with a
+// non-zero Raw carries the raw little-endian encoding of a whitelisted
+// slice (rawcodec.go), produced and consumed by the v1 TCP framing; the
+// buffer is pooled, so consumers release it via decodeInto or release.
 type frame struct {
 	Ctx    int64 // communicator context id
 	Src    int   // sender's rank within Ctx (what the receiver matches on)
@@ -119,6 +122,16 @@ type frame struct {
 	Dst    int   // receiver's world rank (what the transport routes on)
 	Tag    int
 	Data   []byte
-	Val    any // typed fast-path payload; never leaves the process
+	Val    any  // typed fast-path payload; never leaves the process
 	HasVal bool
+	Raw    byte // raw codec kind for Data (rawNone = gob bytes)
+}
+
+// release returns a raw frame's pooled payload buffer to the freelist. Safe
+// (and a no-op) on every other frame; call it whenever a frame's payload is
+// discarded without being decoded.
+func (f frame) release() {
+	if f.Raw != rawNone && f.Data != nil {
+		putWireBuf(f.Data)
+	}
 }

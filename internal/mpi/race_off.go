@@ -1,0 +1,8 @@
+//go:build !race
+
+package mpi
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count pins consult it: the detector's shadow bookkeeping can
+// charge allocations to code that performs none in a normal build.
+const raceEnabled = false

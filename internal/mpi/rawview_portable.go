@@ -1,0 +1,10 @@
+//go:build !(amd64 || arm64 || riscv64 || loong64)
+
+package mpi
+
+// rawBytesView on platforms whose memory layout is not the wire layout
+// (32-bit int, big-endian): no zero-copy view exists, so encode and decode
+// take the portable per-element loops in rawcodec.go.
+func rawBytesView(v any) ([]byte, bool) {
+	return nil, false
+}

@@ -1,7 +1,6 @@
 package mpi
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,9 +17,14 @@ import (
 // the role of the interconnect: it preserves per-connection FIFO order, so
 // the non-overtaking guarantee carries over from the in-process transport.
 //
-// Wire protocol, per connection, as a gob stream:
+// Wire protocol, per connection. The stream opens with a gob hello carrying
+// the worker's wire version; when both ends speak v1 every subsequent
+// message is kind-byte framed (see wire.go) — whitelisted slice payloads as
+// raw little-endian frames, everything else as gob — and a worker that
+// announced version 0 gets the original pure gob stream, with the hub
+// converting raw frames back to gob before forwarding. Message sequence:
 //
-//	hello{Rank}            worker -> hub, once, identifies the rank
+//	hello{Rank, Wire}      worker -> hub, once, identifies the rank
 //	frame{Tag: tagStart}   hub -> worker, once, after all ranks joined
 //	frame{...}             either direction, user and collective traffic
 //	frame{Dst: ctrlDst, Tag: tagDone}   worker -> hub, rank finished
@@ -57,6 +61,11 @@ const (
 
 type hello struct {
 	Rank int
+	// Wire announces the highest framing version the worker speaks: 0 for
+	// the original pure-gob stream, wireVersion for kind-byte framing. The
+	// hub answers in kind — each side of the connection is framed at the
+	// version the worker announced, so mixed worlds interoperate.
+	Wire int
 }
 
 // abortInfo is the wire form of a world revoke: which rank failed (or -1
@@ -123,6 +132,27 @@ func WithDialRetry(budget time.Duration) Option {
 	return func(c *config) { c.dialRetry = budget }
 }
 
+// WithTCPNoDelay sets TCP_NODELAY on the worker's hub connection. Go enables
+// it by default (segments leave immediately, the right call for the
+// latency-sensitive framing this transport uses); passing false re-enables
+// Nagle's algorithm, trading per-message latency for fewer small segments —
+// the classic knob a bandwidth-bound many-small-messages workload can try.
+// The option is a no-op on non-TCP transports and non-TCP connections.
+func WithTCPNoDelay(enabled bool) Option {
+	return func(c *config) {
+		b := enabled
+		c.noDelay = &b
+	}
+}
+
+// withWireLegacy forces the worker to speak the v0 pure-gob wire, as an
+// old binary would. Unexported: real programs have no reason to downgrade,
+// but the interop tests use it to exercise the hub's version-mismatch path
+// (raw frames converted back to gob for legacy destinations).
+func withWireLegacy() Option {
+	return func(c *config) { c.wireLegacy = true }
+}
+
 // Hub routes frames between the ranks of one TCP-transport world. Create
 // one with StartHub, hand its Addr to the workers, and Wait for the job to
 // finish.
@@ -156,14 +186,14 @@ type hubAgree struct {
 
 type hubConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	mu   sync.Mutex // serializes writes to enc
+	w    *wireWriter
+	mu   sync.Mutex // serializes writes to w
 }
 
 func (hc *hubConn) send(f frame) error {
 	hc.mu.Lock()
 	defer hc.mu.Unlock()
-	return hc.enc.Encode(f)
+	return hc.w.writeFrame(f)
 }
 
 // StartHub listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -238,13 +268,15 @@ func (h *Hub) formationExpired() {
 // admit registers a worker connection and, once the world is complete,
 // releases all workers with the start signal.
 func (h *Hub) admit(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	var hi hello
-	if err := dec.Decode(&hi); err != nil {
+	rd := newWireReader(conn)
+	hi, err := rd.readHello()
+	if err != nil {
 		h.fail(fmt.Errorf("mpi: hub handshake: %w", err))
 		conn.Close()
 		return
 	}
+	// Frame each direction at the version the worker announced.
+	rd.v1 = hi.Wire >= wireVersion
 	h.mu.Lock()
 	if hi.Rank < 0 || hi.Rank >= h.np {
 		h.mu.Unlock()
@@ -258,7 +290,7 @@ func (h *Hub) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	hc := &hubConn{conn: conn, enc: gob.NewEncoder(conn)}
+	hc := &hubConn{conn: conn, w: newWireWriter(conn, rd.v1)}
 	h.conns[hi.Rank] = hc
 	complete := len(h.conns) == h.np
 	var all []*hubConn
@@ -291,7 +323,7 @@ func (h *Hub) admit(conn net.Conn) {
 			go h.heartbeatLoop()
 		}
 	}
-	h.route(hi.Rank, dec)
+	h.route(hi.Rank, rd)
 }
 
 // heartbeatLoop pings every worker each interval and fails the job when a
@@ -342,11 +374,14 @@ func (h *Hub) heartbeatLoop() {
 }
 
 // route forwards every frame read from one worker until the worker reports
-// done or the connection drops.
-func (h *Hub) route(rank int, dec *gob.Decoder) {
+// done or the connection drops. Raw frames are forwarded verbatim to v1
+// destinations (the payload is never decoded in transit) and converted back
+// to gob for legacy ones; either way the pooled receive buffer is returned
+// once the forward completes.
+func (h *Hub) route(rank int, rd *wireReader) {
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		f, err := rd.readFrame()
+		if err != nil {
 			if h.connDropped(rank) {
 				return
 			}
@@ -382,13 +417,16 @@ func (h *Hub) route(rank int, dec *gob.Decoder) {
 		recovery := h.opts.recovery
 		h.mu.Unlock()
 		if dst == nil {
+			f.release()
 			if recovery {
 				continue // destination already torn down; drop the frame
 			}
 			h.fail(fmt.Errorf("mpi: hub: frame for unknown rank %d", f.Dst))
 			return
 		}
-		if err := dst.send(f); err != nil {
+		err = dst.send(f)
+		f.release() // forwarded (or failed): recycle a raw frame's buffer
+		if err != nil {
 			if recovery {
 				// The destination's connection is going down; its own route
 				// loop converts that into a rank failure. Drop the frame.
@@ -649,30 +687,28 @@ func (h *Hub) Close() { h.shutdown() }
 // tcpTransport is one rank's sending side of the TCP world.
 type tcpTransport struct {
 	conn net.Conn
-	enc  *gob.Encoder
+	w    *wireWriter
 	mu   sync.Mutex
 }
 
 func (t *tcpTransport) Send(f frame) error {
-	// TCP worlds never produce typed frames (they are not typedCapable),
-	// but serialize defensively so a typed frame can never leak an
-	// in-memory payload onto the wire.
-	if f.HasVal {
-		data, err := encodeValue(f.Val)
-		if err != nil {
-			return err
-		}
-		f.Data, f.Val, f.HasVal = data, nil, false
-	}
+	// writeFrame serializes typed frames on the spot — raw framing for the
+	// whitelist when the connection speaks v1, gob for everything else — so
+	// an in-memory payload can never leak onto the wire, and frame.Val is
+	// fully consumed by the time Send returns (the wireCapable contract).
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.enc.Encode(f); err != nil {
+	if err := t.w.writeFrame(f); err != nil {
 		return fmt.Errorf("mpi: tcp send: %w", err)
 	}
 	return nil
 }
 
 func (t *tcpTransport) Close() error { return t.conn.Close() }
+
+// wiresTyped: a v1 connection raw-encodes whitelisted typed payloads
+// synchronously inside Send (see wireCapable in transport.go).
+func (t *tcpTransport) wiresTyped() bool { return t.w.v1 }
 
 // defaultDialRetry is JoinTCP's dial budget when WithDialRetry is not set:
 // long enough to ride out a hub that is still binding its listener, short
@@ -735,21 +771,35 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 	if err != nil {
 		return err
 	}
-	t := &tcpTransport{conn: conn, enc: gob.NewEncoder(conn)}
+	if cfg.noDelay != nil {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if err := tc.SetNoDelay(*cfg.noDelay); err != nil {
+				conn.Close()
+				return fmt.Errorf("mpi: setting TCP_NODELAY: %w", err)
+			}
+		}
+	}
+	v1 := !cfg.wireLegacy
+	wireVer := 0
+	if v1 {
+		wireVer = wireVersion
+	}
+	t := &tcpTransport{conn: conn, w: newWireWriter(conn, v1)}
 	defer t.Close()
 
-	if err := t.enc.Encode(hello{Rank: rank}); err != nil {
+	if err := t.w.writeHello(hello{Rank: rank, Wire: wireVer}); err != nil {
 		return fmt.Errorf("mpi: hello to hub: %w", err)
 	}
 
 	box := newMailbox()
-	dec := gob.NewDecoder(conn)
+	rd := newWireReader(conn)
+	rd.v1 = v1 // the hub frames its side at the version we announced
 
 	// The start frame arrives before any routed traffic. A pre-start abort
 	// (another worker failed the handshake, or formation timed out) arrives
 	// here instead of the start signal.
-	var start frame
-	if err := dec.Decode(&start); err != nil {
+	start, err := rd.readFrame()
+	if err != nil {
 		return fmt.Errorf("mpi: waiting for world start: %w", err)
 	}
 	switch start.Tag {
@@ -788,6 +838,7 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		gate:      cfg.gate,
 		epoch:     time.Now(),
 		typed:     cfg.typedWorld(transport), // always false: tcpTransport serializes
+		wire:      cfg.wireWorld(transport), // v1 framing: raw-encode in Send, uncopied
 		deadline:  cfg.deadline,
 		faults:    cfg.faultT,
 	}
@@ -807,8 +858,8 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 	// heartbeat detects dead processes, WithDeadline detects stuck ranks).
 	go func() {
 		for {
-			var f frame
-			if err := dec.Decode(&f); err != nil {
+			f, err := rd.readFrame()
+			if err != nil {
 				w.abort(fmt.Errorf("mpi: rank %d: connection to hub lost: %w", rank, err))
 				box.close()
 				return

@@ -127,3 +127,10 @@ func (t *countingTransport) deliversTyped() bool {
 	tc, ok := t.inner.(typedCapable)
 	return ok && tc.deliversTyped()
 }
+
+// wiresTyped forwards the wrapped transport's raw-framing capability for the
+// same reason.
+func (t *countingTransport) wiresTyped() bool {
+	wc, ok := t.inner.(wireCapable)
+	return ok && wc.wiresTyped()
+}

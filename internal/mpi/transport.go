@@ -29,6 +29,18 @@ type typedCapable interface {
 	deliversTyped() bool
 }
 
+// wireCapable is implemented by transports that serialize a frame's typed
+// payload (frame.Val) into the v1 binary wire format *synchronously inside
+// Send*. The distinction from typedCapable matters for copy semantics: a
+// typed-delivering transport hands Val to another goroutine, so the send
+// path must copy it first (typedPayload); a wire-capable transport has
+// finished reading Val by the time Send returns, so the send path may pass
+// the caller's slice uncopied — that is what makes a steady-state large
+// send allocation-free. Wrapping transports forward the capability.
+type wireCapable interface {
+	wiresTyped() bool
+}
+
 // localTransport routes frames through in-memory mailboxes: all ranks are
 // goroutines of one process, the analogue of running mpirun on one node.
 type localTransport struct {

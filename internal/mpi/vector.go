@@ -1,0 +1,601 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Vector collectives: the large-payload counterparts of the scalar
+// collectives in collective.go. The scalar algorithms move one whole value
+// per hop, which is the right shape when the value is a counter — and the
+// wrong one when it is a megabyte slab: a tree Allreduce serializes
+// O(log n) full copies of the payload onto its critical path. The *Slice
+// family keeps the same call discipline (every rank calls, same order) but
+// moves bytes the way bandwidth-optimal MPI implementations do:
+//
+//   - AllreduceSlice / ReduceSlice use the Rabenseifner construction — a
+//     reduce-scatter followed by an allgather (or a gather to root) — so each
+//     rank sends and receives 2·(n−1)/n of the payload instead of log n full
+//     copies. Power-of-two worlds take recursive halving/doubling (log n
+//     rounds); the rest take the ring (n−1 rounds, same byte volume).
+//   - BcastSlice pipelines fixed-size chunks down the existing binomial
+//     tree, so tree depth overlaps with transmission instead of multiplying
+//     it.
+//   - AllgatherSlice / GatherSlice / ScatterSlice move contiguous blocks of
+//     one backing array, instead of boxing elements (or rows) into
+//     per-element messages.
+//
+// Payloads below a tunable element-count threshold take the scalar
+// algorithms unchanged — at small sizes the ring's extra rounds cost more
+// latency than its bandwidth discipline saves. SetCollectiveTuning exposes
+// the threshold (and the Bcast chunk size) for the ablation benchmarks.
+//
+// Everything is built on the same reserved-tag point-to-point layer as the
+// scalar collectives, so the failure model carries over unchanged: a rank
+// failing mid-ring surfaces ErrWorldAborted (or a retryable
+// *RankFailedError under WithRecovery) at the survivors' next step, and
+// WithDeadline reports a stalled pipeline as a blocked Recv under the
+// collective's tag.
+
+// Reserved tags for the vector collectives (-2..-13 live in message.go and
+// collective2.go).
+const (
+	tagVecRed   = -14 // ring reduce-scatter + ReduceSlice's segment gather
+	tagVecAg    = -15 // ring allgather (segment and block variants)
+	tagVecBcast = -16 // pipelined broadcast (length header + chunks)
+	tagVecGat   = -17 // GatherSlice blocks
+	tagVecScat  = -18 // ScatterSlice blocks
+)
+
+// CollectiveTuning controls where the vector collectives switch algorithms.
+type CollectiveTuning struct {
+	// VectorThreshold is the element count at or below which AllreduceSlice,
+	// ReduceSlice, and BcastSlice use the scalar whole-slice algorithms: one
+	// tree message per hop instead of ring rounds or chunk streams. Above
+	// it, the bandwidth-optimal paths engage.
+	VectorThreshold int
+	// BcastChunk is BcastSlice's pipeline segment size, in elements.
+	// Smaller chunks fill the tree faster but pay more per-message
+	// overhead; larger chunks amortize framing but serialize the levels.
+	BcastChunk int
+}
+
+// defaultCollectiveTuning: the threshold sits where ring-round latency and
+// per-hop bandwidth break even for 8-byte elements on the measured
+// transports; the chunk is large enough that framing overhead is noise and
+// small enough that a 3-level tree streams.
+var defaultCollectiveTuning = CollectiveTuning{
+	VectorThreshold: 1024,
+	BcastChunk:      8192,
+}
+
+var collectiveTuningPtr atomic.Pointer[CollectiveTuning]
+
+// collectiveTuning reads the active tuning.
+func collectiveTuning() CollectiveTuning {
+	if p := collectiveTuningPtr.Load(); p != nil {
+		return *p
+	}
+	return defaultCollectiveTuning
+}
+
+// SetCollectiveTuning installs new vector-collective tuning process-wide and
+// returns the previous values, so benchmarks and tests can force either
+// algorithm family and restore the default afterwards. A nonpositive
+// BcastChunk resets it to the default; a negative threshold is clamped to 0
+// (vector algorithms for every non-empty payload). Like MPI's collective
+// ordering rule, changing tuning concurrently with in-flight collectives is
+// the caller's race to avoid: all ranks must observe the same tuning for
+// the same call.
+func SetCollectiveTuning(t CollectiveTuning) CollectiveTuning {
+	prev := collectiveTuning()
+	if t.VectorThreshold < 0 {
+		t.VectorThreshold = 0
+	}
+	if t.BcastChunk < 1 {
+		t.BcastChunk = defaultCollectiveTuning.BcastChunk
+	}
+	collectiveTuningPtr.Store(&t)
+	return prev
+}
+
+// segRange is the block decomposition the ring algorithms use: segment i of
+// k over n elements, with the remainder spread one element each over the
+// first n%k segments (the same rule the exemplars' blockRange uses for
+// rows). Segments are contiguous, cover [0, n), and may be empty when
+// n < k.
+func segRange(n, i, k int) (lo, hi int) {
+	base, rem := n/k, n%k
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// sliceReduce lifts an element combine to a whole-slice combine for the
+// scalar fallback paths. It folds b into a in place — a is always the
+// runtime's private accumulator — and panics on mismatched lengths, the
+// same protocol-error behavior as CombineSlices.
+func sliceReduce[T any](combine func(a, b T) T) func(a, b []T) []T {
+	return func(a, b []T) []T {
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("mpi: slice reduction over mismatched lengths %d and %d", len(a), len(b)))
+		}
+		for i := range a {
+			a[i] = combine(a[i], b[i])
+		}
+		return a
+	}
+}
+
+// AllreduceSlice combines every rank's v elementwise and delivers the full
+// result to all ranks: MPI_Allreduce over a vector. All ranks must pass
+// slices of the same length. combine must be associative; the reduction
+// order within each element is deterministic for a given world size but
+// differs from Allreduce's tree order, so exact floating-point equality
+// with other algorithms holds only for order-insensitive data (integers,
+// exactly-representable sums).
+//
+// Above the tuning threshold it runs a reduce-scatter followed by an
+// allgather (Rabenseifner): each rank moves 2·(n−1)/n of the payload in
+// total, against the log n full payloads of the scalar tree — the difference
+// between latency-bound and bandwidth-bound regimes. Power-of-two worlds use
+// recursive halving/doubling, 2·log2(n) rounds in all; other sizes use the
+// ring, 2·(n−1) rounds of smaller messages. The returned slice is freshly
+// allocated; v is not mutated.
+func AllreduceSlice[T any](c *Comm, v []T, combine func(a, b T) T) ([]T, error) {
+	n := c.Size()
+	acc := append(make([]T, 0, len(v)), v...)
+	if n == 1 {
+		return acc, nil
+	}
+	if len(v) <= collectiveTuning().VectorThreshold {
+		return Allreduce(c, acc, sliceReduce(combine))
+	}
+	if isPow2(n) {
+		// One receive scratch serves both phases: every exchange moves at
+		// most half the payload (plus remainder skew), and on a fully
+		// CPU-bound host the allocator zeroing for a fresh buffer per phase
+		// is measurable against the reduction itself.
+		tmp := make([]T, 0, len(v)/2+n)
+		if err := halvingReduceScatter(c, acc, &tmp, combine); err != nil {
+			return nil, err
+		}
+		if err := doublingAllgatherSegs(c, acc, &tmp); err != nil {
+			return nil, err
+		}
+		return acc, nil
+	}
+	if err := ringReduceScatter(c, acc, combine); err != nil {
+		return nil, err
+	}
+	if err := ringAllgatherSegs(c, acc); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// ReduceSlice combines every rank's v elementwise and delivers the full
+// result to root (nil at the other ranks): MPI_Reduce over a vector. Above
+// the tuning threshold it runs the ring reduce-scatter and then gathers the
+// reduced segments at root — the same 2·(n−1)/n send volume per rank as
+// AllreduceSlice on the scatter half, with only root paying the gather's
+// receive volume.
+func ReduceSlice[T any](c *Comm, v []T, combine func(a, b T) T, root int) ([]T, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	acc := append(make([]T, 0, len(v)), v...)
+	if n == 1 {
+		return acc, nil
+	}
+	if len(v) <= collectiveTuning().VectorThreshold {
+		return Reduce(c, acc, sliceReduce(combine), root)
+	}
+	pow2 := isPow2(n)
+	if pow2 {
+		scratch := make([]T, 0, len(v)/2+n)
+		if err := halvingReduceScatter(c, acc, &scratch, combine); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := ringReduceScatter(c, acc, combine); err != nil {
+			return nil, err
+		}
+	}
+	// After the reduce-scatter, rank r owns the fully reduced segment r
+	// (halving path) or (r+1) mod n (ring path). Everyone ships their segment
+	// to root; root assembles.
+	segOf := func(r int) int {
+		if pow2 {
+			return r
+		}
+		return (r + 1) % n
+	}
+	ownSeg := segOf(c.rank)
+	lo, hi := segRange(len(acc), ownSeg, n)
+	if c.rank != root {
+		if err := c.sendReserved(root, tagVecRed, acc[lo:hi]); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := make([]T, len(acc))
+	copy(out[lo:hi], acc[lo:hi])
+	var tmp []T
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.recvReserved(r, tagVecRed, &tmp); err != nil {
+			return nil, err
+		}
+		seg := segOf(r)
+		lo, hi := segRange(len(out), seg, n)
+		if len(tmp) != hi-lo {
+			return nil, fmt.Errorf("mpi: ReduceSlice: rank %d sent segment of %d elements, want %d (mismatched slice lengths across ranks?)", r, len(tmp), hi-lo)
+		}
+		copy(out[lo:hi], tmp)
+	}
+	return out, nil
+}
+
+// ringReduceScatter runs the reduce-scatter half of the Rabenseifner
+// construction in place over acc: n−1 ring steps, in step s each rank sends
+// segment (rank−s) mod n to its right neighbour and folds the incoming
+// segment (rank−s−1) mod n into its accumulator. When it returns, rank r
+// holds the fully reduced segment (r+1) mod n; the other segments hold
+// partial sums and are overwritten by the allgather (or ignored).
+func ringReduceScatter[T any](c *Comm, acc []T, combine func(a, b T) T) error {
+	n := c.Size()
+	r := c.rank
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	var tmp []T // receive buffer, reused across steps (capacity-recycled)
+	for step := 0; step < n-1; step++ {
+		sendSeg := ((r-step)%n + n) % n
+		recvSeg := ((r-step-1)%n + n) % n
+		lo, hi := segRange(len(acc), sendSeg, n)
+		// Sends are buffered (and copy or serialize before returning), so
+		// send-then-receive cannot deadlock the ring, and mutating acc's
+		// other segments below never races with this send.
+		if err := c.sendReserved(right, tagVecRed, acc[lo:hi]); err != nil {
+			return err
+		}
+		if _, err := c.recvReserved(left, tagVecRed, &tmp); err != nil {
+			return err
+		}
+		lo, hi = segRange(len(acc), recvSeg, n)
+		if len(tmp) != hi-lo {
+			return fmt.Errorf("mpi: ring reduce-scatter: rank %d sent segment of %d elements, want %d (mismatched slice lengths across ranks?)", left, len(tmp), hi-lo)
+		}
+		seg := acc[lo:hi]
+		in := tmp[:len(seg)]
+		for i, x := range in {
+			seg[i] = combine(seg[i], x)
+		}
+	}
+	return nil
+}
+
+// ringAllgatherSegs runs the allgather half: n−1 ring steps circulating the
+// reduced segments until every rank holds all of them. In step s each rank
+// sends segment (rank+1−s) mod n — its own reduced segment first, then
+// whatever it most recently received — and copies the incoming segment
+// (rank−s) mod n into place.
+func ringAllgatherSegs[T any](c *Comm, acc []T) error {
+	n := c.Size()
+	r := c.rank
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	var tmp []T
+	for step := 0; step < n-1; step++ {
+		sendSeg := ((r+1-step)%n + n) % n
+		recvSeg := ((r-step)%n + n) % n
+		lo, hi := segRange(len(acc), sendSeg, n)
+		if err := c.sendReserved(right, tagVecAg, acc[lo:hi]); err != nil {
+			return err
+		}
+		if _, err := c.recvReserved(left, tagVecAg, &tmp); err != nil {
+			return err
+		}
+		lo, hi = segRange(len(acc), recvSeg, n)
+		if len(tmp) != hi-lo {
+			return fmt.Errorf("mpi: ring allgather: rank %d sent segment of %d elements, want %d", left, len(tmp), hi-lo)
+		}
+		copy(acc[lo:hi], tmp)
+	}
+	return nil
+}
+
+// isPow2 reports whether a world size (>= 1) is a power of two — the sizes
+// where recursive halving/doubling pairs up cleanly without a fold step.
+func isPow2(n int) bool { return n&(n-1) == 0 }
+
+// halvingReduceScatter runs the reduce-scatter half of the Rabenseifner
+// construction by recursive vector halving, for power-of-two world sizes:
+// log2(n) rounds. In each round a rank exchanges half of its live segment
+// range with a partner one group-half away — sending the half it is giving
+// up, folding the incoming copy of the half it keeps — then recurses into
+// the kept half. Each round moves half the previous round's bytes, so the
+// total send volume is the same (n−1)/n of the payload as the ring, in
+// log2(n) messages instead of n−1. When it returns, rank r holds the fully
+// reduced segment r (segRange decomposition); the rest of acc holds partial
+// sums. tmp is the caller's receive scratch, grown capacity-recycled so the
+// two Rabenseifner phases share one buffer.
+func halvingReduceScatter[T any](c *Comm, acc []T, tmp *[]T, combine func(a, b T) T) error {
+	n := c.Size()
+	r := c.rank
+	segStart := func(s int) int {
+		if s == n {
+			return len(acc)
+		}
+		lo, _ := segRange(len(acc), s, n)
+		return lo
+	}
+	// Invariant: the live group is ranks [base, base+g) owning segments
+	// [base, base+g), with r in the group; both shrink together, so the
+	// group-relative rank order always matches the segment order.
+	base, g := 0, n
+	for g > 1 {
+		half := g / 2
+		rel := r - base
+		partner := base + (rel ^ half)
+		mid := base + half
+		var keepLo, keepHi, sendLo, sendHi int // segment indices
+		if rel < half {
+			keepLo, keepHi, sendLo, sendHi = base, mid, mid, base+g
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, base+g, base, mid
+		}
+		// Both partners send before receiving; sends are buffered, so the
+		// symmetric exchange cannot deadlock.
+		if err := c.sendReserved(partner, tagVecRed, acc[segStart(sendLo):segStart(sendHi)]); err != nil {
+			return err
+		}
+		if _, err := c.recvReserved(partner, tagVecRed, tmp); err != nil {
+			return err
+		}
+		kl, kh := segStart(keepLo), segStart(keepHi)
+		if len(*tmp) != kh-kl {
+			return fmt.Errorf("mpi: halving reduce-scatter: rank %d sent %d elements, want %d (mismatched slice lengths across ranks?)", partner, len(*tmp), kh-kl)
+		}
+		seg := acc[kl:kh]
+		in := (*tmp)[:len(seg)] // same length, checked above; elides a bounds check in the fold
+		for i, x := range in {
+			seg[i] = combine(seg[i], x)
+		}
+		if rel >= half {
+			base += half
+		}
+		g = half
+	}
+	return nil
+}
+
+// doublingAllgatherSegs runs the allgather half by recursive doubling,
+// unwinding halvingReduceScatter's recursion: log2(n) rounds of exchanges
+// with the same partners in reverse order, each round doubling the
+// contiguous segment range every rank holds, until all ranks hold [0, n).
+// tmp is the caller's receive scratch, shared with the reduce-scatter phase.
+func doublingAllgatherSegs[T any](c *Comm, acc []T, tmp *[]T) error {
+	n := c.Size()
+	r := c.rank
+	segStart := func(s int) int {
+		if s == n {
+			return len(acc)
+		}
+		lo, _ := segRange(len(acc), s, n)
+		return lo
+	}
+	for g := 2; g <= n; g *= 2 {
+		half := g / 2
+		groupBase := r / g * g
+		partner := groupBase + ((r - groupBase) ^ half)
+		myLo := r / half * half // segments held entering this round: [myLo, myLo+half)
+		theirLo := partner / half * half
+		if err := c.sendReserved(partner, tagVecAg, acc[segStart(myLo):segStart(myLo+half)]); err != nil {
+			return err
+		}
+		if _, err := c.recvReserved(partner, tagVecAg, tmp); err != nil {
+			return err
+		}
+		tl, th := segStart(theirLo), segStart(theirLo+half)
+		if len(*tmp) != th-tl {
+			return fmt.Errorf("mpi: doubling allgather: rank %d sent %d elements, want %d", partner, len(*tmp), th-tl)
+		}
+		copy(acc[tl:th], *tmp)
+	}
+	return nil
+}
+
+// BcastSlice distributes root's slice v to every rank: MPI_Bcast over a
+// vector. Non-root ranks' v arguments are ignored (the slice length travels
+// with the data). Root returns v itself; other ranks return a fresh slice.
+//
+// Large payloads are pipelined: root streams fixed-size chunks down the
+// binomial tree, and every interior rank forwards chunk i to its children
+// before receiving chunk i+1 — so the tree's depth overlaps with
+// transmission instead of multiplying it, turning O(depth · bytes) into
+// O(depth · chunk + bytes) per link. Payloads at or below the tuning
+// threshold take the scalar tree whole.
+func BcastSlice[T any](c *Comm, v []T, root int) ([]T, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	size := c.Size()
+	if size == 1 {
+		return v, nil
+	}
+	tun := collectiveTuning()
+	vrank := toVirtual(c.rank, root, size)
+	kids := treeChildren(vrank, size)
+
+	// The length header travels first on every path: it tells each rank the
+	// total element count, from which root and non-root alike derive the
+	// same whole-vs-pipelined decision without any further agreement.
+	var n int
+	var parent int
+	if vrank == 0 {
+		n = len(v)
+	} else {
+		parent = toReal(treeParent(vrank), root, size)
+		if _, err := c.recvReserved(parent, tagVecBcast, &n); err != nil {
+			return nil, err
+		}
+	}
+	for _, kid := range kids {
+		if err := c.sendReserved(toReal(kid, root, size), tagVecBcast, n); err != nil {
+			return nil, err
+		}
+	}
+
+	if n <= tun.VectorThreshold {
+		// Small payload: one whole-slice message per tree edge.
+		buf := v
+		if vrank != 0 {
+			buf = nil
+			if _, err := c.recvReserved(parent, tagVecBcast, &buf); err != nil {
+				return nil, err
+			}
+			if len(buf) != n {
+				return nil, fmt.Errorf("mpi: BcastSlice: got %d elements, header said %d", len(buf), n)
+			}
+		}
+		for _, kid := range kids {
+			if err := c.sendReserved(toReal(kid, root, size), tagVecBcast, buf); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	}
+
+	chunk := tun.BcastChunk
+	buf := v
+	if vrank != 0 {
+		buf = make([]T, n)
+	}
+	var tmp []T
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		if vrank != 0 {
+			if _, err := c.recvReserved(parent, tagVecBcast, &tmp); err != nil {
+				return nil, err
+			}
+			if len(tmp) != hi-lo {
+				return nil, fmt.Errorf("mpi: BcastSlice: got chunk of %d elements, want %d", len(tmp), hi-lo)
+			}
+			copy(buf[lo:hi], tmp)
+		}
+		for _, kid := range kids {
+			if err := c.sendReserved(toReal(kid, root, size), tagVecBcast, buf[lo:hi]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// AllgatherSlice concatenates every rank's slice, in rank order, at every
+// rank: MPI_Allgatherv over one backing array. Per-rank lengths may differ
+// (each block travels with its length). Implemented as the same ring as the
+// scalar Allgather, but circulating contiguous blocks instead of boxed
+// values; the result is a single freshly allocated slice rather than a
+// slice of slices.
+func AllgatherSlice[T any](c *Comm, v []T) ([]T, error) {
+	n := c.Size()
+	if n == 1 {
+		return append(make([]T, 0, len(v)), v...), nil
+	}
+	blocks := make([][]T, n)
+	blocks[c.rank] = v
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendIdx := ((c.rank-step)%n + n) % n
+		recvIdx := ((c.rank-step-1)%n + n) % n
+		if err := c.sendReserved(right, tagVecAg, blocks[sendIdx]); err != nil {
+			return nil, err
+		}
+		if _, err := c.recvReserved(left, tagVecAg, &blocks[recvIdx]); err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// GatherSlice concatenates every rank's slice, in rank order, at root:
+// MPI_Gatherv over one backing array. Root returns the concatenation; the
+// other ranks return nil. Per-rank lengths may differ.
+func GatherSlice[T any](c *Comm, v []T, root int) ([]T, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if c.rank != root {
+		if err := c.sendReserved(root, tagVecGat, v); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	blocks := make([][]T, n)
+	blocks[root] = v
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.recvReserved(r, tagVecGat, &blocks[r]); err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// ScatterSlice splits root's data into Size() contiguous blocks (segRange
+// decomposition: near-equal, remainder spread over the first ranks) and
+// delivers block r to rank r: MPI_Scatterv over one backing array. data is
+// ignored at non-root ranks. Every rank — root included — receives a fresh
+// private slice.
+func ScatterSlice[T any](c *Comm, data []T, root int) ([]T, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if c.rank == root {
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			lo, hi := segRange(len(data), r, n)
+			if err := c.sendReserved(r, tagVecScat, data[lo:hi]); err != nil {
+				return nil, err
+			}
+		}
+		lo, hi := segRange(len(data), root, n)
+		return append(make([]T, 0, hi-lo), data[lo:hi]...), nil
+	}
+	var out []T
+	if _, err := c.recvReserved(root, tagVecScat, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// le abbreviates the byte order every raw header and payload uses.
+var le = binary.LittleEndian
+
+// Typed binary framing for the TCP transport. Version 0 of the wire — what
+// PR 1 shipped — was a bare gob stream: every frame, whatever its payload,
+// went through gob's reflective encoder and straight to an unbuffered
+// connection write. Version 1 keeps the gob stream (it is still the fallback
+// for every non-whitelisted payload and every control frame) but frames it:
+// each message starts with a one-byte kind, either
+//
+//	kindGob  followed by one gob-encoded frame, or
+//	kindRaw  followed by a fixed little-endian header and the payload's
+//	         element storage verbatim (see rawcodec.go):
+//
+//	         Ctx int64 | Src int32 | WSrc int32 | Dst int32 | Tag int32 |
+//	         raw kind byte | payload length uint32 | payload bytes
+//
+// Interleaving raw bytes with a live gob stream is safe because the decoder
+// reads from a *bufio.Reader: gob consumes exactly one message's bytes via
+// the io.ByteReader interface and never reads ahead, so the next byte after
+// a gob message is always ours to interpret as the next kind. Both ends of a
+// connection agree on the version in the hello exchange; a peer that never
+// announced v1 gets a pure gob stream, with raw frames converted back to gob
+// before forwarding (the version-mismatch path).
+//
+// Writes go through a bufio.Writer flushed once per frame: a gob frame used
+// to cost one syscall per internal gob segment (type descriptor, then
+// value); now every frame — header, payload, all of it — leaves in one
+// write. Heartbeat and control frames take the same writeFrame path, so they
+// flush promptly by construction.
+const wireVersion = 1
+
+const (
+	kindGob byte = 0x67 // 'g'
+	kindRaw byte = 0x72 // 'r'
+)
+
+// rawHeaderLen is the fixed header that follows a kindRaw byte.
+const rawHeaderLen = 8 + 4 + 4 + 4 + 4 + 1 + 4
+
+// maxRawFrame bounds the payload length a reader will believe: a corrupted
+// or adversarial stream must produce an error, not a giant allocation.
+const maxRawFrame = 1 << 30
+
+// wireBufSize sizes the bufio layers: large enough that a small frame plus
+// its header coalesces into one write, small enough to be cheap per
+// connection.
+const wireBufSize = 64 << 10
+
+// wireWriter is the sending half of one connection: a buffered writer with
+// a persistent gob encoder layered on top, flushed once per frame.
+type wireWriter struct {
+	bw  *bufio.Writer
+	enc *gob.Encoder
+	v1  bool // peer understands kind-byte framing
+	hdr [1 + rawHeaderLen]byte
+}
+
+func newWireWriter(w io.Writer, v1 bool) *wireWriter {
+	bw := bufio.NewWriterSize(w, wireBufSize)
+	return &wireWriter{bw: bw, enc: gob.NewEncoder(bw), v1: v1}
+}
+
+// writeHello sends the connection's opening handshake (no kind byte: the
+// hello predates the version agreement by definition).
+func (w *wireWriter) writeHello(hi hello) error {
+	if err := w.enc.Encode(hi); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// writeFrame sends one frame and flushes it to the connection. Typed
+// payloads (frame.Val) that are raw-encodable travel as kindRaw; everything
+// else is gob-encoded here — including typed payloads outside the raw
+// whitelist, so an in-memory value can never leak onto the wire unencoded.
+// When the peer is a legacy gob-only connection, raw frames being forwarded
+// are converted back to their gob form first.
+func (w *wireWriter) writeFrame(f frame) error {
+	if w.v1 && f.HasVal && headerRanksFit(f) {
+		if kind, ok := rawKindOf(f.Val); ok {
+			return w.writeRawVal(f, kind)
+		}
+	}
+	if w.v1 && f.Raw != rawNone {
+		// Forwarding an already-encoded raw payload (the hub's routing path).
+		return w.writeRawData(f)
+	}
+	if f.HasVal {
+		data, err := encodeValue(f.Val)
+		if err != nil {
+			return err
+		}
+		f.Data, f.Val, f.HasVal = data, nil, false
+	}
+	if f.Raw != rawNone {
+		// Legacy peer: materialize the raw payload and re-encode as gob, so
+		// the version-mismatch path sees exactly what version 0 would have.
+		v, err := rawDecode(f.Raw, f.Data)
+		if err != nil {
+			return err
+		}
+		data, err := encodeValue(v)
+		if err != nil {
+			return err
+		}
+		f.Data, f.Raw = data, rawNone
+	}
+	if w.v1 {
+		if err := w.bw.WriteByte(kindGob); err != nil {
+			return err
+		}
+	}
+	if err := w.enc.Encode(f); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// writeRawVal frames a typed payload as kindRaw. On layout-compatible
+// platforms the payload bytes are written straight from the value's backing
+// array — sends are synchronous on the caller's goroutine and the write
+// completes before Send returns, so the wire never reads the slice after the
+// caller regains control. Elsewhere (and for []bool, whose storage is not
+// the wire format) the elements are encoded into a pooled scratch buffer,
+// returned before the call completes, so a steady-state send loop allocates
+// nothing either way.
+func (w *wireWriter) writeRawVal(f frame, kind byte) error {
+	n := rawSizeOf(f.Val)
+	w.putHeader(f, kind, n)
+	if _, err := w.bw.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if view, ok := rawBytesView(f.Val); ok {
+		if len(view) > 0 {
+			if _, err := w.bw.Write(view); err != nil {
+				return err
+			}
+		}
+		return w.bw.Flush()
+	}
+	buf := getWireBuf(n)
+	rawEncode(buf, f.Val)
+	_, err := w.bw.Write(buf)
+	putWireBuf(buf)
+	if err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// writeRawData forwards an already raw-encoded payload unchanged.
+func (w *wireWriter) writeRawData(f frame) error {
+	w.putHeader(f, f.Raw, len(f.Data))
+	if _, err := w.bw.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(f.Data); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *wireWriter) putHeader(f frame, kind byte, payloadLen int) {
+	h := w.hdr[:]
+	h[0] = kindRaw
+	le.PutUint64(h[1:], uint64(f.Ctx))
+	le.PutUint32(h[9:], uint32(int32(f.Src)))
+	le.PutUint32(h[13:], uint32(int32(f.WSrc)))
+	le.PutUint32(h[17:], uint32(int32(f.Dst)))
+	le.PutUint32(h[21:], uint32(int32(f.Tag)))
+	h[25] = kind
+	le.PutUint32(h[26:], uint32(payloadLen))
+}
+
+// headerRanksFit reports whether the frame's addressing fields survive the
+// raw header's int32 fields. Ranks always do (they are small); a pathological
+// user tag beyond 31 bits falls back to gob rather than truncating.
+func headerRanksFit(f frame) bool {
+	return fitsInt32(f.Src) && fitsInt32(f.WSrc) && fitsInt32(f.Dst) && fitsInt32(f.Tag)
+}
+
+func fitsInt32(v int) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
+
+// wireReader is the receiving half: a buffered reader with a persistent gob
+// decoder, demultiplexing kind bytes when the peer speaks v1.
+type wireReader struct {
+	br  *bufio.Reader
+	dec *gob.Decoder
+	v1  bool
+	hdr [rawHeaderLen]byte
+}
+
+func newWireReader(r io.Reader) *wireReader {
+	br := bufio.NewReaderSize(r, wireBufSize)
+	return &wireReader{br: br, dec: gob.NewDecoder(br)}
+}
+
+// readHello reads the connection's opening handshake.
+func (r *wireReader) readHello() (hello, error) {
+	var hi hello
+	err := r.dec.Decode(&hi)
+	return hi, err
+}
+
+// readFrame reads one frame. Raw payloads land in a pooled buffer
+// (frame.Data, flagged by frame.Raw); the consumer returns it via
+// frame.release or decodeInto.
+func (r *wireReader) readFrame() (frame, error) {
+	if !r.v1 {
+		var f frame
+		err := r.dec.Decode(&f)
+		return f, err
+	}
+	kind, err := r.br.ReadByte()
+	if err != nil {
+		return frame{}, err
+	}
+	switch kind {
+	case kindGob:
+		var f frame
+		err := r.dec.Decode(&f)
+		return f, err
+	case kindRaw:
+		// The raw branch keeps its frame variable to itself: sharing one
+		// across the gob branches would let Decode's &f force a heap
+		// allocation here too, breaking the zero-alloc receive loop.
+		var f frame
+		if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
+			return f, err
+		}
+		h := r.hdr[:]
+		n := int(le.Uint32(h[25:]))
+		if n > maxRawFrame {
+			return f, fmt.Errorf("mpi: raw frame announces %d payload bytes (corrupt stream?)", n)
+		}
+		f.Ctx = int64(le.Uint64(h[0:]))
+		f.Src = int(int32(le.Uint32(h[8:])))
+		f.WSrc = int(int32(le.Uint32(h[12:])))
+		f.Dst = int(int32(le.Uint32(h[16:])))
+		f.Tag = int(int32(le.Uint32(h[20:])))
+		f.Raw = h[24]
+		payload := getWireBuf(n)
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			putWireBuf(payload)
+			return f, err
+		}
+		f.Data = payload
+		return f, nil
+	default:
+		return frame{}, fmt.Errorf("mpi: unknown wire frame kind 0x%02x", kind)
+	}
+}

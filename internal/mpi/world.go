@@ -19,6 +19,7 @@ type World struct {
 	gate      func(fn func())
 	epoch     time.Time     // when the world initialized; Wtime's zero point
 	typed     bool          // transport delivers typed payloads (the fast path)
+	wire      bool          // transport raw-encodes typed payloads in Send (tcp v1)
 	deadline  time.Duration // per-operation receive budget; 0 = unbounded
 
 	// Revoke state (see abort.go). abortedFlag is the hot-path gate: one
@@ -51,6 +52,8 @@ type config struct {
 	recovery     bool
 	dialRetry    time.Duration // JoinTCP dial budget; 0 = default, <0 = single attempt
 	hubOpts      []HubOption   // consumed by RunTCP's internal hub
+	noDelay      *bool         // WithTCPNoDelay; nil leaves the platform default
+	wireLegacy   bool          // force the v0 pure-gob TCP wire (tests/ablation)
 	wrap         func(Transport) Transport // test hook: outermost decoration
 
 	faultT *faultTransport // set by wrapTransport; handed to the World
@@ -82,6 +85,18 @@ func (c *config) typedWorld(t Transport) bool {
 	}
 	tc, ok := t.(typedCapable)
 	return ok && tc.deliversTyped()
+}
+
+// wireWorld reports whether a world on the given (already wrapped) transport
+// should hand raw-encodable typed payloads to Send uncopied (see
+// wireCapable). WithSerialization disables it, the same ablation switch that
+// disables the local fast path.
+func (c *config) wireWorld(t Transport) bool {
+	if c.serializeAll {
+		return false
+	}
+	wc, ok := t.(wireCapable)
+	return ok && wc.wiresTyped()
 }
 
 // WithProcessorNames assigns each world rank the processor (host) name it

@@ -39,9 +39,24 @@ go test -race -timeout 120s -count=1 ./internal/ckpt/
 # transports and demand bit-equal results.
 go test -race -timeout 120s -count=1 ./internal/shm/ ./internal/exemplars/...
 
+# The vector data plane: the parity property (every *Slice collective
+# element-equal to its scalar counterpart across world sizes, threshold
+# straddles, and all four transport configurations) plus the vector failure
+# suite (kill-rank mid-AllreduceSlice, deadline mid-pipelined BcastSlice),
+# fresh under the race detector — the halving/doubling exchanges and the
+# pipelined chunk forwarding are new concurrency surface.
+go test -race -timeout 180s -count=1 \
+  -run 'TestVectorCollectiveParity|TestVectorParityInts|TestVectorThresholdFallback|TestKillRankMidAllreduceSlice|TestDeadlineMidPipelinedBcastSlice|TestWire|TestRaw' \
+  ./internal/mpi/
+
 # The recovery machinery must be free when unused: interleaved best-of-5
 # ping-pongs, plain world vs inert WithRecovery world, pinned at <= 2%.
 go run ./cmd/benchlab -recoverpin
+
+# Vector/framing benchmark smoke: fewest sizes, one round, no pin
+# enforcement — proves the -vecbench harness itself still runs end to end
+# without paying the full sweep.
+go run ./cmd/benchlab -vecbench-quick -mpibench-out /tmp/BENCH_vec_smoke.json
 
 # Benchmark smoke pass: one iteration of every benchmark, so a refactor that
 # breaks a benchmark body (the BENCH_shm.json / BENCH_mpi.json inputs) fails

@@ -4,7 +4,7 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-vec
+.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-vec bench-shmt
 
 check:
 	./scripts/check.sh
@@ -30,3 +30,9 @@ bench-recovery:
 # merged into BENCH_mpi.json with the speedup pins enforced.
 bench-vec:
 	go run ./cmd/benchlab -vecbench
+
+# The shared-memory transport against TCP: ping-pong sweep, eager/rendezvous
+# crossover, 1 MiB allreduce across world sizes, merged into BENCH_mpi.json
+# with the 3x shm-over-TCP pins enforced.
+bench-shmt:
+	go run ./cmd/benchlab -shmtbench

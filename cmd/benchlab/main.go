@@ -30,20 +30,22 @@ import (
 
 func main() {
 	var (
-		platform = flag.String("platform", "pi", "modeled platform (pi, colab, chameleon, stolaf)")
-		exemplar = flag.String("exemplar", "integration", "integration, drugdesign, or forestfire")
-		sweep    = flag.String("sweep", "1,2,4", "comma-separated worker counts")
-		model    = flag.Bool("model", false, "print the platform's predicted speedup curve instead of measuring")
-		repeat   = flag.Int("repeat", 1, "measure each configuration this many times; >1 adds a 95% confidence interval")
-		mpibench = flag.Bool("mpibench", false, "run the MPI transport microbenchmarks and write BENCH_mpi.json")
-		mpiout   = flag.String("mpibench-out", "BENCH_mpi.json", "output path for -mpibench")
-		mpiiters = flag.Int("mpibench-iters", 20000, "ping-pong iterations for -mpibench")
-		shmbench = flag.Bool("shmbench", false, "run the shm runtime microbenchmarks and write BENCH_shm.json")
-		shmout   = flag.String("shmbench-out", "BENCH_shm.json", "output path for -shmbench")
-		shmiters = flag.Int("shmbench-iters", 20000, "region-launch iterations for -shmbench")
-		recpin   = flag.Bool("recoverpin", false, "check that inert WithRecovery costs <= 2% on the ping-pong path (exit 1 if not)")
-		vecbench = flag.Bool("vecbench", false, "run the large-payload vector-collective and TCP-framing benchmarks, merge into BENCH_mpi.json, and enforce the speedup pins")
-		vecquick = flag.Bool("vecbench-quick", false, "abbreviated -vecbench smoke: fewest sizes, one round, no pin enforcement")
+		platform  = flag.String("platform", "pi", "modeled platform (pi, colab, chameleon, stolaf)")
+		exemplar  = flag.String("exemplar", "integration", "integration, drugdesign, or forestfire")
+		sweep     = flag.String("sweep", "1,2,4", "comma-separated worker counts")
+		model     = flag.Bool("model", false, "print the platform's predicted speedup curve instead of measuring")
+		repeat    = flag.Int("repeat", 1, "measure each configuration this many times; >1 adds a 95% confidence interval")
+		mpibench  = flag.Bool("mpibench", false, "run the MPI transport microbenchmarks and write BENCH_mpi.json")
+		mpiout    = flag.String("mpibench-out", "BENCH_mpi.json", "output path for -mpibench")
+		mpiiters  = flag.Int("mpibench-iters", 20000, "ping-pong iterations for -mpibench")
+		shmbench  = flag.Bool("shmbench", false, "run the shm runtime microbenchmarks and write BENCH_shm.json")
+		shmout    = flag.String("shmbench-out", "BENCH_shm.json", "output path for -shmbench")
+		shmiters  = flag.Int("shmbench-iters", 20000, "region-launch iterations for -shmbench")
+		recpin    = flag.Bool("recoverpin", false, "check that inert WithRecovery costs <= 2% on the ping-pong path (exit 1 if not)")
+		vecbench  = flag.Bool("vecbench", false, "run the large-payload vector-collective and TCP-framing benchmarks, merge into BENCH_mpi.json, and enforce the speedup pins")
+		vecquick  = flag.Bool("vecbench-quick", false, "abbreviated -vecbench smoke: fewest sizes, one round, no pin enforcement")
+		shmtbench = flag.Bool("shmtbench", false, "run the shared-memory transport benchmarks (shm vs TCP, eager/rendezvous crossover), merge into BENCH_mpi.json, and enforce the speedup pins")
+		shmtquick = flag.Bool("shmtbench-quick", false, "abbreviated -shmtbench smoke: fewest sizes, one round, no pin enforcement")
 	)
 	flag.Parse()
 
@@ -55,6 +57,12 @@ func main() {
 	}
 	if *vecbench || *vecquick {
 		if err := runVecBench(*mpiout, *vecquick); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *shmtbench || *shmtquick {
+		if err := runShmtBench(*mpiout, *shmtquick); err != nil {
 			fail(err)
 		}
 		return

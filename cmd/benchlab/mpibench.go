@@ -61,10 +61,13 @@ type mpiBenchReport struct {
 	} `json:"recovery"`
 	// Vector is the large-payload data-plane section, written by -vecbench
 	// (vecbench.go) and preserved across -mpibench reruns.
-	Vector     *vecBenchReport `json:"vector,omitempty"`
-	Iterations int             `json:"iterations"`
-	NP         int             `json:"np"`
-	Timestamp  string          `json:"timestamp"`
+	Vector *vecBenchReport `json:"vector,omitempty"`
+	// ShmTransport is the cross-process shared-memory data-plane section,
+	// written by -shmtbench (shmtbench.go) and preserved likewise.
+	ShmTransport *shmtBenchReport `json:"shm_transport,omitempty"`
+	Iterations   int              `json:"iterations"`
+	NP           int              `json:"np"`
+	Timestamp    string           `json:"timestamp"`
 }
 
 // runMPIBench executes the microbenchmarks and writes the report to path.

@@ -7,6 +7,7 @@
 //	mpirun -np 4 -platform colab mpiSpmd        # on a modeled platform
 //	mpirun -np 4 -transport tcp mpiRing         # loopback TCP transport
 //	mpirun -np 4 -transport procs mpiRing       # one OS process per rank
+//	mpirun -np 4 -transport shm mpiRing         # OS processes + shared-memory rings
 //	mpirun -np 4 -deadline 5s mpiRing           # diagnose stalls, don't hang
 //	mpirun -np 8 forestfire | drugdesign | integration
 //	mpirun -np 4 -recover -kill-rank 2 forestfire   # survive the kill, exit 0
@@ -14,6 +15,15 @@
 // With -transport procs the launcher starts a TCP hub and re-executes
 // itself once per rank in worker mode, so the ranks really are separate OS
 // processes exchanging messages over the network — a single-machine Beowulf.
+//
+// -transport shm is procs with a faster data plane: the launcher also
+// creates a shared-memory segment (under /dev/shm when available) and the
+// worker processes exchange user and collective messages through mmap-backed
+// rings — eagerly for small payloads, via staged rendezvous blocks above the
+// threshold — while formation, heartbeats, aborts, and recovery still ride
+// the hub. A rank that cannot map the segment (a remote host, say) falls
+// back to TCP for its pairs; -shm-eager moves the eager/rendezvous protocol
+// crossover (bytes; 0 forces rendezvous for every message).
 //
 // With -recover the world runs in survive-and-continue mode (ULFM-style):
 // the forestfire and drugdesign programs switch to their checkpoint-restart
@@ -62,6 +72,8 @@ const (
 	envCkptEvery = "MPIRUN_CKPT_EVERY"
 	envKillRank  = "MPIRUN_KILL_RANK"
 	envKillAfter = "MPIRUN_KILL_AFTER"
+	envShmSeg    = "MPIRUN_SHM"
+	envShmEager  = "MPIRUN_SHM_EAGER"
 )
 
 // Exit codes (see the package comment).
@@ -85,7 +97,7 @@ func main() {
 	var (
 		np          = flag.Int("np", 4, "number of processes")
 		platform    = flag.String("platform", "", "modeled platform (pi, colab, chameleon, stolaf)")
-		transport   = flag.String("transport", "local", "local (goroutine ranks), tcp (loopback TCP), or procs (separate OS processes)")
+		transport   = flag.String("transport", "local", "local (goroutine ranks), tcp (loopback TCP), procs (separate OS processes), or shm (OS processes over shared-memory rings)")
 		deadline    = flag.Duration("deadline", 0, "per-operation receive deadline; a stall becomes a blocked-ranks report instead of a hang (0 disables)")
 		joinTimeout = flag.Duration("join-timeout", 30*time.Second, "how long tcp/procs worlds may take to assemble before failing with the missing ranks")
 		recoverFlag = flag.Bool("recover", false, "survive-and-continue mode: rank failures shrink the world instead of aborting it (forestfire and drugdesign)")
@@ -93,10 +105,11 @@ func main() {
 		ckptEvery   = flag.Int("ckpt-every", 5, "checkpoint frequency for -recover (steps for forestfire, results for drugdesign)")
 		killRank    = flag.Int("kill-rank", -1, "fault injection: kill this rank (requires -recover to survive it)")
 		killAfter   = flag.Int("kill-after", 0, "fault injection: let the victim's first N sends through before the kill")
+		shmEager    = flag.Int("shm-eager", -1, "shm transport: largest payload (bytes) sent eagerly through the ring; larger payloads rendezvous through staged blocks (0 forces rendezvous, -1 keeps the default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs] [-deadline D] [-recover [-kill-rank R]] <program>")
+		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs|shm] [-deadline D] [-shm-eager B] [-recover [-kill-rank R]] <program>")
 		os.Exit(exitUsage)
 	}
 	prog := flag.Arg(0)
@@ -117,8 +130,8 @@ func main() {
 			os.Exit(exitUsage)
 		}
 		opts = append(opts, mpi.WithRecovery())
-		if *transport == "procs" {
-			exitOn(runProcs(*np, prog, *deadline, *joinTimeout, procsRecovery{
+		if *transport == "procs" || *transport == "shm" {
+			exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *transport == "shm", *shmEager, procsRecovery{
 				on:        true,
 				ckptDir:   *ckptDir,
 				ckptEvery: *ckptEvery,
@@ -158,7 +171,9 @@ func main() {
 		opts = append(opts, mpi.WithHubOptions(mpi.HubFormationTimeout(*joinTimeout)))
 		exitOn(mpi.RunTCP(*np, body, opts...))
 	case "procs":
-		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, procsRecovery{}))
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, false, *shmEager, procsRecovery{}))
+	case "shm":
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, true, *shmEager, procsRecovery{}))
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown transport %q\n", *transport)
 		os.Exit(exitUsage)
@@ -318,7 +333,21 @@ type procsRecovery struct {
 // -recover the hub runs in survive-and-continue mode: a killed worker's
 // process exits non-zero, but the job succeeds if the hub wound down cleanly
 // and at least one survivor finished — the exit-0-on-recovery contract.
-func runProcs(np int, prog string, deadline, joinTimeout time.Duration, rec procsRecovery) error {
+//
+// With shm set the launcher additionally creates a shared-memory segment
+// the workers map as their data plane (-transport shm); the hub and its
+// formation timeout work exactly as for procs, so a rank that never starts
+// still fails the job fast with the missing rank named (exit code 4).
+func runProcs(np int, prog string, deadline, joinTimeout time.Duration, shm bool, shmEager int, rec procsRecovery) error {
+	segPath := ""
+	if shm {
+		seg, err := mpi.CreateShmSegment("", np)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(seg)
+		segPath = seg
+	}
 	hubOpts := []mpi.HubOption{mpi.HubFormationTimeout(joinTimeout)}
 	if rec.on {
 		hubOpts = append(hubOpts, mpi.HubRecovery())
@@ -352,6 +381,12 @@ func runProcs(np int, prog string, deadline, joinTimeout time.Duration, rec proc
 			envProg+"="+prog,
 			envDeadline+"="+deadline.String(),
 		)
+		if segPath != "" {
+			cmd.Env = append(cmd.Env,
+				envShmSeg+"="+segPath,
+				envShmEager+"="+strconv.Itoa(shmEager),
+			)
+		}
 		if rec.on {
 			cmd.Env = append(cmd.Env,
 				envRecover+"=1",
@@ -426,6 +461,12 @@ func workerMode() error {
 		if err != nil {
 			return err
 		}
+	}
+	if seg := os.Getenv(envShmSeg); seg != "" {
+		if eager, eerr := strconv.Atoi(os.Getenv(envShmEager)); eerr == nil && eager >= 0 {
+			mpi.SetShmTuning(mpi.ShmTuning{EagerMax: eager})
+		}
+		return mpi.JoinShm(os.Getenv(envHub), seg, rank, np, body, opts...)
 	}
 	return mpi.JoinTCP(os.Getenv(envHub), rank, np, body, opts...)
 }

@@ -148,3 +148,43 @@ func TestChooseStore(t *testing.T) {
 		t.Fatalf("dir: got %T, want *ckpt.FileStore", s)
 	}
 }
+
+// TestShmBodiesEndToEnd: the exact bodies mpirun resolves run unchanged on
+// the shared-memory transport — the in-process half of -transport shm
+// (worker processes call JoinShm with the same bodies and options).
+func TestShmBodiesEndToEnd(t *testing.T) {
+	for _, name := range []string{"mpiRing", "integration"} {
+		body, err := resolveProgram(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := mpi.RunShm(4, body); errors.Is(err, mpi.ErrShmUnsupported) {
+			t.Skip("shared-memory transport unsupported on this platform")
+		} else if err != nil {
+			t.Fatalf("%s over shm: %v", name, err)
+		}
+	}
+}
+
+// TestShmRecoverEndToEnd: -transport shm composes with -recover — the
+// checkpoint-restart body survives a seeded kill on the shm transport and
+// the run maps to exit 0.
+func TestShmRecoverEndToEnd(t *testing.T) {
+	store := ckpt.NewMemStore()
+	body, err := recoverBody("forestfire", store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := mpi.RunShm(4, body,
+		mpi.WithRecovery(),
+		mpi.WithFaults(killPlan(2, 5)))
+	if errors.Is(runErr, mpi.ErrShmUnsupported) {
+		t.Skip("shared-memory transport unsupported on this platform")
+	}
+	if runErr != nil {
+		t.Fatalf("recovered shm run should succeed, got %v", runErr)
+	}
+	if got := exitCode(runErr); got != exitOK {
+		t.Fatalf("exitCode(recovered) = %d, want %d", got, exitOK)
+	}
+}

@@ -212,14 +212,14 @@ func typedSize(v any) int {
 func (f frame) decodeInto(v any) error {
 	if f.Raw != rawNone {
 		if rawDecodeInto(f.Raw, f.Data, v) {
-			putWireBuf(f.Data)
+			f.releaseData()
 			return nil
 		}
 		// The receiver asked for a different type: materialize the sent
 		// value and round-trip it through gob, so numeric widening and error
 		// text are identical to the serialized path.
 		val, err := rawDecode(f.Raw, f.Data)
-		putWireBuf(f.Data)
+		f.releaseData()
 		if err != nil {
 			return err
 		}

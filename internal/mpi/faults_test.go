@@ -108,13 +108,20 @@ func TestFaultKillRank(t *testing.T) {
 		_, rerr := c.Recv(1, 4, nil) // never arrives: revoke must unblock it
 		return rerr
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		run  func() error
 	}{
 		{"local", func() error { return Run(2, main, WithFaults(plan)) }},
 		{"tcp", func() error { return RunTCP(2, main, WithFaults(plan)) }},
-	} {
+	}
+	if shmSupported {
+		cases = append(cases, struct {
+			name string
+			run  func() error
+		}{"shm", func() error { return RunShm(2, main, WithFaults(plan)) }})
+	}
+	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			err := runWithWatchdog(t, 15*time.Second, tc.run)
 			if !errors.Is(err, ErrWorldAborted) {
@@ -242,6 +249,15 @@ func TestFaultSoak(t *testing.T) {
 			return RunTCP(np, main, WithFaults(plan), WithDeadline(300*time.Millisecond))
 		})
 		check(t, fmt.Sprintf("tcp iteration %d (plan %+v)", i, plan), err)
+	}
+	if shmSupported {
+		for i := 0; i < 4; i++ {
+			plan := randomPlan()
+			err := runWithWatchdog(t, 30*time.Second, func() error {
+				return RunShm(np, main, WithFaults(plan), WithDeadline(300*time.Millisecond))
+			})
+			check(t, fmt.Sprintf("shm iteration %d (plan %+v)", i, plan), err)
+		}
 	}
 }
 

@@ -122,16 +122,34 @@ type frame struct {
 	Dst    int   // receiver's world rank (what the transport routes on)
 	Tag    int
 	Data   []byte
-	Val    any  // typed fast-path payload; never leaves the process
+	Val    any // typed fast-path payload; never leaves the process
 	HasVal bool
 	Raw    byte // raw codec kind for Data (rawNone = gob bytes)
+
+	// rel, when set, overrides how this frame's Data is returned to its
+	// owner: the shm transport's rendezvous frames view mapped shared
+	// memory and must free their staging block, not enter the wire-buffer
+	// pool. Unexported, so gob never sees it and it cannot cross a
+	// connection. Called exactly once, by release or decodeInto.
+	rel func()
 }
 
-// release returns a raw frame's pooled payload buffer to the freelist. Safe
+// release returns a raw frame's payload buffer to its owner — the staging
+// block for shm rendezvous frames, the wire-buffer freelist otherwise. Safe
 // (and a no-op) on every other frame; call it whenever a frame's payload is
 // discarded without being decoded.
 func (f frame) release() {
 	if f.Raw != rawNone && f.Data != nil {
-		putWireBuf(f.Data)
+		f.releaseData()
 	}
+}
+
+// releaseData hands back a raw frame's Data, honoring the rel override. The
+// caller has already established f.Raw != rawNone.
+func (f frame) releaseData() {
+	if f.rel != nil {
+		f.rel()
+		return
+	}
+	putWireBuf(f.Data)
 }

@@ -10,9 +10,10 @@ import (
 
 // Transport parity: the public mpi API must behave identically whether
 // messages travel as typed in-memory payloads (local fast path), as gob
-// bytes through the same mailboxes (WithSerialization), or over real TCP
-// sockets through the hub. Each scenario below runs under all three and the
-// per-rank results are compared structurally.
+// bytes through the same mailboxes (WithSerialization), over real TCP
+// sockets through the hub, or through mmap-backed shared-memory rings
+// (RunShm, in eager and forced-rendezvous tunings). Each scenario below
+// runs under every mode and the per-rank results are compared structurally.
 
 type parityMode struct {
 	name string
@@ -21,11 +22,26 @@ type parityMode struct {
 }
 
 func parityModes() []parityMode {
-	return []parityMode{
+	modes := []parityMode{
 		{name: "local-fast", run: Run},
 		{name: "local-serialized", run: Run, opts: []Option{WithSerialization()}},
 		{name: "tcp", run: RunTCP},
 	}
+	if shmSupported {
+		modes = append(modes,
+			parityMode{name: "shm", run: RunShm},
+			parityMode{name: "shm-serialized", run: RunShm, opts: []Option{WithSerialization()}},
+			// EagerMax 0 forces every payload through the rendezvous
+			// (staged large-message) path, the protocol branch the default
+			// tuning only reaches above 16 KiB.
+			parityMode{name: "shm-rendezvous", run: func(np int, main func(c *Comm) error, opts ...Option) error {
+				prev := SetShmTuning(ShmTuning{EagerMax: 0})
+				defer SetShmTuning(prev)
+				return RunShm(np, main, opts...)
+			}},
+		)
+	}
+	return modes
 }
 
 // runParity executes body under every transport mode and requires the

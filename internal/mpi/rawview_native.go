@@ -18,6 +18,11 @@ import "unsafe"
 // bools that way, the language does not — so bools always go through the
 // normalizing loop.
 
+// rawViewNative reports at build time that this platform's in-memory
+// element layout is the wire layout, so byte payloads may also be
+// reinterpreted in place as element slices (rawSliceView in vectorrecv.go).
+const rawViewNative = true
+
 // rawBytesView returns v's element storage as a byte slice aliasing v, and
 // whether v has a layout-compatible view at all. The caller must finish with
 // the view before returning control to the slice's owner; nothing may retain

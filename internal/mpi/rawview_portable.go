@@ -2,6 +2,10 @@
 
 package mpi
 
+// rawViewNative: no in-place reinterpretation of wire bytes either; the
+// vector collectives' segment receives fall back to decoding.
+const rawViewNative = false
+
 // rawBytesView on platforms whose memory layout is not the wire layout
 // (32-bit int, big-endian): no zero-copy view exists, so encode and decode
 // take the portable per-element loops in rawcodec.go.

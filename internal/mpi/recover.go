@@ -118,6 +118,23 @@ func (w *World) rankFailed(rank int, cause error) {
 	if r.engine != nil {
 		r.engine.reevaluate()
 	}
+	if w.peerFailed != nil {
+		// Transport hook: the shm transport reclaims the failed rank's
+		// outbound staging region and unwedges blocked senders.
+		w.peerFailed(rank)
+	}
+}
+
+// isFailed reports whether a world rank is in the failed set. Blocked shm
+// senders consult it so a send to a failed peer drops instead of spinning.
+func (r *recoveryState) isFailed(rank int) bool {
+	if r.events.Load() == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, bad := r.failed[rank]
+	return bad
 }
 
 // failedSnapshot returns the failed world ranks, sorted.

@@ -9,17 +9,23 @@ import (
 	"time"
 )
 
-// launcher abstracts Run vs RunTCP so every recovery scenario is exercised
-// on both the in-process and the real network transport.
+// launcher abstracts Run vs RunTCP vs RunShm so every recovery scenario is
+// exercised on the in-process, network, and shared-memory transports.
 type launcher struct {
 	name string
 	run  func(np int, main func(c *Comm) error, opts ...Option) error
 }
 
-var recoveryLaunchers = []launcher{
-	{"local", Run},
-	{"tcp", RunTCP},
-}
+var recoveryLaunchers = func() []launcher {
+	ls := []launcher{
+		{"local", Run},
+		{"tcp", RunTCP},
+	}
+	if shmSupported {
+		ls = append(ls, launcher{"shm", RunShm})
+	}
+	return ls
+}()
 
 // TestRecoverContinuesAfterRankFailure: one rank dies; the survivors observe
 // a retryable *RankFailedError on a receive naming the failed source, shrink

@@ -1,0 +1,13 @@
+//go:build !(linux || darwin)
+
+package mpi
+
+import "os"
+
+// Platforms without a usable mmap get no shared-memory transport: JoinShm
+// and RunShm fail with ErrShmUnsupported, and callers fall back to TCP.
+const shmSupported = false
+
+func shmMapFile(f *os.File, size int) ([]byte, error) { return nil, ErrShmUnsupported }
+
+func shmUnmap(b []byte) error { return nil }

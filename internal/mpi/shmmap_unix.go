@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package mpi
+
+import (
+	"os"
+	"syscall"
+)
+
+// shmSupported gates the shared-memory transport at compile time; the stub
+// complement (shmmap_stub.go) reports false everywhere mmap is unavailable.
+const shmSupported = true
+
+func shmMapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func shmUnmap(b []byte) error { return syscall.Munmap(b) }

@@ -116,9 +116,9 @@ func TestShrinkParityWithFreshWorld(t *testing.T) {
 	// protocol structure on a Shrink-derived comm is identical to a fresh
 	// world of that size.
 	want := map[int]int{
-		tagReduce: n - 1,                        // binary tree: one frame per non-root
-		tagAllgat: n * (n - 1),                  // ring: every rank forwards n-1 slots
-		tagDissem: n * disseminationRounds(n),   // dissemination: one token per rank per round
+		tagReduce: n - 1,                      // binary tree: one frame per non-root
+		tagAllgat: n * (n - 1),                // ring: every rank forwards n-1 slots
+		tagDissem: n * disseminationRounds(n), // dissemination: one token per rank per round
 	}
 	for name, mc := range counters {
 		for tag, w := range want {

@@ -759,6 +759,14 @@ func dialHub(addr string, budget time.Duration) (net.Conn, error) {
 // for every peer; if a peer fails first, main's blocked operations return
 // ErrWorldAborted naming the failing rank.
 func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option) error {
+	return joinHub(addr, "", rank, np, main, opts...)
+}
+
+// joinHub is the shared worker body behind JoinTCP and JoinShm: dial the
+// hub, optionally map the shared-memory segment at segPath as the data
+// plane (control frames and non-shm pairs keep the hub connection), then
+// run the start/run/done protocol.
+func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts ...Option) error {
 	if rank < 0 || rank >= np {
 		return fmt.Errorf("%w: %d (np %d)", ErrInvalidRank, rank, np)
 	}
@@ -785,7 +793,25 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		wireVer = wireVersion
 	}
 	t := &tcpTransport{conn: conn, w: newWireWriter(conn, v1)}
-	defer t.Close()
+	// The data-plane transport: the hub connection alone, or the shm
+	// endpoint layered over it. The segment must be attached before the
+	// hello goes out, so every peer's sticky shm-vs-TCP routing decision —
+	// made no earlier than the post-hello start signal — sees this rank.
+	var data Transport = t
+	var shmT *shmTransport
+	if segPath != "" {
+		st, serr := newShmTransport(segPath, rank, np, t)
+		if serr != nil {
+			t.Close()
+			return serr
+		}
+		if st != nil {
+			shmT = st
+			data = st
+		}
+		// st == nil: segment belongs to another host; stay on pure TCP.
+	}
+	defer data.Close()
 
 	if err := t.w.writeHello(hello{Rank: rank, Wire: wireVer}); err != nil {
 		return fmt.Errorf("mpi: hello to hub: %w", err)
@@ -829,7 +855,7 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 	boxes := make([]*mailbox, np)
 	boxes[rank] = box
 
-	transport := cfg.wrapTransport(t)
+	transport := cfg.wrapTransport(data)
 	w := &World{
 		np:        np,
 		transport: transport,
@@ -837,8 +863,8 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		names:     names,
 		gate:      cfg.gate,
 		epoch:     time.Now(),
-		typed:     cfg.typedWorld(transport), // always false: tcpTransport serializes
-		wire:      cfg.wireWorld(transport), // v1 framing: raw-encode in Send, uncopied
+		typed:     cfg.typedWorld(transport), // always false: both wires serialize
+		wire:      cfg.wireWorld(transport),  // v1 framing/shm: raw-encode in Send, uncopied
 		deadline:  cfg.deadline,
 		faults:    cfg.faultT,
 	}
@@ -850,6 +876,16 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 		// Control frames bypass the decorated transport: a fault plan that
 		// killed this rank must not also sever its recovery reporting.
 		w.recov.ctrlSend = t.Send
+	}
+	if shmT != nil {
+		shmT.bind(w, box)
+		// Recovery hook: a failed peer's staging space is reclaimed and its
+		// blocked senders released the moment the failure is recorded.
+		w.peerFailed = shmT.peerFailed
+		shmT.startPolling()
+		if h := shmTestHook; h != nil {
+			h(shmT)
+		}
 	}
 
 	// The read loop demultiplexes routed traffic from control frames: a
@@ -934,6 +970,13 @@ func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option
 // of a cluster job and the transport the ablation benchmarks compare
 // against the in-process one.
 func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
+	return runHub(np, "", main, opts...)
+}
+
+// runHub is the shared single-process launcher behind RunTCP and RunShm: a
+// loopback hub plus np joinHub goroutines, with segPath selecting the data
+// plane ("" = TCP only).
+func runHub(np int, segPath string, main func(c *Comm) error, opts ...Option) error {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
@@ -954,7 +997,7 @@ func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
 	for rank := 0; rank < np; rank++ {
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = JoinTCP(hub.Addr(), rank, np, main, opts...)
+			errs[rank] = joinHub(hub.Addr(), segPath, rank, np, main, opts...)
 		}(rank)
 	}
 	wg.Wait()

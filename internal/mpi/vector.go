@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 )
@@ -130,6 +131,122 @@ func sliceReduce[T any](combine func(a, b T) T) func(a, b []T) []T {
 	}
 }
 
+// vecFold carries the two reduction loop shapes a reduce-scatter needs.
+// into accumulates in place (dst[i] = dst[i] op in[i]); from first-touches a
+// segment of the fresh accumulator from the rank's own contribution
+// (dst[i] = src[i] op in[i]). The from shape is what lets the collectives
+// skip copying v into the accumulator up front: the first fold over each
+// segment reads the contribution straight out of v, fusing what would
+// otherwise be a copy pass and a fold pass over the same bytes.
+type vecFold[T any] struct {
+	into func(dst, in []T)
+	from func(dst, src, in []T)
+}
+
+// foldWith lifts an element combine to the segment folds the reduce-scatter
+// phases run, keeping the accumulator (or the rank's own contribution) as
+// combine's first argument. The per-element indirect call is the price of an
+// arbitrary combine; opFold below replaces it with direct loops.
+func foldWith[T any](combine func(a, b T) T) vecFold[T] {
+	return vecFold[T]{
+		into: func(dst, in []T) {
+			dst = dst[:len(in)]
+			for i, x := range in {
+				dst[i] = combine(dst[i], x)
+			}
+		},
+		from: func(dst, src, in []T) {
+			dst, src = dst[:len(in)], src[:len(in)]
+			for i, x := range in {
+				dst[i] = combine(src[i], x)
+			}
+		},
+	}
+}
+
+// opFold returns the specialized segment folds for a built-in operator. At a
+// megabyte of float64 the reduction runs once per element, so an indirect
+// call there turns a bandwidth-bound pass into a call-bound one; these loops
+// compile to straight-line arithmetic.
+func opFold[T Number](op Op) vecFold[T] {
+	switch op {
+	case Sum:
+		return vecFold[T]{
+			into: func(dst, in []T) {
+				dst = dst[:len(in)]
+				for i, x := range in {
+					dst[i] += x
+				}
+			},
+			from: func(dst, src, in []T) {
+				dst, src = dst[:len(in)], src[:len(in)]
+				for i, x := range in {
+					dst[i] = src[i] + x
+				}
+			},
+		}
+	case Prod:
+		return vecFold[T]{
+			into: func(dst, in []T) {
+				dst = dst[:len(in)]
+				for i, x := range in {
+					dst[i] *= x
+				}
+			},
+			from: func(dst, src, in []T) {
+				dst, src = dst[:len(in)], src[:len(in)]
+				for i, x := range in {
+					dst[i] = src[i] * x
+				}
+			},
+		}
+	case Max:
+		return vecFold[T]{
+			into: func(dst, in []T) {
+				dst = dst[:len(in)]
+				for i, x := range in {
+					if x > dst[i] {
+						dst[i] = x
+					}
+				}
+			},
+			from: func(dst, src, in []T) {
+				dst, src = dst[:len(in)], src[:len(in)]
+				for i, x := range in {
+					if x > src[i] {
+						dst[i] = x
+					} else {
+						dst[i] = src[i]
+					}
+				}
+			},
+		}
+	case Min:
+		return vecFold[T]{
+			into: func(dst, in []T) {
+				dst = dst[:len(in)]
+				for i, x := range in {
+					if x < dst[i] {
+						dst[i] = x
+					}
+				}
+			},
+			from: func(dst, src, in []T) {
+				dst, src = dst[:len(in)], src[:len(in)]
+				for i, x := range in {
+					if x < src[i] {
+						dst[i] = x
+					} else {
+						dst[i] = src[i]
+					}
+				}
+			},
+		}
+	default:
+		panic("mpi: unknown Op")
+	}
+}
+
 // AllreduceSlice combines every rank's v elementwise and delivers the full
 // result to all ranks: MPI_Allreduce over a vector. All ranks must pass
 // slices of the same length. combine must be associative; the reduction
@@ -146,21 +263,47 @@ func sliceReduce[T any](combine func(a, b T) T) func(a, b []T) []T {
 // ring, 2·(n−1) rounds of smaller messages. The returned slice is freshly
 // allocated; v is not mutated.
 func AllreduceSlice[T any](c *Comm, v []T, combine func(a, b T) T) ([]T, error) {
+	return allreduceSlice(c, v, sliceReduce(combine), foldWith(combine))
+}
+
+// AllreduceSliceOp is AllreduceSlice for a built-in operator. Same
+// algorithm, same deterministic per-element order — but the reduction loops
+// are specialized per operator instead of calling a combine function once
+// per element, which at megabyte payloads is the difference between a
+// bandwidth-bound fold and a call-bound one.
+func AllreduceSliceOp[T Number](c *Comm, v []T, op Op) ([]T, error) {
+	return allreduceSlice(c, v, sliceReduce(Combine[T](op)), opFold[T](op))
+}
+
+// allreduceSlice is the shared body: scalarCombine serves the
+// below-threshold whole-slice tree, fold the vector reduce-scatter.
+func allreduceSlice[T any](c *Comm, v []T, scalarCombine func(a, b []T) []T, fo vecFold[T]) ([]T, error) {
 	n := c.Size()
-	acc := append(make([]T, 0, len(v)), v...)
-	if n == 1 {
-		return acc, nil
+	if n == 1 || len(v) <= collectiveTuning().VectorThreshold {
+		// These paths hand a mutable copy of v onward (or back to the
+		// caller). make+copy rather than append into a fresh slice lets the
+		// runtime skip zeroing the backing array before the copy lands.
+		acc := make([]T, len(v))
+		copy(acc, v)
+		if n == 1 {
+			return acc, nil
+		}
+		return Allreduce(c, acc, scalarCombine)
 	}
-	if len(v) <= collectiveTuning().VectorThreshold {
-		return Allreduce(c, acc, sliceReduce(combine))
-	}
+	// The accumulator starts empty, not as a copy of v: every segment's first
+	// fold reads the rank's own contribution straight out of v (the from
+	// shape), round-one sends ship v's segments directly, and the allgather
+	// overwrites everything else — so the upfront copy of the whole payload
+	// would be a wasted pass over the bytes.
+	acc := make([]T, len(v))
 	if isPow2(n) {
-		// One receive scratch serves both phases: every exchange moves at
-		// most half the payload (plus remainder skew), and on a fully
-		// CPU-bound host the allocator zeroing for a fresh buffer per phase
-		// is measurable against the reduction itself.
-		tmp := make([]T, 0, len(v)/2+n)
-		if err := halvingReduceScatter(c, acc, &tmp, combine); err != nil {
+		// One receive scratch serves both phases, and it stays nil until a
+		// receive actually has to decode: when the frame offers an in-place
+		// payload view (typed value, or raw bytes on a native-layout platform)
+		// the fold reads the payload where it lives and the scratch is never
+		// touched, so preallocating it would be pure allocator-zeroing waste.
+		var tmp []T
+		if err := halvingReduceScatter(c, v, acc, &tmp, fo); err != nil {
 			return nil, err
 		}
 		if err := doublingAllgatherSegs(c, acc, &tmp); err != nil {
@@ -168,7 +311,7 @@ func AllreduceSlice[T any](c *Comm, v []T, combine func(a, b T) T) ([]T, error) 
 		}
 		return acc, nil
 	}
-	if err := ringReduceScatter(c, acc, combine); err != nil {
+	if err := ringReduceScatter(c, v, acc, fo); err != nil {
 		return nil, err
 	}
 	if err := ringAllgatherSegs(c, acc); err != nil {
@@ -184,25 +327,40 @@ func AllreduceSlice[T any](c *Comm, v []T, combine func(a, b T) T) ([]T, error) 
 // AllreduceSlice on the scatter half, with only root paying the gather's
 // receive volume.
 func ReduceSlice[T any](c *Comm, v []T, combine func(a, b T) T, root int) ([]T, error) {
+	return reduceSlice(c, v, sliceReduce(combine), foldWith(combine), root)
+}
+
+// ReduceSliceOp is ReduceSlice for a built-in operator, with the same
+// specialized reduction loops as AllreduceSliceOp.
+func ReduceSliceOp[T Number](c *Comm, v []T, op Op, root int) ([]T, error) {
+	return reduceSlice(c, v, sliceReduce(Combine[T](op)), opFold[T](op), root)
+}
+
+func reduceSlice[T any](c *Comm, v []T, scalarCombine func(a, b []T) []T, fo vecFold[T], root int) ([]T, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
 	n := c.Size()
-	acc := append(make([]T, 0, len(v)), v...)
-	if n == 1 {
-		return acc, nil
+	if n == 1 || len(v) <= collectiveTuning().VectorThreshold {
+		acc := make([]T, len(v))
+		copy(acc, v)
+		if n == 1 {
+			return acc, nil
+		}
+		return Reduce(c, acc, scalarCombine, root)
 	}
-	if len(v) <= collectiveTuning().VectorThreshold {
-		return Reduce(c, acc, sliceReduce(combine), root)
-	}
+	// As in allreduceSlice, the accumulator is first-touched from v by the
+	// reduce-scatter folds; only the rank's own reduced segment is ever read
+	// back out of it, so no upfront copy.
+	acc := make([]T, len(v))
 	pow2 := isPow2(n)
 	if pow2 {
-		scratch := make([]T, 0, len(v)/2+n)
-		if err := halvingReduceScatter(c, acc, &scratch, combine); err != nil {
+		var scratch []T
+		if err := halvingReduceScatter(c, v, acc, &scratch, fo); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := ringReduceScatter(c, acc, combine); err != nil {
+		if err := ringReduceScatter(c, v, acc, fo); err != nil {
 			return nil, err
 		}
 	}
@@ -230,26 +388,30 @@ func ReduceSlice[T any](c *Comm, v []T, combine func(a, b T) T, root int) ([]T, 
 		if r == root {
 			continue
 		}
-		if _, err := c.recvReserved(r, tagVecRed, &tmp); err != nil {
-			return nil, err
-		}
 		seg := segOf(r)
 		lo, hi := segRange(len(out), seg, n)
-		if len(tmp) != hi-lo {
-			return nil, fmt.Errorf("mpi: ReduceSlice: rank %d sent segment of %d elements, want %d (mismatched slice lengths across ranks?)", r, len(tmp), hi-lo)
+		got, err := recvSegCopy(c, r, tagVecRed, out[lo:hi], &tmp)
+		if errors.Is(err, errVecSegLen) {
+			return nil, fmt.Errorf("mpi: ReduceSlice: rank %d sent segment of %d elements, want %d (mismatched slice lengths across ranks?)", r, got, hi-lo)
+		} else if err != nil {
+			return nil, err
 		}
-		copy(out[lo:hi], tmp)
 	}
 	return out, nil
 }
 
 // ringReduceScatter runs the reduce-scatter half of the Rabenseifner
-// construction in place over acc: n−1 ring steps, in step s each rank sends
-// segment (rank−s) mod n to its right neighbour and folds the incoming
-// segment (rank−s−1) mod n into its accumulator. When it returns, rank r
-// holds the fully reduced segment (r+1) mod n; the other segments hold
-// partial sums and are overwritten by the allgather (or ignored).
-func ringReduceScatter[T any](c *Comm, acc []T, combine func(a, b T) T) error {
+// construction: n−1 ring steps, in step s each rank sends segment
+// (rank−s) mod n to its right neighbour and folds the incoming segment
+// (rank−s−1) mod n with its own contribution. Each step touches a distinct
+// segment, so every fold is a first touch: acc[seg] = v[seg] op in, reading
+// the rank's contribution straight out of v — acc never needs to start as a
+// copy. Step 0's send likewise ships v's segment directly; later steps
+// forward the partial sums folded into acc the step before. When it returns,
+// rank r holds the fully reduced segment (r+1) mod n; the other acc segments
+// hold partial sums (or zeros) and are overwritten by the allgather (or
+// ignored).
+func ringReduceScatter[T any](c *Comm, v, acc []T, fo vecFold[T]) error {
 	n := c.Size()
 	r := c.rank
 	right := (r + 1) % n
@@ -259,23 +421,25 @@ func ringReduceScatter[T any](c *Comm, acc []T, combine func(a, b T) T) error {
 		sendSeg := ((r-step)%n + n) % n
 		recvSeg := ((r-step-1)%n + n) % n
 		lo, hi := segRange(len(acc), sendSeg, n)
+		src := acc
+		if step == 0 {
+			src = v
+		}
 		// Sends are buffered (and copy or serialize before returning), so
 		// send-then-receive cannot deadlock the ring, and mutating acc's
 		// other segments below never races with this send.
-		if err := c.sendReserved(right, tagVecRed, acc[lo:hi]); err != nil {
-			return err
-		}
-		if _, err := c.recvReserved(left, tagVecRed, &tmp); err != nil {
+		if err := c.sendReserved(right, tagVecRed, src[lo:hi]); err != nil {
 			return err
 		}
 		lo, hi = segRange(len(acc), recvSeg, n)
-		if len(tmp) != hi-lo {
-			return fmt.Errorf("mpi: ring reduce-scatter: rank %d sent segment of %d elements, want %d (mismatched slice lengths across ranks?)", left, len(tmp), hi-lo)
-		}
-		seg := acc[lo:hi]
-		in := tmp[:len(seg)]
-		for i, x := range in {
-			seg[i] = combine(seg[i], x)
+		vseg := v[lo:hi]
+		got, err := recvSegInto(c, left, tagVecRed, acc[lo:hi], &tmp, func(dst, in []T) {
+			fo.from(dst, vseg, in)
+		})
+		if errors.Is(err, errVecSegLen) {
+			return fmt.Errorf("mpi: ring reduce-scatter: rank %d sent segment of %d elements, want %d (mismatched slice lengths across ranks?)", left, got, hi-lo)
+		} else if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -299,14 +463,13 @@ func ringAllgatherSegs[T any](c *Comm, acc []T) error {
 		if err := c.sendReserved(right, tagVecAg, acc[lo:hi]); err != nil {
 			return err
 		}
-		if _, err := c.recvReserved(left, tagVecAg, &tmp); err != nil {
+		lo, hi = segRange(len(acc), recvSeg, n)
+		got, err := recvSegCopy(c, left, tagVecAg, acc[lo:hi], &tmp)
+		if errors.Is(err, errVecSegLen) {
+			return fmt.Errorf("mpi: ring allgather: rank %d sent segment of %d elements, want %d", left, got, hi-lo)
+		} else if err != nil {
 			return err
 		}
-		lo, hi = segRange(len(acc), recvSeg, n)
-		if len(tmp) != hi-lo {
-			return fmt.Errorf("mpi: ring allgather: rank %d sent segment of %d elements, want %d", left, len(tmp), hi-lo)
-		}
-		copy(acc[lo:hi], tmp)
 	}
 	return nil
 }
@@ -324,9 +487,13 @@ func isPow2(n int) bool { return n&(n-1) == 0 }
 // total send volume is the same (n−1)/n of the payload as the ring, in
 // log2(n) messages instead of n−1. When it returns, rank r holds the fully
 // reduced segment r (segRange decomposition); the rest of acc holds partial
-// sums. tmp is the caller's receive scratch, grown capacity-recycled so the
-// two Rabenseifner phases share one buffer.
-func halvingReduceScatter[T any](c *Comm, acc []T, tmp *[]T, combine func(a, b T) T) error {
+// sums or untouched zeros. The first round reads the rank's contribution
+// straight out of v — the send ships v's half, the fold first-touches the
+// kept half as acc = v op in — so acc never needs to start as a copy of v;
+// later rounds operate on acc's partial sums alone. tmp is the caller's
+// receive scratch, grown capacity-recycled so the two Rabenseifner phases
+// share one buffer.
+func halvingReduceScatter[T any](c *Comm, v, acc []T, tmp *[]T, fo vecFold[T]) error {
 	n := c.Size()
 	r := c.rank
 	segStart := func(s int) int {
@@ -340,6 +507,7 @@ func halvingReduceScatter[T any](c *Comm, acc []T, tmp *[]T, combine func(a, b T
 	// [base, base+g), with r in the group; both shrink together, so the
 	// group-relative rank order always matches the segment order.
 	base, g := 0, n
+	first := true
 	for g > 1 {
 		half := g / 2
 		rel := r - base
@@ -351,27 +519,36 @@ func halvingReduceScatter[T any](c *Comm, acc []T, tmp *[]T, combine func(a, b T
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, base+g, base, mid
 		}
+		src := acc
+		if first {
+			src = v
+		}
 		// Both partners send before receiving; sends are buffered, so the
 		// symmetric exchange cannot deadlock.
-		if err := c.sendReserved(partner, tagVecRed, acc[segStart(sendLo):segStart(sendHi)]); err != nil {
-			return err
-		}
-		if _, err := c.recvReserved(partner, tagVecRed, tmp); err != nil {
+		if err := c.sendReserved(partner, tagVecRed, src[segStart(sendLo):segStart(sendHi)]); err != nil {
 			return err
 		}
 		kl, kh := segStart(keepLo), segStart(keepHi)
-		if len(*tmp) != kh-kl {
-			return fmt.Errorf("mpi: halving reduce-scatter: rank %d sent %d elements, want %d (mismatched slice lengths across ranks?)", partner, len(*tmp), kh-kl)
+		var got int
+		var err error
+		if first {
+			vkeep := v[kl:kh]
+			got, err = recvSegInto(c, partner, tagVecRed, acc[kl:kh], tmp, func(dst, in []T) {
+				fo.from(dst, vkeep, in)
+			})
+		} else {
+			got, err = recvSegFold(c, partner, tagVecRed, acc[kl:kh], fo.into, tmp)
 		}
-		seg := acc[kl:kh]
-		in := (*tmp)[:len(seg)] // same length, checked above; elides a bounds check in the fold
-		for i, x := range in {
-			seg[i] = combine(seg[i], x)
+		if errors.Is(err, errVecSegLen) {
+			return fmt.Errorf("mpi: halving reduce-scatter: rank %d sent %d elements, want %d (mismatched slice lengths across ranks?)", partner, got, kh-kl)
+		} else if err != nil {
+			return err
 		}
 		if rel >= half {
 			base += half
 		}
 		g = half
+		first = false
 	}
 	return nil
 }
@@ -400,14 +577,13 @@ func doublingAllgatherSegs[T any](c *Comm, acc []T, tmp *[]T) error {
 		if err := c.sendReserved(partner, tagVecAg, acc[segStart(myLo):segStart(myLo+half)]); err != nil {
 			return err
 		}
-		if _, err := c.recvReserved(partner, tagVecAg, tmp); err != nil {
+		tl, th := segStart(theirLo), segStart(theirLo+half)
+		got, err := recvSegCopy(c, partner, tagVecAg, acc[tl:th], tmp)
+		if errors.Is(err, errVecSegLen) {
+			return fmt.Errorf("mpi: doubling allgather: rank %d sent %d elements, want %d", partner, got, th-tl)
+		} else if err != nil {
 			return err
 		}
-		tl, th := segStart(theirLo), segStart(theirLo+half)
-		if len(*tmp) != th-tl {
-			return fmt.Errorf("mpi: doubling allgather: rank %d sent %d elements, want %d", partner, len(*tmp), th-tl)
-		}
-		copy(acc[tl:th], *tmp)
 	}
 	return nil
 }
@@ -482,13 +658,12 @@ func BcastSlice[T any](c *Comm, v []T, root int) ([]T, error) {
 	for lo := 0; lo < n; lo += chunk {
 		hi := min(lo+chunk, n)
 		if vrank != 0 {
-			if _, err := c.recvReserved(parent, tagVecBcast, &tmp); err != nil {
+			got, err := recvSegCopy(c, parent, tagVecBcast, buf[lo:hi], &tmp)
+			if errors.Is(err, errVecSegLen) {
+				return nil, fmt.Errorf("mpi: BcastSlice: got chunk of %d elements, want %d", got, hi-lo)
+			} else if err != nil {
 				return nil, err
 			}
-			if len(tmp) != hi-lo {
-				return nil, fmt.Errorf("mpi: BcastSlice: got chunk of %d elements, want %d", len(tmp), hi-lo)
-			}
-			copy(buf[lo:hi], tmp)
 		}
 		for _, kid := range kids {
 			if err := c.sendReserved(toReal(kid, root, size), tagVecBcast, buf[lo:hi]); err != nil {

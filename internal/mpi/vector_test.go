@@ -30,6 +30,24 @@ func parityRunners() map[string]func(np int, main func(c *Comm) error, opts ...O
 	}
 }
 
+// shmParityRunners adds the shared-memory transport configurations on
+// platforms that support it: default tuning (the size sweep stays eager) and
+// a low eager ceiling so the same sweep straddles the eager/rendezvous
+// protocol crossover mid-run.
+func shmParityRunners() map[string]func(np int, main func(c *Comm) error, opts ...Option) error {
+	if !shmSupported {
+		return nil
+	}
+	return map[string]func(np int, main func(c *Comm) error, opts ...Option) error{
+		"shm": RunShm,
+		"shm-rdv": func(np int, main func(c *Comm) error, opts ...Option) error {
+			prev := SetShmTuning(ShmTuning{EagerMax: 256})
+			defer SetShmTuning(prev)
+			return RunShm(np, main, opts...)
+		},
+	}
+}
+
 // straddleTuning pins the threshold and chunk low so the size sweep crosses
 // both algorithm families cheaply; the chunk deliberately does not divide
 // the vector sizes, exercising the short tail chunk.
@@ -41,7 +59,13 @@ func TestVectorCollectiveParity(t *testing.T) {
 
 	sizes := []int{0, 1, 3, 63, 64, 65, 200, 1000}
 	nps := []int{1, 2, 3, 4, 8}
-	for name, runner := range parityRunners() {
+	runners := parityRunners()
+	// The shm runners mutate global shm tuning, so they run sequentially;
+	// sequential subtests finish before the parallel tcp ones resume.
+	for name, runner := range shmParityRunners() {
+		runners[name] = runner
+	}
+	for name, runner := range runners {
 		t.Run(name, func(t *testing.T) {
 			if name == "tcp" || name == "tcp-legacy" {
 				t.Parallel()
@@ -72,7 +96,7 @@ func checkVectorParity(c *Comm, sz int) error {
 	// Equal-length per-rank input for the reductions and the broadcast.
 	v := make([]float64, sz)
 	for i := range v {
-		v[i] = float64((rank+1)*(i+3) % 101)
+		v[i] = float64((rank + 1) * (i + 3) % 101)
 	}
 
 	scalar, err := Allreduce(c, append([]float64(nil), v...), sliceReduce(sum))
@@ -85,6 +109,13 @@ func checkVectorParity(c *Comm, sz int) error {
 	}
 	if !equalSlices(scalar, vector) {
 		return fmt.Errorf("AllreduceSlice diverges from Allreduce at size %d", sz)
+	}
+	vecOp, err := AllreduceSliceOp(c, v, Sum)
+	if err != nil {
+		return fmt.Errorf("AllreduceSliceOp: %w", err)
+	}
+	if !equalSlices(scalar, vecOp) {
+		return fmt.Errorf("AllreduceSliceOp diverges from Allreduce at size %d", sz)
 	}
 
 	for root := 0; root < n; root++ {
@@ -102,6 +133,17 @@ func checkVectorParity(c *Comm, sz int) error {
 			}
 		} else if vred != nil {
 			return fmt.Errorf("ReduceSlice returned %d elements at non-root", len(vred))
+		}
+		vredOp, err := ReduceSliceOp(c, v, Sum, root)
+		if err != nil {
+			return fmt.Errorf("ReduceSliceOp: %w", err)
+		}
+		if rank == root {
+			if !equalSlices(sred, vredOp) {
+				return fmt.Errorf("ReduceSliceOp diverges from Reduce at size %d root %d", sz, root)
+			}
+		} else if vredOp != nil {
+			return fmt.Errorf("ReduceSliceOp returned %d elements at non-root", len(vredOp))
 		}
 
 		sb, err := Bcast(c, append([]float64(nil), v...), root)
@@ -213,6 +255,77 @@ func TestVectorParityInts(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+	}
+}
+
+// TestVectorOpParity pins the operator-specialized entry points against the
+// closure variants for every built-in operator, on worlds that exercise both
+// reduce-scatter shapes (np=4 halving, np=3 ring) and on transports that
+// exercise every receive representation (typed local values, raw wire views,
+// serialized decode; shm staging views where supported). The data is
+// negative-heavy and includes zeros on purpose: the specialized paths
+// first-touch a zeroed accumulator from v instead of starting from a copy of
+// it, and a fold that ever read those untouched zeros would corrupt exactly
+// Max over negative inputs or Prod over anything.
+func TestVectorOpParity(t *testing.T) {
+	prev := SetCollectiveTuning(CollectiveTuning{VectorThreshold: 16, BcastChunk: 48})
+	defer SetCollectiveTuning(prev)
+
+	runners := map[string]func(np int, main func(c *Comm) error, opts ...Option) error{
+		"local": Run,
+		"local-gob": func(np int, main func(c *Comm) error, opts ...Option) error {
+			return Run(np, main, append(opts, WithSerialization())...)
+		},
+		"tcp": RunTCP,
+	}
+	if shmSupported {
+		runners["shm"] = RunShm
+	}
+	ops := []Op{Sum, Prod, Max, Min}
+	for name, runner := range runners {
+		t.Run(name, func(t *testing.T) {
+			for _, np := range []int{3, 4} {
+				for _, sz := range []int{65, 200} {
+					err := runner(np, func(c *Comm) error {
+						v := make([]float64, sz)
+						for i := range v {
+							// Negative-dominated, zero-crossing, exactly
+							// representable halves; Prod stays finite because
+							// most magnitudes are below one.
+							v[i] = -2 + float64((c.Rank()*7+i*3)%9)*0.5
+						}
+						for _, op := range ops {
+							want, err := AllreduceSlice(c, v, Combine[float64](op))
+							if err != nil {
+								return fmt.Errorf("AllreduceSlice(%v): %w", op, err)
+							}
+							got, err := AllreduceSliceOp(c, v, op)
+							if err != nil {
+								return fmt.Errorf("AllreduceSliceOp(%v): %w", op, err)
+							}
+							if !reflect.DeepEqual(want, got) {
+								return fmt.Errorf("AllreduceSliceOp(%v) diverges at np=%d size=%d", op, c.Size(), sz)
+							}
+							wantRed, err := ReduceSlice(c, v, Combine[float64](op), 0)
+							if err != nil {
+								return fmt.Errorf("ReduceSlice(%v): %w", op, err)
+							}
+							gotRed, err := ReduceSliceOp(c, v, op, 0)
+							if err != nil {
+								return fmt.Errorf("ReduceSliceOp(%v): %w", op, err)
+							}
+							if !reflect.DeepEqual(wantRed, gotRed) {
+								return fmt.Errorf("ReduceSliceOp(%v) diverges at np=%d size=%d root=0", op, c.Size(), sz)
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

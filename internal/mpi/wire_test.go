@@ -91,9 +91,9 @@ func TestWireInterleavedFrames(t *testing.T) {
 	rawEncode(rawInts, ints)
 
 	frames := []frame{
-		{Ctx: 1, Src: 0, Dst: 1, Tag: 3, Val: "control", HasVal: true},   // gob: not whitelisted
-		{Ctx: 1, Src: 0, Dst: 1, Tag: 4, Val: floats, HasVal: true},      // raw: typed send
-		{Ctx: 1, Src: 2, Dst: 1, Tag: 5, Data: rawInts, Raw: rawInt},     // raw: forwarded payload
+		{Ctx: 1, Src: 0, Dst: 1, Tag: 3, Val: "control", HasVal: true},     // gob: not whitelisted
+		{Ctx: 1, Src: 0, Dst: 1, Tag: 4, Val: floats, HasVal: true},        // raw: typed send
+		{Ctx: 1, Src: 2, Dst: 1, Tag: 5, Data: rawInts, Raw: rawInt},       // raw: forwarded payload
 		{Ctx: 1, Src: 0, Dst: 1, Tag: 6, Val: []string{"s"}, HasVal: true}, // gob: typed but not raw-encodable
 	}
 	for _, f := range frames {

@@ -35,6 +35,11 @@ type World struct {
 	// to attribute stalls to injected kills.
 	recov  *recoveryState
 	faults *faultTransport
+
+	// peerFailed, when set, is called once per rank recorded failed under
+	// recovery: the shm transport uses it to reclaim the dead rank's
+	// staging space and release blocked senders.
+	peerFailed func(rank int)
 }
 
 // Option configures a Run.
@@ -50,10 +55,10 @@ type config struct {
 	faults       *FaultPlan
 	faultReport  *FaultReport
 	recovery     bool
-	dialRetry    time.Duration // JoinTCP dial budget; 0 = default, <0 = single attempt
-	hubOpts      []HubOption   // consumed by RunTCP's internal hub
-	noDelay      *bool         // WithTCPNoDelay; nil leaves the platform default
-	wireLegacy   bool          // force the v0 pure-gob TCP wire (tests/ablation)
+	dialRetry    time.Duration             // JoinTCP dial budget; 0 = default, <0 = single attempt
+	hubOpts      []HubOption               // consumed by RunTCP's internal hub
+	noDelay      *bool                     // WithTCPNoDelay; nil leaves the platform default
+	wireLegacy   bool                      // force the v0 pure-gob TCP wire (tests/ablation)
 	wrap         func(Transport) Transport // test hook: outermost decoration
 
 	faultT *faultTransport // set by wrapTransport; handed to the World

@@ -46,8 +46,20 @@ go test -race -timeout 120s -count=1 ./internal/shm/ ./internal/exemplars/...
 # fresh under the race detector — the halving/doubling exchanges and the
 # pipelined chunk forwarding are new concurrency surface.
 go test -race -timeout 180s -count=1 \
-  -run 'TestVectorCollectiveParity|TestVectorParityInts|TestVectorThresholdFallback|TestKillRankMidAllreduceSlice|TestDeadlineMidPipelinedBcastSlice|TestWire|TestRaw' \
+  -run 'TestVectorCollectiveParity|TestVectorParityInts|TestVectorOpParity|TestVectorThresholdFallback|TestKillRankMidAllreduceSlice|TestDeadlineMidPipelinedBcastSlice|TestWire|TestRaw' \
   ./internal/mpi/
+
+# The shared-memory transport: protocol selection and the eager/rendezvous
+# crossover, mixed-size FIFO ordering, segment lifecycle and reclamation,
+# hub formation failures, plus its failure suite (kill mid-rendezvous,
+# deadline over shm, recovery reclaiming orphaned staging blocks) — all
+# fresh under the race detector: the rings, the large-region allocator, and
+# the poll loop are lock-free cross-process state, exactly where a cached
+# pass proves nothing. The mpirun end-to-end pass covers -transport shm
+# world formation and teardown through the real launcher.
+go test -race -timeout 180s -count=1 \
+  -run 'TestShm|TestDeadlineOverShm' ./internal/mpi/
+go test -race -timeout 180s -count=1 -run 'TestShm' ./cmd/mpirun/
 
 # The recovery machinery must be free when unused: interleaved best-of-5
 # ping-pongs, plain world vs inert WithRecovery world, pinned at <= 2%.
@@ -57,6 +69,10 @@ go run ./cmd/benchlab -recoverpin
 # enforcement — proves the -vecbench harness itself still runs end to end
 # without paying the full sweep.
 go run ./cmd/benchlab -vecbench-quick -mpibench-out /tmp/BENCH_vec_smoke.json
+
+# Shm-transport benchmark smoke, same idea: two sizes, one round, one world
+# size, pins reported but not enforced.
+go run ./cmd/benchlab -shmtbench-quick -mpibench-out /tmp/BENCH_shmt_smoke.json
 
 # Benchmark smoke pass: one iteration of every benchmark, so a refactor that
 # breaks a benchmark body (the BENCH_shm.json / BENCH_mpi.json inputs) fails

@@ -4,10 +4,23 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-vec bench-shmt
+.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt staticcheck
 
 check:
 	./scripts/check.sh
+
+# Static analysis beyond go vet, pinned by version so every machine runs the
+# same checker. Offline-safe: uses a PATH binary or the warm module cache
+# (GOPROXY=off) and skips loudly otherwise — it never fetches.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif GOPROXY=off go run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		GOPROXY=off go run $(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck unavailable offline; skipping (go install $(STATICCHECK))"; \
+	fi
 
 test:
 	go test ./...
@@ -25,6 +38,12 @@ bench-shm:
 # stay within 2% of the plain fast path.
 bench-recovery:
 	go run ./cmd/benchlab -recoverpin
+
+# The session-overhead pin on its own: wire v2 (sequence numbers + replay
+# buffer + CRC32C frame integrity) must stay within 5% of plain typed
+# framing on a 1 MiB TCP ping-pong.
+bench-session:
+	go run ./cmd/benchlab -sessionpin
 
 # The large-payload data plane: vector collectives and TCP typed framing,
 # merged into BENCH_mpi.json with the speedup pins enforced.

@@ -58,7 +58,27 @@ type mpiBenchReport struct {
 			NP4 float64 `json:"np4"`
 			NP8 float64 `json:"np8"`
 		} `json:"time_to_recover_ns"`
+		// TimeToRespawnNs is the respawn-mode counterpart: a survivor's full
+		// detect -> Restored (victim relaunch + re-admission + membership
+		// agreement) -> first-completed-round cycle under WithRespawn, after
+		// which the world is back at its ORIGINAL width.
+		TimeToRespawnNs struct {
+			NP2 float64 `json:"np2"`
+			NP4 float64 `json:"np4"`
+			NP8 float64 `json:"np8"`
+		} `json:"time_to_respawn_ns"`
 	} `json:"recovery"`
+	// Session is the resilient-session overhead section: a 1 MiB []byte
+	// ping-pong over the real TCP transport through wire v1 (typed framing,
+	// no sessions) vs the default wire v2 (per-frame sequence numbers +
+	// CRC32C integrity). The overhead is what crash-survivable, corruption-
+	// detecting framing costs on the data plane; scripts/check.sh pins it
+	// at <= 5% via -sessionpin.
+	Session struct {
+		V1Ns        float64 `json:"wire_v1_ns_per_message"`
+		V2Ns        float64 `json:"wire_v2_ns_per_message"`
+		OverheadPct float64 `json:"session_overhead_pct"`
+	} `json:"session_1mib_tcp"`
 	// Vector is the large-payload data-plane section, written by -vecbench
 	// (vecbench.go) and preserved across -mpibench reruns.
 	Vector *vecBenchReport `json:"vector,omitempty"`
@@ -166,6 +186,9 @@ func runMPIBench(path string, iters int) error {
 	if err := benchRecovery(&r, iters, fast, inert); err != nil {
 		return err
 	}
+	if err := benchSession(&r, iters); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -190,6 +213,10 @@ func runMPIBench(path string, iters int) error {
 	fmt.Printf("  checkpoint save np=4:      %8.0f ns (16 KiB/rank)\n", r.Recovery.CheckpointSaveNs)
 	fmt.Printf("  time to recover:           np=2 %8.0f ns   np=4 %8.0f ns   np=8 %8.0f ns\n",
 		r.Recovery.TimeToRecoverNs.NP2, r.Recovery.TimeToRecoverNs.NP4, r.Recovery.TimeToRecoverNs.NP8)
+	fmt.Printf("  time to respawn:           np=2 %8.0f ns   np=4 %8.0f ns   np=8 %8.0f ns\n",
+		r.Recovery.TimeToRespawnNs.NP2, r.Recovery.TimeToRespawnNs.NP4, r.Recovery.TimeToRespawnNs.NP8)
+	fmt.Printf("  session 1MiB tcp:          v1 %8.0f ns/msg   v2 %8.0f ns/msg   overhead %+.2f%%\n",
+		r.Session.V1Ns, r.Session.V2Ns, r.Session.OverheadPct)
 	fmt.Printf("\nwrote %s\n", path)
 	return nil
 }

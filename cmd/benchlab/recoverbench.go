@@ -46,6 +46,16 @@ func benchRecovery(r *mpiBenchReport, iters int, fast, inert float64) error {
 	if r.Recovery.TimeToRecoverNs.NP8, err = timeRecover(8); err != nil {
 		return err
 	}
+
+	if r.Recovery.TimeToRespawnNs.NP2, err = timeRespawn(2); err != nil {
+		return err
+	}
+	if r.Recovery.TimeToRespawnNs.NP4, err = timeRespawn(4); err != nil {
+		return err
+	}
+	if r.Recovery.TimeToRespawnNs.NP8, err = timeRespawn(8); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -112,6 +122,68 @@ func timeRecover(np int) (float64, error) {
 			}
 			return nil
 		}, mpi.WithRecovery())
+		if err != nil {
+			return 0, err
+		}
+		total += elapsed
+	}
+	return float64(total.Nanoseconds()) / trials, nil
+}
+
+// timeRespawn reports the nanoseconds a survivor spends getting back to a
+// FULL-WIDTH world after a failure under WithRespawn: from the moment its
+// receive is interrupted, through Restored (the launcher relaunches the
+// victim, the hub re-admits it, the members agree on the restored
+// membership), to the first completed round on the restored communicator.
+// The respawn counterpart of timeRecover; timed on the surviving rank 0.
+func timeRespawn(np int) (float64, error) {
+	const trials = 5
+	var total time.Duration
+	for trial := 0; trial < trials; trial++ {
+		var elapsed time.Duration
+		victim := np - 1
+		// One-shot kill: the victim's first incarnation dies on its first
+		// send; its respawned incarnation re-enters with the rule spent.
+		plan := mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{{
+			Src: victim, Dst: mpi.AnySource, Tag: mpi.AnyTag,
+			Count:  1,
+			Action: mpi.FaultKillRank,
+		}}}
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			comm := c
+			var start time.Time
+			for {
+				roundErr := func() error {
+					if comm.Rank() == victim {
+						if err := comm.Send(0, 0, 1); err != nil {
+							return err
+						}
+					} else if comm.Rank() == 0 {
+						if _, err := comm.Recv(victim, 0, nil); err != nil {
+							return err
+						}
+					}
+					return comm.Barrier()
+				}()
+				if roundErr == nil {
+					if comm.Rank() == 0 && !start.IsZero() {
+						elapsed = time.Since(start)
+					}
+					return nil
+				}
+				if !errors.Is(roundErr, mpi.ErrRankFailed) {
+					return roundErr
+				}
+				if comm.Rank() == 0 && start.IsZero() {
+					start = time.Now()
+				}
+				nc, err := comm.Restored(10 * time.Second)
+				if err != nil {
+					return err
+				}
+				comm = nc
+			}
+		}, mpi.WithRespawn(), mpi.WithFaults(plan))
 		if err != nil {
 			return 0, err
 		}

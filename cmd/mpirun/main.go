@@ -11,6 +11,7 @@
 //	mpirun -np 4 -deadline 5s mpiRing           # diagnose stalls, don't hang
 //	mpirun -np 8 forestfire | drugdesign | integration
 //	mpirun -np 4 -recover -kill-rank 2 forestfire   # survive the kill, exit 0
+//	mpirun -np 4 -respawn -kill-rank 2 forestfire   # relaunch the rank, finish at full width
 //
 // With -transport procs the launcher starts a TCP hub and re-executes
 // itself once per rank in worker mode, so the ranks really are separate OS
@@ -32,6 +33,21 @@
 // the survivors finish the job. -ckpt points the checkpoint store at a
 // directory (required state for -transport procs; in-memory otherwise).
 //
+// With -respawn (mutually exclusive with -recover) a failed rank is instead
+// relaunched into its old slot: the launcher restarts the dead rank (a new
+// goroutine in-process, a new OS process under -transport procs/shm, which
+// rejoins the hub over TCP), the survivors wait in Restored, and the world
+// continues at the ORIGINAL width from the last committed checkpoint. The
+// run exits 0 only if every rank of the full-width world finished; a world
+// that had to degrade to shrink-and-continue exits 3. Each rank is
+// relaunched at most three times before the job falls back to the
+// survivors.
+//
+// -suspicion D arms resilient TCP sessions on the hub transports (tcp,
+// procs, shm): a worker whose connection merely breaks is suspected for up
+// to D — its traffic parks in a replay buffer while it redials and resumes
+// — and only a worker that stays gone past D is declared failed.
+//
 // Exit codes distinguish failure classes, so scripts (and autograders) can
 // tell a user mistake from a runtime failure:
 //
@@ -49,6 +65,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/ckpt"
@@ -68,6 +85,8 @@ const (
 	envProg      = "MPIRUN_PROG"
 	envDeadline  = "MPIRUN_DEADLINE"
 	envRecover   = "MPIRUN_RECOVER"
+	envRespawn   = "MPIRUN_RESPAWN"
+	envRejoin    = "MPIRUN_REJOIN"
 	envCkpt      = "MPIRUN_CKPT"
 	envCkptEvery = "MPIRUN_CKPT_EVERY"
 	envKillRank  = "MPIRUN_KILL_RANK"
@@ -85,6 +104,22 @@ const (
 	exitFormation = 4
 )
 
+// maxRespawns bounds how many times -respawn relaunches one rank before
+// abandoning it to the shrink fallback (mirrors the runtime's own
+// per-rank respawn budget).
+const maxRespawns = 3
+
+// respawnRestoreWait is how long survivors wait in Restored for a dead
+// rank's relaunch before degrading to survive-and-continue. Relaunching a
+// process takes milliseconds, so this only delays runs that are about to
+// fall back to the survivors anyway.
+const respawnRestoreWait = 30 * time.Second
+
+// errNotFullWidth marks a -respawn run that finished, but on the shrink
+// fallback rather than at the original width: some rank's relaunch budget
+// ran out. It maps to the rank-failure exit code (3).
+var errNotFullWidth = errors.New("respawn did not restore the world to full width")
+
 func main() {
 	if os.Getenv(envHub) != "" {
 		if err := workerMode(); err != nil {
@@ -101,6 +136,8 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "per-operation receive deadline; a stall becomes a blocked-ranks report instead of a hang (0 disables)")
 		joinTimeout = flag.Duration("join-timeout", 30*time.Second, "how long tcp/procs worlds may take to assemble before failing with the missing ranks")
 		recoverFlag = flag.Bool("recover", false, "survive-and-continue mode: rank failures shrink the world instead of aborting it (forestfire and drugdesign)")
+		respawnFlag = flag.Bool("respawn", false, "respawn recovery: a failed rank is relaunched into its old slot and the world finishes at the original width (forestfire and drugdesign); exits 3 if it had to fall back to the survivors")
+		suspicion   = flag.Duration("suspicion", 0, "resilient sessions on tcp/procs/shm: a broken worker connection is suspected for this long (replay buffer + redial/resume) before the rank is declared failed (0 disables)")
 		ckptDir     = flag.String("ckpt", "", "checkpoint directory for -recover (in-memory when empty; a temp dir for -transport procs)")
 		ckptEvery   = flag.Int("ckpt-every", 5, "checkpoint frequency for -recover (steps for forestfire, results for drugdesign)")
 		killRank    = flag.Int("kill-rank", -1, "fault injection: kill this rank (requires -recover to survive it)")
@@ -109,30 +146,42 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs|shm] [-deadline D] [-shm-eager B] [-recover [-kill-rank R]] <program>")
+		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs|shm] [-deadline D] [-shm-eager B] [-suspicion D] [-recover|-respawn [-kill-rank R]] <program>")
 		os.Exit(exitUsage)
 	}
 	prog := flag.Arg(0)
+
+	if *respawnFlag && *recoverFlag {
+		fmt.Fprintln(os.Stderr, "mpirun: -respawn and -recover are mutually exclusive (respawn implies recovery)")
+		os.Exit(exitUsage)
+	}
+	if (*respawnFlag || *recoverFlag) && *platform != "" {
+		fmt.Fprintln(os.Stderr, "mpirun: -recover/-respawn and -platform are mutually exclusive")
+		os.Exit(exitUsage)
+	}
 
 	var opts []mpi.Option
 	if *deadline > 0 {
 		opts = append(opts, mpi.WithDeadline(*deadline))
 	}
 	if *killRank >= 0 {
-		opts = append(opts, mpi.WithFaults(killPlan(*killRank, *killAfter)))
+		if *respawnFlag {
+			// One-shot rule: the kill takes down the victim's first
+			// incarnation and must not fire again on the relaunch.
+			opts = append(opts, mpi.WithFaults(respawnKillPlan(*killRank, *killAfter)))
+		} else {
+			opts = append(opts, mpi.WithFaults(killPlan(*killRank, *killAfter)))
+		}
 	}
 
 	var body func(c *mpi.Comm) error
 	var err error
-	if *recoverFlag {
-		if *platform != "" {
-			fmt.Fprintln(os.Stderr, "mpirun: -recover and -platform are mutually exclusive")
-			os.Exit(exitUsage)
-		}
-		opts = append(opts, mpi.WithRecovery())
+	switch {
+	case *recoverFlag || *respawnFlag:
 		if *transport == "procs" || *transport == "shm" {
-			exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *transport == "shm", *shmEager, procsRecovery{
+			exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, *transport == "shm", *shmEager, procsRecovery{
 				on:        true,
+				respawn:   *respawnFlag,
 				ckptDir:   *ckptDir,
 				ckptEvery: *ckptEvery,
 				killRank:  *killRank,
@@ -145,8 +194,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mpirun:", serr)
 			os.Exit(exitLauncher)
 		}
-		body, err = recoverBody(prog, store, *ckptEvery)
-	} else {
+		if *respawnFlag {
+			opts = append(opts, mpi.WithRespawn())
+			body, err = respawnBody(prog, store, *ckptEvery, respawnRestoreWait)
+		} else {
+			opts = append(opts, mpi.WithRecovery())
+			body, err = recoverBody(prog, store, *ckptEvery)
+		}
+	default:
 		body, err = resolveProgram(prog)
 	}
 	if err != nil {
@@ -166,18 +221,59 @@ func main() {
 			exitOn(err)
 			return
 		}
+		if *respawnFlag {
+			exitOn(runRespawn(mpi.Run, *np, body, opts))
+			return
+		}
 		exitOn(mpi.Run(*np, body, opts...))
 	case "tcp":
-		opts = append(opts, mpi.WithHubOptions(mpi.HubFormationTimeout(*joinTimeout)))
+		hubOpts := []mpi.HubOption{mpi.HubFormationTimeout(*joinTimeout)}
+		if *suspicion > 0 {
+			hubOpts = append(hubOpts, mpi.HubSuspicion(*suspicion))
+		}
+		opts = append(opts, mpi.WithHubOptions(hubOpts...))
+		if *respawnFlag {
+			exitOn(runRespawn(mpi.RunTCP, *np, body, opts))
+			return
+		}
 		exitOn(mpi.RunTCP(*np, body, opts...))
 	case "procs":
-		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, false, *shmEager, procsRecovery{}))
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, false, *shmEager, procsRecovery{}))
 	case "shm":
-		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, true, *shmEager, procsRecovery{}))
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, true, *shmEager, procsRecovery{}))
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown transport %q\n", *transport)
 		os.Exit(exitUsage)
 	}
+}
+
+// runRespawn launches a respawn-mode world in-process and enforces the
+// full-width contract: the run succeeds only if every rank of the original
+// world (respawned incarnations included) finished the job. A world that
+// completed on the shrink fallback returns errNotFullWidth, which maps to
+// exit code 3 — "the job finished but a rank was never restored".
+func runRespawn(launch func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error,
+	np int, body func(c *mpi.Comm) error, opts []mpi.Option) error {
+	var mu sync.Mutex
+	finished := map[int]bool{}
+	wrapped := func(c *mpi.Comm) error {
+		err := body(c)
+		if err == nil {
+			mu.Lock()
+			finished[c.Rank()] = true
+			mu.Unlock()
+		}
+		return err
+	}
+	if err := launch(np, wrapped, opts...); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(finished) != np {
+		return fmt.Errorf("%w: %d/%d ranks finished", errNotFullWidth, len(finished), np)
+	}
+	return nil
 }
 
 // killPlan builds the seeded single-victim fault plan of -kill-rank.
@@ -187,6 +283,15 @@ func killPlan(rank, after int) mpi.FaultPlan {
 		SkipFirst: after,
 		Action:    mpi.FaultKillRank,
 	}}}
+}
+
+// respawnKillPlan is killPlan capped at one firing: under -respawn the
+// victim's relaunched incarnation re-enters the same world with the rule
+// already spent, so the respawn is not deterministically re-killed.
+func respawnKillPlan(rank, after int) mpi.FaultPlan {
+	p := killPlan(rank, after)
+	p.Rules[0].Count = 1
+	return p
 }
 
 // chooseStore picks the checkpoint store for in-process transports: shared
@@ -230,6 +335,40 @@ func recoverBody(prog string, store ckpt.Store, every int) (func(c *mpi.Comm) er
 	}
 }
 
+// respawnBody maps a program name to its respawn-recovery variant: the
+// checkpoint-restart body that waits in Restored for a relaunched rank
+// (falling back to shrink only if the relaunch never arrives within wait).
+func respawnBody(prog string, store ckpt.Store, every int, wait time.Duration) (func(c *mpi.Comm) error, error) {
+	switch prog {
+	case "forestfire":
+		return func(c *mpi.Comm) error {
+			const rows, cols, prob, seed = 40, 40, 0.6, 17
+			res, err := forestfire.SimulateDomainRespawn(c, rows, cols, prob, seed, store, every, wait)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == lowestSurvivor(c) {
+				fmt.Printf("forest fire %dx%d p=%.2f: burned %.1f%% in %d steps (width: %d/%d ranks)\n",
+					rows, cols, prob, 100*res.BurnedFraction, res.Steps, c.Size()-len(c.FailedRanks()), c.Size())
+			}
+			return nil
+		}, nil
+	case "drugdesign":
+		return func(c *mpi.Comm) error {
+			res, err := drugdesign.MPIMasterWorkerRespawn(c, drugdesign.DefaultParams(), store, every, wait)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == lowestSurvivor(c) {
+				fmt.Printf("%s (width: %d/%d ranks)\n", res, c.Size()-len(c.FailedRanks()), c.Size())
+			}
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("-respawn supports forestfire and drugdesign, not %q", prog)
+	}
+}
+
 // lowestSurvivor picks the printing rank of a recovered run: the smallest
 // world rank this process believes alive (the original rank 0 may be dead).
 func lowestSurvivor(c *mpi.Comm) int {
@@ -253,6 +392,8 @@ func exitCode(err error) int {
 	case errors.Is(err, mpi.ErrFormationTimeout):
 		return exitFormation
 	case errors.Is(err, mpi.ErrWorldAborted) || errors.Is(err, mpi.ErrDeadlineExceeded):
+		return exitRank
+	case errors.Is(err, errNotFullWidth):
 		return exitRank
 	default:
 		return exitLauncher
@@ -316,10 +457,11 @@ func resolveProgram(name string) (func(c *mpi.Comm) error, error) {
 	}
 }
 
-// procsRecovery carries the -recover configuration into runProcs. The zero
-// value means a plain (non-recovery) job.
+// procsRecovery carries the -recover/-respawn configuration into runProcs.
+// The zero value means a plain (non-recovery) job.
 type procsRecovery struct {
 	on        bool
+	respawn   bool
 	ckptDir   string
 	ckptEvery int
 	killRank  int
@@ -334,11 +476,19 @@ type procsRecovery struct {
 // process exits non-zero, but the job succeeds if the hub wound down cleanly
 // and at least one survivor finished — the exit-0-on-recovery contract.
 //
+// Under -respawn the launcher additionally supervises the worker processes:
+// a process that dies while the job is still running is relaunched into its
+// old rank slot (at most maxRespawns times), and the relaunch rejoins the
+// hub over TCP (RejoinTCP) — pure TCP even on shm worlds, since a new
+// process shares no segment mapping with the survivors. The job succeeds
+// only if every rank's final incarnation finished: a world that fell back
+// to the survivors returns errNotFullWidth (exit code 3).
+//
 // With shm set the launcher additionally creates a shared-memory segment
 // the workers map as their data plane (-transport shm); the hub and its
 // formation timeout work exactly as for procs, so a rank that never starts
 // still fails the job fast with the missing rank named (exit code 4).
-func runProcs(np int, prog string, deadline, joinTimeout time.Duration, shm bool, shmEager int, rec procsRecovery) error {
+func runProcs(np int, prog string, deadline, joinTimeout, suspicion time.Duration, shm bool, shmEager int, rec procsRecovery) error {
 	segPath := ""
 	if shm {
 		seg, err := mpi.CreateShmSegment("", np)
@@ -349,6 +499,9 @@ func runProcs(np int, prog string, deadline, joinTimeout time.Duration, shm bool
 		segPath = seg
 	}
 	hubOpts := []mpi.HubOption{mpi.HubFormationTimeout(joinTimeout)}
+	if suspicion > 0 {
+		hubOpts = append(hubOpts, mpi.HubSuspicion(suspicion))
+	}
 	if rec.on {
 		hubOpts = append(hubOpts, mpi.HubRecovery())
 		if rec.ckptDir == "" {
@@ -371,8 +524,10 @@ func runProcs(np int, prog string, deadline, joinTimeout time.Duration, shm bool
 	if err != nil {
 		return err
 	}
-	cmds := make([]*exec.Cmd, np)
-	for rank := 0; rank < np; rank++ {
+	// startRank launches one incarnation of a rank. A rejoin (respawn
+	// relaunch) re-admits into the running world over plain TCP: no shm
+	// segment, and no fault env — the injected kill already did its work.
+	startRank := func(rank int, rejoin bool) (*exec.Cmd, error) {
 		cmd := exec.Command(self)
 		cmd.Env = append(os.Environ(),
 			envHub+"="+hub.Addr(),
@@ -381,32 +536,91 @@ func runProcs(np int, prog string, deadline, joinTimeout time.Duration, shm bool
 			envProg+"="+prog,
 			envDeadline+"="+deadline.String(),
 		)
-		if segPath != "" {
+		if segPath != "" && !rejoin {
 			cmd.Env = append(cmd.Env,
 				envShmSeg+"="+segPath,
 				envShmEager+"="+strconv.Itoa(shmEager),
 			)
 		}
 		if rec.on {
+			mode := envRecover
+			if rec.respawn {
+				mode = envRespawn
+			}
 			cmd.Env = append(cmd.Env,
-				envRecover+"=1",
+				mode+"=1",
 				envCkpt+"="+rec.ckptDir,
 				envCkptEvery+"="+strconv.Itoa(rec.ckptEvery),
-				envKillRank+"="+strconv.Itoa(rec.killRank),
-				envKillAfter+"="+strconv.Itoa(rec.killAfter),
 			)
+			if !rejoin {
+				cmd.Env = append(cmd.Env,
+					envKillRank+"="+strconv.Itoa(rec.killRank),
+					envKillAfter+"="+strconv.Itoa(rec.killAfter),
+				)
+			}
+		}
+		if rejoin {
+			cmd.Env = append(cmd.Env, envRejoin+"=1")
 		}
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			return fmt.Errorf("starting rank %d: %w", rank, err)
+			return nil, fmt.Errorf("starting rank %d: %w", rank, err)
+		}
+		return cmd, nil
+	}
+
+	cmds := make([]*exec.Cmd, np)
+	for rank := 0; rank < np; rank++ {
+		cmd, err := startRank(rank, false)
+		if err != nil {
+			return err
 		}
 		cmds[rank] = cmd
 	}
+
+	rankErrs := make([]error, np)
+	respawns := make([]int, np)
+	if rec.respawn {
+		// Respawn supervision: each rank's waiter relaunches its process
+		// while the job is still running. hub.Done() is the stop signal —
+		// once the world has wound down (cleanly or not), a dead process
+		// stays dead.
+		var wg sync.WaitGroup
+		for rank := 0; rank < np; rank++ {
+			wg.Add(1)
+			go func(rank int, cmd *exec.Cmd) {
+				defer wg.Done()
+				err := cmd.Wait()
+				for attempt := 1; err != nil && attempt <= maxRespawns; attempt++ {
+					select {
+					case <-hub.Done():
+						rankErrs[rank] = err
+						return
+					default:
+					}
+					nc, serr := startRank(rank, true)
+					if serr != nil {
+						rankErrs[rank] = serr
+						return
+					}
+					respawns[rank]++
+					err = nc.Wait()
+				}
+				rankErrs[rank] = err
+			}(rank, cmds[rank])
+		}
+		wg.Wait()
+	} else {
+		for rank, cmd := range cmds {
+			rankErrs[rank] = cmd.Wait()
+		}
+	}
+
 	okCount := 0
 	var cmdErr error
-	for rank, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
+	for rank, err := range rankErrs {
+		if err != nil {
 			if cmdErr == nil {
 				cmdErr = fmt.Errorf("rank %d: %w", rank, err)
 			}
@@ -416,6 +630,21 @@ func runProcs(np int, prog string, deadline, joinTimeout time.Duration, shm bool
 	}
 	if err := hub.Wait(); err != nil {
 		return err
+	}
+	if rec.respawn {
+		// Full-width contract: every rank's final incarnation must have
+		// finished, respawned or not.
+		if okCount == np {
+			total := 0
+			for _, n := range respawns {
+				total += n
+			}
+			if total > 0 {
+				fmt.Printf("mpirun: respawned %d process(es); world finished at full width %d/%d\n", total, okCount, np)
+			}
+			return nil
+		}
+		return fmt.Errorf("%w: %d/%d processes finished", errNotFullWidth, okCount, np)
 	}
 	if rec.on && okCount > 0 {
 		if failed := hub.FailedRanks(); len(failed) > 0 {
@@ -440,27 +669,42 @@ func workerMode() error {
 	if d, err := time.ParseDuration(os.Getenv(envDeadline)); err == nil && d > 0 {
 		opts = append(opts, mpi.WithDeadline(d))
 	}
+	respawnWorld := os.Getenv(envRespawn) != ""
 	var body func(c *mpi.Comm) error
-	if os.Getenv(envRecover) != "" {
+	if os.Getenv(envRecover) != "" || respawnWorld {
 		store, serr := ckpt.NewFileStore(os.Getenv(envCkpt))
 		if serr != nil {
 			return serr
 		}
 		every, _ := strconv.Atoi(os.Getenv(envCkptEvery))
-		body, err = recoverBody(os.Getenv(envProg), store, every)
+		if respawnWorld {
+			body, err = respawnBody(os.Getenv(envProg), store, every, respawnRestoreWait)
+			opts = append(opts, mpi.WithRespawn())
+		} else {
+			body, err = recoverBody(os.Getenv(envProg), store, every)
+			opts = append(opts, mpi.WithRecovery())
+		}
 		if err != nil {
 			return err
 		}
-		opts = append(opts, mpi.WithRecovery())
 		if kr, kerr := strconv.Atoi(os.Getenv(envKillRank)); kerr == nil && kr >= 0 {
 			ka, _ := strconv.Atoi(os.Getenv(envKillAfter))
-			opts = append(opts, mpi.WithFaults(killPlan(kr, ka)))
+			plan := killPlan(kr, ka)
+			if respawnWorld {
+				plan = respawnKillPlan(kr, ka)
+			}
+			opts = append(opts, mpi.WithFaults(plan))
 		}
 	} else {
 		body, err = resolveProgram(os.Getenv(envProg))
 		if err != nil {
 			return err
 		}
+	}
+	if os.Getenv(envRejoin) != "" {
+		// A relaunched incarnation: re-admit into the old rank slot of the
+		// running world, over plain TCP even when the world uses shm.
+		return mpi.RejoinTCP(os.Getenv(envHub), rank, np, body, opts...)
 	}
 	if seg := os.Getenv(envShmSeg); seg != "" {
 		if eager, eerr := strconv.Atoi(os.Getenv(envShmEager)); eerr == nil && eager >= 0 {

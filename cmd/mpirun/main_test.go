@@ -3,6 +3,8 @@ package main
 import (
 	"errors"
 	"fmt"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -120,6 +122,78 @@ func TestRecoverRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRespawnBodyResolution: like -recover, -respawn only has variants for
+// the two checkpoint-restart exemplars.
+func TestRespawnBodyResolution(t *testing.T) {
+	store := ckpt.NewMemStore()
+	for _, name := range []string{"forestfire", "drugdesign"} {
+		if _, err := respawnBody(name, store, 3, time.Second); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"integration", "mpiRing", "noSuchThing"} {
+		if _, err := respawnBody(name, store, 3, time.Second); err == nil {
+			t.Fatalf("%s: want error, got nil", name)
+		}
+	}
+}
+
+// TestRespawnRunEndToEnd: the exact body and verdict mpirun -respawn uses —
+// a seeded one-shot kill, the rank relaunched into its slot, and the
+// full-width check passing — maps to exit 0.
+func TestRespawnRunEndToEnd(t *testing.T) {
+	store := ckpt.NewMemStore()
+	body, err := respawnBody("forestfire", store, 3, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := runRespawn(mpi.Run, 4, body, []mpi.Option{
+		mpi.WithRespawn(),
+		mpi.WithFaults(respawnKillPlan(2, 5)),
+	})
+	if runErr != nil {
+		t.Fatalf("respawned run should succeed, got %v", runErr)
+	}
+	if got := exitCode(runErr); got != exitOK {
+		t.Fatalf("exitCode(respawned) = %d, want %d", got, exitOK)
+	}
+}
+
+// TestRespawnNotFullWidth: an unlimited kill rule re-kills every relaunch,
+// so the respawn budget runs out and the world finishes on the shrink
+// fallback — which the launcher must report as errNotFullWidth, exit 3,
+// even though the runtime itself reports a recovered (nil-error) run.
+func TestRespawnNotFullWidth(t *testing.T) {
+	store := ckpt.NewMemStore()
+	body, err := respawnBody("forestfire", store, 3, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := runRespawn(mpi.Run, 4, body, []mpi.Option{
+		mpi.WithRespawn(),
+		mpi.WithFaults(killPlan(2, 5)), // Count 0: every incarnation dies
+	})
+	if !errors.Is(runErr, errNotFullWidth) {
+		t.Fatalf("want errNotFullWidth, got %v", runErr)
+	}
+	if got := exitCode(runErr); got != exitRank {
+		t.Fatalf("exitCode(not full width) = %d, want %d", got, exitRank)
+	}
+}
+
+// TestRespawnKillPlanShape: -respawn's kill rule is one-shot, so the
+// relaunched incarnation is not deterministically re-killed.
+func TestRespawnKillPlanShape(t *testing.T) {
+	plan := respawnKillPlan(2, 4)
+	if len(plan.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(plan.Rules))
+	}
+	r := plan.Rules[0]
+	if r.Src != 2 || r.SkipFirst != 4 || r.Count != 1 || r.Action != mpi.FaultKillRank {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
 // TestKillPlanShape: -kill-rank builds a single-rule plan targeting exactly
 // the victim's sends.
 func TestKillPlanShape(t *testing.T) {
@@ -163,6 +237,73 @@ func TestShmBodiesEndToEnd(t *testing.T) {
 		} else if err != nil {
 			t.Fatalf("%s over shm: %v", name, err)
 		}
+	}
+}
+
+// buildMpirun compiles the real launcher binary so the flag-matrix test can
+// exercise the actual exit codes — including the process-respawn path,
+// which re-executes the binary and so cannot run inside the test process.
+func buildMpirun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mpirun")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mpirun: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRespawnFlagMatrix drives the built binary through the -respawn flag
+// matrix: a seeded kill with -kill-rank/-ckpt recovers at full width (exit
+// 0) across transports — including -transport procs, where the relaunch is
+// a genuinely new OS process rejoining over TCP — and the usage and
+// program-resolution failures exit 2 and 1.
+func TestRespawnFlagMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the launcher binary")
+	}
+	bin := buildMpirun(t)
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantOut  string // substring of combined output, "" = don't care
+	}{
+		{"local-forestfire", []string{"-np", "4", "-respawn", "-kill-rank", "2", "forestfire"}, exitOK, "width: 4/4 ranks"},
+		{"tcp-drugdesign", []string{"-np", "4", "-respawn", "-kill-rank", "1", "-transport", "tcp", "drugdesign"}, exitOK, "width: 4/4 ranks"},
+		{"procs-forestfire", []string{"-np", "4", "-respawn", "-kill-rank", "2", "-transport", "procs", "forestfire"}, exitOK, "full width 4/4"},
+		{"procs-ckpt-dir", []string{"-np", "4", "-respawn", "-kill-rank", "0", "-transport", "procs", "-ckpt", "", "drugdesign"}, exitOK, "full width 4/4"},
+		{"respawn-and-recover", []string{"-np", "4", "-respawn", "-recover", "forestfire"}, exitUsage, "mutually exclusive"},
+		{"respawn-and-platform", []string{"-np", "4", "-respawn", "-platform", "pi", "forestfire"}, exitUsage, "mutually exclusive"},
+		{"unsupported-program", []string{"-np", "4", "-respawn", "integration"}, exitLauncher, "-respawn supports"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			args := tc.args
+			for i, a := range args {
+				if a == "" { // placeholder: a fresh checkpoint directory
+					args[i] = t.TempDir()
+				}
+			}
+			cmd := exec.Command(bin, args...)
+			out, err := cmd.CombinedOutput()
+			got := 0
+			if err != nil {
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("running %v: %v\n%s", args, err, out)
+				}
+				got = ee.ExitCode()
+			}
+			if got != tc.wantExit {
+				t.Errorf("%v: exit = %d, want %d\n%s", args, got, tc.wantExit, out)
+			}
+			if tc.wantOut != "" && !strings.Contains(string(out), tc.wantOut) {
+				t.Errorf("%v: output missing %q:\n%s", args, tc.wantOut, out)
+			}
+		})
 	}
 }
 

@@ -38,6 +38,16 @@ type Store interface {
 	Latest() (m Manifest, ok bool, err error)
 }
 
+// VersionedStore is implemented by stores that retain the manifests of
+// earlier committed versions. LoadLatest uses the history to fall back
+// past a version whose shards no longer verify — a half-rotted newest
+// checkpoint downgrades the restore instead of dooming it.
+type VersionedStore interface {
+	Store
+	// Manifests returns all committed manifests, newest first.
+	Manifests() ([]Manifest, error)
+}
+
 // Checksum is the shard checksum the manifests record.
 func Checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
 
@@ -62,10 +72,9 @@ func Decode(data []byte, ptr any) error {
 // world (and by the respawn-free TCP harness, where every rank lives in
 // one test process). Safe for concurrent use.
 type MemStore struct {
-	mu       sync.Mutex
-	shards   map[[2]int][]byte // (version, shard) -> payload
-	manifest Manifest
-	ok       bool
+	mu      sync.Mutex
+	shards  map[[2]int][]byte // (version, shard) -> payload
+	history []Manifest        // committed manifests, oldest first
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -97,16 +106,29 @@ func (s *MemStore) ReadShard(version, shard int) ([]byte, error) {
 func (s *MemStore) Commit(m Manifest) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ok && m.Version <= s.manifest.Version {
-		return fmt.Errorf("ckpt: commit version %d not newer than committed %d", m.Version, s.manifest.Version)
+	if n := len(s.history); n > 0 && m.Version <= s.history[n-1].Version {
+		return fmt.Errorf("ckpt: commit version %d not newer than committed %d", m.Version, s.history[n-1].Version)
 	}
-	s.manifest = m
-	s.ok = true
+	s.history = append(s.history, m)
 	return nil
 }
 
 func (s *MemStore) Latest() (Manifest, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.manifest, s.ok, nil
+	if len(s.history) == 0 {
+		return Manifest{}, false, nil
+	}
+	return s.history[len(s.history)-1], true, nil
+}
+
+// Manifests returns all committed manifests, newest first.
+func (s *MemStore) Manifests() ([]Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Manifest, len(s.history))
+	for i, m := range s.history {
+		out[len(s.history)-1-i] = m
+	}
+	return out, nil
 }

@@ -133,6 +133,126 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteAtomicFsyncs: the crash-consistent publish is only honest if
+// the temp file is synced before the rename and the directory after it.
+// The seams count the calls; a SaveLocal commits one shard and two
+// manifest files, so both seams must fire for every writeAtomic.
+func TestWriteAtomicFsyncs(t *testing.T) {
+	origFile, origDir := syncFile, syncDir
+	defer func() { syncFile, syncDir = origFile, origDir }()
+	fileSyncs, dirSyncs := 0, 0
+	syncFile = func(f *os.File) error { fileSyncs++; return f.Sync() }
+	syncDir = func(dir string) error { dirSyncs++; return origDir(dir) }
+
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveLocal(s, []byte("durable state")); err != nil {
+		t.Fatal(err)
+	}
+	// One shard + the per-version manifest + MANIFEST = 3 publishes.
+	if fileSyncs != 3 || dirSyncs != 3 {
+		t.Fatalf("fsync calls: file=%d dir=%d, want 3 each", fileSyncs, dirSyncs)
+	}
+
+	// A failing file sync must abort the publish before the rename.
+	syncFile = func(*os.File) error { return fmt.Errorf("injected fsync failure") }
+	if err := s.WriteShard(9, 0, []byte("x")); err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("failed fsync should fail the write, got %v", err)
+	}
+	if _, err := s.ReadShard(9, 0); err == nil {
+		t.Fatal("aborted publish must not leave the shard visible")
+	}
+}
+
+// TestLoadLatestFallsBackOnCorruption: when the newest version's shards
+// rot on disk, a restore downgrades to the previous committed version
+// instead of failing — every rank agrees on the downgraded version.
+func TestLoadLatestFallsBackOnCorruption(t *testing.T) {
+	dir := t.TempDir()
+	const np = 2
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		s, err := NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		for gen := 0; gen < 2; gen++ {
+			shard, err := Encode([]int{c.Rank(), gen})
+			if err != nil {
+				return err
+			}
+			if _, err := Save(c, s, shard); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Rot version 2's shard 1 behind the store's back (rank 0 only, so
+		// the damage happens exactly once).
+		if c.Rank() == 0 {
+			if err := os.WriteFile(s.shardPath(2, 1), []byte("bitrot"), 0o644); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		m, shards, ok, err := LoadLatest(c, s)
+		if err != nil {
+			return fmt.Errorf("restore should fall back, got %w", err)
+		}
+		if !ok || m.Version != 1 || len(shards) != np {
+			return fmt.Errorf("fell back to m=%+v ok=%v, want version 1", m, ok)
+		}
+		for r, data := range shards {
+			var got []int
+			if err := Decode(data, &got); err != nil {
+				return err
+			}
+			if len(got) != 2 || got[0] != r || got[1] != 0 {
+				return fmt.Errorf("shard %d decoded to %v, want gen-0 state", r, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadLatestAllVersionsCorrupt: with no intact version left, the
+// restore reports the newest version's corruption rather than inventing
+// state.
+func TestLoadLatestAllVersionsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		for gen := 0; gen < 2; gen++ {
+			if _, err := Save(c, s, []byte{byte(gen)}); err != nil {
+				return err
+			}
+		}
+		for v := 1; v <= 2; v++ {
+			if err := os.WriteFile(s.shardPath(v, 0), []byte("rot"), 0o644); err != nil {
+				return err
+			}
+		}
+		_, _, _, lerr := LoadLatest(c, s)
+		if lerr == nil || !strings.Contains(lerr.Error(), "corrupt") {
+			return fmt.Errorf("restore with no intact version should fail, got %v", lerr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCollectiveSaveLoad(t *testing.T) {
 	store := NewMemStore()
 	const np = 4

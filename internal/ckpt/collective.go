@@ -78,11 +78,54 @@ func Save(c *mpi.Comm, store Store, shard []byte) (int, error) {
 	return version, nil
 }
 
+// verifyVersion reads every shard of a committed version back and checks
+// it against the manifest CRC, reporting the first mismatch.
+func verifyVersion(store Store, m Manifest) error {
+	for s := 0; s < m.NP; s++ {
+		data, err := store.ReadShard(m.Version, s)
+		if err != nil {
+			return err
+		}
+		if got := Checksum(data); got != m.CRCs[s] {
+			return fmt.Errorf(
+				"ckpt: version %d shard %d corrupt: crc %08x, manifest says %08x", m.Version, s, got, m.CRCs[s])
+		}
+	}
+	return nil
+}
+
+// fallbackVersion walks older committed manifests, newest first, and
+// returns the first version whose shards are all intact. Stores without
+// history (plain Store) surface the original corruption unchanged.
+func fallbackVersion(store Store, bad Manifest, cause error) (Manifest, error) {
+	vs, ok := store.(VersionedStore)
+	if !ok {
+		return Manifest{}, cause
+	}
+	all, err := vs.Manifests()
+	if err != nil {
+		return Manifest{}, cause
+	}
+	for _, m := range all {
+		if m.Version >= bad.Version {
+			continue
+		}
+		if verifyVersion(store, m) == nil {
+			return m, nil
+		}
+	}
+	return Manifest{}, cause
+}
+
 // LoadLatest restores the newest committed checkpoint: every rank
 // receives the manifest and ALL of its shards (checked against the
 // manifest CRCs), so the caller can re-decompose state saved by a larger
 // world over the current, possibly shrunken one. ok is false — with nil
 // error and nil shards — when no checkpoint has ever been committed.
+// When the newest version fails verification and the store retains
+// manifest history (VersionedStore), the restore falls back to the
+// newest earlier version that is still intact: the root verifies and
+// picks the version, so every rank restores the same state.
 func LoadLatest(c *mpi.Comm, store Store) (Manifest, [][]byte, bool, error) {
 	type latest struct {
 		M  Manifest
@@ -93,6 +136,13 @@ func LoadLatest(c *mpi.Comm, store Store) (Manifest, [][]byte, bool, error) {
 		m, ok, err := store.Latest()
 		if err != nil {
 			return Manifest{}, nil, false, err
+		}
+		if ok {
+			if verr := verifyVersion(store, m); verr != nil {
+				if m, err = fallbackVersion(store, m, verr); err != nil {
+					return Manifest{}, nil, false, err
+				}
+			}
 		}
 		l = latest{M: m, OK: ok}
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 )
 
 // FileStore keeps checkpoints in a directory: one file per shard and a
@@ -14,10 +16,28 @@ import (
 // that the next commit ignores. Multiple processes may share the
 // directory (the mpirun -recover harness points every rank at one dir);
 // rename is the only publication step, so readers never observe a
-// partial manifest.
+// partial manifest. Every commit also keeps a per-version manifest file,
+// so a later restore can fall back past a version whose shards rotted on
+// disk (see LoadLatest).
 type FileStore struct {
 	dir string
 }
+
+// syncFile and syncDir are the durability seams of writeAtomic: the data
+// must reach stable storage before the rename publishes it, and the
+// rename itself must reach the directory. Tests substitute them to prove
+// the publish path actually syncs; production always uses the real calls.
+var (
+	syncFile = func(f *os.File) error { return f.Sync() }
+	syncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return d.Sync()
+	}
+)
 
 // NewFileStore opens (creating if needed) a checkpoint directory.
 func NewFileStore(dir string) (*FileStore, error) {
@@ -35,8 +55,15 @@ func (s *FileStore) manifestPath() string {
 	return filepath.Join(s.dir, "MANIFEST")
 }
 
+func (s *FileStore) versionManifestPath(version int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("MANIFEST.v%06d", version))
+}
+
 // writeAtomic writes data to path via a same-directory temp file and
-// rename, the classic crash-consistent publish.
+// rename, the classic crash-consistent publish. The temp file is fsynced
+// before the rename — otherwise a crash could publish a name whose bytes
+// never hit the disk — and the directory is fsynced after, so the rename
+// itself survives.
 func (s *FileStore) writeAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
@@ -48,6 +75,11 @@ func (s *FileStore) writeAtomic(path string, data []byte) error {
 		os.Remove(name)
 		return fmt.Errorf("ckpt: %w", err)
 	}
+	if err := syncFile(tmp); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("ckpt: fsync %s: %w", filepath.Base(path), err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("ckpt: %w", err)
@@ -55,6 +87,9 @@ func (s *FileStore) writeAtomic(path string, data []byte) error {
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("ckpt: fsync dir: %w", err)
 	}
 	return nil
 }
@@ -81,6 +116,12 @@ func (s *FileStore) Commit(m Manifest) error {
 	if err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
+	// The per-version copy lands first: if the crash window falls between
+	// the two writes, MANIFEST still names the previous good version and
+	// the orphaned copy is harmless.
+	if err := s.writeAtomic(s.versionManifestPath(m.Version), data); err != nil {
+		return err
+	}
 	return s.writeAtomic(s.manifestPath(), data)
 }
 
@@ -97,4 +138,31 @@ func (s *FileStore) Latest() (Manifest, bool, error) {
 		return Manifest{}, false, fmt.Errorf("ckpt: manifest corrupt: %w", err)
 	}
 	return m, true, nil
+}
+
+// Manifests returns every committed manifest still present in the
+// directory, newest first. Unparseable per-version files are skipped —
+// they are exactly the rot this history exists to route around.
+func (s *FileStore) Manifests() ([]Manifest, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var out []Manifest
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "MANIFEST.v") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if json.Unmarshal(data, &m) != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version > out[j].Version })
+	return out, nil
 }

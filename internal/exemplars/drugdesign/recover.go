@@ -3,6 +3,7 @@ package drugdesign
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/mpi"
@@ -46,6 +47,41 @@ func MPIMasterWorkerRecover(c *mpi.Comm, p Params, store ckpt.Store, every int) 
 		nc, serr := comm.Shrink()
 		if serr != nil {
 			return Result{}, serr
+		}
+		comm = nc
+	}
+}
+
+// MPIMasterWorkerRespawn is MPIMasterWorkerRecover for respawn-mode
+// worlds (mpi.WithRespawn): a rank failure waits up to `wait` for the
+// launcher to relaunch the dead rank into its old slot and re-enters the
+// master-worker round at the ORIGINAL width — a respawned worker simply
+// rejoins the queue, and a respawned master restores the score table from
+// the shared store, redoing only the work since the last checkpoint. If
+// the rank never comes back, the run degrades to survive-and-continue
+// (revoke, shrink, finish on the survivors). Both paths return the Result
+// bit-equal to the failure-free run's.
+func MPIMasterWorkerRespawn(c *mpi.Comm, p Params, store ckpt.Store, every int, wait time.Duration) (Result, error) {
+	comm := c
+	for {
+		res, err := masterWorkerCkpt(comm, p, store, every)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, mpi.ErrRankFailed) {
+			return Result{}, err
+		}
+		nc, rerr := comm.Restored(wait)
+		if rerr != nil {
+			if !errors.Is(rerr, mpi.ErrRestoreTimeout) {
+				return Result{}, rerr
+			}
+			if verr := comm.Revoke(); verr != nil {
+				return Result{}, verr
+			}
+			if nc, rerr = comm.Shrink(); rerr != nil {
+				return Result{}, rerr
+			}
 		}
 		comm = nc
 	}

@@ -110,6 +110,99 @@ func TestMasterWorkerRecoverKills(t *testing.T) {
 	}
 }
 
+// The respawn invariant for the master-worker pattern: a killed worker —
+// or the master — comes back into its old slot, the queue finishes at
+// the ORIGINAL width (every rank reports the result), and the Result is
+// still bit-equal to Sequential's.
+func runDDRespawnTrial(t *testing.T, launch func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error,
+	np int, plan mpi.FaultPlan, every int) {
+	t.Helper()
+	p := DefaultParams()
+	want, err := Sequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := ckpt.NewMemStore()
+	var mu sync.Mutex
+	results := map[int]Result{}
+	done := make(chan error, 1)
+	go func() {
+		done <- launch(np, func(c *mpi.Comm) error {
+			got, err := MPIMasterWorkerRespawn(c, p, store, every, 20*time.Second)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = got
+			mu.Unlock()
+			return nil
+		}, mpi.WithRespawn(), mpi.WithFaults(plan))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("respawned run should report success, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("respawn run wedged")
+	}
+	if len(results) != np {
+		t.Fatalf("%d of %d ranks finished: the world did not return to full width", len(results), np)
+	}
+	for rank, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d: respawned result %+v != sequential %+v", rank, got, want)
+		}
+	}
+}
+
+func ddRespawnKillPlan(victim, skipFirst int) mpi.FaultPlan {
+	return mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{{
+		Src: victim, Dst: mpi.AnySource, Tag: mpi.AnyTag,
+		SkipFirst: skipFirst, Count: 1,
+		Action: mpi.FaultKillRank,
+	}}}
+}
+
+func TestMasterWorkerRespawnFullWidth(t *testing.T) {
+	launchers := []struct {
+		name string
+		run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+	}{
+		{"local", mpi.Run},
+		{"tcp", mpi.RunTCP},
+	}
+	if mpi.ShmSupported() {
+		launchers = append(launchers, struct {
+			name string
+			run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+		}{"shm", mpi.RunShm})
+	}
+	cases := []struct {
+		name   string
+		np     int
+		victim int
+		skip   int
+		every  int
+	}{
+		{"worker-before-first-checkpoint", 4, 2, 0, 10},
+		{"worker-mid-queue", 4, 3, 15, 5},
+		{"master-dies", 4, 0, 9, 4},
+	}
+	for _, l := range launchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, tc := range cases {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					runDDRespawnTrial(t, l.run, tc.np, ddRespawnKillPlan(tc.victim, tc.skip), tc.every)
+				})
+			}
+		})
+	}
+}
+
 func TestMasterWorkerRecoverTwoWorkersDie(t *testing.T) {
 	// Shrink twice: np=5 loses two workers at different points, finishing
 	// with a master and two workers.

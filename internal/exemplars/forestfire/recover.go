@@ -3,6 +3,7 @@ package forestfire
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/mpi"
@@ -48,6 +49,42 @@ func SimulateDomainRecover(c *mpi.Comm, rows, cols int, prob float64, seed int64
 		nc, serr := comm.Shrink()
 		if serr != nil {
 			return TrialResult{}, serr
+		}
+		comm = nc
+	}
+}
+
+// SimulateDomainRespawn is SimulateDomainRecover for respawn-mode worlds
+// (mpi.WithRespawn): instead of shrinking to the survivors, a rank
+// failure waits up to `wait` for the launcher to relaunch the dead rank
+// into its old slot, agrees on the restored membership, and re-enters the
+// simulation at the ORIGINAL width from the last committed checkpoint. A
+// respawned incarnation enters here fresh and meets the survivors at the
+// checkpoint restore. If the dead rank never comes back (restore times
+// out), the run degrades to survive-and-continue: revoke, shrink, and
+// finish on the survivors. Either way the result is bit-identical to
+// SimulateHash's.
+func SimulateDomainRespawn(c *mpi.Comm, rows, cols int, prob float64, seed int64, store ckpt.Store, every int, wait time.Duration) (TrialResult, error) {
+	comm := c
+	for {
+		res, err := simulateDomainCkpt(comm, rows, cols, prob, seed, store, every)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, mpi.ErrRankFailed) {
+			return TrialResult{}, err
+		}
+		nc, rerr := comm.Restored(wait)
+		if rerr != nil {
+			if !errors.Is(rerr, mpi.ErrRestoreTimeout) {
+				return TrialResult{}, rerr
+			}
+			if verr := comm.Revoke(); verr != nil {
+				return TrialResult{}, verr
+			}
+			if nc, rerr = comm.Shrink(); rerr != nil {
+				return TrialResult{}, rerr
+			}
 		}
 		comm = nc
 	}

@@ -111,6 +111,97 @@ func TestDomainRecoverKillRank(t *testing.T) {
 	}
 }
 
+// The respawn invariant is stricter than the shrink one: the run must
+// finish at the ORIGINAL width — every rank, the respawned one included,
+// reports the result — and still bit-equal the sequential burn.
+func runRespawnTrial(t *testing.T, launch func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error,
+	np int, plan mpi.FaultPlan, every int) {
+	t.Helper()
+	const rows, cols = 20, 20
+	const prob = 0.6
+	const seed = 17
+	want := SimulateHash(rows, cols, prob, seed)
+
+	store := ckpt.NewMemStore()
+	var mu sync.Mutex
+	results := map[int]TrialResult{}
+	done := make(chan error, 1)
+	go func() {
+		done <- launch(np, func(c *mpi.Comm) error {
+			got, err := SimulateDomainRespawn(c, rows, cols, prob, seed, store, every, 20*time.Second)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = got
+			mu.Unlock()
+			return nil
+		}, mpi.WithRespawn(), mpi.WithFaults(plan))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("respawned run should report success, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("respawn run wedged")
+	}
+	if len(results) != np {
+		t.Fatalf("%d of %d ranks finished: the world did not return to full width", len(results), np)
+	}
+	for rank, got := range results {
+		if got != want {
+			t.Fatalf("rank %d: respawned result %+v != sequential %+v", rank, got, want)
+		}
+	}
+}
+
+func respawnKillPlan(victim, skipFirst int) mpi.FaultPlan {
+	return mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{{
+		Src: victim, Dst: mpi.AnySource, Tag: mpi.AnyTag,
+		SkipFirst: skipFirst, Count: 1,
+		Action: mpi.FaultKillRank,
+	}}}
+}
+
+func TestDomainRespawnFullWidth(t *testing.T) {
+	launchers := []struct {
+		name string
+		run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+	}{
+		{"local", mpi.Run},
+		{"tcp", mpi.RunTCP},
+	}
+	if mpi.ShmSupported() {
+		launchers = append(launchers, struct {
+			name string
+			run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+		}{"shm", mpi.RunShm})
+	}
+	cases := []struct {
+		name   string
+		np     int
+		victim int
+		skip   int
+		every  int
+	}{
+		{"before-first-checkpoint", 4, 2, 0, 3},
+		{"mid-run", 4, 1, 25, 2},
+		{"rank0-dies", 4, 0, 12, 2},
+	}
+	for _, l := range launchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, tc := range cases {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					runRespawnTrial(t, l.run, tc.np, respawnKillPlan(tc.victim, tc.skip), tc.every)
+				})
+			}
+		})
+	}
+}
+
 func TestDomainRecoverTwoFailures(t *testing.T) {
 	// Two ranks die at different points of the run; the two shrinks compose.
 	plan := &mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{

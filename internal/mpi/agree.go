@@ -55,6 +55,7 @@ type agreeInst struct {
 	done     chan struct{}
 	decided  bool
 	decision uint64
+	err      error // set when the instance was interrupted (membership change)
 }
 
 // agreeEngine coordinates agreement for in-process worlds: one instance per
@@ -100,6 +101,9 @@ func (e *agreeEngine) agree(key agreeKey, members []int, self int, mask uint64) 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !inst.decided {
+		if inst.err != nil {
+			return 0, inst.err
+		}
 		return 0, e.down
 	}
 	return inst.decision, nil
@@ -140,6 +144,22 @@ func (e *agreeEngine) reevaluate() {
 	defer e.mu.Unlock()
 	for key, inst := range e.insts {
 		e.evaluateLocked(key, inst)
+	}
+}
+
+// interrupt releases every open instance with err without latching the
+// engine down: a world-membership change (a rank rejoined at full width)
+// invalidates in-flight agreements — their member lists describe the old
+// epoch — but the engine itself stays healthy for the retries.
+func (e *agreeEngine) interrupt(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key, inst := range e.insts {
+		delete(e.insts, key)
+		if !inst.decided {
+			inst.err = err
+			close(inst.done)
+		}
 	}
 }
 
@@ -231,7 +251,7 @@ func (c *Comm) Agree() ([]int, error) {
 	// The decision may name failures this process has not observed yet
 	// (raced broadcasts on TCP); fold them in so local checks agree with
 	// the agreed view before anyone acts on it.
-	w.recov.adoptFailures(decision, c.ranks)
+	w.recov.adoptFailures(decision, c.ranks, c.epoch)
 	var out []int
 	for i, wr := range c.ranks {
 		if decision&(1<<uint(wr)) != 0 {
@@ -283,5 +303,6 @@ func (c *Comm) Shrink() (*Comm, error) {
 		rank:    newRank,
 		ranks:   ranks,
 		nextCtx: 1,
+		epoch:   c.epoch,
 	}, nil
 }

@@ -24,6 +24,14 @@ type Comm struct {
 	// agreeSeq numbers the Agree calls the same way, identifying each
 	// agreement instance consistently across members.
 	agreeSeq uint64
+
+	// epoch is the world-membership epoch this communicator was created in.
+	// Respawn recovery bumps the world's epoch each time a failed rank
+	// rejoins at full width; operations on communicators from an older
+	// epoch fail with a retryable membership-changed error until the caller
+	// re-forms through Comm.Restored (which returns a current-epoch
+	// communicator). Zero for every communicator of a never-respawned world.
+	epoch int
 }
 
 // Rank reports this process's rank within the communicator, 0-based:
@@ -83,7 +91,7 @@ func (c *Comm) sendValue(dest, tag int, v any) error {
 		return err
 	}
 	if r := c.world.recov; r != nil {
-		if err := r.sendErr(c.ctx, c.worldRank(dest)); err != nil {
+		if err := r.sendErr(c, c.worldRank(dest)); err != nil {
 			return err
 		}
 	}

@@ -35,6 +35,22 @@ const (
 	// which propagates out of the rank's main and revokes the world, as a
 	// crashed process would.
 	FaultKillRank
+	// FaultCorrupt flips one bit of the matched frame's payload in flight —
+	// after the CRC is computed, so the receiver's integrity check fires.
+	// On a resilient (wire v2) TCP session the corruption is detected by
+	// the hub, the connection is torn down, and the clean captured copy is
+	// retransmitted on resume: the program never observes it. On transports
+	// without frame integrity the fault downgrades to a pass-through (the
+	// local and shm transports hand over the very memory the sender wrote;
+	// there is no wire to corrupt).
+	FaultCorrupt
+	// FaultDisconnect severs the sending rank's hub connection without
+	// killing the process: the socket closes mid-run, exactly like a NAT
+	// timeout or a flaky home network. Under HubSuspicion the session
+	// resumes within the grace window and the run completes with zero
+	// failed ranks; without it, the disconnect is rank death. A no-op on
+	// transports with no connection to sever.
+	FaultDisconnect
 )
 
 func (a FaultAction) String() string {
@@ -47,8 +63,26 @@ func (a FaultAction) String() string {
 		return "duplicate"
 	case FaultKillRank:
 		return "kill-rank"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDisconnect:
+		return "disconnect"
 	}
 	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// corruptCapable is implemented by transports that can corrupt one frame on
+// the wire below the integrity check (the resilient TCP session). The method
+// reports whether the corruption was actually armed.
+type corruptCapable interface {
+	corruptNextFrame() bool
+}
+
+// disconnectCapable is implemented by transports whose underlying connection
+// can be severed without killing the process (the TCP transport, and the shm
+// transport's hub connection).
+type disconnectCapable interface {
+	severConnection()
 }
 
 // FaultRule selects frames by (src, dst, tag) and applies an action to
@@ -265,6 +299,23 @@ func (t *faultTransport) Send(f frame) error {
 	switch action {
 	case FaultDrop:
 		return nil
+	case FaultCorrupt:
+		// Arm the wire-level bit flip, then send: the transport corrupts the
+		// frame's last payload byte after the CRC is computed, so the
+		// receiver detects it. Transports without frame integrity pass the
+		// frame through untouched rather than silently delivering bad data.
+		if cc, ok := t.inner.(corruptCapable); ok {
+			cc.corruptNextFrame()
+		}
+		return t.inner.Send(f)
+	case FaultDisconnect:
+		// Sever the connection first, then send: the send observes the
+		// break (or lands in the replay buffer) and the session machinery
+		// reconnects within the grace window.
+		if dc, ok := t.inner.(disconnectCapable); ok {
+			dc.severConnection()
+		}
+		return t.inner.Send(f)
 	case FaultDelay:
 		if delay > 0 {
 			time.Sleep(delay) // on the sender, like WithLatency: FIFO-safe
@@ -289,6 +340,19 @@ func (t *faultTransport) Send(f frame) error {
 }
 
 func (t *faultTransport) Close() error { return t.inner.Close() }
+
+// revive clears an injected kill for a respawned rank: the relaunched
+// process gets a working transport again. The rule counters are NOT reset —
+// a Count-bounded kill rule stays spent, so the respawned rank is not
+// immediately re-killed by the same rule.
+func (t *faultTransport) revive(rank int) {
+	if t.inert {
+		return
+	}
+	t.mu.Lock()
+	delete(t.killed, rank)
+	t.mu.Unlock()
+}
 
 // deliversTyped forwards the wrapped transport's fast-path capability:
 // injecting faults must not silently change how surviving messages travel.

@@ -1,10 +1,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Survive-and-continue recovery (the opt-in half of the failure model).
@@ -39,6 +41,12 @@ type RankFailedError struct {
 }
 
 func (e *RankFailedError) Error() string {
+	if len(e.Ranks) == 0 && !e.Revoked {
+		// A respawn restored the world's membership while the operation was
+		// pending (or the communicator predates the current epoch): nobody is
+		// failed now, but the operation cannot complete against the old view.
+		return "mpi: world membership changed during the operation; re-form with Restored (or Shrink) and retry"
+	}
 	what := fmt.Sprintf("mpi: rank(s) %v failed", e.Ranks)
 	if e.Revoked {
 		what = fmt.Sprintf("mpi: communicator revoked after rank failure(s) %v", e.Ranks)
@@ -79,6 +87,14 @@ type recoveryState struct {
 	mask    uint64        // bitmask form of failed's keys
 	revoked map[int64]bool
 
+	// epoch counts full-width membership restorations (respawns). Operations
+	// on communicators created in an older epoch fail with a retryable
+	// membership-changed error; Restored hands back a current-epoch
+	// communicator. restoreCond (on mu) wakes Restored callers whenever the
+	// failed set or the epoch changes.
+	epoch       int
+	restoreCond *sync.Cond
+
 	engine   *agreeEngine      // in-process worlds
 	ctrlSend func(frame) error // TCP worlds: raw control-plane sender to the hub
 	downErr  error             // latched when the world aborts; fails pending agreements
@@ -86,12 +102,14 @@ type recoveryState struct {
 }
 
 func newRecoveryState(w *World) *recoveryState {
-	return &recoveryState{
+	r := &recoveryState{
 		world:   w,
 		failed:  make(map[int]error),
 		revoked: make(map[int64]bool),
 		waiters: make(map[agreeKey]chan agreeOutcome),
 	}
+	r.restoreCond = sync.NewCond(&r.mu)
+	return r
 }
 
 // rankFailed records a failed world rank and interrupts every survivor's
@@ -122,6 +140,88 @@ func (w *World) rankFailed(rank int, cause error) {
 		// Transport hook: the shm transport reclaims the failed rank's
 		// outbound staging region and unwedges blocked senders.
 		w.peerFailed(rank)
+	}
+}
+
+// rankRejoined restores a respawned rank to the world's membership and bumps
+// the membership epoch: the failed set forgets the rank, every pending
+// operation is interrupted with a retryable membership-changed error (so no
+// survivor keeps waiting against the old view), and open agreements — whose
+// member lists describe the old epoch — are interrupted for retry. epoch is
+// the coordinator-dictated epoch (the hub's, on TCP) or -1 to auto-increment
+// (in-process worlds, where all ranks share this state).
+func (w *World) rankRejoined(rank int, epoch int) {
+	r := w.recov
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if epoch < 0 {
+		r.epoch++
+	} else if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	delete(r.failed, rank)
+	r.mask &^= 1 << uint(rank)
+	r.mu.Unlock()
+	r.failVersion.Add(1)
+	r.events.Add(1)
+	for _, b := range w.boxes {
+		if b != nil {
+			b.poke()
+		}
+	}
+	r.restoreCond.Broadcast()
+	cause := &RankFailedError{} // membership changed; nobody failed now
+	if r.engine != nil {
+		r.engine.interrupt(cause)
+	}
+	r.drainWaiters(cause)
+	if w.peerRejoined != nil {
+		// Transport hook: the shm transport pins the pair to the rejoined
+		// rank onto the TCP fallback (the respawned process shares no
+		// segment with the survivors).
+		w.peerRejoined(rank)
+	}
+}
+
+// seedEpoch installs membership state learned at join time: a respawned TCP
+// worker starts life already in the hub's epoch, with the hub's view of the
+// still-failed ranks. Bumping events arms the recovery checks so operations
+// on pre-epoch communicators are interrupted from the first call.
+func (r *recoveryState) seedEpoch(epoch int, failedMask uint64) {
+	if epoch <= 0 && failedMask == 0 {
+		return
+	}
+	r.mu.Lock()
+	if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	r.mu.Unlock()
+	r.events.Add(1)
+	for rank := 0; rank < maxRecoveryRanks; rank++ {
+		if failedMask&(1<<uint(rank)) != 0 {
+			r.world.rankFailed(rank, fmt.Errorf("%w: rank %d (failed before this process joined)", ErrRankFailed, rank))
+		}
+	}
+}
+
+// epochSnapshot reports the current membership epoch.
+func (r *recoveryState) epochSnapshot() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// drainWaiters releases every hub-agreement waiter with err, without
+// latching the recovery state down (unlike abortPending): the waiters retry.
+func (r *recoveryState) drainWaiters(err error) {
+	r.mu.Lock()
+	waiters := r.waiters
+	r.waiters = make(map[agreeKey]chan agreeOutcome)
+	r.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- agreeOutcome{err: err}
 	}
 }
 
@@ -191,11 +291,18 @@ func (r *recoveryState) opErr(c *Comm, srcWorld int, startFail uint64) error {
 	if r.revoked[c.ctx] {
 		return r.rfeLocked(true)
 	}
-	if len(r.failed) == 0 {
-		return nil
+	if c.epoch < r.epoch {
+		// The communicator predates a respawn: its view of the membership is
+		// stale even though nobody may be failed right now. Re-form through
+		// Restored. (Checked before the empty-failed shortcut: a rejoin
+		// empties the failed set but must still interrupt pending work.)
+		return r.rfeLocked(false)
 	}
 	if r.failVersion.Load() > startFail {
 		return r.rfeLocked(false)
+	}
+	if len(r.failed) == 0 {
+		return nil
 	}
 	if srcWorld >= 0 {
 		if _, bad := r.failed[srcWorld]; bad {
@@ -212,15 +319,19 @@ func (r *recoveryState) opErr(c *Comm, srcWorld int, startFail uint64) error {
 	return nil
 }
 
-// sendErr rejects sends into a revoked context or to a failed rank.
-func (r *recoveryState) sendErr(ctx int64, dstWorld int) error {
+// sendErr rejects sends into a revoked context, on a stale-epoch
+// communicator, or to a failed rank.
+func (r *recoveryState) sendErr(c *Comm, dstWorld int) error {
 	if r.events.Load() == 0 {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.revoked[ctx] {
+	if r.revoked[c.ctx] {
 		return r.rfeLocked(true)
+	}
+	if c.epoch < r.epoch {
+		return r.rfeLocked(false)
 	}
 	if _, bad := r.failed[dstWorld]; bad {
 		return r.rfeLocked(false)
@@ -251,7 +362,12 @@ func (w *World) revokeCtx(ctx int64) bool {
 // adoptFailures folds an agreed decision into the local failed set: a TCP
 // process may learn of a failure first through the agreement's decided
 // mask, before (or instead of) the hub's failure broadcast reaching it.
-func (r *recoveryState) adoptFailures(decision uint64, members []int) {
+// A decision from a pre-respawn epoch is discarded — resurrecting a failure
+// that a completed rejoin already cleared would wedge the restored world.
+func (r *recoveryState) adoptFailures(decision uint64, members []int, epoch int) {
+	if r.epochSnapshot() > epoch {
+		return
+	}
 	for _, wr := range members {
 		if decision&(1<<uint(wr)) == 0 {
 			continue
@@ -279,8 +395,130 @@ func (r *recoveryState) abortPending(err error) {
 	waiters := r.waiters
 	r.waiters = make(map[agreeKey]chan agreeOutcome)
 	r.mu.Unlock()
+	r.restoreCond.Broadcast() // Restored callers observe downErr and bail
 	for _, ch := range waiters {
 		ch <- agreeOutcome{err: err}
+	}
+}
+
+// ErrRestoreTimeout reports that Restored gave up waiting for the world to
+// return to full width: a failed rank was never respawned within the
+// caller's budget. The caller can still Shrink and continue without it.
+var ErrRestoreTimeout = errors.New("mpi: world not restored to full width in time")
+
+// epochCtx derives the message context of an epoch's world communicator.
+// User-derived contexts are non-negative (the root is 0 and children are
+// parent*64+seq with seq >= 1), so the negative epoch contexts can never
+// collide with them.
+func epochCtx(epoch int) int64 {
+	if epoch == 0 {
+		return 0
+	}
+	return -(int64(epoch) << 32)
+}
+
+// epochComm builds the full-width world communicator of the given epoch for
+// the calling rank. Every rank derives the identical context from the epoch
+// alone, so no negotiation is needed.
+func (w *World) epochComm(c *Comm, epoch int) *Comm {
+	ranks := make([]int, w.np)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{
+		world:   w,
+		ctx:     epochCtx(epoch),
+		rank:    c.worldRank(c.rank),
+		ranks:   ranks,
+		nextCtx: 1,
+		epoch:   epoch,
+	}
+}
+
+// awaitWhole blocks until the failed set is empty (every failed rank has
+// been respawned), the world aborts, or the deadline passes (zero = wait
+// forever).
+func (r *recoveryState) awaitWhole(deadline time.Time) error {
+	timedOut := false
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			timedOut = true
+		} else {
+			t := time.AfterFunc(d, func() {
+				r.mu.Lock()
+				timedOut = true
+				r.mu.Unlock()
+				r.restoreCond.Broadcast()
+			})
+			defer t.Stop()
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.downErr != nil {
+			return r.downErr
+		}
+		if len(r.failed) == 0 {
+			return nil
+		}
+		if timedOut {
+			ranks := make([]int, 0, len(r.failed))
+			for rank := range r.failed {
+				ranks = append(ranks, rank)
+			}
+			sort.Ints(ranks)
+			return fmt.Errorf("%w: ranks %v still failed", ErrRestoreTimeout, ranks)
+		}
+		r.restoreCond.Wait()
+	}
+}
+
+// Restored blocks until the world is back at full width — every failed rank
+// respawned into its old slot — and returns the current epoch's full-width
+// world communicator, over which all operations work unchanged. It is the
+// respawn-mode counterpart of Shrink: where Shrink re-forms the survivors at
+// reduced width, Restored waits for the launcher (mpirun -respawn, or Run/
+// RunTCP with WithRespawn) to relaunch the dead ranks and re-forms at the
+// original width. Collective over all live ranks: every member — including
+// the respawned ones, whose first operation on the stale world communicator
+// fails with the membership-changed error that routes them here — must call
+// it, and all members agree on the restored membership before any returns.
+// timeout bounds the wait for the respawn (zero = wait forever); on expiry
+// the caller gets ErrRestoreTimeout and can fall back to Shrink. Requires
+// WithRecovery.
+func (c *Comm) Restored(timeout time.Duration) (*Comm, error) {
+	w := c.world
+	r := w.recov
+	if r == nil {
+		return nil, fmt.Errorf("mpi: Restored requires WithRecovery")
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		if err := r.awaitWhole(deadline); err != nil {
+			return nil, err
+		}
+		epoch := r.epochSnapshot()
+		rc := w.epochComm(c, epoch)
+		// Agree on the restored membership: decided-empty means every live
+		// member observed the same full-width world. A failure or a further
+		// respawn racing the agreement surfaces as a retryable error or a
+		// non-empty decision; either way, go around.
+		failed, err := rc.Agree()
+		if err != nil {
+			if errors.Is(err, ErrRankFailed) {
+				continue
+			}
+			return nil, err
+		}
+		if len(failed) > 0 || r.epochSnapshot() != epoch {
+			continue
+		}
+		return rc, nil
 	}
 }
 

@@ -824,6 +824,34 @@ func (t *shmTransport) peerFailed(rank int) {
 	p.mu.Unlock()
 }
 
+// peerRejoined pins the outbound pair to a respawned rank onto the TCP
+// fallback: the relaunched process maps no shared segment with this one, so
+// the sticky routing decision is forced to the hub path and the dead mark is
+// cleared (sends must flow again, not drop). Installed as the world's
+// rank-rejoin hook by joinHub.
+func (t *shmTransport) peerRejoined(rank int) {
+	if rank < 0 || rank >= t.np || rank == t.rank {
+		return
+	}
+	p := &t.out[rank]
+	p.mode.Store(shmPairTCP)
+	p.dead.Store(false)
+}
+
+// corruptNextFrame delegates to the hub connection: the shm rings hand the
+// receiver the very memory the sender wrote (no wire to corrupt), so only
+// frames taking the TCP fallback can carry an injected bit flip.
+func (t *shmTransport) corruptNextFrame() bool {
+	return t.tcp.corruptNextFrame()
+}
+
+// severConnection severs the hub connection underneath the shm data plane:
+// ring traffic is unaffected, but control frames and fallback pairs ride
+// the resumable TCP session, which reconnects within the grace window.
+func (t *shmTransport) severConnection() {
+	t.tcp.severConnection()
+}
+
 // statsSnapshot reports the endpoint's counters, advancing each outbound
 // allocator over freed blocks first so OutstandingLargeBytes reflects what
 // is genuinely unreclaimed.
@@ -859,8 +887,13 @@ func JoinShm(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 	if segPath != "" && !shmSupported {
 		return ErrShmUnsupported
 	}
-	return joinHub(addr, segPath, rank, np, main, opts...)
+	return joinHub(addr, segPath, rank, np, false, main, opts...)
 }
+
+// ShmSupported reports whether the shared-memory transport is available
+// on this platform; callers (test matrices, launchers) use it to skip the
+// shm leg instead of failing on the stub.
+func ShmSupported() bool { return shmSupported }
 
 // RunShm executes main as an SPMD program of np ranks connected through a
 // loopback hub with a shared-memory data plane, all within the calling

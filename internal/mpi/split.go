@@ -71,6 +71,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		rank:    newRank,
 		ranks:   ranks,
 		nextCtx: 1,
+		epoch:   c.epoch,
 	}, nil
 }
 

@@ -1,13 +1,16 @@
 package mpi
 
 import (
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,14 +21,18 @@ import (
 // the non-overtaking guarantee carries over from the in-process transport.
 //
 // Wire protocol, per connection. The stream opens with a gob hello carrying
-// the worker's wire version; when both ends speak v1 every subsequent
-// message is kind-byte framed (see wire.go) — whitelisted slice payloads as
-// raw little-endian frames, everything else as gob — and a worker that
-// announced version 0 gets the original pure gob stream, with the hub
-// converting raw frames back to gob before forwarding. Message sequence:
+// the worker's wire version; each direction is then framed at the version
+// the worker announced (see wire.go): version 0 is the original pure gob
+// stream, version 1 adds kind-byte framing with raw little-endian payloads
+// for the whitelist, and version 2 — the default — turns the connection into
+// a resumable *session* (session.go): every frame carries a sequence number,
+// raw frames carry a CRC32C, receivers ack cumulatively, and senders keep
+// unacknowledged frames in a bounded replay buffer. Message sequence:
 //
 //	hello{Rank, Wire}      worker -> hub, once, identifies the rank
-//	frame{Tag: tagStart}   hub -> worker, once, after all ranks joined
+//	frame{Tag: tagStart}   hub -> worker, once, after all ranks joined;
+//	                       Data carries a gob startInfo (suspicion grace,
+//	                       membership epoch, failed mask)
 //	frame{...}             either direction, user and collective traffic
 //	frame{Dst: ctrlDst, Tag: tagDone}   worker -> hub, rank finished
 //	frame{Dst: ctrlDst, Tag: tagAbort}  worker -> hub, rank failed; Data
@@ -46,6 +53,25 @@ import (
 //	                                        Data: gob agreeResp
 //	frame{Dst: ctrlDst, Tag: tagRevoke, Ctx: c} worker -> hub, context c revoked
 //	frame{Tag: tagRevoke, Ctx: c}           hub -> worker, revoke broadcast
+//
+// Resilient sessions (HubSuspicion, wire v2) change what a broken connection
+// means. When a worker's connection breaks — on either side — the hub marks
+// the rank *suspected* (not failed), parks its frames in the replay buffer,
+// and arms a grace timer; the worker redials with hello{Resume: true, Ack}
+// carrying the highest sequence it received. The hub replies with a 9-byte
+// raw status (accepted flag + its own receive sequence) and both sides
+// retransmit their unacknowledged tails. Only grace-window expiry (or a
+// replay gap that makes the resume impossible) promotes suspected to failed.
+//
+// Respawn recovery (WithRespawn / mpirun -respawn) adds one more tag:
+//
+//	hello{Rank, Wire, Respawn: true}   a relaunched process re-admits into
+//	                                   its old (failed) slot
+//	frame{Tag: tagRejoin}              hub -> survivors; Data: gob rejoinInfo
+//	                                   (the rank and the new membership epoch)
+//
+// Re-admission bumps the hub's membership epoch; survivors and the newcomer
+// re-form at the original width through Comm.Restored.
 const (
 	tagStart     = -100
 	tagDone      = -101
@@ -56,16 +82,42 @@ const (
 	tagAgreeReq  = -106
 	tagAgreeResp = -107
 	tagRevoke    = -108
+	tagRejoin    = -109
 	ctrlDst      = -100
 )
 
 type hello struct {
 	Rank int
 	// Wire announces the highest framing version the worker speaks: 0 for
-	// the original pure-gob stream, wireVersion for kind-byte framing. The
-	// hub answers in kind — each side of the connection is framed at the
-	// version the worker announced, so mixed worlds interoperate.
+	// the original pure-gob stream, 1 for kind-byte framing, 2 for resumable
+	// sessions. The hub answers in kind — each side of the connection is
+	// framed at the version the worker announced, so mixed worlds
+	// interoperate.
 	Wire int
+	// Resume marks a session-resume dial: the worker's original connection
+	// broke and it is redialing within the grace window. Ack carries the
+	// highest sequence number the worker received before the break.
+	Resume bool
+	Ack    uint64
+	// Respawn marks a relaunched process re-admitting into its old slot
+	// after its previous incarnation failed (respawn recovery).
+	Respawn bool
+}
+
+// startInfo rides in the start frame's Data: the session grace window the
+// hub was configured with, and — for respawned workers — the membership
+// epoch and the hub's view of the still-failed ranks at admission time.
+type startInfo struct {
+	SuspicionNs int64
+	Epoch       int
+	FailedMask  uint64
+}
+
+// rejoinInfo rides in a tagRejoin broadcast: which rank was respawned into
+// its old slot, and the membership epoch its re-admission established.
+type rejoinInfo struct {
+	Rank  int
+	Epoch int
 }
 
 // abortInfo is the wire form of a world revoke: which rank failed (or -1
@@ -85,6 +137,7 @@ type HubOption func(*hubOptions)
 type hubOptions struct {
 	formation time.Duration
 	heartbeat time.Duration
+	suspicion time.Duration
 	recovery  bool
 }
 
@@ -107,6 +160,18 @@ func HubHeartbeat(interval time.Duration) HubOption {
 	return func(o *hubOptions) { o.heartbeat = interval }
 }
 
+// HubSuspicion arms resilient sessions: a worker whose connection breaks
+// after the world has started is *suspected* for up to d — its unsent
+// frames park in the replay buffer while the worker redials and resumes
+// from the last acknowledged sequence — and only if the grace window
+// expires without a successful resume is the rank promoted to failed
+// (recovery hubs) or the world revoked (plain hubs). Requires wire v2
+// workers (the default); legacy connections fail immediately as before.
+// Zero (the default) disables suspicion: any break is instantly fatal.
+func HubSuspicion(d time.Duration) HubOption {
+	return func(o *hubOptions) { o.suspicion = d }
+}
+
 // HubRecovery opts the hub into survive-and-continue worlds: a worker that
 // reports a recoverable failure (or whose connection drops after the world
 // started) is recorded as failed and announced to the survivors instead of
@@ -116,9 +181,9 @@ func HubRecovery() HubOption {
 	return func(o *hubOptions) { o.recovery = true }
 }
 
-// WithHubOptions forwards hub configuration (formation timeout, heartbeat)
-// to the hub RunTCP starts internally. Standalone hubs take the same
-// options directly via StartHub; JoinTCP ignores this option.
+// WithHubOptions forwards hub configuration (formation timeout, heartbeat,
+// suspicion) to the hub RunTCP starts internally. Standalone hubs take the
+// same options directly via StartHub; JoinTCP ignores this option.
 func WithHubOptions(opts ...HubOption) Option {
 	return func(c *config) { c.hubOpts = append(c.hubOpts, opts...) }
 }
@@ -153,6 +218,12 @@ func withWireLegacy() Option {
 	return func(c *config) { c.wireLegacy = true }
 }
 
+// errHubConnDead marks a send into a hub connection that has been retired
+// (the worker reported done, its suspicion expired, or it was replaced by a
+// respawn). The router drops such frames instead of failing the world: the
+// rank's fate has already been decided through the failure machinery.
+var errHubConnDead = errors.New("mpi: hub connection retired")
+
 // Hub routes frames between the ranks of one TCP-transport world. Create
 // one with StartHub, hand its Addr to the workers, and Wait for the job to
 // finish.
@@ -161,10 +232,15 @@ type Hub struct {
 	np   int
 	opts hubOptions
 
+	// started flips once the start signal has been broadcast: suspicion
+	// (session resume) only applies to post-formation breaks.
+	started atomic.Bool
+
 	mu       sync.Mutex
 	conns    map[int]*hubConn
 	complete bool // all np ranks admitted
 	done     int
+	epoch    int // membership epoch; bumped by each respawn re-admission
 	err      error
 	abortErr error // first rank-reported abort; preferred by Wait
 	lastPong map[int]time.Time
@@ -174,8 +250,9 @@ type Hub struct {
 	failedRanks map[int]bool
 	agreements  map[agreeKey]*hubAgree
 
-	formTimer *time.Timer
-	finished  chan struct{}
+	formTimer  *time.Timer
+	finished   chan struct{}
+	finishOnce sync.Once
 }
 
 // hubAgree is one open hub-coordinated agreement instance.
@@ -184,16 +261,142 @@ type hubAgree struct {
 	masks   map[int]uint64 // contributing world rank -> mask
 }
 
+// hubConn is the hub's half of one worker's session: the connection, the
+// framing layers, and (wire v2) the send/receive session state. mu guards
+// everything except doneCounted, which h.mu guards (the done count and the
+// per-conn flag must change atomically together). Lock order: h.mu may be
+// taken before hc.mu, never the reverse.
 type hubConn struct {
-	conn net.Conn
-	w    *wireWriter
-	mu   sync.Mutex // serializes writes to w
+	h    *Hub
+	rank int
+	wire int
+
+	// resumeMu serializes resume attempts for this rank: two racing redials
+	// must not both swap the connection.
+	resumeMu sync.Mutex
+
+	mu        sync.Mutex
+	conn      net.Conn
+	w         *wireWriter
+	rd        *wireReader
+	sendq     sendSession
+	recvq     recvSession
+	suspended bool // connection down, grace timer running, frames parking
+	dead      bool // retired for good: done, failed, or replaced
+	suspTimer *time.Timer
+	// readerDown is closed when the route loop reading this connection
+	// returns; a resume waits on it before reusing the wireReader.
+	readerDown chan struct{}
+
+	doneCounted bool // guarded by h.mu, not hc.mu
 }
 
 func (hc *hubConn) send(f frame) error {
 	hc.mu.Lock()
 	defer hc.mu.Unlock()
-	return hc.w.writeFrame(f)
+	return hc.sendLocked(f)
+}
+
+// sendLocked frames one outbound frame at the worker's wire version. On a
+// v2 session the frame is sequenced and captured for replay; a write error
+// under suspicion-eligible conditions suspends the connection (the frame is
+// already safe in the replay buffer) instead of surfacing the error.
+func (hc *hubConn) sendLocked(f frame) error {
+	if hc.dead {
+		return errHubConnDead
+	}
+	if hc.wire < wireVersion2 {
+		return hc.w.writeFrame(f)
+	}
+	seq := hc.sendq.nextSeq()
+	if hc.suspended {
+		// Connection down, grace running: park the frame for retransmission.
+		buf, err := hc.w.encodeFrame(f, seq)
+		if err != nil {
+			return err
+		}
+		hc.sendq.record(seq, buf)
+		return nil
+	}
+	if n := rawPayloadSize(f); n > replayFrameMax {
+		// Large raw frame: stream it without capturing (the zero-copy path)
+		// and record the sequence as a replay gap. Only if the write breaks
+		// is the frame captured after the fact — the payload is still intact
+		// — so the resume is not doomed by the very frame that broke it.
+		err := hc.w.writeFrameDirect(f, seq)
+		if err == nil {
+			err = hc.w.flush()
+		}
+		if err == nil {
+			hc.sendq.gap(seq)
+			return nil
+		}
+		if buf, eerr := hc.w.encodeFrame(f, seq); eerr == nil {
+			hc.sendq.record(seq, buf)
+		} else {
+			hc.sendq.gap(seq)
+		}
+		return hc.streamBrokenLocked(err)
+	}
+	buf, err := hc.w.encodeFrame(f, seq)
+	if err != nil {
+		return err
+	}
+	werr := hc.w.writeEncoded(buf)
+	if werr == nil {
+		werr = hc.w.flush()
+	}
+	// Record after the write: record may evict old frames under budget
+	// pressure, and the buffer being written must not be reclaimed mid-write.
+	hc.sendq.record(seq, buf)
+	if werr != nil {
+		return hc.streamBrokenLocked(werr)
+	}
+	return nil
+}
+
+// canSuspendLocked reports whether this connection's breaks are absorbed by
+// the suspicion machinery rather than being immediately fatal.
+func (hc *hubConn) canSuspendLocked() bool {
+	return hc.h.opts.suspicion > 0 && hc.wire >= wireVersion2 && hc.h.started.Load()
+}
+
+// streamBrokenLocked handles a write error: suspend if the session can
+// resume, otherwise surface the error to the caller.
+func (hc *hubConn) streamBrokenLocked(err error) error {
+	if hc.canSuspendLocked() {
+		hc.suspendLocked()
+		return nil
+	}
+	return err
+}
+
+// suspendLocked marks the connection suspected: the socket is closed (so
+// both the local reader and the remote peer observe the break promptly) and
+// the grace timer is armed. Idempotent; the timer is armed exactly once per
+// suspicion episode, so a failed resume attempt cannot extend the window.
+func (hc *hubConn) suspendLocked() {
+	if hc.suspended || hc.dead {
+		return
+	}
+	hc.suspended = true
+	if hc.conn != nil {
+		hc.conn.Close()
+	}
+	if hc.suspTimer != nil {
+		hc.suspTimer.Stop()
+	}
+	hc.suspTimer = time.AfterFunc(hc.h.opts.suspicion, func() { hc.h.suspicionExpired(hc) })
+}
+
+// retireLocked marks the connection dead for good and releases its replay
+// buffer. Caller holds hc.mu.
+func (hc *hubConn) retireLocked() {
+	hc.dead = true
+	if hc.suspTimer != nil {
+		hc.suspTimer.Stop()
+	}
+	hc.sendq.drop()
 }
 
 // StartHub listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -234,11 +437,17 @@ func StartHub(addr string, np int, opts ...HubOption) (*Hub, error) {
 // Addr reports the address workers should dial.
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
 
+// acceptLoop admits connections for the hub's whole life: after formation,
+// new dials are session resumes and respawn re-admissions.
 func (h *Hub) acceptLoop() {
-	for i := 0; i < h.np; i++ {
+	for {
 		conn, err := h.ln.Accept()
 		if err != nil {
-			h.fail(fmt.Errorf("mpi: hub accept: %w", err))
+			select {
+			case <-h.finished:
+			default:
+				h.fail(fmt.Errorf("mpi: hub accept: %w", err))
+			}
 			return
 		}
 		go h.admit(conn)
@@ -265,34 +474,68 @@ func (h *Hub) formationExpired() {
 		ErrFormationTimeout, len(missing), h.np, d, missing))
 }
 
-// admit registers a worker connection and, once the world is complete,
-// releases all workers with the start signal.
+// admit performs one inbound connection's handshake and dispatches it:
+// a session resume, a respawn re-admission, or a first-time registration.
 func (h *Hub) admit(conn net.Conn) {
 	rd := newWireReader(conn)
 	hi, err := rd.readHello()
 	if err != nil {
+		h.mu.Lock()
+		complete := h.complete
+		h.mu.Unlock()
+		if complete {
+			// A stray dial into a formed world (a port scanner, a confused
+			// client) must not take a healthy job down.
+			conn.Close()
+			return
+		}
 		h.fail(fmt.Errorf("mpi: hub handshake: %w", err))
 		conn.Close()
 		return
 	}
-	// Frame each direction at the version the worker announced.
-	rd.v1 = hi.Wire >= wireVersion
-	h.mu.Lock()
 	if hi.Rank < 0 || hi.Rank >= h.np {
-		h.mu.Unlock()
 		h.fail(fmt.Errorf("mpi: hub: worker announced invalid rank %d", hi.Rank))
 		conn.Close()
 		return
 	}
+	if hi.Resume {
+		h.resumeWorker(conn, hi)
+		return
+	}
+	if hi.Respawn {
+		h.respawnWorker(conn, hi, rd)
+		return
+	}
+
+	// First-time registration. Frame each direction at the worker's version.
+	rd.v1 = hi.Wire >= wireVersion
+	rd.v2 = hi.Wire >= wireVersion2
+	hc := &hubConn{
+		h:          h,
+		rank:       hi.Rank,
+		wire:       hi.Wire,
+		conn:       conn,
+		w:          newWireWriter(conn, hi.Wire),
+		rd:         rd,
+		readerDown: make(chan struct{}),
+	}
+	if rd.v2 {
+		rd.onAck = func(ack uint64) {
+			hc.mu.Lock()
+			hc.sendq.trim(ack)
+			hc.mu.Unlock()
+		}
+	}
+	h.mu.Lock()
 	if _, dup := h.conns[hi.Rank]; dup {
 		h.mu.Unlock()
 		h.fail(fmt.Errorf("mpi: hub: duplicate worker for rank %d", hi.Rank))
 		conn.Close()
 		return
 	}
-	hc := &hubConn{conn: conn, w: newWireWriter(conn, rd.v1)}
 	h.conns[hi.Rank] = hc
 	complete := len(h.conns) == h.np
+	epoch := h.epoch
 	var all []*hubConn
 	if complete {
 		h.complete = true
@@ -313,21 +556,239 @@ func (h *Hub) admit(conn net.Conn) {
 	h.mu.Unlock()
 
 	if complete {
+		data, encErr := encodeValue(startInfo{SuspicionNs: int64(h.opts.suspicion), Epoch: epoch})
+		if encErr != nil {
+			h.fail(fmt.Errorf("mpi: hub start signal: %w", encErr))
+			return
+		}
 		for _, c := range all {
-			if err := c.send(frame{Tag: tagStart}); err != nil {
+			if err := c.send(frame{Tag: tagStart, Data: data}); err != nil {
 				h.fail(fmt.Errorf("mpi: hub start signal: %w", err))
 				return
 			}
 		}
+		h.started.Store(true)
 		if h.opts.heartbeat > 0 {
 			go h.heartbeatLoop()
 		}
 	}
-	h.route(hi.Rank, rd)
+	h.route(hc, conn, hc.readerDown)
+}
+
+// resumeWorker handles a session-resume dial: validate, park the old reader,
+// exchange acknowledged sequences, swap the connection in, and retransmit
+// the unacknowledged tail. The reply to the worker is 9 raw bytes — a status
+// byte (1 = accepted) and the hub's highest received sequence — written
+// outside the framed session, mirroring the worker's fresh-encoder hello.
+func (h *Hub) resumeWorker(conn net.Conn, hi hello) {
+	refuse := func() {
+		var reply [1 + seqLen]byte
+		_, _ = conn.Write(reply[:]) // status 0: refused
+		conn.Close()
+	}
+	h.mu.Lock()
+	hc := h.conns[hi.Rank]
+	h.mu.Unlock()
+	if hc == nil || hc.wire < wireVersion2 || h.opts.suspicion <= 0 {
+		refuse()
+		return
+	}
+	hc.resumeMu.Lock()
+	defer hc.resumeMu.Unlock()
+
+	hc.mu.Lock()
+	if hc.dead {
+		hc.mu.Unlock()
+		refuse()
+		return
+	}
+	if !hc.suspended && hc.conn != nil {
+		// The worker noticed the break before the hub did. The old socket
+		// may still hold streamed frames the kernel accepted before the
+		// break — frames too large for the worker's replay buffer, which
+		// can never be retransmitted. Closing the socket now would discard
+		// them and doom the resume, so instead give the old route a
+		// bounded window to drain what is already buffered: it reads until
+		// EOF (the worker closed its end) or the deadline fires, and its
+		// exit path suspends the session. The grace timer armed there is
+		// stopped as soon as the resume below completes.
+		_ = hc.conn.SetReadDeadline(time.Now().Add(resumeDrainWindow))
+	}
+	down := hc.readerDown
+	hc.mu.Unlock()
+	<-down // the old route loop has returned; hc.rd is ours to reset
+
+	hc.mu.Lock()
+	if hc.dead {
+		hc.mu.Unlock()
+		refuse()
+		return
+	}
+	entries, ok := hc.sendq.pending(hi.Ack)
+	if !ok {
+		// The worker is missing a frame that was never captured (a streamed
+		// large frame or an evicted one): the session is honestly lost.
+		hc.retireLocked()
+		hc.mu.Unlock()
+		refuse()
+		h.sessionLost(hc)
+		return
+	}
+	var reply [1 + seqLen]byte
+	reply[0] = 1
+	le.PutUint64(reply[1:], hc.recvq.seqIn)
+	if _, err := conn.Write(reply[:]); err != nil {
+		hc.mu.Unlock()
+		conn.Close()
+		return // still suspended; the worker (or the timer) decides next
+	}
+	hc.conn = conn
+	hc.w.resetConn(conn)
+	hc.rd.resetConn(conn)
+	hc.recvq.sinceAck = 0
+	hc.readerDown = make(chan struct{})
+	// Start the reader before retransmitting: the worker is retransmitting
+	// its own tail concurrently, and draining it keeps the kernel buffers
+	// from filling while ours flow the other way.
+	go h.route(hc, conn, hc.readerDown)
+	var werr error
+	for _, e := range entries {
+		if werr = hc.w.writeEncoded(e.buf); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		werr = hc.w.flush()
+	}
+	if werr != nil {
+		// The fresh connection broke during retransmission. Stay suspended:
+		// the original grace timer still stands, so a dead worker is still
+		// promoted to failed on schedule while a live one retries.
+		conn.Close()
+		hc.mu.Unlock()
+		return
+	}
+	hc.suspended = false
+	if hc.suspTimer != nil {
+		hc.suspTimer.Stop()
+	}
+	hc.mu.Unlock()
+
+	h.mu.Lock()
+	if h.lastPong != nil {
+		h.lastPong[hi.Rank] = time.Now()
+	}
+	h.mu.Unlock()
+}
+
+// respawnWorker re-admits a relaunched process into its old slot: the dead
+// incarnation's connection is retired, the rank's failure is cleared, the
+// membership epoch is bumped, survivors learn of the rejoin, and the
+// newcomer gets a start signal carrying the epoch and the remaining failed
+// set.
+func (h *Hub) respawnWorker(conn net.Conn, hi hello, rd *wireReader) {
+	select {
+	case <-h.finished:
+		conn.Close()
+		return
+	default:
+	}
+	h.mu.Lock()
+	ready := h.opts.recovery && h.complete
+	old := h.conns[hi.Rank]
+	h.mu.Unlock()
+	if !ready {
+		h.fail(fmt.Errorf("mpi: hub: rank %d attempted respawn before the world formed (or without HubRecovery)", hi.Rank))
+		conn.Close()
+		return
+	}
+	if old != nil {
+		old.mu.Lock()
+		old.retireLocked()
+		if old.conn != nil {
+			old.conn.Close()
+		}
+		old.mu.Unlock()
+	}
+	// Record the failure if nothing else has yet: a kill-and-relaunch can
+	// land the new dial before the old connection's death is observed, and
+	// the survivors must see fail-then-rejoin in that order.
+	h.mu.Lock()
+	already := h.failedRanks[hi.Rank]
+	h.mu.Unlock()
+	if !already {
+		if data, err := encodeValue(abortInfo{Rank: hi.Rank, Msg: "rank replaced by respawn"}); err == nil {
+			h.rankFailedHub(hi.Rank, data)
+		}
+	}
+
+	rd.v1 = hi.Wire >= wireVersion
+	rd.v2 = hi.Wire >= wireVersion2
+	hc := &hubConn{
+		h:          h,
+		rank:       hi.Rank,
+		wire:       hi.Wire,
+		conn:       conn,
+		w:          newWireWriter(conn, hi.Wire),
+		rd:         rd,
+		readerDown: make(chan struct{}),
+	}
+	if rd.v2 {
+		rd.onAck = func(ack uint64) {
+			hc.mu.Lock()
+			hc.sendq.trim(ack)
+			hc.mu.Unlock()
+		}
+	}
+
+	h.mu.Lock()
+	// Done-accounting: the slot must be counted exactly once when the world
+	// finally winds down. If the dead incarnation was already counted done,
+	// take that count back (the new incarnation will report its own); if it
+	// was not, mark it counted so its pending teardown becomes a no-op.
+	if old != nil && !old.doneCounted {
+		old.doneCounted = true
+	} else if h.done > 0 {
+		h.done--
+	}
+	delete(h.failedRanks, hi.Rank)
+	h.epoch++
+	epoch := h.epoch
+	h.conns[hi.Rank] = hc
+	if h.lastPong != nil {
+		h.lastPong[hi.Rank] = time.Now()
+	}
+	var mask uint64
+	for r := range h.failedRanks {
+		mask |= 1 << uint(r)
+	}
+	others := make([]*hubConn, 0, len(h.conns))
+	for r, c := range h.conns {
+		if r != hi.Rank && !h.failedRanks[r] {
+			others = append(others, c)
+		}
+	}
+	h.mu.Unlock()
+
+	if data, err := encodeValue(rejoinInfo{Rank: hi.Rank, Epoch: epoch}); err == nil {
+		for _, c := range others {
+			_ = c.send(frame{Tag: tagRejoin, Data: data})
+		}
+	}
+	data, err := encodeValue(startInfo{SuspicionNs: int64(h.opts.suspicion), Epoch: epoch, FailedMask: mask})
+	if err != nil {
+		h.fail(fmt.Errorf("mpi: hub respawn start signal: %w", err))
+		return
+	}
+	// A failed write here is absorbed by the session machinery (or surfaces
+	// as this incarnation's own prompt death through the route loop below).
+	_ = hc.send(frame{Tag: tagStart, Data: data})
+	h.route(hc, conn, hc.readerDown)
 }
 
 // heartbeatLoop pings every worker each interval and fails the job when a
-// worker has not answered for three intervals.
+// worker has not answered for three intervals. Suspended connections are
+// skipped: the suspicion timer, not the heartbeat, owns their fate.
 func (h *Hub) heartbeatLoop() {
 	iv := h.opts.heartbeat
 	ticker := time.NewTicker(iv)
@@ -344,6 +805,12 @@ func (h *Hub) heartbeatLoop() {
 		var staleConns []*hubConn
 		conns := make([]*hubConn, 0, len(h.conns))
 		for r, c := range h.conns {
+			c.mu.Lock()
+			skip := c.suspended || c.dead
+			c.mu.Unlock()
+			if skip {
+				continue
+			}
 			conns = append(conns, c)
 			if lp, ok := h.lastPong[r]; ok && now.Sub(lp) > 3*iv {
 				stale = append(stale, r)
@@ -358,9 +825,14 @@ func (h *Hub) heartbeatLoop() {
 		if len(stale) > 0 {
 			if h.opts.recovery {
 				// Close the silent connections: each one's route loop turns
-				// the broken read into a recoverable rank failure.
+				// the broken read into a suspicion episode (under
+				// HubSuspicion) or a recoverable rank failure.
 				for _, c := range staleConns {
-					c.conn.Close()
+					c.mu.Lock()
+					if c.conn != nil {
+						c.conn.Close()
+					}
+					c.mu.Unlock()
 				}
 				continue
 			}
@@ -373,40 +845,68 @@ func (h *Hub) heartbeatLoop() {
 	}
 }
 
-// route forwards every frame read from one worker until the worker reports
-// done or the connection drops. Raw frames are forwarded verbatim to v1
-// destinations (the payload is never decoded in transit) and converted back
-// to gob for legacy ones; either way the pooled receive buffer is returned
-// once the forward completes.
-func (h *Hub) route(rank int, rd *wireReader) {
+// route forwards every frame read from one worker connection until the
+// worker reports done or the connection breaks. Sequenced (v2) frames are
+// dup-suppressed and acknowledged through the receive session; raw frames
+// are forwarded verbatim to capable destinations and converted back to gob
+// for legacy ones. down is closed on return so a resume can safely reuse
+// the wireReader.
+func (h *Hub) route(hc *hubConn, conn net.Conn, down chan struct{}) {
+	defer close(down)
+	rd := hc.rd
 	for {
-		f, err := rd.readFrame()
+		f, seq, err := rd.readFrame()
 		if err != nil {
-			if h.connDropped(rank) {
+			h.readerBroken(hc, conn, err)
+			return
+		}
+		if hc.wire >= wireVersion2 && seq > 0 {
+			hc.mu.Lock()
+			if hc.dead || hc.conn != conn {
+				// The session moved on (resume swapped the connection, or the
+				// rank was retired) while this frame was in flight.
+				hc.mu.Unlock()
+				f.release()
 				return
 			}
-			h.fail(fmt.Errorf("mpi: hub: connection to rank %d: %w", rank, err))
-			return
+			dup, ackNow := hc.recvq.note(seq)
+			if dup {
+				hc.mu.Unlock()
+				f.release()
+				continue
+			}
+			if ackNow && !hc.suspended {
+				_ = hc.w.writeAck(hc.recvq.seqIn)
+			}
+			hc.mu.Unlock()
 		}
 		if f.Dst == ctrlDst {
 			switch f.Tag {
 			case tagDone:
-				// The worker sends nothing after done; stop reading so its
-				// connection teardown is not mistaken for a failure.
-				h.workerDone()
+				// The worker sends nothing after done. Acknowledge everything
+				// received first — the worker's drain holds its transport open
+				// until the replay buffer clears — then retire the session so
+				// its connection teardown is not mistaken for a failure.
+				hc.mu.Lock()
+				if hc.wire >= wireVersion2 && !hc.dead && !hc.suspended && hc.conn == conn {
+					_ = hc.w.writeAck(hc.recvq.seqIn)
+				}
+				hc.retireLocked()
+				hc.mu.Unlock()
+				h.workerDoneConn(hc)
 				return
 			case tagAbort:
-				h.rankAborted(rank, f.Data)
+				h.rankAborted(hc.rank, f.Data)
 			case tagFailed:
-				h.rankFailedHub(rank, f.Data)
+				h.rankFailedHub(hc.rank, f.Data)
 			case tagAgreeReq:
 				h.agreeRequest(f.Data)
 			case tagRevoke:
-				h.broadcastRevoke(rank, f.Ctx)
+				h.broadcastRevoke(hc.rank, f.Ctx)
 			case tagPong:
 				h.mu.Lock()
 				if h.lastPong != nil {
-					h.lastPong[rank] = time.Now()
+					h.lastPong[hc.rank] = time.Now()
 				}
 				h.mu.Unlock()
 			}
@@ -427,9 +927,9 @@ func (h *Hub) route(rank int, rd *wireReader) {
 		err = dst.send(f)
 		f.release() // forwarded (or failed): recycle a raw frame's buffer
 		if err != nil {
-			if recovery {
-				// The destination's connection is going down; its own route
-				// loop converts that into a rank failure. Drop the frame.
+			if recovery || errors.Is(err, errHubConnDead) {
+				// The destination's fate is (or will be) settled by its own
+				// connection machinery; drop the frame.
 				continue
 			}
 			h.fail(fmt.Errorf("mpi: hub: forwarding to rank %d: %w", f.Dst, err))
@@ -438,26 +938,102 @@ func (h *Hub) route(rank int, rd *wireReader) {
 	}
 }
 
+// readerBroken handles a route loop's read error: suspend the session when
+// it can resume, otherwise retire the rank (recovery) or fail the world.
+func (h *Hub) readerBroken(hc *hubConn, conn net.Conn, err error) {
+	hc.mu.Lock()
+	if hc.dead || hc.conn != conn {
+		// Stale error from a connection a resume already replaced.
+		hc.mu.Unlock()
+		return
+	}
+	if hc.canSuspendLocked() {
+		hc.suspendLocked()
+		hc.mu.Unlock()
+		return
+	}
+	hc.retireLocked()
+	hc.mu.Unlock()
+	if h.connDropped(hc) {
+		return
+	}
+	h.fail(fmt.Errorf("mpi: hub: connection to rank %d: %w", hc.rank, err))
+}
+
 // connDropped absorbs a worker connection breaking mid-run under recovery:
 // the rank is recorded failed, survivors are notified, and the rank is
 // counted done so the world still winds down. It reports whether the drop
 // was absorbed (recovery hub, world already formed).
-func (h *Hub) connDropped(rank int) bool {
+func (h *Hub) connDropped(hc *hubConn) bool {
 	h.mu.Lock()
 	active := h.opts.recovery && h.complete
-	already := h.failedRanks[rank]
+	already := h.failedRanks[hc.rank]
 	h.mu.Unlock()
 	if !active {
 		return false
 	}
 	if !already {
-		data, err := encodeValue(abortInfo{Rank: rank, Msg: "connection to hub lost"})
+		data, err := encodeValue(abortInfo{Rank: hc.rank, Msg: "connection to hub lost"})
 		if err == nil {
-			h.rankFailedHub(rank, data)
+			h.rankFailedHub(hc.rank, data)
 		}
 	}
-	h.workerDone()
+	h.workerDoneConn(hc)
 	return true
+}
+
+// suspicionExpired fires when a suspected rank's grace window elapses
+// without a successful resume: the suspicion is promoted to failure
+// (recovery hubs) or the world is revoked (plain hubs).
+func (h *Hub) suspicionExpired(hc *hubConn) {
+	hc.mu.Lock()
+	if hc.dead || !hc.suspended {
+		hc.mu.Unlock()
+		return
+	}
+	hc.retireLocked()
+	hc.mu.Unlock()
+	if h.opts.recovery {
+		data, err := encodeValue(abortInfo{Rank: hc.rank, Msg: "connection to hub lost (suspicion window expired)"})
+		if err == nil {
+			h.rankFailedHub(hc.rank, data)
+		}
+		h.workerDoneConn(hc)
+		return
+	}
+	h.fail(fmt.Errorf("mpi: hub: rank %d did not reconnect within %s; world revoked", hc.rank, h.opts.suspicion))
+}
+
+// sessionLost handles a resume that is provably impossible (a replay gap
+// before the worker's acknowledged sequence): the rank fails immediately
+// rather than burning the rest of its grace window.
+func (h *Hub) sessionLost(hc *hubConn) {
+	if h.opts.recovery {
+		data, err := encodeValue(abortInfo{Rank: hc.rank, Msg: "hub session lost (replay gap; resume impossible)"})
+		if err == nil {
+			h.rankFailedHub(hc.rank, data)
+		}
+		h.workerDoneConn(hc)
+		return
+	}
+	h.fail(fmt.Errorf("mpi: hub: session to rank %d lost (replay gap; resume impossible)", hc.rank))
+}
+
+// workerDoneConn counts one connection's slot as finished, exactly once per
+// incarnation; when the last slot reports, the hub shuts the world down.
+func (h *Hub) workerDoneConn(hc *hubConn) {
+	h.mu.Lock()
+	if hc.doneCounted {
+		h.mu.Unlock()
+		return
+	}
+	hc.doneCounted = true
+	h.done++
+	last := h.done == h.np
+	h.mu.Unlock()
+	if last {
+		h.shutdown()
+	}
 }
 
 // rankFailedHub records a recoverable rank failure, announces it to the
@@ -569,7 +1145,8 @@ func (h *Hub) broadcastRevoke(origin int, ctx int64) {
 }
 
 // FailedRanks reports the world ranks that failed recoverably, sorted. A
-// recovered run has Wait() == nil and a non-empty FailedRanks.
+// recovered run has Wait() == nil and a non-empty FailedRanks. Ranks that
+// failed but were later respawned into their slots are not included.
 func (h *Hub) FailedRanks() []int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -579,6 +1156,20 @@ func (h *Hub) FailedRanks() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// Done returns a channel that is closed when the hub has wound the world
+// down, cleanly or on failure. External respawn supervisors (mpirun
+// -respawn with -transport procs) select on it to stop relaunching a dead
+// rank once the job is over.
+func (h *Hub) Done() <-chan struct{} { return h.finished }
+
+// Epoch reports the hub's membership epoch: the number of respawn
+// re-admissions it has performed.
+func (h *Hub) Epoch() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
 }
 
 // rankAborted records a worker-reported failure and broadcasts the revoke
@@ -604,19 +1195,6 @@ func (h *Hub) rankAborted(origin int, payload []byte) {
 	for _, c := range others {
 		_ = c.send(frame{Tag: tagAbort, Data: payload})
 	}
-}
-
-// workerDone counts a finished rank; when the last one reports, the hub
-// shuts the world down. It reports whether this was the final rank.
-func (h *Hub) workerDone() bool {
-	h.mu.Lock()
-	h.done++
-	last := h.done == h.np
-	h.mu.Unlock()
-	if last {
-		h.shutdown()
-	}
-	return last
 }
 
 // fail records the first error and shuts the hub down, unless the job had
@@ -655,13 +1233,14 @@ func (h *Hub) shutdown() {
 	h.mu.Unlock()
 	h.ln.Close()
 	for _, c := range conns {
-		c.conn.Close()
+		c.mu.Lock()
+		c.retireLocked()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
 	}
-	select {
-	case <-h.finished:
-	default:
-		close(h.finished)
-	}
+	h.finishOnce.Do(func() { close(h.finished) })
 }
 
 // Wait blocks until every rank has reported completion (or the hub failed)
@@ -684,31 +1263,421 @@ func (h *Hub) Wait() error {
 // Close shuts the hub down immediately.
 func (h *Hub) Close() { h.shutdown() }
 
-// tcpTransport is one rank's sending side of the TCP world.
+// Worker connection states.
+const (
+	tcpActive       = iota // connection healthy, frames flowing
+	tcpReconnecting        // connection broken, redialing within the grace window
+	tcpDead                // transport over (clean close, grace expiry, or fatal error)
+)
+
+// tcpTransport is one rank's side of the TCP world: the hub connection, the
+// framing layers, and — on wire v2 — the session state that lets a broken
+// connection be redialed and resumed instead of killing the rank. mu guards
+// all mutable state; cond wakes the reader (parked during reconnects) and
+// anyone waiting for the reader to park.
 type tcpTransport struct {
-	conn net.Conn
-	w    *wireWriter
-	mu   sync.Mutex
+	addr    string
+	rank    int
+	wire    int
+	noDelay *bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	conn       net.Conn
+	w          *wireWriter
+	rd         *wireReader
+	state      int
+	deadErr    error
+	grace      time.Duration // suspicion window learned from the start frame
+	gen        int           // connection generation; stale errors are discarded by it
+	readerBusy bool          // a recvFrame is inside readFrame without the lock
+	closing    bool          // drain started: the rank is done and tearing down
+	send       sendSession
+	recv       recvSession
 }
 
+func newTCPTransport(addr string, rank int, conn net.Conn, wire int, noDelay *bool) *tcpTransport {
+	t := &tcpTransport{
+		addr:    addr,
+		rank:    rank,
+		wire:    wire,
+		noDelay: noDelay,
+		conn:    conn,
+		w:       newWireWriter(conn, wire),
+		rd:      newWireReader(conn),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.rd.v1 = wire >= wireVersion
+	t.rd.v2 = wire >= wireVersion2
+	if t.rd.v2 {
+		t.rd.onAck = func(ack uint64) {
+			t.mu.Lock()
+			t.send.trim(ack)
+			if len(t.send.replay) == 0 {
+				t.cond.Broadcast() // a drain may be waiting for the tail to clear
+			}
+			t.mu.Unlock()
+		}
+	}
+	return t
+}
+
+// Send frames one outbound frame. On a v2 session the frame is sequenced
+// and captured for replay; a write error with a grace window configured
+// moves the transport into reconnection (the frame is safe in the replay
+// buffer) instead of surfacing the error. writeFrame and friends serialize
+// typed payloads on the spot, so frame.Val is fully consumed by the time
+// Send returns (the wireCapable contract).
 func (t *tcpTransport) Send(f frame) error {
-	// writeFrame serializes typed frames on the spot — raw framing for the
-	// whitelist when the connection speaks v1, gob for everything else — so
-	// an in-memory payload can never leak onto the wire, and frame.Val is
-	// fully consumed by the time Send returns (the wireCapable contract).
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.w.writeFrame(f); err != nil {
+	switch t.state {
+	case tcpDead:
+		return fmt.Errorf("mpi: tcp send: %w", t.deadErr)
+	case tcpReconnecting:
+		seq := t.send.nextSeq()
+		buf, err := t.w.encodeFrame(f, seq)
+		if err != nil {
+			return err
+		}
+		t.send.record(seq, buf)
+		return nil
+	}
+	if t.wire < wireVersion2 {
+		if err := t.w.writeFrame(f); err != nil {
+			t.dieLocked(err)
+			return fmt.Errorf("mpi: tcp send: %w", err)
+		}
+		return nil
+	}
+	seq := t.send.nextSeq()
+	if n := rawPayloadSize(f); n > replayFrameMax {
+		// Stream the large frame without capturing it (the zero-copy path);
+		// its sequence becomes a replay gap. If the write breaks, capture it
+		// after the fact — the payload is still intact — so the resume is
+		// not doomed by the very frame that broke it.
+		err := t.w.writeFrameDirect(f, seq)
+		if err == nil {
+			err = t.w.flush()
+		}
+		if err == nil {
+			t.send.gap(seq)
+			return nil
+		}
+		if t.grace > 0 {
+			if buf, eerr := t.w.encodeFrame(f, seq); eerr == nil {
+				t.send.record(seq, buf)
+			} else {
+				t.send.gap(seq)
+			}
+			t.enterReconnectLocked(err)
+			return nil
+		}
+		t.dieLocked(err)
 		return fmt.Errorf("mpi: tcp send: %w", err)
+	}
+	buf, err := t.w.encodeFrame(f, seq)
+	if err != nil {
+		return err
+	}
+	werr := t.w.writeEncoded(buf)
+	if werr == nil {
+		werr = t.w.flush()
+	}
+	// Record after the write: record may evict old frames under budget
+	// pressure, and the buffer being written must not be reclaimed mid-write.
+	t.send.record(seq, buf)
+	if werr != nil {
+		if t.grace > 0 {
+			t.enterReconnectLocked(werr)
+			return nil
+		}
+		t.dieLocked(werr)
+		return fmt.Errorf("mpi: tcp send: %w", werr)
 	}
 	return nil
 }
 
-func (t *tcpTransport) Close() error { return t.conn.Close() }
+// recvFrame reads the next frame from the hub, riding out reconnections:
+// while the transport is redialing, the reader parks on the condition
+// variable; read errors from torn-down connections are discarded by the
+// generation counter. Sequenced frames are dup-suppressed and acknowledged
+// through the receive session.
+func (t *tcpTransport) recvFrame() (frame, error) {
+	for {
+		t.mu.Lock()
+		for t.state == tcpReconnecting {
+			t.cond.Wait()
+		}
+		if t.state == tcpDead {
+			err := t.deadErr
+			t.mu.Unlock()
+			return frame{}, err
+		}
+		rd := t.rd
+		gen := t.gen
+		t.readerBusy = true
+		t.mu.Unlock()
 
-// wiresTyped: a v1 connection raw-encodes whitelisted typed payloads
+		f, seq, err := rd.readFrame()
+
+		t.mu.Lock()
+		t.readerBusy = false
+		t.cond.Broadcast()
+		if err != nil {
+			if t.gen != gen || t.state != tcpActive {
+				// The transport already moved on (reconnect or death): this
+				// error belongs to the torn-down connection.
+				t.mu.Unlock()
+				continue
+			}
+			if t.wire >= wireVersion2 && t.grace > 0 &&
+				!(t.closing && len(t.send.replay) == 0) {
+				// Not worth resuming once the rank is done and its tail is
+				// acknowledged: the hub retiring the session closes the
+				// connection, and that EOF is teardown, not a break.
+				t.enterReconnectLocked(err)
+				t.mu.Unlock()
+				continue
+			}
+			t.dieLocked(err)
+			t.mu.Unlock()
+			return frame{}, err
+		}
+		if t.gen != gen {
+			// A frame from a connection a reconnect already replaced;
+			// resume retransmission will deliver it again in order.
+			f.release()
+			t.mu.Unlock()
+			continue
+		}
+		if t.wire >= wireVersion2 && seq > 0 {
+			dup, ackNow := t.recv.note(seq)
+			if dup {
+				t.mu.Unlock()
+				f.release()
+				continue
+			}
+			if ackNow && t.state == tcpActive {
+				_ = t.w.writeAck(t.recv.seqIn)
+			}
+		}
+		t.mu.Unlock()
+		return f, nil
+	}
+}
+
+// enterReconnectLocked moves an active transport into reconnection: the
+// broken connection is closed, the generation advances (so its pending read
+// error is discarded), and the redial loop starts. Caller holds t.mu.
+func (t *tcpTransport) enterReconnectLocked(cause error) {
+	if t.state != tcpActive {
+		return
+	}
+	t.state = tcpReconnecting
+	t.gen++
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	go t.reconnect(cause)
+}
+
+// dieLocked retires the transport for good. Caller holds t.mu.
+func (t *tcpTransport) dieLocked(cause error) {
+	if t.state == tcpDead {
+		return
+	}
+	t.state = tcpDead
+	t.deadErr = cause
+	t.gen++
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	t.send.drop()
+	t.cond.Broadcast()
+}
+
+// reconnect redials the hub until the grace window closes, then performs
+// the resume handshake: a fresh-encoder hello{Resume, Ack} (the persistent
+// session encoders stay untouched), a 9-byte raw reply carrying the hub's
+// acknowledged sequence, and retransmission of the unacknowledged tail.
+func (t *tcpTransport) reconnect(cause error) {
+	deadline := time.Now().Add(t.grace)
+	backoff := 2 * time.Millisecond
+	for {
+		t.mu.Lock()
+		if t.state != tcpReconnecting {
+			t.mu.Unlock()
+			return
+		}
+		ack := t.recv.seqIn
+		t.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.mu.Lock()
+			t.dieLocked(fmt.Errorf("%w: grace window (%s) expired: %v", ErrSessionLost, t.grace, cause))
+			t.mu.Unlock()
+			return
+		}
+		conn, err := net.Dial("tcp", t.addr)
+		if err != nil {
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		if t.noDelay != nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(*t.noDelay)
+			}
+		}
+		// A fresh one-shot encoder for the resume hello: the hub reads it
+		// with a fresh decoder, so the session's persistent gob streams —
+		// which must survive the swap byte-exact — are never touched.
+		if err := gob.NewEncoder(conn).Encode(hello{Rank: t.rank, Wire: t.wire, Resume: true, Ack: ack}); err != nil {
+			conn.Close()
+			time.Sleep(backoff)
+			continue
+		}
+		var reply [1 + seqLen]byte
+		_ = conn.SetReadDeadline(time.Now().Add(resumeReplyTimeout))
+		if _, err := io.ReadFull(conn, reply[:]); err != nil {
+			conn.Close()
+			time.Sleep(backoff)
+			continue
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		if reply[0] == 0 {
+			conn.Close()
+			t.mu.Lock()
+			t.dieLocked(fmt.Errorf("%w: hub refused the resume", ErrSessionLost))
+			t.mu.Unlock()
+			return
+		}
+		hubAck := le.Uint64(reply[1:])
+
+		t.mu.Lock()
+		if t.state != tcpReconnecting {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		for t.readerBusy {
+			t.cond.Wait()
+		}
+		if t.state != tcpReconnecting {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		entries, ok := t.send.pending(hubAck)
+		if !ok {
+			conn.Close()
+			t.dieLocked(fmt.Errorf("%w: replay gap before the hub's acknowledged sequence", ErrSessionLost))
+			t.mu.Unlock()
+			return
+		}
+		t.conn = conn
+		t.w.resetConn(conn)
+		t.rd.resetConn(conn)
+		t.recv.sinceAck = 0
+		t.gen++
+		t.state = tcpActive
+		// Wake the parked reader before retransmitting: it drains the hub's
+		// concurrent retransmission while ours flows the other way, keeping
+		// the kernel buffers from filling in both directions at once. (The
+		// reader re-acquires the lock only between frames, so the tail below
+		// goes out contiguously before any new Send interleaves.)
+		t.cond.Broadcast()
+		var werr error
+		for _, e := range entries {
+			if werr = t.w.writeEncoded(e.buf); werr != nil {
+				break
+			}
+		}
+		if werr == nil {
+			werr = t.w.flush()
+		}
+		if werr != nil {
+			// The fresh connection broke during retransmission; go around.
+			// The hub side stays suspended on its original grace timer.
+			t.enterReconnectLocked(werr)
+			t.mu.Unlock()
+			return
+		}
+		t.mu.Unlock()
+		return
+	}
+}
+
+// severConnection implements disconnectCapable: FaultDisconnect closes the
+// live connection underneath the session, exactly like a NAT timeout. The
+// session machinery observes the break and reconnects within the grace
+// window (or dies, if no HubSuspicion was configured).
+func (t *tcpTransport) severConnection() {
+	t.mu.Lock()
+	if t.state == tcpActive && t.conn != nil {
+		t.conn.Close()
+	}
+	t.mu.Unlock()
+}
+
+// corruptNextFrame implements corruptCapable: FaultCorrupt arms a one-shot
+// bit flip on the next raw frame's payload, applied at wire-write time only
+// — the captured replay copy stays clean, so the retransmission after the
+// CRC failure heals the corruption.
+func (t *tcpTransport) corruptNextFrame() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wire < wireVersion2 || t.state == tcpDead {
+		return false
+	}
+	t.w.corruptNext = true
+	return true
+}
+
+// drain blocks until the session has settled: no resume in flight and every
+// captured frame acknowledged by the hub. A send-only rank can reach the end
+// of main with its entire tail — the done control frame included — either
+// parked in the replay buffer mid-resume or flushed to a socket the hub has
+// already condemned (a CRC failure suspends the connection and discards
+// everything after the corrupt frame); closing the transport at that moment
+// would strand frames the hub still needs. The wait is bounded by the grace
+// window plus slack, because every path out of a broken session — resume,
+// refusal, expiry — resolves within it. Sessions without a grace window have
+// nothing to wait for: their writes either reached the socket or killed the
+// transport on the spot.
+func (t *tcpTransport) drain() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closing = true
+	if t.wire < wireVersion2 || t.grace <= 0 {
+		return
+	}
+	timedOut := false
+	timer := time.AfterFunc(t.grace+time.Second, func() {
+		t.mu.Lock()
+		timedOut = true
+		t.mu.Unlock()
+		t.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for !timedOut && t.state != tcpDead &&
+		(t.state == tcpReconnecting || len(t.send.replay) > 0) {
+		t.cond.Wait()
+	}
+}
+
+func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	t.dieLocked(errors.New("mpi: tcp transport closed"))
+	t.mu.Unlock()
+	return nil
+}
+
+// wiresTyped: a v1+ connection raw-encodes whitelisted typed payloads
 // synchronously inside Send (see wireCapable in transport.go).
-func (t *tcpTransport) wiresTyped() bool { return t.w.v1 }
+func (t *tcpTransport) wiresTyped() bool { return t.wire >= wireVersion }
 
 // defaultDialRetry is JoinTCP's dial budget when WithDialRetry is not set:
 // long enough to ride out a hub that is still binding its listener, short
@@ -759,20 +1728,43 @@ func dialHub(addr string, budget time.Duration) (net.Conn, error) {
 // for every peer; if a peer fails first, main's blocked operations return
 // ErrWorldAborted naming the failing rank.
 func JoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option) error {
-	return joinHub(addr, "", rank, np, main, opts...)
+	return joinHub(addr, "", rank, np, false, main, opts...)
 }
 
-// joinHub is the shared worker body behind JoinTCP and JoinShm: dial the
-// hub, optionally map the shared-memory segment at segPath as the data
-// plane (control frames and non-shm pairs keep the hub connection), then
-// run the start/run/done protocol.
-func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts ...Option) error {
+// RejoinTCP connects a relaunched process back into a running world as the
+// given (previously failed) rank: the worker half of respawn recovery
+// (mpirun -respawn). The hub retires the dead incarnation, re-admits the
+// rank into its old slot at the original world width, bumps the membership
+// epoch, and announces the rejoin to the survivors. The respawned main
+// starts from the beginning; its first operation fails with the retryable
+// membership-changed error, which routes it into the program's Restored +
+// checkpoint-restore path, exactly like the survivors. Requires WithRecovery
+// (or WithRespawn) here and HubRecovery on the hub.
+func RejoinTCP(addr string, rank, np int, main func(c *Comm) error, opts ...Option) error {
+	return joinHub(addr, "", rank, np, true, main, opts...)
+}
+
+// joinHub is the shared worker body behind JoinTCP, RejoinTCP, and JoinShm:
+// dial the hub, optionally map the shared-memory segment at segPath as the
+// data plane (control frames and non-shm pairs keep the hub connection),
+// then run the start/run/done protocol. respawn re-admits a previously
+// failed rank instead of registering a new one.
+func joinHub(addr, segPath string, rank, np int, respawn bool, main func(c *Comm) error, opts ...Option) error {
 	if rank < 0 || rank >= np {
 		return fmt.Errorf("%w: %d (np %d)", ErrInvalidRank, rank, np)
 	}
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if respawn {
+		// A respawned incarnation must not re-run the fault plan: the injected
+		// kill (or disconnect) that took its predecessor down has done its
+		// work, and re-injecting it would kill every relaunch deterministically.
+		cfg.faults = nil
+	}
+	if !cfg.recovery && respawn {
+		return fmt.Errorf("mpi: RejoinTCP requires WithRecovery (or WithRespawn)")
 	}
 
 	conn, err := dialHub(addr, cfg.dialRetry)
@@ -787,12 +1779,20 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 			}
 		}
 	}
-	v1 := !cfg.wireLegacy
-	wireVer := 0
-	if v1 {
-		wireVer = wireVersion
+	wireVer := wireVersion2
+	if cfg.wireLegacy {
+		wireVer = 0
 	}
-	t := &tcpTransport{conn: conn, w: newWireWriter(conn, v1)}
+	if cfg.wireCompat != nil {
+		wireVer = *cfg.wireCompat
+		if wireVer < 0 {
+			wireVer = 0
+		}
+		if wireVer > wireVersion2 {
+			wireVer = wireVersion2
+		}
+	}
+	t := newTCPTransport(addr, rank, conn, wireVer, cfg.noDelay)
 	// The data-plane transport: the hub connection alone, or the shm
 	// endpoint layered over it. The segment must be attached before the
 	// hello goes out, so every peer's sticky shm-vs-TCP routing decision —
@@ -813,23 +1813,27 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 	}
 	defer data.Close()
 
-	if err := t.w.writeHello(hello{Rank: rank, Wire: wireVer}); err != nil {
+	if err := t.w.writeHello(hello{Rank: rank, Wire: wireVer, Respawn: respawn}); err != nil {
 		return fmt.Errorf("mpi: hello to hub: %w", err)
 	}
 
 	box := newMailbox()
-	rd := newWireReader(conn)
-	rd.v1 = v1 // the hub frames its side at the version we announced
 
 	// The start frame arrives before any routed traffic. A pre-start abort
 	// (another worker failed the handshake, or formation timed out) arrives
 	// here instead of the start signal.
-	start, err := rd.readFrame()
+	start, err := t.recvFrame()
 	if err != nil {
 		return fmt.Errorf("mpi: waiting for world start: %w", err)
 	}
+	var si startInfo
 	switch start.Tag {
 	case tagStart:
+		if len(start.Data) > 0 {
+			if derr := decodeValue(start.Data, &si); derr != nil {
+				return fmt.Errorf("mpi: undecodable start signal: %w", derr)
+			}
+		}
 	case tagAbort:
 		var info abortInfo
 		if err := decodeValue(start.Data, &info); err != nil {
@@ -838,6 +1842,13 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 		return fmt.Errorf("mpi: rank %d: %w", rank, info.err())
 	default:
 		return fmt.Errorf("mpi: unexpected frame before start signal (tag %d)", start.Tag)
+	}
+	if si.SuspicionNs > 0 && wireVer >= wireVersion2 {
+		// Arm session resumption: from here on a broken connection is a
+		// reconnect-and-resume episode, not a death sentence.
+		t.mu.Lock()
+		t.grace = time.Duration(si.SuspicionNs)
+		t.mu.Unlock()
 	}
 
 	host, herr := os.Hostname()
@@ -864,7 +1875,7 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 		gate:      cfg.gate,
 		epoch:     time.Now(),
 		typed:     cfg.typedWorld(transport), // always false: both wires serialize
-		wire:      cfg.wireWorld(transport),  // v1 framing/shm: raw-encode in Send, uncopied
+		wire:      cfg.wireWorld(transport),  // v1+ framing/shm: raw-encode in Send, uncopied
 		deadline:  cfg.deadline,
 		faults:    cfg.faultT,
 	}
@@ -876,12 +1887,20 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 		// Control frames bypass the decorated transport: a fault plan that
 		// killed this rank must not also sever its recovery reporting.
 		w.recov.ctrlSend = t.Send
+		// A respawned worker starts life already in the hub's membership
+		// epoch, carrying the hub's view of the still-failed ranks: its very
+		// first operation on the stale world communicator must be interrupted
+		// into the Restored path.
+		w.recov.seedEpoch(si.Epoch, si.FailedMask)
 	}
 	if shmT != nil {
 		shmT.bind(w, box)
-		// Recovery hook: a failed peer's staging space is reclaimed and its
-		// blocked senders released the moment the failure is recorded.
+		// Recovery hooks: a failed peer's staging space is reclaimed and its
+		// blocked senders released the moment the failure is recorded; a
+		// respawned peer's pair is pinned onto the TCP fallback (the new
+		// process shares no segment with this one).
 		w.peerFailed = shmT.peerFailed
+		w.peerRejoined = shmT.peerRejoined
 		shmT.startPolling()
 		if h := shmTestHook; h != nil {
 			h(shmT)
@@ -892,9 +1911,11 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 	// broadcast revoke poisons this rank's mailbox; heartbeat pings are
 	// answered from here, so a rank stuck in user code still pongs (the
 	// heartbeat detects dead processes, WithDeadline detects stuck ranks).
+	// recvFrame rides out session resumes internally; an error here means
+	// the transport is dead for good.
 	go func() {
 		for {
-			f, err := rd.readFrame()
+			f, err := t.recvFrame()
 			if err != nil {
 				w.abort(fmt.Errorf("mpi: rank %d: connection to hub lost: %w", rank, err))
 				box.close()
@@ -911,6 +1932,11 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 				var info abortInfo
 				if err := decodeValue(f.Data, &info); err == nil && w.recov != nil {
 					w.rankFailed(info.Rank, fmt.Errorf("%w: rank %d: %s", ErrRankFailed, info.Rank, info.Msg))
+				}
+			case tagRejoin:
+				var info rejoinInfo
+				if err := decodeValue(f.Data, &info); err == nil && w.recov != nil {
+					w.rankRejoined(info.Rank, info.Epoch)
 				}
 			case tagAgreeResp:
 				var resp agreeResp
@@ -932,6 +1958,9 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 	runErr := runRank(w, rank, main)
 	if runErr == nil {
 		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+		// Settle the session before the deferred Close tears it down: a rank
+		// that only ever sent may owe the hub its whole unacknowledged tail.
+		t.drain()
 		return nil
 	}
 	if errors.Is(runErr, ErrWorldAborted) {
@@ -950,6 +1979,7 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 			_ = t.Send(frame{Dst: ctrlDst, Tag: tagFailed, Data: data})
 		}
 		_ = t.Send(frame{Dst: ctrlDst, Tag: tagDone})
+		t.drain() // the failure report must not be stranded mid-resume
 		return runErr
 	}
 	// This rank originated the failure: revoke locally (unblocks any of its
@@ -968,7 +1998,9 @@ func joinHub(addr, segPath string, rank, np int, main func(c *Comm) error, opts 
 // loopback TCP hub, all within the calling process: functionally Run, but
 // exercising the real network transport. It is the single-machine analogue
 // of a cluster job and the transport the ablation benchmarks compare
-// against the in-process one.
+// against the in-process one. Under WithRespawn, a failed rank is
+// relaunched (via RejoinTCP semantics) into its old slot at the original
+// world width.
 func RunTCP(np int, main func(c *Comm) error, opts ...Option) error {
 	return runHub(np, "", main, opts...)
 }
@@ -997,7 +2029,25 @@ func runHub(np int, segPath string, main func(c *Comm) error, opts ...Option) er
 	for rank := 0; rank < np; rank++ {
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = joinHub(hub.Addr(), segPath, rank, np, main, opts...)
+			err := joinHub(hub.Addr(), segPath, rank, np, false, main, opts...)
+			if cfg.respawn {
+				// Respawn supervision: relaunch the dead rank into its old
+				// slot. The rejoin is pure TCP even on shm worlds — a
+				// respawned process shares no segment with the survivors, and
+				// the hub's rejoin broadcast pins the survivors' pairs to it
+				// onto the TCP fallback.
+				for attempt := 1; err != nil && !errors.Is(err, ErrWorldAborted) &&
+					attempt <= maxRespawnsPerRank; attempt++ {
+					select {
+					case <-hub.finished:
+						errs[rank] = err
+						return
+					default:
+					}
+					err = joinHub(hub.Addr(), "", rank, np, true, main, opts...)
+				}
+			}
+			errs[rank] = err
 		}(rank)
 	}
 	wg.Wait()

@@ -2,9 +2,11 @@ package mpi
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -26,6 +28,25 @@ var le = binary.LittleEndian
 //	         Ctx int64 | Src int32 | WSrc int32 | Dst int32 | Tag int32 |
 //	         raw kind byte | payload length uint32 | payload bytes
 //
+// Version 2 turns the connection into a resumable *session* (session.go):
+// every data frame carries a uint64 sequence number between the kind byte
+// and the body, raw frames append a CRC32C to the header, and a third kind —
+// kindAck — carries the receiver's cumulative acknowledgement:
+//
+//	kindGob  seq uint64 | one gob-encoded frame
+//	kindRaw  seq uint64 | v1 header | crc32c uint32 | payload bytes
+//	kindAck  ack uint64                      (not sequenced, never replayed)
+//
+// The CRC covers the fixed header plus the payload — in full for payloads up
+// to 2*crcWindow, and the first and last crcWindow bytes for larger ones. A
+// bounded window keeps the integrity check off the large-message critical
+// path (a full CRC over a 1 MiB payload costs ~25% of the ping-pong; the
+// windows cost ~3%) while still catching header corruption, truncation, and
+// bit flips near either end; the benchlab resilience pin enforces the ≤5%
+// budget. Corruption detected by the reader surfaces as *CorruptFrameError,
+// which the session layer treats like a broken connection: tear down,
+// resume, retransmit the clean captured copy.
+//
 // Interleaving raw bytes with a live gob stream is safe because the decoder
 // reads from a *bufio.Reader: gob consumes exactly one message's bytes via
 // the io.ByteReader interface and never reads ahead, so the next byte after
@@ -39,15 +60,47 @@ var le = binary.LittleEndian
 // value); now every frame — header, payload, all of it — leaves in one
 // write. Heartbeat and control frames take the same writeFrame path, so they
 // flush promptly by construction.
-const wireVersion = 1
+const (
+	wireVersion  = 1 // kind-byte framing
+	wireVersion2 = 2 // + sequence numbers, CRC32C, resumable sessions
+)
 
 const (
 	kindGob byte = 0x67 // 'g'
 	kindRaw byte = 0x72 // 'r'
+	kindAck byte = 0x61 // 'a' (v2 only)
 )
 
 // rawHeaderLen is the fixed header that follows a kindRaw byte.
 const rawHeaderLen = 8 + 4 + 4 + 4 + 4 + 1 + 4
+
+const (
+	seqLen = 8
+	crcLen = 4
+	// v2RawPrefixLen is everything before a v2 raw frame's payload.
+	v2RawPrefixLen = 1 + seqLen + rawHeaderLen + crcLen
+	// v2GobPrefixLen is everything before a v2 gob frame's encoded bytes.
+	v2GobPrefixLen = 1 + seqLen
+)
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on amd64 and
+// arm64, the same choice iSCSI and ext4 made.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWindow bounds the CRC's payload coverage: payloads up to 2*crcWindow
+// are covered in full; larger ones contribute their first and last window.
+const crcWindow = 64 << 10
+
+// payloadCRC computes a frame's checksum over its fixed header and the
+// bounded payload coverage.
+func payloadCRC(hdr, payload []byte) uint32 {
+	c := crc32.Update(0, crcTable, hdr)
+	if len(payload) <= 2*crcWindow {
+		return crc32.Update(c, crcTable, payload)
+	}
+	c = crc32.Update(c, crcTable, payload[:crcWindow])
+	return crc32.Update(c, crcTable, payload[len(payload)-crcWindow:])
+}
 
 // maxRawFrame bounds the payload length a reader will believe: a corrupted
 // or adversarial stream must produce an error, not a giant allocation.
@@ -60,17 +113,44 @@ const wireBufSize = 64 << 10
 
 // wireWriter is the sending half of one connection: a buffered writer with
 // a persistent gob encoder layered on top, flushed once per frame.
+//
+// A v2 writer's gob encoder targets gobBuf instead of the connection, so the
+// session layer can capture a frame's exact bytes for replay — the encoder
+// (and its type-descriptor state) survives connection swaps, which is what
+// makes resuming a half-spoken gob stream on a fresh TCP connection sound.
 type wireWriter struct {
 	bw  *bufio.Writer
 	enc *gob.Encoder
 	v1  bool // peer understands kind-byte framing
+	v2  bool // peer speaks sessions (seq + CRC + ack)
 	hdr [1 + rawHeaderLen]byte
+
+	gobBuf bytes.Buffer // v2: per-frame gob staging
+	hdr2   [v2RawPrefixLen]byte
+
+	// corruptNext makes the next raw frame leave the writer with one payload
+	// bit flipped — on the wire only, never in the captured replay copy. The
+	// FaultCorrupt injector arms it to prove the CRC catches real bit rot.
+	corruptNext bool
 }
 
-func newWireWriter(w io.Writer, v1 bool) *wireWriter {
+func newWireWriter(w io.Writer, ver int) *wireWriter {
 	bw := bufio.NewWriterSize(w, wireBufSize)
-	return &wireWriter{bw: bw, enc: gob.NewEncoder(bw), v1: v1}
+	ww := &wireWriter{bw: bw, v1: ver >= wireVersion, v2: ver >= wireVersion2}
+	if ww.v2 {
+		ww.enc = gob.NewEncoder(&ww.gobBuf)
+	} else {
+		ww.enc = gob.NewEncoder(bw)
+	}
+	return ww
 }
+
+// resetConn points the buffered writer at a new connection after a session
+// resume. The gob encoder's state is unaffected (v2 encoders never write to
+// the connection directly).
+func (w *wireWriter) resetConn(c io.Writer) { w.bw.Reset(c) }
+
+func (w *wireWriter) flush() error { return w.bw.Flush() }
 
 // writeHello sends the connection's opening handshake (no kind byte: the
 // hello predates the version agreement by definition).
@@ -78,10 +158,18 @@ func (w *wireWriter) writeHello(hi hello) error {
 	if err := w.enc.Encode(hi); err != nil {
 		return err
 	}
+	if w.v2 {
+		if _, err := w.bw.Write(w.gobBuf.Bytes()); err != nil {
+			return err
+		}
+		w.gobBuf.Reset()
+	}
 	return w.bw.Flush()
 }
 
-// writeFrame sends one frame and flushes it to the connection. Typed
+// writeFrame sends one frame and flushes it to the connection — the v0/v1
+// path. v2 connections go through encodeFrame/writeEncoded (captured) or
+// writeFrameDirect (streamed) so the session layer owns replay. Typed
 // payloads (frame.Val) that are raw-encodable travel as kindRaw; everything
 // else is gob-encoded here — including typed payloads outside the raw
 // whitelist, so an in-memory value can never leak onto the wire unencoded.
@@ -175,13 +263,164 @@ func (w *wireWriter) writeRawData(f frame) error {
 func (w *wireWriter) putHeader(f frame, kind byte, payloadLen int) {
 	h := w.hdr[:]
 	h[0] = kindRaw
-	le.PutUint64(h[1:], uint64(f.Ctx))
-	le.PutUint32(h[9:], uint32(int32(f.Src)))
-	le.PutUint32(h[13:], uint32(int32(f.WSrc)))
-	le.PutUint32(h[17:], uint32(int32(f.Dst)))
-	le.PutUint32(h[21:], uint32(int32(f.Tag)))
-	h[25] = kind
-	le.PutUint32(h[26:], uint32(payloadLen))
+	putRawCore(h[1:], f, kind, payloadLen)
+}
+
+// putRawCore fills the fixed rawHeaderLen-byte header (addressing, raw kind,
+// payload length) shared by the v1 and v2 layouts.
+func putRawCore(h []byte, f frame, kind byte, payloadLen int) {
+	le.PutUint64(h[0:], uint64(f.Ctx))
+	le.PutUint32(h[8:], uint32(int32(f.Src)))
+	le.PutUint32(h[12:], uint32(int32(f.WSrc)))
+	le.PutUint32(h[16:], uint32(int32(f.Dst)))
+	le.PutUint32(h[20:], uint32(int32(f.Tag)))
+	h[24] = kind
+	le.PutUint32(h[25:], uint32(payloadLen))
+}
+
+// rawPayloadSize reports the raw-encoded payload length for a frame that
+// would travel as kindRaw, or -1 for frames that gob-encode.
+func rawPayloadSize(f frame) int {
+	if f.HasVal && headerRanksFit(f) {
+		if _, ok := rawKindOf(f.Val); ok {
+			return rawSizeOf(f.Val)
+		}
+	}
+	if f.Raw != rawNone {
+		return len(f.Data)
+	}
+	return -1
+}
+
+// encodeFrame renders one v2 frame — kind byte, sequence, header, CRC,
+// payload — into a pooled buffer and returns it. The caller (the session
+// layer) owns the buffer: it is written with writeEncoded, kept for replay,
+// and released via putWireBuf once the peer acks past seq.
+func (w *wireWriter) encodeFrame(f frame, seq uint64) ([]byte, error) {
+	if f.HasVal && headerRanksFit(f) {
+		if kind, ok := rawKindOf(f.Val); ok {
+			n := rawSizeOf(f.Val)
+			buf := getWireBuf(v2RawPrefixLen + n)
+			if view, ok := rawBytesView(f.Val); ok {
+				copy(buf[v2RawPrefixLen:], view)
+			} else {
+				rawEncode(buf[v2RawPrefixLen:], f.Val)
+			}
+			putV2RawPrefix(buf, f, kind, seq, n)
+			return buf, nil
+		}
+	}
+	if f.Raw != rawNone {
+		n := len(f.Data)
+		buf := getWireBuf(v2RawPrefixLen + n)
+		copy(buf[v2RawPrefixLen:], f.Data)
+		putV2RawPrefix(buf, f, f.Raw, seq, n)
+		return buf, nil
+	}
+	if f.HasVal {
+		data, err := encodeValue(f.Val)
+		if err != nil {
+			return nil, err
+		}
+		f.Data, f.Val, f.HasVal = data, nil, false
+	}
+	w.gobBuf.Reset()
+	if err := w.enc.Encode(f); err != nil {
+		return nil, err
+	}
+	gb := w.gobBuf.Bytes()
+	buf := getWireBuf(v2GobPrefixLen + len(gb))
+	buf[0] = kindGob
+	le.PutUint64(buf[1:], seq)
+	copy(buf[v2GobPrefixLen:], gb)
+	w.gobBuf.Reset()
+	return buf, nil
+}
+
+// putV2RawPrefix fills a captured v2 raw frame's prefix in place; the
+// payload must already be at buf[v2RawPrefixLen:].
+func putV2RawPrefix(buf []byte, f frame, kind byte, seq uint64, n int) {
+	buf[0] = kindRaw
+	le.PutUint64(buf[1:], seq)
+	h := buf[1+seqLen:]
+	putRawCore(h, f, kind, n)
+	crc := payloadCRC(h[:rawHeaderLen], buf[v2RawPrefixLen:])
+	le.PutUint32(h[rawHeaderLen:], crc)
+}
+
+// writeEncoded puts one captured v2 frame on the wire, without flushing. An
+// armed corruption flips the last payload byte's low bit in transit — the
+// captured copy stays pristine, which is exactly what lets the retransmit
+// after the CRC failure deliver clean bytes.
+func (w *wireWriter) writeEncoded(buf []byte) error {
+	if w.corruptNext && buf[0] == kindRaw && len(buf) > v2RawPrefixLen {
+		w.corruptNext = false
+		if _, err := w.bw.Write(buf[:len(buf)-1]); err != nil {
+			return err
+		}
+		return w.bw.WriteByte(buf[len(buf)-1] ^ 0x01)
+	}
+	_, err := w.bw.Write(buf)
+	return err
+}
+
+// writeFrameDirect streams one large raw v2 frame without capturing it: the
+// payload goes straight from the caller's backing array (or a pooled
+// scratch), exactly like the v1 fast path. The caller records the sequence
+// as a replay gap. Does not flush.
+func (w *wireWriter) writeFrameDirect(f frame, seq uint64) error {
+	var kind byte
+	var payload, scratch []byte
+	if f.Raw != rawNone {
+		kind, payload = f.Raw, f.Data
+	} else {
+		k, ok := rawKindOf(f.Val)
+		if !ok {
+			return fmt.Errorf("mpi: writeFrameDirect on a non-raw frame (tag %d)", f.Tag)
+		}
+		kind = k
+		if view, ok := rawBytesView(f.Val); ok {
+			payload = view
+		} else {
+			scratch = getWireBuf(rawSizeOf(f.Val))
+			rawEncode(scratch, f.Val)
+			payload = scratch
+		}
+	}
+	h := w.hdr2[:]
+	h[0] = kindRaw
+	le.PutUint64(h[1:], seq)
+	core := h[1+seqLen:]
+	putRawCore(core, f, kind, len(payload))
+	le.PutUint32(core[rawHeaderLen:], payloadCRC(core[:rawHeaderLen], payload))
+	_, err := w.bw.Write(h)
+	if err == nil && len(payload) > 0 {
+		if w.corruptNext {
+			w.corruptNext = false
+			if _, err = w.bw.Write(payload[:len(payload)-1]); err == nil {
+				err = w.bw.WriteByte(payload[len(payload)-1] ^ 0x01)
+			}
+		} else {
+			_, err = w.bw.Write(payload)
+		}
+	}
+	if scratch != nil {
+		putWireBuf(scratch)
+	}
+	return err
+}
+
+// writeAck sends a cumulative receive acknowledgement and flushes. Acks are
+// not sequenced and never replayed: a lost ack just means the peer trims a
+// little later.
+func (w *wireWriter) writeAck(seq uint64) error {
+	var b [1 + seqLen]byte
+	b[0] = kindAck
+	le.PutUint64(b[1:], seq)
+	if _, err := w.bw.Write(b[:]); err != nil {
+		return err
+	}
+	return w.bw.Flush()
 }
 
 // headerRanksFit reports whether the frame's addressing fields survive the
@@ -194,18 +433,30 @@ func headerRanksFit(f frame) bool {
 func fitsInt32(v int) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
 
 // wireReader is the receiving half: a buffered reader with a persistent gob
-// decoder, demultiplexing kind bytes when the peer speaks v1.
+// decoder, demultiplexing kind bytes when the peer speaks v1 and sequence
+// numbers, CRCs, and acks when it speaks v2.
 type wireReader struct {
 	br  *bufio.Reader
 	dec *gob.Decoder
 	v1  bool
-	hdr [rawHeaderLen]byte
+	v2  bool
+	hdr [rawHeaderLen + crcLen]byte
+
+	// onAck receives the peer's cumulative acks (v2); the session layer uses
+	// it to trim the replay buffer. Called from the reading goroutine.
+	onAck func(uint64)
 }
 
 func newWireReader(r io.Reader) *wireReader {
 	br := bufio.NewReaderSize(r, wireBufSize)
 	return &wireReader{br: br, dec: gob.NewDecoder(br)}
 }
+
+// resetConn points the buffered reader at a new connection after a session
+// resume. The caller must guarantee no read is in flight. The gob decoder
+// keeps its type-descriptor state — it reads through br and survives the
+// swap, matching the sender's persistent encoder.
+func (r *wireReader) resetConn(c io.Reader) { r.br.Reset(c) }
 
 // readHello reads the connection's opening handshake.
 func (r *wireReader) readHello() (hello, error) {
@@ -214,51 +465,88 @@ func (r *wireReader) readHello() (hello, error) {
 	return hi, err
 }
 
-// readFrame reads one frame. Raw payloads land in a pooled buffer
-// (frame.Data, flagged by frame.Raw); the consumer returns it via
-// frame.release or decodeInto.
-func (r *wireReader) readFrame() (frame, error) {
+// readFrame reads one frame, returning its sequence number (0 on pre-v2
+// streams). Raw payloads land in a pooled buffer (frame.Data, flagged by
+// frame.Raw); the consumer returns it via frame.release or decodeInto. Acks
+// are consumed internally via onAck. A CRC mismatch returns
+// *CorruptFrameError; the stream position is past the frame, but the session
+// layer tears the connection down rather than trusting anything after it.
+func (r *wireReader) readFrame() (frame, uint64, error) {
 	if !r.v1 {
 		var f frame
 		err := r.dec.Decode(&f)
+		return f, 0, err
+	}
+	for {
+		kind, err := r.br.ReadByte()
+		if err != nil {
+			return frame{}, 0, err
+		}
+		var seq uint64
+		if r.v2 {
+			var sb [seqLen]byte
+			if _, err := io.ReadFull(r.br, sb[:]); err != nil {
+				return frame{}, 0, err
+			}
+			seq = le.Uint64(sb[:])
+			if kind == kindAck {
+				if r.onAck != nil {
+					r.onAck(seq)
+				}
+				continue
+			}
+		}
+		switch kind {
+		case kindGob:
+			var f frame
+			err := r.dec.Decode(&f)
+			return f, seq, err
+		case kindRaw:
+			f, err := r.readRawBody(seq)
+			return f, seq, err
+		default:
+			return frame{}, seq, fmt.Errorf("mpi: unknown wire frame kind 0x%02x", kind)
+		}
+	}
+}
+
+// readRawBody reads a raw frame's header (+CRC on v2) and payload.
+func (r *wireReader) readRawBody(seq uint64) (frame, error) {
+	// The raw branch keeps its frame variable to itself: sharing one
+	// across the gob branches would let Decode's &f force a heap
+	// allocation here too, breaking the zero-alloc receive loop.
+	var f frame
+	hlen := rawHeaderLen
+	if r.v2 {
+		hlen += crcLen
+	}
+	if _, err := io.ReadFull(r.br, r.hdr[:hlen]); err != nil {
 		return f, err
 	}
-	kind, err := r.br.ReadByte()
-	if err != nil {
-		return frame{}, err
+	h := r.hdr[:]
+	n := int(le.Uint32(h[25:]))
+	if n > maxRawFrame {
+		return f, fmt.Errorf("mpi: raw frame announces %d payload bytes (corrupt stream?)", n)
 	}
-	switch kind {
-	case kindGob:
-		var f frame
-		err := r.dec.Decode(&f)
+	f.Ctx = int64(le.Uint64(h[0:]))
+	f.Src = int(int32(le.Uint32(h[8:])))
+	f.WSrc = int(int32(le.Uint32(h[12:])))
+	f.Dst = int(int32(le.Uint32(h[16:])))
+	f.Tag = int(int32(le.Uint32(h[20:])))
+	f.Raw = h[24]
+	payload := getWireBuf(n)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		putWireBuf(payload)
 		return f, err
-	case kindRaw:
-		// The raw branch keeps its frame variable to itself: sharing one
-		// across the gob branches would let Decode's &f force a heap
-		// allocation here too, breaking the zero-alloc receive loop.
-		var f frame
-		if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
-			return f, err
-		}
-		h := r.hdr[:]
-		n := int(le.Uint32(h[25:]))
-		if n > maxRawFrame {
-			return f, fmt.Errorf("mpi: raw frame announces %d payload bytes (corrupt stream?)", n)
-		}
-		f.Ctx = int64(le.Uint64(h[0:]))
-		f.Src = int(int32(le.Uint32(h[8:])))
-		f.WSrc = int(int32(le.Uint32(h[12:])))
-		f.Dst = int(int32(le.Uint32(h[16:])))
-		f.Tag = int(int32(le.Uint32(h[20:])))
-		f.Raw = h[24]
-		payload := getWireBuf(n)
-		if _, err := io.ReadFull(r.br, payload); err != nil {
+	}
+	if r.v2 {
+		want := le.Uint32(h[rawHeaderLen:])
+		if got := payloadCRC(h[:rawHeaderLen], payload); got != want {
+			cerr := &CorruptFrameError{Seq: seq, Src: f.WSrc, Dst: f.Dst, Tag: f.Tag, Want: want, Got: got}
 			putWireBuf(payload)
-			return f, err
+			return f, cerr
 		}
-		f.Data = payload
-		return f, nil
-	default:
-		return frame{}, fmt.Errorf("mpi: unknown wire frame kind 0x%02x", kind)
 	}
+	f.Data = payload
+	return f, nil
 }

@@ -81,7 +81,7 @@ func TestRawDecodeIntoReusesBacking(t *testing.T) {
 // a connection with control traffic.
 func TestWireInterleavedFrames(t *testing.T) {
 	var conn bytes.Buffer
-	w := newWireWriter(&conn, true)
+	w := newWireWriter(&conn, wireVersion)
 	rd := newWireReader(&conn)
 	rd.v1 = true
 
@@ -103,7 +103,7 @@ func TestWireInterleavedFrames(t *testing.T) {
 	}
 
 	var s string
-	f0, err := rd.readFrame()
+	f0, _, err := rd.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestWireInterleavedFrames(t *testing.T) {
 		t.Fatalf("frame 0: %q, %v", s, err)
 	}
 
-	f1, err := rd.readFrame()
+	f1, _, err := rd.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestWireInterleavedFrames(t *testing.T) {
 		t.Fatalf("frame 1: %v, %v", gotF, err)
 	}
 
-	f2, err := rd.readFrame()
+	f2, _, err := rd.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestWireInterleavedFrames(t *testing.T) {
 		t.Fatalf("frame 2: %v, %v", gotI, err)
 	}
 
-	f3, err := rd.readFrame()
+	f3, _, err := rd.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestWireInterleavedFrames(t *testing.T) {
 // numeric conversion rules — rather than erroring or bit-casting.
 func TestWireMismatchFallsBackToGob(t *testing.T) {
 	var conn bytes.Buffer
-	w := newWireWriter(&conn, true)
+	w := newWireWriter(&conn, wireVersion)
 	rd := newWireReader(&conn)
 	rd.v1 = true
 
@@ -158,7 +158,7 @@ func TestWireMismatchFallsBackToGob(t *testing.T) {
 	if err := w.writeFrame(frame{Ctx: 1, Tag: 1, Val: sent, HasVal: true}); err != nil {
 		t.Fatal(err)
 	}
-	f, err := rd.readFrame()
+	f, _, err := rd.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestWireMismatchFallsBackToGob(t *testing.T) {
 // unframed reader consumes it.
 func TestWireLegacyWriterConverts(t *testing.T) {
 	var conn bytes.Buffer
-	w := newWireWriter(&conn, false) // legacy peer: no kind bytes on this stream
+	w := newWireWriter(&conn, 0) // legacy peer: no kind bytes on this stream
 	rd := newWireReader(&conn)       // rd.v1 stays false
 
 	ints := []int{9, 8, -7}
@@ -185,7 +185,7 @@ func TestWireLegacyWriterConverts(t *testing.T) {
 	if err := w.writeFrame(frame{Ctx: 2, Src: 1, Dst: 0, Tag: 9, Data: raw, Raw: rawInt}); err != nil {
 		t.Fatal(err)
 	}
-	f, err := rd.readFrame()
+	f, _, err := rd.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestWireRawSendZeroAlloc(t *testing.T) {
 	defer pr.Close()
 	defer pw.Close()
 
-	w := newWireWriter(pw, true)
+	w := newWireWriter(pw, wireVersion)
 	rd := newWireReader(pr)
 	rd.v1 = true
 
@@ -245,7 +245,7 @@ func TestWireRawSendZeroAlloc(t *testing.T) {
 			loopErr = err
 			return
 		}
-		g, err := rd.readFrame()
+		g, _, err := rd.readFrame()
 		if err != nil {
 			loopErr = err
 			return

@@ -38,8 +38,11 @@ type World struct {
 
 	// peerFailed, when set, is called once per rank recorded failed under
 	// recovery: the shm transport uses it to reclaim the dead rank's
-	// staging space and release blocked senders.
-	peerFailed func(rank int)
+	// staging space and release blocked senders. peerRejoined is its
+	// respawn counterpart: the shm transport pins the pair to a rejoined
+	// rank onto the TCP fallback (the respawned process shares no segment).
+	peerFailed   func(rank int)
+	peerRejoined func(rank int)
 }
 
 // Option configures a Run.
@@ -55,6 +58,8 @@ type config struct {
 	faults       *FaultPlan
 	faultReport  *FaultReport
 	recovery     bool
+	respawn      bool // relaunch failed ranks into their old slots
+	wireCompat   *int // force a specific TCP wire version (benchmarks/ablation)
 	dialRetry    time.Duration             // JoinTCP dial budget; 0 = default, <0 = single attempt
 	hubOpts      []HubOption               // consumed by RunTCP's internal hub
 	noDelay      *bool                     // WithTCPNoDelay; nil leaves the platform default
@@ -124,6 +129,41 @@ func WithLatency(d func(src, dst int) time.Duration) Option {
 // VM make progress but show no speedup.
 func WithComputeGate(gate func(fn func())) Option {
 	return func(c *config) { c.gate = gate }
+}
+
+// maxRespawnsPerRank bounds how many times the launcher relaunches one
+// rank before giving up on it: a rank that dies deterministically on every
+// attempt must eventually be abandoned to the shrink path rather than
+// respawned forever.
+const maxRespawnsPerRank = 3
+
+// WithRespawn opts the world into respawn recovery (implies WithRecovery):
+// a rank that fails is relaunched into its old slot — same rank number, at
+// the original world width — and the survivors re-form through
+// Comm.Restored instead of Shrink. The launcher (Run, RunTCP, RunShm, or
+// mpirun -respawn) supervises the relaunching; each rank is retried at most
+// maxRespawnsPerRank times. The respawned rank starts main from the
+// beginning: its first operation fails with the retryable membership-changed
+// error, which routes it into the program's recovery path (Restored +
+// checkpoint restore), exactly like the survivors.
+func WithRespawn() Option {
+	return func(c *config) {
+		c.recovery = true
+		c.respawn = true
+	}
+}
+
+// WithWireCompat forces the TCP wire protocol to at most the given version:
+// 0 = the original pure-gob stream, 1 = kind-byte typed framing, 2 (the
+// default) = resilient sessions with sequence numbers and CRC32C frame
+// integrity. Real programs have no reason to downgrade; the interop tests
+// and the resilience-overhead benchmark use it to measure what each layer
+// costs against the same build.
+func WithWireCompat(version int) Option {
+	return func(c *config) {
+		v := version
+		c.wireCompat = &v
+	}
 }
 
 // WithSerialization forces every message through the gob encode/decode
@@ -197,6 +237,25 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 		go func(rank int) {
 			defer wg.Done()
 			err := runRank(w, rank, main)
+			if cfg.respawn {
+				// Respawn supervision: record the failure (interrupting the
+				// survivors), clear any injected kill, restore the rank to
+				// the membership, and relaunch main into the same slot. The
+				// relaunched rank's first operation routes it into the
+				// program's Restored + checkpoint-restore path.
+				for attempt := 1; err != nil && !errors.Is(err, ErrWorldAborted) &&
+					attempt <= maxRespawnsPerRank; attempt++ {
+					w.rankFailed(rank, err)
+					if w.abortErr() != nil {
+						break
+					}
+					if w.faults != nil {
+						w.faults.revive(rank)
+					}
+					w.rankRejoined(rank, -1)
+					err = runRank(w, rank, main)
+				}
+			}
 			if err == nil {
 				return
 			}

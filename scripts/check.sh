@@ -12,6 +12,21 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Static analysis beyond go vet: staticcheck, pinned by version so every
+# machine runs the same checker. The gate must also pass on an offline
+# sandbox (this repo's usual CI container has no network), so probe with
+# GOPROXY=off — a PATH binary or a warm module cache runs it, anything
+# else skips loudly instead of hanging on a fetch.
+STATICCHECK=honnef.co/go/tools/cmd/staticcheck@2025.1
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+elif GOPROXY=off go run "$STATICCHECK" -version >/dev/null 2>&1; then
+  GOPROXY=off go run "$STATICCHECK" ./...
+else
+  echo "check.sh: staticcheck unavailable offline; skipping (go install $STATICCHECK)" >&2
+fi
+
 go test -race -timeout 300s ./...
 
 # Run the failure suite (abort propagation, deadlines, fault injection, TCP
@@ -61,9 +76,28 @@ go test -race -timeout 180s -count=1 \
   -run 'TestShm|TestDeadlineOverShm' ./internal/mpi/
 go test -race -timeout 180s -count=1 -run 'TestShm' ./cmd/mpirun/
 
+# The self-healing layer: resilient sessions (a severed socket redialed
+# inside the suspicion window, the hub replaying from the last acked
+# sequence number), CRC frame integrity (corruption healed by retransmit
+# or surfaced as a CorruptFrameError, never a silently wrong result), and
+# respawn back to full width. The disconnect/corrupt faults run -count=3
+# as a small soak: the reconnect-vs-traffic interleaving is timing-
+# dependent, and a single lucky pass proves nothing about the race.
+go test -race -timeout 240s -count=3 \
+  -run 'TestDisconnectFault|TestCorruptFault' ./internal/mpi/
+go test -race -timeout 180s -count=1 \
+  -run 'TestSession|TestWireCRC|TestRecvSession|TestRespawn|TestRestored|TestDisconnectWithoutSuspicion' \
+  ./internal/mpi/
+go test -race -timeout 240s -count=1 -run 'TestRespawn' ./cmd/mpirun/
+
 # The recovery machinery must be free when unused: interleaved best-of-5
 # ping-pongs, plain world vs inert WithRecovery world, pinned at <= 2%.
 go run ./cmd/benchlab -recoverpin
+
+# Resilient sessions must stay close to free too: wire v2 (sequence
+# numbers + replay buffer + CRC32C) vs plain typed framing on a 1 MiB TCP
+# ping-pong, pinned at <= 5%.
+go run ./cmd/benchlab -sessionpin
 
 # Vector/framing benchmark smoke: fewest sizes, one round, no pin
 # enforcement — proves the -vecbench harness itself still runs end to end

@@ -4,7 +4,7 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt staticcheck
+.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt bench-hier staticcheck
 
 check:
 	./scripts/check.sh
@@ -55,3 +55,11 @@ bench-vec:
 # with the 3x shm-over-TCP pins enforced.
 bench-shmt:
 	go run ./cmd/benchlab -shmtbench
+
+# Topology-aware collectives on the modeled 2-node Beowulf cluster: flat vs
+# two-level allreduce across payload sizes, scalar collective latency, and
+# the forestfire communication/computation overlap, merged into
+# BENCH_mpi.json with the 1.5x (1 MiB allreduce) and 1.2x (overlap) pins
+# enforced.
+bench-hier:
+	go run ./cmd/benchlab -hierbench

@@ -47,6 +47,8 @@ func main() {
 		vecquick  = flag.Bool("vecbench-quick", false, "abbreviated -vecbench smoke: fewest sizes, one round, no pin enforcement")
 		shmtbench = flag.Bool("shmtbench", false, "run the shared-memory transport benchmarks (shm vs TCP, eager/rendezvous crossover), merge into BENCH_mpi.json, and enforce the speedup pins")
 		shmtquick = flag.Bool("shmtbench-quick", false, "abbreviated -shmtbench smoke: fewest sizes, one round, no pin enforcement")
+		hierbench = flag.Bool("hierbench", false, "run the topology-aware collective benchmarks (flat vs two-level, forestfire overlap) on a modeled 2-node platform, merge into BENCH_mpi.json, and enforce the speedup pins")
+		hierquick = flag.Bool("hierbench-quick", false, "abbreviated -hierbench smoke: fewest sizes, one round, no pin enforcement")
 	)
 	flag.Parse()
 
@@ -70,6 +72,12 @@ func main() {
 	}
 	if *shmtbench || *shmtquick {
 		if err := runShmtBench(*mpiout, *shmtquick); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *hierbench || *hierquick {
+		if err := runHierBench(*mpiout, *hierquick); err != nil {
 			fail(err)
 		}
 		return

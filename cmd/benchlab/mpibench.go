@@ -85,6 +85,9 @@ type mpiBenchReport struct {
 	// ShmTransport is the cross-process shared-memory data-plane section,
 	// written by -shmtbench (shmtbench.go) and preserved likewise.
 	ShmTransport *shmtBenchReport `json:"shm_transport,omitempty"`
+	// Hier is the topology-aware collective section, written by -hierbench
+	// (hierbench.go) and preserved likewise.
+	Hier *hierBenchReport `json:"hier,omitempty"`
 	Iterations   int              `json:"iterations"`
 	NP           int              `json:"np"`
 	Timestamp    string           `json:"timestamp"`

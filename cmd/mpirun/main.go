@@ -8,6 +8,8 @@
 //	mpirun -np 4 -transport tcp mpiRing         # loopback TCP transport
 //	mpirun -np 4 -transport procs mpiRing       # one OS process per rank
 //	mpirun -np 4 -transport shm mpiRing         # OS processes + shared-memory rings
+//	mpirun -np 8 -topology 2x4 forestfire       # model 2 nodes × 4 slots: two-level collectives
+//	mpirun -np 8 -topology 2x4 -hier off mpiRing # same placement, flat algorithms
 //	mpirun -np 4 -deadline 5s mpiRing           # diagnose stalls, don't hang
 //	mpirun -np 8 forestfire | drugdesign | integration
 //	mpirun -np 4 -recover -kill-rank 2 forestfire   # survive the kill, exit 0
@@ -42,6 +44,15 @@
 // that had to degrade to shrink-and-continue exits 3. Each rank is
 // relaunched at most three times before the job falls back to the
 // survivors.
+//
+// -topology NxM places the np ranks blockwise on N modeled nodes of M slots
+// each (rank r lands on node r/M) and publishes the placement to the
+// runtime, which switches its collectives to the two-level hierarchical
+// schedules: intra-node phases stay on the cheap transport and only one
+// leader per node crosses the node boundary. -hier picks the selection
+// policy — auto (hierarchy when the topology is multi-node with co-located
+// ranks), on, or off. -topology is mutually exclusive with -platform, which
+// carries its own placement.
 //
 // -suspicion D arms resilient TCP sessions on the hub transports (tcp,
 // procs, shm): a worker whose connection merely breaks is suspected for up
@@ -93,6 +104,8 @@ const (
 	envKillAfter = "MPIRUN_KILL_AFTER"
 	envShmSeg    = "MPIRUN_SHM"
 	envShmEager  = "MPIRUN_SHM_EAGER"
+	envTopology  = "MPIRUN_TOPOLOGY"
+	envHier      = "MPIRUN_HIER"
 )
 
 // Exit codes (see the package comment).
@@ -143,10 +156,12 @@ func main() {
 		killRank    = flag.Int("kill-rank", -1, "fault injection: kill this rank (requires -recover to survive it)")
 		killAfter   = flag.Int("kill-after", 0, "fault injection: let the victim's first N sends through before the kill")
 		shmEager    = flag.Int("shm-eager", -1, "shm transport: largest payload (bytes) sent eagerly through the ring; larger payloads rendezvous through staged blocks (0 forces rendezvous, -1 keeps the default)")
+		topology    = flag.String("topology", "", "model an NxM cluster: place the np ranks blockwise on N nodes of M slots each, enabling topology-aware two-level collectives (mutually exclusive with -platform)")
+		hier        = flag.String("hier", "auto", "hierarchical collective selection: auto (two-level when the topology is multi-node with co-located ranks), on, or off")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs|shm] [-deadline D] [-shm-eager B] [-suspicion D] [-recover|-respawn [-kill-rank R]] <program>")
+		fmt.Fprintln(os.Stderr, "usage: mpirun -np N [-platform P] [-transport local|tcp|procs|shm] [-topology NxM] [-hier auto|on|off] [-deadline D] [-shm-eager B] [-suspicion D] [-recover|-respawn [-kill-rank R]] <program>")
 		os.Exit(exitUsage)
 	}
 	prog := flag.Arg(0)
@@ -159,8 +174,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpirun: -recover/-respawn and -platform are mutually exclusive")
 		os.Exit(exitUsage)
 	}
+	if *topology != "" && *platform != "" {
+		fmt.Fprintln(os.Stderr, "mpirun: -topology and -platform are mutually exclusive (the platform carries its own placement)")
+		os.Exit(exitUsage)
+	}
+	hierMode, herr := parseHier(*hier)
+	if herr != nil {
+		fmt.Fprintln(os.Stderr, "mpirun:", herr)
+		os.Exit(exitUsage)
+	}
 
 	var opts []mpi.Option
+	if *topology != "" {
+		nodes, terr := parseTopology(*topology, *np)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "mpirun:", terr)
+			os.Exit(exitUsage)
+		}
+		opts = append(opts, mpi.WithTopology(nodes))
+	}
+	if hierMode != mpi.HierAuto {
+		opts = append(opts, mpi.WithHierarchy(hierMode))
+	}
 	if *deadline > 0 {
 		opts = append(opts, mpi.WithDeadline(*deadline))
 	}
@@ -179,7 +214,7 @@ func main() {
 	switch {
 	case *recoverFlag || *respawnFlag:
 		if *transport == "procs" || *transport == "shm" {
-			exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, *transport == "shm", *shmEager, procsRecovery{
+			exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, *transport == "shm", *shmEager, *topology, *hier, procsRecovery{
 				on:        true,
 				respawn:   *respawnFlag,
 				ckptDir:   *ckptDir,
@@ -217,7 +252,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mpirun:", err)
 				os.Exit(exitLauncher)
 			}
-			err = plat.Launch(*np, body)
+			err = plat.Launch(*np, body, opts...)
 			exitOn(err)
 			return
 		}
@@ -238,9 +273,9 @@ func main() {
 		}
 		exitOn(mpi.RunTCP(*np, body, opts...))
 	case "procs":
-		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, false, *shmEager, procsRecovery{}))
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, false, *shmEager, *topology, *hier, procsRecovery{}))
 	case "shm":
-		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, true, *shmEager, procsRecovery{}))
+		exitOn(runProcs(*np, prog, *deadline, *joinTimeout, *suspicion, true, *shmEager, *topology, *hier, procsRecovery{}))
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown transport %q\n", *transport)
 		os.Exit(exitUsage)
@@ -274,6 +309,41 @@ func runRespawn(launch func(np int, main func(c *mpi.Comm) error, opts ...mpi.Op
 		return fmt.Errorf("%w: %d/%d ranks finished", errNotFullWidth, len(finished), np)
 	}
 	return nil
+}
+
+// parseTopology parses an "NxM" node-placement spec (N nodes of M slots)
+// into the blockwise per-rank node assignment mpirun models: rank r lands on
+// node r/M, matching mpirun --map-by core on a real cluster.
+func parseTopology(spec string, np int) ([]int, error) {
+	var n, m int
+	if _, err := fmt.Sscanf(spec, "%dx%d", &n, &m); err != nil || fmt.Sprintf("%dx%d", n, m) != spec {
+		return nil, fmt.Errorf("bad -topology %q: want NxM, e.g. 2x4", spec)
+	}
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("bad -topology %q: need at least 1 node and 1 slot", spec)
+	}
+	if np > n*m {
+		return nil, fmt.Errorf("-topology %s has %d slots, cannot place %d ranks", spec, n*m, np)
+	}
+	nodes := make([]int, np)
+	for r := range nodes {
+		nodes[r] = r / m
+	}
+	return nodes, nil
+}
+
+// parseHier maps the -hier flag to the runtime's selection policy.
+func parseHier(s string) (mpi.HierMode, error) {
+	switch s {
+	case "auto":
+		return mpi.HierAuto, nil
+	case "on":
+		return mpi.HierOn, nil
+	case "off":
+		return mpi.HierOff, nil
+	default:
+		return mpi.HierAuto, fmt.Errorf("bad -hier %q: want auto, on, or off", s)
+	}
 }
 
 // killPlan builds the seeded single-victim fault plan of -kill-rank.
@@ -488,7 +558,7 @@ type procsRecovery struct {
 // the workers map as their data plane (-transport shm); the hub and its
 // formation timeout work exactly as for procs, so a rank that never starts
 // still fails the job fast with the missing rank named (exit code 4).
-func runProcs(np int, prog string, deadline, joinTimeout, suspicion time.Duration, shm bool, shmEager int, rec procsRecovery) error {
+func runProcs(np int, prog string, deadline, joinTimeout, suspicion time.Duration, shm bool, shmEager int, topo, hier string, rec procsRecovery) error {
 	segPath := ""
 	if shm {
 		seg, err := mpi.CreateShmSegment("", np)
@@ -536,6 +606,12 @@ func runProcs(np int, prog string, deadline, joinTimeout, suspicion time.Duratio
 			envProg+"="+prog,
 			envDeadline+"="+deadline.String(),
 		)
+		if topo != "" {
+			cmd.Env = append(cmd.Env, envTopology+"="+topo)
+		}
+		if hier != "" && hier != "auto" {
+			cmd.Env = append(cmd.Env, envHier+"="+hier)
+		}
 		if segPath != "" && !rejoin {
 			cmd.Env = append(cmd.Env,
 				envShmSeg+"="+segPath,
@@ -668,6 +744,20 @@ func workerMode() error {
 	var opts []mpi.Option
 	if d, err := time.ParseDuration(os.Getenv(envDeadline)); err == nil && d > 0 {
 		opts = append(opts, mpi.WithDeadline(d))
+	}
+	if spec := os.Getenv(envTopology); spec != "" {
+		nodes, terr := parseTopology(spec, np)
+		if terr != nil {
+			return terr
+		}
+		opts = append(opts, mpi.WithTopology(nodes))
+	}
+	if hm := os.Getenv(envHier); hm != "" {
+		mode, herr := parseHier(hm)
+		if herr != nil {
+			return herr
+		}
+		opts = append(opts, mpi.WithHierarchy(mode))
 	}
 	respawnWorld := os.Getenv(envRespawn) != ""
 	var body func(c *mpi.Comm) error

@@ -307,6 +307,95 @@ func TestRespawnFlagMatrix(t *testing.T) {
 	}
 }
 
+// TestTopologyParsing pins the -topology spec grammar and capacity check.
+func TestTopologyParsing(t *testing.T) {
+	nodes, err := parseTopology("2x4", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for r, n := range nodes {
+		if n != want[r] {
+			t.Fatalf("2x4 placement = %v, want %v", nodes, want)
+		}
+	}
+	// Fewer ranks than slots: blockwise fill of node 0 first.
+	if nodes, err = parseTopology("3x2", 3); err != nil {
+		t.Fatal(err)
+	} else if nodes[0] != 0 || nodes[1] != 0 || nodes[2] != 1 {
+		t.Fatalf("3x2 placement of 3 ranks = %v", nodes)
+	}
+	for _, bad := range []string{"", "4", "x4", "2x", "2x4x8", "0x4", "2x0", "-1x4", "ax4", "2x4 "} {
+		if _, err := parseTopology(bad, 2); err == nil {
+			t.Errorf("parseTopology(%q) accepted", bad)
+		}
+	}
+	if _, err := parseTopology("2x2", 5); err == nil {
+		t.Error("5 ranks on 4 slots accepted")
+	}
+}
+
+// TestHierFlagParsing pins the -hier vocabulary.
+func TestHierFlagParsing(t *testing.T) {
+	for s, want := range map[string]mpi.HierMode{"auto": mpi.HierAuto, "on": mpi.HierOn, "off": mpi.HierOff} {
+		got, err := parseHier(s)
+		if err != nil || got != want {
+			t.Errorf("parseHier(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseHier("maybe"); err == nil {
+		t.Error("parseHier(\"maybe\") accepted")
+	}
+}
+
+// TestTopologyFlagMatrix drives the built binary through the -topology and
+// -hier flag combinations: hierarchical runs succeed across transports, and
+// malformed specs or conflicting flags exit 2 with a pointed message.
+func TestTopologyFlagMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the launcher binary")
+	}
+	bin := buildMpirun(t)
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantOut  string
+	}{
+		{"local-hier", []string{"-np", "8", "-topology", "2x4", "integration"}, exitOK, "pi ≈"},
+		{"local-hier-off", []string{"-np", "8", "-topology", "2x4", "-hier", "off", "integration"}, exitOK, "pi ≈"},
+		{"local-hier-on-sparse", []string{"-np", "4", "-topology", "4x1", "-hier", "on", "mpiRing"}, exitOK, ""},
+		{"tcp-hier", []string{"-np", "4", "-topology", "2x2", "-transport", "tcp", "integration"}, exitOK, "pi ≈"},
+		{"procs-hier", []string{"-np", "4", "-topology", "2x2", "-transport", "procs", "integration"}, exitOK, "pi ≈"},
+		{"topology-and-platform", []string{"-np", "4", "-topology", "2x2", "-platform", "pi", "integration"}, exitUsage, "mutually exclusive"},
+		{"bad-spec", []string{"-np", "4", "-topology", "2by2", "integration"}, exitUsage, "want NxM"},
+		{"too-many-ranks", []string{"-np", "9", "-topology", "2x4", "integration"}, exitUsage, "cannot place"},
+		{"bad-hier", []string{"-np", "4", "-hier", "sideways", "integration"}, exitUsage, "want auto, on, or off"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(bin, tc.args...)
+			out, err := cmd.CombinedOutput()
+			got := 0
+			if err != nil {
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("running %v: %v\n%s", tc.args, err, out)
+				}
+				got = ee.ExitCode()
+			}
+			if got != tc.wantExit {
+				t.Errorf("%v: exit = %d, want %d\n%s", tc.args, got, tc.wantExit, out)
+			}
+			if tc.wantOut != "" && !strings.Contains(string(out), tc.wantOut) {
+				t.Errorf("%v: output missing %q:\n%s", tc.args, tc.wantOut, out)
+			}
+		})
+	}
+}
+
 // TestShmRecoverEndToEnd: -transport shm composes with -recover — the
 // checkpoint-restart body survives a seeded kill on the shm transport and
 // the run maps to exit 0.

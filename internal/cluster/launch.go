@@ -17,11 +17,19 @@ import (
 //     count gates Comm.Compute, so on the unicore Colab VM four ranks
 //     interleave their computation rather than overlapping it.
 //   - Network: messages between ranks on different nodes pay the platform's
-//     inter-node latency.
+//     inter-node latency, and — when the platform models finite bandwidth —
+//     hold their node-pair link for the transmission time (LinkModel), so
+//     concurrent cross-node transfers contend.
+//   - Topology: the placement is published to the runtime (WithTopology),
+//     which is what lets the collectives select their two-level
+//     hierarchical schedules on multi-node platforms.
 //
 // Oversubscription (np greater than the core count) is allowed, exactly as
-// "mpirun --allow-run-as-root -np 4" is on the unicore Colab VM.
-func (p Platform) Launch(np int, main func(c *mpi.Comm) error) error {
+// "mpirun --allow-run-as-root -np 4" is on the unicore Colab VM. Extra
+// runtime options are appended after the platform's own, so callers can
+// override defaults (mpi.WithHierarchy(mpi.HierOff) forces flat collectives
+// for an apples-to-apples benchmark).
+func (p Platform) Launch(np int, main func(c *mpi.Comm) error, extra ...mpi.Option) error {
 	if np < 1 {
 		return fmt.Errorf("cluster: launch needs at least 1 process, got %d", np)
 	}
@@ -34,6 +42,7 @@ func (p Platform) Launch(np int, main func(c *mpi.Comm) error) error {
 
 	opts := []mpi.Option{
 		mpi.WithProcessorNames(names),
+		mpi.WithTopology(nodes),
 		mpi.WithComputeGate(NewCoreGate(p.TotalCores()).Run),
 	}
 	if p.InterNodeLatency > 0 && p.Nodes > 1 {
@@ -45,6 +54,10 @@ func (p Platform) Launch(np int, main func(c *mpi.Comm) error) error {
 			return 0
 		}))
 	}
+	if p.InterNodeBandwidth > 0 && p.Nodes > 1 {
+		opts = append(opts, mpi.WithLinkCost(NewLinkModel(nodes, p.Nodes, p.InterNodeBandwidth).Cost))
+	}
+	opts = append(opts, extra...)
 	return mpi.Run(np, main, opts...)
 }
 

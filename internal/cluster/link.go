@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// LinkModel serializes inter-node traffic over modeled network links with
+// finite bandwidth. Each directed (source node, destination node) pair is one
+// link, guarded by a mutex that a message holds for its transmission time
+// (payload bytes / bandwidth). Two properties fall out, and both matter for
+// the hierarchical-collective experiments:
+//
+//   - A single large message pays a bandwidth term proportional to its size,
+//     on top of the platform's per-message latency.
+//   - Concurrent messages crossing the same node pair serialize: when a flat
+//     collective has four rank pairs all crossing the one cable between two
+//     nodes, they queue behind each other — exactly the contention a
+//     two-level schedule avoids by electing one leader per node.
+//
+// Intra-node traffic pays nothing: the model charges the network, not the
+// memory bus.
+type LinkModel struct {
+	nodeOf    []int   // node placement per rank
+	nodes     int     // number of nodes
+	bandwidth float64 // bytes per second per link
+	links     []sync.Mutex
+}
+
+// NewLinkModel builds the link model for a placement. bandwidth is in bytes
+// per second per directed node pair; a non-positive bandwidth yields a model
+// whose Cost is free (latency-only platforms).
+func NewLinkModel(nodeOf []int, nodes int, bandwidth float64) *LinkModel {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &LinkModel{
+		nodeOf:    nodeOf,
+		nodes:     nodes,
+		bandwidth: bandwidth,
+		links:     make([]sync.Mutex, nodes*nodes),
+	}
+}
+
+// Cost charges one message's transmission time, blocking the delivery while
+// its link is busy. It is shaped to plug into mpi.WithLinkCost.
+func (m *LinkModel) Cost(src, dst, bytes int) {
+	if m.bandwidth <= 0 || bytes <= 0 {
+		return
+	}
+	if src < 0 || dst < 0 || src >= len(m.nodeOf) || dst >= len(m.nodeOf) {
+		return
+	}
+	sn, dn := m.nodeOf[src], m.nodeOf[dst]
+	if sn == dn {
+		return
+	}
+	d := time.Duration(float64(bytes) / m.bandwidth * float64(time.Second))
+	if d <= 0 {
+		return
+	}
+	l := &m.links[sn*m.nodes+dn]
+	l.Lock()
+	time.Sleep(d)
+	l.Unlock()
+}

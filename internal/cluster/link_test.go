@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// TestLinkModelChargesBandwidth: a cross-node message pays bytes/bandwidth;
+// intra-node traffic is free.
+func TestLinkModelChargesBandwidth(t *testing.T) {
+	m := NewLinkModel([]int{0, 0, 1}, 2, 1e6) // 1 MB/s links
+	start := time.Now()
+	m.Cost(0, 2, 100_000) // 100 ms at 1 MB/s
+	if got := time.Since(start); got < 80*time.Millisecond {
+		t.Fatalf("cross-node 100 kB took %v, want ~100ms", got)
+	}
+	start = time.Now()
+	m.Cost(0, 1, 10_000_000) // same node: free no matter the size
+	if got := time.Since(start); got > 20*time.Millisecond {
+		t.Fatalf("intra-node transfer took %v, want ~0", got)
+	}
+}
+
+// TestLinkModelContention: two concurrent transfers over the same directed
+// node pair serialize on the link, while transfers on distinct links
+// overlap.
+func TestLinkModelContention(t *testing.T) {
+	m := NewLinkModel([]int{0, 0, 1, 1}, 2, 1e6)
+	elapsed := func(costs [][3]int) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for _, c := range costs {
+			wg.Add(1)
+			go func(src, dst, bytes int) {
+				defer wg.Done()
+				m.Cost(src, dst, bytes)
+			}(c[0], c[1], c[2])
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	// Same link (node 0 → node 1) from two rank pairs: ~50ms + ~50ms serial.
+	if got := elapsed([][3]int{{0, 2, 50_000}, {1, 3, 50_000}}); got < 85*time.Millisecond {
+		t.Fatalf("contended transfers took %v, want ~100ms serialized", got)
+	}
+	// Opposite directions are distinct links: ~50ms total.
+	if got := elapsed([][3]int{{0, 2, 50_000}, {2, 0, 50_000}}); got > 90*time.Millisecond {
+		t.Fatalf("independent links took %v, want ~50ms overlapped", got)
+	}
+}
+
+// TestLaunchPublishesTopology: a platform launch places ranks with
+// WithTopology, so hierarchical and flat collectives both run — and agree —
+// on a modeled multi-node platform, with extra options reaching the runtime.
+func TestLaunchPublishesTopology(t *testing.T) {
+	const np = 4
+	plat := Chameleon(2, 2)
+	body := func(results []int, mu *sync.Mutex) func(c *mpi.Comm) error {
+		return func(c *mpi.Comm) error {
+			v := make([]int, 2000)
+			for i := range v {
+				v[i] = c.Rank() + i
+			}
+			out, err := mpi.AllreduceSlice(c, v, func(a, b int) int { return a + b })
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = out[1]
+			mu.Unlock()
+			return nil
+		}
+	}
+	want := np*1 + 0 + 1 + 2 + 3 // element 1: sum over ranks of (rank + 1)
+	for _, mode := range []mpi.HierMode{mpi.HierAuto, mpi.HierOff} {
+		results := make([]int, np)
+		var mu sync.Mutex
+		if err := plat.Launch(np, body(results, &mu), mpi.WithHierarchy(mode)); err != nil {
+			t.Fatalf("hier=%v: %v", mode, err)
+		}
+		for r, got := range results {
+			if got != want {
+				t.Fatalf("hier=%v rank %d: element 1 = %d, want %d", mode, r, got, want)
+			}
+		}
+	}
+}

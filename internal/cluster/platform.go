@@ -35,6 +35,11 @@ type Platform struct {
 	// InterNodeLatency is added to every message whose endpoints are
 	// placed on different nodes.
 	InterNodeLatency time.Duration
+	// InterNodeBandwidth is each directed node-pair link's bandwidth in
+	// bytes per second; zero means latency-only (infinite bandwidth).
+	// Messages crossing a node boundary hold their link for bytes/bandwidth,
+	// so concurrent transfers over the same node pair contend (LinkModel).
+	InterNodeBandwidth float64
 	// HostnamePattern formats a node index into the hostname ranks report
 	// from ProcessorName; %d receives the node index. A pattern without
 	// %d names every node identically (the Colab container case).
@@ -108,10 +113,11 @@ func Chameleon(nodes, coresPerNode int) Platform {
 	return Platform{
 		Name:             "Chameleon cluster",
 		Description:      "cloud testbed cluster reached through a Jupyter notebook",
-		Nodes:            nodes,
-		CoresPerNode:     coresPerNode,
-		InterNodeLatency: 50 * time.Microsecond,
-		HostnamePattern:  "chameleon-node-%d",
+		Nodes:              nodes,
+		CoresPerNode:       coresPerNode,
+		InterNodeLatency:   50 * time.Microsecond,
+		InterNodeBandwidth: 1 << 30, // 10 GbE-class: ~1 GiB/s per link
+		HostnamePattern:    "chameleon-node-%d",
 	}
 }
 
@@ -128,10 +134,11 @@ func PiCluster(nodes int) Platform {
 	return Platform{
 		Name:             "Raspberry Pi Beowulf cluster",
 		Description:      "student-built cluster of 4-core Pis on Fast Ethernet",
-		Nodes:            nodes,
-		CoresPerNode:     4,
-		InterNodeLatency: 200 * time.Microsecond,
-		HostnamePattern:  "pi-node-%d",
+		Nodes:              nodes,
+		CoresPerNode:       4,
+		InterNodeLatency:   200 * time.Microsecond,
+		InterNodeBandwidth: 12.5e6, // Fast Ethernet: 100 Mb/s ≈ 12.5 MB/s
+		HostnamePattern:    "pi-node-%d",
 	}
 }
 

@@ -1,0 +1,107 @@
+package forestfire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+)
+
+// TestOverlapMatchesSequentialExactly: the communication/computation-overlap
+// variant burns exactly the same forest as the sequential hash-based
+// simulation — the reordering must not change a single ignition.
+func TestOverlapMatchesSequentialExactly(t *testing.T) {
+	grids := []struct{ rows, cols int }{{1, 1}, {5, 5}, {16, 9}, {21, 21}}
+	probs := []float64{0, 0.3, 0.5, 0.7, 1}
+	for _, g := range grids {
+		for _, prob := range probs {
+			want := SimulateHash(g.rows, g.cols, prob, 31)
+			for _, np := range []int{1, 2, 3, 5, 8} {
+				var mu sync.Mutex
+				results := map[int]TrialResult{}
+				err := mpi.Run(np, func(c *mpi.Comm) error {
+					got, err := SimulateDomainOverlap(c, g.rows, g.cols, prob, 31)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					results[c.Rank()] = got
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("grid %dx%d p=%v np=%d: %v", g.rows, g.cols, prob, np, err)
+				}
+				for rank, got := range results {
+					if got != want {
+						t.Fatalf("grid %dx%d p=%v np=%d rank=%d: %+v != sequential %+v",
+							g.rows, g.cols, prob, np, rank, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapMatchesBlockingProperty: overlap and blocking domain runs agree
+// with the oracle (and hence each other) across random shapes, including on
+// a forced multi-node topology where the termination allreduce goes
+// hierarchical.
+func TestOverlapMatchesBlockingProperty(t *testing.T) {
+	prop := func(seedRaw uint16, probRaw, sizeRaw uint8) bool {
+		rows := int(sizeRaw%15) + 3
+		cols := int(sizeRaw%11) + 3
+		prob := float64(probRaw%101) / 100
+		seed := int64(seedRaw)
+		want := SimulateHash(rows, cols, prob, seed)
+		match := true
+		var mu sync.Mutex
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			got, err := SimulateDomainOverlap(c, rows, cols, prob, seed)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				mu.Lock()
+				match = false
+				mu.Unlock()
+			}
+			return nil
+		}, mpi.WithTopology([]int{0, 0, 1, 1}))
+		return err == nil && match
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapMoreRanksThanRows(t *testing.T) {
+	want := SimulateHash(3, 9, 0.8, 4)
+	err := mpi.Run(6, func(c *mpi.Comm) error {
+		got, err := SimulateDomainOverlap(c, 3, 9, 0.8, 4)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("rank %d: %+v != %+v", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapValidation(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := SimulateDomainOverlap(c, 0, 5, 0.5, 1); err == nil {
+			return fmt.Errorf("0-row grid accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,21 @@ import "fmt"
 // the failure model comes for free: a collective stalled on a failed rank
 // fails with ErrWorldAborted when the world is revoked, and WithDeadline
 // reports it as a blocked Recv under the collective's reserved tag.
+//
+// On a communicator whose ranks span more than one modeled node (see
+// WithTopology and the cluster package), the default algorithms of Bcast,
+// Reduce, Allreduce, and Barrier switch to the two-level hierarchical
+// schedules in hier.go; the flat algorithms below remain the building
+// blocks those schedules run within each level, and the fallback whenever
+// the topology is degenerate or hierarchy is disabled.
+
+// Reserved tags for the extended collectives (the patternlet set's tags
+// live in message.go).
+const (
+	tagExscan  = -10
+	tagRedScat = -11
+	tagDissem  = -12
+)
 
 // Barrier blocks until every rank of the communicator has entered it:
 // MPI_Barrier. It is implemented as a dissemination barrier — ceil(log2 n)
@@ -18,7 +33,13 @@ import "fmt"
 // and waits on the mirror-image rank behind — so its critical path is
 // O(log n) rounds rather than the O(n) of the linear gather-and-release
 // (still available as BarrierWith(BarrierLinear) for the ablation study).
+// On a multi-node communicator it runs the two-level hierarchical barrier
+// instead: gather-and-release within each node around a dissemination
+// barrier among the node leaders.
 func (c *Comm) Barrier() error {
+	if h := c.hier(); h != nil {
+		return c.hierBarrier(h)
+	}
 	return c.disseminationBarrier()
 }
 
@@ -57,35 +78,18 @@ func (c *Comm) recvReserved(source, tag int, v any) (Status, error) {
 	return c.recv(source, tag, v)
 }
 
-// treeParent and treeChildren define the binary broadcast/reduce tree in
-// the rank space rotated so that root is virtual rank 0.
-func treeParent(vrank int) int { return (vrank - 1) / 2 }
-
-func treeChildren(vrank, size int) []int {
-	var kids []int
-	if l := 2*vrank + 1; l < size {
-		kids = append(kids, l)
-	}
-	if r := 2*vrank + 2; r < size {
-		kids = append(kids, r)
-	}
-	return kids
-}
-
-// virtual maps a real rank to its position in a tree rooted at root.
-func toVirtual(rank, root, size int) int { return (rank - root + size) % size }
-
-// real inverts virtual.
-func toReal(vrank, root, size int) int { return (vrank + root) % size }
-
 // Bcast distributes root's value v to every rank and returns it: MPI_Bcast
 // (comm.bcast in mpi4py). Non-root ranks' v arguments are ignored. The
-// value travels down a binary tree rooted at root, so the operation takes
-// O(log n) communication rounds.
+// value travels down a binary tree rooted at root — O(log n) communication
+// rounds — or, on a multi-node communicator, down the two-level hierarchy
+// (leaders first, then within each node).
 func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	var zero T
 	if err := c.checkRank(root); err != nil {
 		return zero, err
+	}
+	if h := c.hier(); h != nil {
+		return hierBcast(c, h, v, root)
 	}
 	size := c.Size()
 	vrank := toVirtual(c.rank, root, size)
@@ -127,11 +131,19 @@ func Reduce[T any](c *Comm, v T, combine func(a, b T) T, root int) (T, error) {
 	return ReduceWith(c, v, combine, root, ReduceTree)
 }
 
-// ReduceWith is Reduce with an explicit algorithm choice.
+// ReduceWith is Reduce with an explicit algorithm choice. Only the default
+// tree algorithm is eligible for the hierarchical two-level schedule:
+// ReduceLinear's contract is the strict rank-order fold, which a grouped
+// intra-node pre-reduction would reorder.
 func ReduceWith[T any](c *Comm, v T, combine func(a, b T) T, root int, algo ReduceAlgorithm) (T, error) {
 	var zero T
 	if err := c.checkRank(root); err != nil {
 		return zero, err
+	}
+	if algo == ReduceTree {
+		if h := c.hier(); h != nil {
+			return hierReduce(c, h, v, combine, root)
+		}
 	}
 	size := c.Size()
 	switch algo {
@@ -185,8 +197,14 @@ func ReduceWith[T any](c *Comm, v T, combine func(a, b T) T, root int, algo Redu
 
 // Allreduce combines every rank's v and delivers the result to all ranks:
 // MPI_Allreduce, implemented as a tree Reduce-to-0 followed by a tree
-// Bcast — O(log n) rounds end to end.
+// Bcast — O(log n) rounds end to end. On a multi-node communicator it runs
+// the two-level schedule instead: reduce within each node, allreduce among
+// the leaders, broadcast within each node — exactly one leader-to-leader
+// exchange crosses the node boundary.
 func Allreduce[T any](c *Comm, v T, combine func(a, b T) T) (T, error) {
+	if h := c.hier(); h != nil {
+		return hierAllreduce(c, h, v, combine)
+	}
 	red, err := Reduce(c, v, combine, 0)
 	if err != nil {
 		var zero T
@@ -263,8 +281,7 @@ func Allgather[T any](c *Comm, v T) ([]T, error) {
 	n := c.Size()
 	out := make([]T, n)
 	out[c.rank] = v
-	right := (c.rank + 1) % n
-	left := (c.rank - 1 + n) % n
+	left, right := ringNeighbors(c.rank, n)
 	for step := 0; step < n-1; step++ {
 		sendIdx := (c.rank - step + n*n) % n
 		recvIdx := (c.rank - step - 1 + n*n) % n
@@ -328,4 +345,122 @@ func Scan[T any](c *Comm, v T, combine func(a, b T) T) (T, error) {
 		}
 	}
 	return acc, nil
+}
+
+// Exscan computes the exclusive prefix reduction: rank 0 receives the zero
+// value (and ok=false, mirroring MPI's undefined receive buffer on rank 0),
+// rank i>0 receives v0 ⊕ ... ⊕ v(i-1): MPI_Exscan.
+func Exscan[T any](c *Comm, v T, combine func(a, b T) T) (T, bool, error) {
+	var zero T
+	// Chain: receive the running prefix from the left, forward prefix ⊕ v
+	// to the right.
+	var prefix T
+	have := false
+	if c.rank > 0 {
+		if _, err := c.recvReserved(c.rank-1, tagExscan, &prefix); err != nil {
+			return zero, false, err
+		}
+		have = true
+	}
+	if c.rank < c.Size()-1 {
+		next := v
+		if have {
+			next = combine(prefix, v)
+		}
+		if err := c.sendReserved(c.rank+1, tagExscan, next); err != nil {
+			return zero, false, err
+		}
+	}
+	if !have {
+		return zero, false, nil
+	}
+	return prefix, true, nil
+}
+
+// ReduceScatterBlock combines every rank's items elementwise and leaves
+// element i at rank i: MPI_Reduce_scatter_block with one element per rank.
+// items must have exactly Size() elements on every rank.
+func ReduceScatterBlock[T any](c *Comm, items []T, combine func(a, b T) T) (T, error) {
+	var zero T
+	if len(items) != c.Size() {
+		return zero, fmt.Errorf("mpi: ReduceScatterBlock needs exactly %d items, got %d", c.Size(), len(items))
+	}
+	// Direct algorithm: every rank sends items[j] to rank j, then combines
+	// what it receives with its own element. Deterministic rank order.
+	for j := 0; j < c.Size(); j++ {
+		if j == c.rank {
+			continue
+		}
+		if err := c.sendReserved(j, tagRedScat, items[j]); err != nil {
+			return zero, err
+		}
+	}
+	contributions := make([]T, c.Size())
+	contributions[c.rank] = items[c.rank]
+	for j := 0; j < c.Size(); j++ {
+		if j == c.rank {
+			continue
+		}
+		if _, err := c.recvReserved(j, tagRedScat, &contributions[j]); err != nil {
+			return zero, err
+		}
+	}
+	acc := contributions[0]
+	for j := 1; j < c.Size(); j++ {
+		acc = combine(acc, contributions[j])
+	}
+	return acc, nil
+}
+
+// BarrierAlgorithm selects a Barrier implementation for the ablation
+// benchmarks.
+type BarrierAlgorithm int
+
+const (
+	// BarrierLinear gathers arrival tokens at rank 0 and broadcasts a
+	// release: 2(n-1) messages, O(n) rounds at the root.
+	BarrierLinear BarrierAlgorithm = iota
+	// BarrierDissemination is the classic ceil(log2 n)-round algorithm:
+	// in round k each rank signals the rank 2^k ahead and waits for the
+	// rank 2^k behind. This is what Barrier itself runs on a flat
+	// communicator.
+	BarrierDissemination
+)
+
+// BarrierWith is Barrier with an explicit algorithm choice. The explicit
+// algorithms are always flat — they exist for the ablation study, so they
+// must run the algorithm they name.
+func (c *Comm) BarrierWith(algo BarrierAlgorithm) error {
+	switch algo {
+	case BarrierLinear:
+		return c.linearBarrier()
+	case BarrierDissemination:
+		return c.disseminationBarrier()
+	default:
+		return fmt.Errorf("mpi: unknown barrier algorithm %d", algo)
+	}
+}
+
+// disseminationBarrier runs the ceil(log2 n)-round dissemination algorithm.
+// Each round's token carries its distance so a skewed world surfaces as a
+// mismatch error instead of silent miscounting — including the skew a
+// fault-injected duplicate or drop produces, which the failure suite uses
+// to push collectives off their happy path deliberately.
+func (c *Comm) disseminationBarrier() error {
+	n := c.Size()
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		if err := c.sendReserved(to, tagDissem, dist); err != nil {
+			return err
+		}
+		var got int
+		if _, err := c.recvReserved(from, tagDissem, &got); err != nil {
+			return err
+		}
+		if got != dist {
+			return fmt.Errorf("mpi: dissemination barrier round mismatch: got %d, want %d", got, dist)
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -32,6 +33,20 @@ type Comm struct {
 	// re-forms through Comm.Restored (which returns a current-epoch
 	// communicator). Zero for every communicator of a never-respawned world.
 	epoch int
+
+	// flatOnly marks the runtime's own hierarchy sub-communicators
+	// (hier.go): collectives on them must run the flat algorithms, or the
+	// two-level construction would recurse.
+	flatOnly bool
+
+	// hierOnce/hierSt lazily cache the communicator's two-level topology
+	// view (nil when the topology is degenerate or hierarchy is off); see
+	// Comm.hier. progOnce/prog lazily build the nonblocking progress engine
+	// and its shadow communicator; see Comm.progress.
+	hierOnce sync.Once
+	hierSt   *hierState
+	progOnce sync.Once
+	prog     *progressEngine
 }
 
 // Rank reports this process's rank within the communicator, 0-based:
@@ -54,6 +69,35 @@ func (c *Comm) Wtime() float64 {
 
 // worldRank maps a communicator-local rank to its world rank.
 func (c *Comm) worldRank(local int) int { return c.ranks[local] }
+
+// derived builds a sub-communicator over the given parent-comm ranks
+// without any communication: unlike Split, whose membership depends on
+// values only the other ranks know, the runtime's derived groups (node,
+// leader, progress-shadow) are a deterministic function of the parent's
+// group and topology, so every member computes the identical communicator
+// locally. ctx must be one of the reserved radix-64 digits packed onto the
+// parent's context id (see split.go). members must be sorted ascending; a
+// caller that is not itself a member gets rank -1 and must not communicate
+// on the result.
+func (c *Comm) derived(ctx int64, members []int, flatOnly bool) *Comm {
+	ranks := make([]int, len(members))
+	rank := -1
+	for i, pr := range members {
+		ranks[i] = c.worldRank(pr)
+		if pr == c.rank {
+			rank = i
+		}
+	}
+	return &Comm{
+		world:    c.world,
+		ctx:      ctx,
+		rank:     rank,
+		ranks:    ranks,
+		nextCtx:  1,
+		epoch:    c.epoch,
+		flatOnly: flatOnly,
+	}
+}
 
 // mailbox returns this rank's receive queue.
 func (c *Comm) mailbox() *mailbox { return c.world.boxes[c.worldRank(c.rank)] }

@@ -288,7 +288,7 @@ func (r *recoveryState) opErr(c *Comm, srcWorld int, startFail uint64) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.revoked[c.ctx] {
+	if r.ctxRevokedLocked(c.ctx) {
 		return r.rfeLocked(true)
 	}
 	if c.epoch < r.epoch {
@@ -327,7 +327,7 @@ func (r *recoveryState) sendErr(c *Comm, dstWorld int) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.revoked[c.ctx] {
+	if r.ctxRevokedLocked(c.ctx) {
 		return r.rfeLocked(true)
 	}
 	if c.epoch < r.epoch {
@@ -337,6 +337,28 @@ func (r *recoveryState) sendErr(c *Comm, dstWorld int) error {
 		return r.rfeLocked(false)
 	}
 	return nil
+}
+
+// ctxRevokedLocked reports whether the context, or any ancestor it is an
+// internal child of, is revoked. The runtime's own sub-communicators — the
+// hierarchical intra-node/leader comms and the progress engine's shadow
+// comm, living at the reserved context digits — are implementation details
+// of their parent's collectives, so revoking the parent must kick members
+// blocked inside a two-level phase or a posted schedule too. (A rank whose
+// node peers are all alive never waits on the failed rank directly, so
+// without this inheritance it would sleep through the revoke.) User
+// communicators from Split keep ULFM's rule: revocation does not inherit.
+// Caller holds r.mu.
+func (r *recoveryState) ctxRevokedLocked(ctx int64) bool {
+	for {
+		if r.revoked[ctx] {
+			return true
+		}
+		if ctx%64 <= maxSplitsPerComm {
+			return false
+		}
+		ctx /= 64
+	}
 }
 
 // revokeCtx marks one communicator context revoked and wakes blocked

@@ -194,3 +194,74 @@ func TestWaitanyEmpty(t *testing.T) {
 		t.Fatal("empty Waitany accepted")
 	}
 }
+
+// TestWaitallEmpty: MPI_Waitall over zero requests is a no-op success, for
+// both a nil and an empty slice.
+func TestWaitallEmpty(t *testing.T) {
+	for _, reqs := range [][]*Request{nil, {}} {
+		sts, err := Waitall(reqs)
+		if err != nil {
+			t.Fatalf("Waitall(%v) err = %v", reqs, err)
+		}
+		if len(sts) != 0 {
+			t.Fatalf("Waitall(%v) returned %d statuses", reqs, len(sts))
+		}
+	}
+}
+
+// TestWaitRepeatable: waiting twice on a completed request returns the same
+// final status and error both times — Wait is idempotent once done.
+func TestWaitRepeatable(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, 77)
+		}
+		var v int
+		req := c.Irecv(0, 4, &v)
+		st1, err1 := req.Wait()
+		st2, err2 := req.Wait()
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("Wait errs = %v, %v", err1, err2)
+		}
+		if st1 != st2 || st1.Source != 0 || v != 77 {
+			return fmt.Errorf("repeated Wait disagreed: %v vs %v (v=%d)", st1, st2, v)
+		}
+		// Test after Wait agrees too.
+		st3, done, err3 := req.Test()
+		if !done || err3 != nil || st3 != st1 {
+			return fmt.Errorf("Test after Wait = %v, %v, %v", st3, done, err3)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestTestAfterAbort: a world abort completes a pending Irecv, so a
+// subsequent Test reports done with the abort as its final error.
+func TestRequestTestAfterAbort(t *testing.T) {
+	var testErr error
+	var testDone bool
+	err := runWithWatchdog(t, 10*time.Second, func() error {
+		return Run(2, func(c *Comm) error {
+			if c.Rank() == 1 {
+				return errDeliberate
+			}
+			var v int
+			req := c.Irecv(1, 0, &v) // never satisfied: the peer fails instead
+			_, werr := req.Wait()
+			_, testDone, testErr = req.Test()
+			return werr
+		})
+	})
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Fatalf("run err = %v, want ErrWorldAborted", err)
+	}
+	if !testDone {
+		t.Fatal("Test after abort reported not-done")
+	}
+	if !errors.Is(testErr, ErrWorldAborted) || !errors.Is(testErr, errDeliberate) {
+		t.Fatalf("Test err = %v, want ErrWorldAborted wrapping the cause", testErr)
+	}
+}

@@ -12,8 +12,16 @@ const ColorUndefined = -1
 
 // maxSplitsPerComm bounds how many Split/Dup calls a single communicator
 // supports; context ids for children are packed into a radix-64 digit of
-// the parent's id.
-const maxSplitsPerComm = 63
+// the parent's id. The top three digit values are reserved for the
+// runtime's own derived communicators, which are constructed without
+// communication (the membership is deterministic from the parent's group
+// and topology) and therefore cannot consume Split sequence numbers.
+const (
+	maxSplitsPerComm = 60
+	ctxProgress      = 61 // the progress engine's shadow communicator (progress.go)
+	ctxHierNode      = 62 // the hierarchical intra-node communicator (hier.go)
+	ctxHierLeaders   = 63 // the hierarchical leader communicator (hier.go)
+)
 
 // splitEntry is exchanged during Split so every rank can compute the group
 // membership and ordering locally and identically.

@@ -1878,6 +1878,8 @@ func joinHub(addr, segPath string, rank, np int, respawn bool, main func(c *Comm
 		wire:      cfg.wireWorld(transport),  // v1+ framing/shm: raw-encode in Send, uncopied
 		deadline:  cfg.deadline,
 		faults:    cfg.faultT,
+		nodeOf:    cfg.nodeOf,
+		hierMode:  cfg.hierMode,
 	}
 	if cfg.recovery {
 		if np > maxRecoveryRanks {

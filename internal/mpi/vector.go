@@ -100,21 +100,6 @@ func SetCollectiveTuning(t CollectiveTuning) CollectiveTuning {
 	return prev
 }
 
-// segRange is the block decomposition the ring algorithms use: segment i of
-// k over n elements, with the remainder spread one element each over the
-// first n%k segments (the same rule the exemplars' blockRange uses for
-// rows). Segments are contiguous, cover [0, n), and may be empty when
-// n < k.
-func segRange(n, i, k int) (lo, hi int) {
-	base, rem := n/k, n%k
-	lo = i*base + min(i, rem)
-	hi = lo + base
-	if i < rem {
-		hi++
-	}
-	return lo, hi
-}
-
 // sliceReduce lifts an element combine to a whole-slice combine for the
 // scalar fallback paths. It folds b into a in place — a is always the
 // runtime's private accumulator — and panics on mismatched lengths, the
@@ -290,6 +275,13 @@ func allreduceSlice[T any](c *Comm, v []T, scalarCombine func(a, b []T) []T, fo 
 		}
 		return Allreduce(c, acc, scalarCombine)
 	}
+	// Multi-node communicator: two-level schedule — reduce within each node,
+	// allreduce among the leaders, broadcast back within each node. Only the
+	// leader-to-leader phase crosses the node boundary, so only ~1/ranks-per-
+	// node of the flat algorithm's traffic contends for the inter-node link.
+	if h := c.hier(); h != nil {
+		return hierAllreduceSlice(c, h, v, scalarCombine, fo)
+	}
 	// The accumulator starts empty, not as a copy of v: every segment's first
 	// fold reads the rank's own contribution straight out of v (the from
 	// shape), round-one sends ship v's segments directly, and the allgather
@@ -348,6 +340,11 @@ func reduceSlice[T any](c *Comm, v []T, scalarCombine func(a, b []T) []T, fo vec
 			return acc, nil
 		}
 		return Reduce(c, acc, scalarCombine, root)
+	}
+	// Multi-node communicator: reduce within each node, then among leaders
+	// toward root's leader, then one hop leader→root if root is not one.
+	if h := c.hier(); h != nil {
+		return hierReduceSlice(c, h, v, scalarCombine, fo, root)
 	}
 	// As in allreduceSlice, the accumulator is first-touched from v by the
 	// reduce-scatter folds; only the rank's own reduced segment is ever read
@@ -414,8 +411,7 @@ func reduceSlice[T any](c *Comm, v []T, scalarCombine func(a, b []T) []T, fo vec
 func ringReduceScatter[T any](c *Comm, v, acc []T, fo vecFold[T]) error {
 	n := c.Size()
 	r := c.rank
-	right := (r + 1) % n
-	left := (r - 1 + n) % n
+	left, right := ringNeighbors(r, n)
 	var tmp []T // receive buffer, reused across steps (capacity-recycled)
 	for step := 0; step < n-1; step++ {
 		sendSeg := ((r-step)%n + n) % n
@@ -453,8 +449,7 @@ func ringReduceScatter[T any](c *Comm, v, acc []T, fo vecFold[T]) error {
 func ringAllgatherSegs[T any](c *Comm, acc []T) error {
 	n := c.Size()
 	r := c.rank
-	right := (r + 1) % n
-	left := (r - 1 + n) % n
+	left, right := ringNeighbors(r, n)
 	var tmp []T
 	for step := 0; step < n-1; step++ {
 		sendSeg := ((r+1-step)%n + n) % n
@@ -473,10 +468,6 @@ func ringAllgatherSegs[T any](c *Comm, acc []T) error {
 	}
 	return nil
 }
-
-// isPow2 reports whether a world size (>= 1) is a power of two — the sizes
-// where recursive halving/doubling pairs up cleanly without a fold step.
-func isPow2(n int) bool { return n&(n-1) == 0 }
 
 // halvingReduceScatter runs the reduce-scatter half of the Rabenseifner
 // construction by recursive vector halving, for power-of-two world sizes:
@@ -606,6 +597,11 @@ func BcastSlice[T any](c *Comm, v []T, root int) ([]T, error) {
 	if size == 1 {
 		return v, nil
 	}
+	// Multi-node communicator: hop to root's leader, pipeline among the
+	// leaders, then pipeline within each node.
+	if h := c.hier(); h != nil {
+		return hierBcastSlice(c, h, v, root)
+	}
 	tun := collectiveTuning()
 	vrank := toVirtual(c.rank, root, size)
 	kids := treeChildren(vrank, size)
@@ -687,8 +683,7 @@ func AllgatherSlice[T any](c *Comm, v []T) ([]T, error) {
 	}
 	blocks := make([][]T, n)
 	blocks[c.rank] = v
-	right := (c.rank + 1) % n
-	left := (c.rank - 1 + n) % n
+	left, right := ringNeighbors(c.rank, n)
 	for step := 0; step < n-1; step++ {
 		sendIdx := ((c.rank-step)%n + n) % n
 		recvIdx := ((c.rank-step-1)%n + n) % n

@@ -43,6 +43,14 @@ type World struct {
 	// rank onto the TCP fallback (the respawned process shares no segment).
 	peerFailed   func(rank int)
 	peerRejoined func(rank int)
+
+	// nodeOf, when set by WithTopology, assigns each world rank to a
+	// modeled node; hierMode selects whether collectives may use the
+	// two-level hierarchical schedules over that assignment (see hier.go).
+	// Without WithTopology the assignment is derived from names: ranks
+	// sharing a processor name share a node.
+	nodeOf   []int
+	hierMode HierMode
 }
 
 // Option configures a Run.
@@ -51,6 +59,9 @@ type Option func(*config)
 type config struct {
 	names        []string
 	latency      func(src, dst int) time.Duration
+	linkCost     func(src, dst, bytes int)
+	nodeOf       []int
+	hierMode     HierMode
 	gate         func(fn func())
 	counter      *MessageCounter
 	serializeAll bool
@@ -121,6 +132,41 @@ func WithProcessorNames(names []string) Option {
 // inter-node network cost on multi-node platforms.
 func WithLatency(d func(src, dst int) time.Duration) Option {
 	return func(c *config) { c.latency = d }
+}
+
+// WithLinkCost installs a byte-aware cost model consulted once per message
+// on the local transport, with the sender and receiver world ranks and the
+// payload size. Unlike WithLatency's fixed per-message delay, fn may block —
+// the cluster package uses a per-link mutex held for bytes/bandwidth to
+// model serialization on a shared inter-node link, which is exactly the
+// contention hierarchical collectives exist to avoid. fn runs on a per-pair
+// delivery goroutine, so it delays only messages of that sender/receiver
+// pair (per-pair FIFO is preserved; unrelated traffic proceeds).
+func WithLinkCost(fn func(src, dst, bytes int)) Option {
+	return func(c *config) { c.linkCost = fn }
+}
+
+// WithTopology assigns world rank r to modeled node nodeOf[r], overriding
+// the default derivation from processor names. The node ids need not be
+// dense; ranks beyond len(nodeOf) fall on node 0. The cluster package's
+// Launch passes its platform placement through this option, which is what
+// lets collectives select the two-level hierarchical schedules
+// automatically (see WithHierarchy).
+func WithTopology(nodeOf []int) Option {
+	return func(c *config) {
+		c.nodeOf = append([]int(nil), nodeOf...)
+	}
+}
+
+// WithHierarchy selects whether collectives may replace their flat
+// algorithms with the two-level hierarchical schedules (hier.go). The
+// default, HierAuto, enables them exactly when the topology says they pay:
+// at least two nodes, at least one of which co-locates two ranks. HierOn
+// forces them whenever the communicator spans more than one node; HierOff
+// pins every collective to the flat algorithms (the ablation switch the
+// hierbench comparison is built on).
+func WithHierarchy(m HierMode) Option {
+	return func(c *config) { c.hierMode = m }
 }
 
 // WithComputeGate installs a gate that every call to Comm.Compute runs
@@ -195,6 +241,7 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 
 	t := newLocalTransport(np)
 	t.latency = cfg.latency
+	t.linkCost = cfg.linkCost
 
 	host, err := os.Hostname()
 	if err != nil || host == "" {
@@ -220,6 +267,8 @@ func Run(np int, main func(c *Comm) error, opts ...Option) error {
 		typed:     cfg.typedWorld(transport),
 		deadline:  cfg.deadline,
 		faults:    cfg.faultT,
+		nodeOf:    cfg.nodeOf,
+		hierMode:  cfg.hierMode,
 	}
 	if cfg.recovery {
 		if np > maxRecoveryRanks {

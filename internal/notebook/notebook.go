@@ -77,8 +77,9 @@ func (nb *Notebook) ClearOutputs() {
 type RankProgram func(w io.Writer, c *mpi.Comm) error
 
 // Launcher starts an np-rank SPMD job; cluster.Platform.Launch and mpi.Run
-// both fit (after currying np for the latter).
-type Launcher func(np int, main func(c *mpi.Comm) error) error
+// both fit (after currying np for the latter). The trailing options let a
+// topology-aware launcher pass placement and hierarchy settings through.
+type Launcher func(np int, main func(c *mpi.Comm) error, extra ...mpi.Option) error
 
 // Runtime executes notebook cells: it holds the virtual filesystem
 // populated by %%writefile, the program bindings, and the launcher that
@@ -93,8 +94,8 @@ type Runtime struct {
 // defaults to the in-process mpi runtime.
 func NewRuntime(launch Launcher) *Runtime {
 	if launch == nil {
-		launch = func(np int, main func(c *mpi.Comm) error) error {
-			return mpi.Run(np, main)
+		launch = func(np int, main func(c *mpi.Comm) error, extra ...mpi.Option) error {
+			return mpi.Run(np, main, extra...)
 		}
 	}
 	return &Runtime{

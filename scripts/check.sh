@@ -108,6 +108,22 @@ go run ./cmd/benchlab -vecbench-quick -mpibench-out /tmp/BENCH_vec_smoke.json
 # size, pins reported but not enforced.
 go run ./cmd/benchlab -shmtbench-quick -mpibench-out /tmp/BENCH_shmt_smoke.json
 
+# The topology-aware layer: hierarchical collective parity (every two-level
+# collective element-equal to its flat counterpart across world sizes,
+# topologies, and transports, including kill-rank and deadline mid-collective)
+# plus the nonblocking progress engine (post-order, overlap with blocking
+# traffic, Test polling, abort/deadline/kill through Wait), fresh under the
+# race detector — the engine's drain goroutine and the async per-pair
+# delivery queues are new concurrency surface.
+go test -race -timeout 180s -count=1 \
+  -run 'TestHier|TestNonblocking|TestOverlap' \
+  ./internal/mpi/ ./internal/exemplars/forestfire/
+
+# Hierarchical benchmark smoke: fewest sizes, one round, no pin enforcement —
+# proves the -hierbench harness (modeled 2-node Beowulf platform, flat vs
+# two-level, forestfire overlap) still runs end to end.
+go run ./cmd/benchlab -hierbench-quick -mpibench-out /tmp/BENCH_hier_smoke.json
+
 # Benchmark smoke pass: one iteration of every benchmark, so a refactor that
 # breaks a benchmark body (the BENCH_shm.json / BENCH_mpi.json inputs) fails
 # the gate instead of being discovered at regeneration time.

@@ -4,7 +4,7 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt bench-hier staticcheck
+.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt bench-hier bench-sched staticcheck
 
 check:
 	./scripts/check.sh
@@ -63,3 +63,10 @@ bench-shmt:
 # enforced.
 bench-hier:
 	go run ./cmd/benchlab -hierbench
+
+# The gang scheduler under load: 22 tenants hammering the HTTP API with
+# thousands of short gangs (steady phase) and the same shape with a node
+# killed mid-load (chaos phase), merged into BENCH_mpi.json with the
+# zero-lost-jobs pin enforced.
+bench-sched:
+	go run ./cmd/benchlab -schedbench

@@ -88,9 +88,12 @@ type mpiBenchReport struct {
 	// Hier is the topology-aware collective section, written by -hierbench
 	// (hierbench.go) and preserved likewise.
 	Hier *hierBenchReport `json:"hier,omitempty"`
-	Iterations   int              `json:"iterations"`
-	NP           int              `json:"np"`
-	Timestamp    string           `json:"timestamp"`
+	// Sched is the gang-scheduler load-test section, written by -schedbench
+	// (schedbench.go) and preserved likewise.
+	Sched      *schedBenchReport `json:"sched,omitempty"`
+	Iterations int               `json:"iterations"`
+	NP         int               `json:"np"`
+	Timestamp  string            `json:"timestamp"`
 }
 
 // runMPIBench executes the microbenchmarks and writes the report to path.

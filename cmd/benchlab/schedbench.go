@@ -1,0 +1,374 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/survey"
+)
+
+// The -schedbench mode load-tests the gang-scheduling service the way a
+// semester does: many tenants submitting many short jobs at once, over the
+// real HTTP API on a loopback socket, so the measured submit latency is the
+// whole admission path (JSON decode, validation, quota checks, queue insert)
+// and not just a method call. Two phases:
+//
+//   - steady: thousands of short gangs from the 22 workshop tenants, with
+//     backpressure retries on 429; reports sustained completed-job
+//     throughput, p50/p99 submit latency, and time-to-drain.
+//   - chaos: the same load shape while a node is killed mid-load and revived
+//     later; the run FAILS unless every admitted job reaches a terminal
+//     state and Stats().Lost() == 0 — the robustness invariant, enforced in
+//     quick mode too.
+//
+// Results merge into BENCH_mpi.json as the "sched" section, preserving every
+// other section.
+
+// schedBenchReport is the "sched" section of BENCH_mpi.json.
+type schedBenchReport struct {
+	Platform string `json:"platform"`
+	Tenants  int    `json:"tenants"`
+	Steady   struct {
+		Jobs        int     `json:"jobs"`
+		Rejected429 int     `json:"rejected_429"`
+		SubmitP50Ns float64 `json:"submit_p50_ns"`
+		SubmitP99Ns float64 `json:"submit_p99_ns"`
+		Throughput  float64 `json:"throughput_jobs_per_sec"`
+		DrainNs     float64 `json:"time_to_drain_ns"`
+	} `json:"steady"`
+	Chaos struct {
+		Jobs        int     `json:"jobs"`
+		KilledNode  int     `json:"killed_node"`
+		Succeeded   int     `json:"succeeded"`
+		Quarantined int     `json:"quarantined"`
+		Requeues    int     `json:"requeues"`
+		Failures    int     `json:"failures"`
+		Lost        int     `json:"lost"`
+		DrainNs     float64 `json:"time_to_drain_ns"`
+	} `json:"chaos"`
+	Quick bool `json:"quick,omitempty"`
+}
+
+// schedDaemon is an in-process schedd: a real scheduler behind a real HTTP
+// listener on 127.0.0.1, so submit latencies include the wire.
+type schedDaemon struct {
+	s    *sched.Scheduler
+	base string
+	srv  *http.Server
+	done chan struct{}
+}
+
+func startSchedDaemon(cfg sched.Config) (*schedDaemon, error) {
+	s, err := sched.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	d := &schedDaemon{
+		s:    s,
+		base: "http://" + ln.Addr().String(),
+		srv:  &http.Server{Handler: sched.NewHandler(s)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		d.srv.Serve(ln)
+		close(d.done)
+	}()
+	return d, nil
+}
+
+func (d *schedDaemon) stop() {
+	d.srv.Close()
+	<-d.done
+	d.s.Close()
+}
+
+// submitJob POSTs one spec, retrying politely on 429 backpressure. It
+// returns the latency of the accepted POST (not the backoff waits) and how
+// many 429s it absorbed on the way in.
+func submitJob(client *http.Client, base string, spec sched.JobSpec) (time.Duration, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	rejected := 0
+	for {
+		start := time.Now()
+		resp, err := client.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, rejected, err
+		}
+		lat := time.Since(start)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			return lat, rejected, nil
+		case http.StatusTooManyRequests:
+			// Backpressure is the scheduler doing its job; wait a beat
+			// (far shorter than the advisory Retry-After: 1 — this client
+			// prioritizes reproducible bench duration over politeness)
+			// and resubmit.
+			rejected++
+			time.Sleep(2 * time.Millisecond)
+		default:
+			return 0, rejected, fmt.Errorf("submit %s/%s: unexpected status %d", spec.Tenant, spec.Program, resp.StatusCode)
+		}
+	}
+}
+
+// schedTenants derives the tenant ring from the 2020 workshop roster: one
+// tenant per participant, so fairness is exercised across the same
+// population the survey analysis models.
+func schedTenants() []string {
+	ps := survey.Workshop2020()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = fmt.Sprintf("participant-%02d", p.ID)
+	}
+	return names
+}
+
+// schedBenchConfig is the shared daemon shape for both phases: the full
+// Chameleon node (4×16 cores), fast retry/heartbeat constants so the bench
+// measures the scheduler rather than its default human-scale timers.
+func schedBenchConfig() (sched.Config, error) {
+	plat, err := cluster.Lookup("chameleon")
+	if err != nil {
+		return sched.Config{}, err
+	}
+	return sched.Config{
+		Platform:          plat,
+		QueueCap:          256,
+		DefaultMaxRetries: 2,
+		DefaultOpDeadline: 10 * time.Second,
+		DefaultTimeout:    30 * time.Second,
+		RetryBase:         2 * time.Millisecond,
+		RetryMax:          20 * time.Millisecond,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatGrace:    50 * time.Millisecond,
+		Seed:              1,
+	}, nil
+}
+
+// runSteadyLoad drives jobs short sleep gangs from the tenants, one
+// submitter goroutine per tenant, and fills in the steady section.
+func runSteadyLoad(rep *schedBenchReport, tenants []string, jobs int) error {
+	cfg, err := schedBenchConfig()
+	if err != nil {
+		return err
+	}
+	d, err := startSchedDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.stop()
+
+	// One shared client with enough idle connections that 22 concurrent
+	// submitters reuse sockets instead of measuring TCP handshakes.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = len(tenants) + 4
+	client := &http.Client{Transport: tr}
+
+	widths := []int{1, 1, 2, 4} // mostly small gangs, so backfill has holes to fill
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rejected  int
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti, tenant := range tenants {
+		share := jobs / len(tenants)
+		if ti < jobs%len(tenants) {
+			share++
+		}
+		wg.Add(1)
+		go func(tenant string, share, ti int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				spec := sched.JobSpec{
+					Tenant:  tenant,
+					Program: "sleep",
+					Width:   widths[(ti+i)%len(widths)],
+					Args:    map[string]string{"ms": "1"},
+				}
+				lat, rej, err := submitJob(client, d.base, spec)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				latencies = append(latencies, float64(lat.Nanoseconds()))
+				rejected += rej
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(tenant, share, ti)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	drainStart := time.Now()
+	if err := d.s.Drain(2 * time.Minute); err != nil {
+		return fmt.Errorf("steady drain: %w", err)
+	}
+	drainNs := float64(time.Since(drainStart).Nanoseconds())
+	elapsed := time.Since(start).Seconds()
+
+	st := d.s.Stats()
+	if st.Succeeded != jobs {
+		return fmt.Errorf("steady phase: %d of %d jobs succeeded (stats %+v)", st.Succeeded, jobs, st)
+	}
+	sort.Float64s(latencies)
+	p50, err := stats.Quantile(latencies, 0.50)
+	if err != nil {
+		return err
+	}
+	p99, err := stats.Quantile(latencies, 0.99)
+	if err != nil {
+		return err
+	}
+	rep.Steady.Jobs = jobs
+	rep.Steady.Rejected429 = rejected
+	rep.Steady.SubmitP50Ns = p50
+	rep.Steady.SubmitP99Ns = p99
+	rep.Steady.Throughput = float64(st.Succeeded) / elapsed
+	rep.Steady.DrainNs = drainNs
+	fmt.Printf("  steady: %d jobs, %d tenants, %.0f jobs/s sustained, submit p50 %.0fus p99 %.0fus, %d backpressure 429s, drain %.0fms\n",
+		jobs, len(tenants), rep.Steady.Throughput, p50/1e3, p99/1e3, rejected, drainNs/1e6)
+	return nil
+}
+
+// runChaosLoad replays the load with teeth: flaky and poison jobs mixed in,
+// a node killed at the halfway mark and revived at three quarters. The only
+// acceptable outcome is every job terminal and zero lost.
+func runChaosLoad(rep *schedBenchReport, tenants []string, jobs int) error {
+	cfg, err := schedBenchConfig()
+	if err != nil {
+		return err
+	}
+	d, err := startSchedDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.stop()
+	client := &http.Client{}
+
+	const killedNode = 1
+	booms := 0
+	for i := 0; i < jobs; i++ {
+		spec := sched.JobSpec{
+			Tenant:  tenants[i%len(tenants)],
+			Program: "sleep",
+			Width:   1 + i%4,
+			Args:    map[string]string{"ms": "1"},
+		}
+		switch {
+		case i%17 == 0: // poison: exhausts its retry budget, must quarantine
+			spec.Program = "boom"
+			spec.Args = nil
+			booms++
+		case i%5 == 0: // flaky: fails once, then succeeds on retry
+			spec.Program = "flaky"
+			spec.Args = map[string]string{"fail_attempts": "1"}
+		}
+		if _, _, err := submitJob(client, d.base, spec); err != nil {
+			return err
+		}
+		if i == jobs/2 {
+			if err := d.s.KillNode(killedNode); err != nil {
+				return err
+			}
+		}
+		if i == jobs*3/4 {
+			if err := d.s.ReviveNode(killedNode); err != nil {
+				return err
+			}
+		}
+	}
+
+	drainStart := time.Now()
+	if err := d.s.Drain(2 * time.Minute); err != nil {
+		return fmt.Errorf("chaos drain: %w", err)
+	}
+	st := d.s.Stats()
+	rep.Chaos.Jobs = jobs
+	rep.Chaos.KilledNode = killedNode
+	rep.Chaos.Succeeded = st.Succeeded
+	rep.Chaos.Quarantined = st.Quarantined
+	rep.Chaos.Requeues = st.Requeues
+	rep.Chaos.Failures = st.Failures
+	rep.Chaos.Lost = st.Lost()
+	rep.Chaos.DrainNs = float64(time.Since(drainStart).Nanoseconds())
+	fmt.Printf("  chaos:  %d jobs with node %d killed mid-load: %d succeeded, %d quarantined, %d evictions requeued, %d lost, drain %.0fms\n",
+		jobs, killedNode, st.Succeeded, st.Quarantined, st.Requeues, st.Lost(), rep.Chaos.DrainNs/1e6)
+
+	// The robustness pins. These hold in quick mode too: they are
+	// invariants of the design, not performance numbers that need warm-up.
+	if lost := st.Lost(); lost != 0 {
+		return fmt.Errorf("chaos pin: %d jobs lost (admitted %d, terminal %d)", lost,
+			st.Admitted, st.Succeeded+st.Canceled+st.Quarantined)
+	}
+	if st.Queued != 0 || st.Running != 0 || st.Retrying != 0 {
+		return fmt.Errorf("chaos pin: non-terminal jobs after drain: %+v", st)
+	}
+	if st.Quarantined != booms {
+		return fmt.Errorf("chaos pin: %d quarantined, want exactly the %d poison jobs", st.Quarantined, booms)
+	}
+	return nil
+}
+
+// runSchedBench runs both phases and merges the sched section into path.
+func runSchedBench(path string, quick bool) error {
+	tenants := schedTenants()
+	steadyJobs, chaosJobs := 2000, 400
+	if quick {
+		steadyJobs, chaosJobs = 300, 120
+	}
+
+	var rep schedBenchReport
+	rep.Platform = "chameleon"
+	rep.Tenants = len(tenants)
+	rep.Quick = quick
+
+	fmt.Printf("schedbench: gang scheduler under load (%d tenants from the 2020 workshop roster)\n", len(tenants))
+	if err := runSteadyLoad(&rep, tenants, steadyJobs); err != nil {
+		return err
+	}
+	if err := runChaosLoad(&rep, tenants, chaosJobs); err != nil {
+		return err
+	}
+
+	// Merge: keep every other section of an existing report intact.
+	r := loadMPIReport(path)
+	r.Sched = &rep
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged sched section into %s\n", path)
+	return nil
+}

@@ -70,7 +70,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -86,6 +85,7 @@ import (
 	"repro/internal/exemplars/integration"
 	"repro/internal/mpi"
 	"repro/internal/patternlets"
+	"repro/internal/verdict"
 )
 
 // Environment variables of worker mode.
@@ -108,13 +108,15 @@ const (
 	envHier      = "MPIRUN_HIER"
 )
 
-// Exit codes (see the package comment).
+// Exit codes (see the package comment). The vocabulary and the error
+// mapping live in internal/verdict, shared with schedd/jobctl so every
+// launcher reports the same verdicts.
 const (
-	exitOK        = 0
-	exitLauncher  = 1
-	exitUsage     = 2
-	exitRank      = 3
-	exitFormation = 4
+	exitOK        = verdict.ExitOK
+	exitLauncher  = verdict.ExitLauncher
+	exitUsage     = verdict.ExitUsage
+	exitRank      = verdict.ExitRank
+	exitFormation = verdict.ExitFormation
 )
 
 // maxRespawns bounds how many times -respawn relaunches one rank before
@@ -131,7 +133,7 @@ const respawnRestoreWait = 30 * time.Second
 // errNotFullWidth marks a -respawn run that finished, but on the shrink
 // fallback rather than at the original width: some rank's relaunch budget
 // ran out. It maps to the rank-failure exit code (3).
-var errNotFullWidth = errors.New("respawn did not restore the world to full width")
+var errNotFullWidth = verdict.ErrNotFullWidth
 
 func main() {
 	if os.Getenv(envHub) != "" {
@@ -166,16 +168,20 @@ func main() {
 	}
 	prog := flag.Arg(0)
 
-	if *respawnFlag && *recoverFlag {
-		fmt.Fprintln(os.Stderr, "mpirun: -respawn and -recover are mutually exclusive (respawn implies recovery)")
-		os.Exit(exitUsage)
-	}
-	if (*respawnFlag || *recoverFlag) && *platform != "" {
-		fmt.Fprintln(os.Stderr, "mpirun: -recover/-respawn and -platform are mutually exclusive")
-		os.Exit(exitUsage)
-	}
-	if *topology != "" && *platform != "" {
-		fmt.Fprintln(os.Stderr, "mpirun: -topology and -platform are mutually exclusive (the platform carries its own placement)")
+	// The transport × recovery flag matrix is validated centrally (shared
+	// with schedd/jobctl), so every launcher rejects the same conflicts
+	// with the same exit code.
+	if err := (verdict.LaunchFlags{
+		NP:        *np,
+		Transport: *transport,
+		Platform:  *platform,
+		Topology:  *topology,
+		Hier:      *hier,
+		Recover:   *recoverFlag,
+		Respawn:   *respawnFlag,
+		KillRank:  *killRank,
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpirun:", err)
 		os.Exit(exitUsage)
 	}
 	hierMode, herr := parseHier(*hier)
@@ -311,40 +317,12 @@ func runRespawn(launch func(np int, main func(c *mpi.Comm) error, opts ...mpi.Op
 	return nil
 }
 
-// parseTopology parses an "NxM" node-placement spec (N nodes of M slots)
-// into the blockwise per-rank node assignment mpirun models: rank r lands on
-// node r/M, matching mpirun --map-by core on a real cluster.
-func parseTopology(spec string, np int) ([]int, error) {
-	var n, m int
-	if _, err := fmt.Sscanf(spec, "%dx%d", &n, &m); err != nil || fmt.Sprintf("%dx%d", n, m) != spec {
-		return nil, fmt.Errorf("bad -topology %q: want NxM, e.g. 2x4", spec)
-	}
-	if n < 1 || m < 1 {
-		return nil, fmt.Errorf("bad -topology %q: need at least 1 node and 1 slot", spec)
-	}
-	if np > n*m {
-		return nil, fmt.Errorf("-topology %s has %d slots, cannot place %d ranks", spec, n*m, np)
-	}
-	nodes := make([]int, np)
-	for r := range nodes {
-		nodes[r] = r / m
-	}
-	return nodes, nil
-}
+// parseTopology and parseHier delegate to the shared flag grammar in
+// internal/verdict; the wrappers keep this package's call sites (and its
+// tests) on their historical names.
+func parseTopology(spec string, np int) ([]int, error) { return verdict.ParseTopology(spec, np) }
 
-// parseHier maps the -hier flag to the runtime's selection policy.
-func parseHier(s string) (mpi.HierMode, error) {
-	switch s {
-	case "auto":
-		return mpi.HierAuto, nil
-	case "on":
-		return mpi.HierOn, nil
-	case "off":
-		return mpi.HierOff, nil
-	default:
-		return mpi.HierAuto, fmt.Errorf("bad -hier %q: want auto, on, or off", s)
-	}
-}
+func parseHier(s string) (mpi.HierMode, error) { return verdict.ParseHier(s) }
 
 // killPlan builds the seeded single-victim fault plan of -kill-rank.
 func killPlan(rank, after int) mpi.FaultPlan {
@@ -454,21 +432,8 @@ func lowestSurvivor(c *mpi.Comm) int {
 	return 0
 }
 
-// exitCode maps a runtime error to the launcher's exit code contract.
-func exitCode(err error) int {
-	switch {
-	case err == nil:
-		return exitOK
-	case errors.Is(err, mpi.ErrFormationTimeout):
-		return exitFormation
-	case errors.Is(err, mpi.ErrWorldAborted) || errors.Is(err, mpi.ErrDeadlineExceeded):
-		return exitRank
-	case errors.Is(err, errNotFullWidth):
-		return exitRank
-	default:
-		return exitLauncher
-	}
-}
+// exitCode maps a runtime error to the shared exit-code contract.
+func exitCode(err error) int { return verdict.ExitCode(err) }
 
 func exitOn(err error) {
 	if err != nil {

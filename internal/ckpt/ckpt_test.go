@@ -334,3 +334,103 @@ func TestConcurrentShardWrites(t *testing.T) {
 		}
 	}
 }
+
+// TestNamespaceValidation pins the namespace grammar: anything that could
+// navigate outside the per-job subdirectory is rejected, not sanitized.
+func TestNamespaceValidation(t *testing.T) {
+	root, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ok := range []string{"job-17", "a", "A.b_c-9", "0042"} {
+		if _, err := root.Namespace(ok); err != nil {
+			t.Errorf("Namespace(%q) rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", "a\\b", "../escape", "a b", "a\x00b", "job/../../etc"} {
+		if _, err := root.Namespace(bad); err == nil {
+			t.Errorf("Namespace(%q) accepted", bad)
+		}
+	}
+	// "MANIFEST" as a job name must not collide with the root store's own
+	// manifest file: the namespace lands in a job- prefixed subdirectory.
+	ns, err := root.Namespace("MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.WriteShard(1, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Commit(Manifest{Version: 1, NP: 1, CRCs: []uint32{Checksum([]byte("x"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := root.Latest(); err != nil || ok {
+		t.Fatalf("root store observed a namespaced commit: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestNamespaceConcurrentJobs is the multi-tenant FileStore contract: many
+// jobs checkpointing in parallel through per-job namespaces of ONE root
+// directory, each running collective Save and LoadLatest on its own small
+// world, never cross-read a shard or corrupt each other's manifests. This
+// is exactly the scheduler's usage: one configured -ckpt root, one
+// Namespace(jobID) store per running job.
+func TestNamespaceConcurrentJobs(t *testing.T) {
+	root, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs, versions = 8, 5
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			ns, err := root.Namespace(fmt.Sprintf("job-%d", j))
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			errs[j] = mpi.Run(2, func(c *mpi.Comm) error {
+				for v := 1; v <= versions; v++ {
+					shard := []byte(fmt.Sprintf("job %d rank %d version %d", j, c.Rank(), v))
+					if _, err := Save(c, ns, shard); err != nil {
+						return fmt.Errorf("save v%d: %w", v, err)
+					}
+					m, shards, ok, err := LoadLatest(c, ns)
+					if err != nil || !ok {
+						return fmt.Errorf("load v%d: ok=%v err=%w", v, ok, err)
+					}
+					if m.Version != v || m.NP != 2 {
+						return fmt.Errorf("job %d loaded manifest v%d np%d, want v%d np2", j, m.Version, m.NP, v)
+					}
+					for r, sh := range shards {
+						want := fmt.Sprintf("job %d rank %d version %d", j, r, v)
+						if string(sh) != want {
+							return fmt.Errorf("cross-read: job %d got shard %q, want %q", j, sh, want)
+						}
+					}
+				}
+				return nil
+			})
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", j, err)
+		}
+	}
+	// Every namespace holds exactly its own committed history.
+	for j := 0; j < jobs; j++ {
+		ns, err := root.Namespace(fmt.Sprintf("job-%d", j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok, err := ns.Latest()
+		if err != nil || !ok || m.Version != versions {
+			t.Errorf("job %d: Latest = v%d ok=%v err=%v, want v%d", j, m.Version, ok, err, versions)
+		}
+	}
+}

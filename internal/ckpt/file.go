@@ -47,6 +47,45 @@ func NewFileStore(dir string) (*FileStore, error) {
 	return &FileStore{dir: dir}, nil
 }
 
+// Namespace returns a FileStore rooted in a per-job subdirectory of this
+// store, so many jobs can checkpoint concurrently under one configured
+// directory without their versions, shards, or manifests ever meeting: the
+// version counters of different namespaces are independent, and a commit
+// in one can never be observed by a restore in another. The scheduler
+// points every job at Namespace(jobID) of its one checkpoint root.
+//
+// The name must be non-empty and contain only letters, digits, '.', '_',
+// and '-', and may not be "." or ".." — anything else (a path separator,
+// say) would let one job escape into another's directory, so it is
+// rejected rather than sanitized. The subdirectory is prefixed "job-" so a
+// namespace can never collide with the store's own MANIFEST/shard/temp
+// file names.
+func (s *FileStore) Namespace(job string) (*FileStore, error) {
+	if err := validateNamespace(job); err != nil {
+		return nil, err
+	}
+	return NewFileStore(filepath.Join(s.dir, "job-"+job))
+}
+
+// validateNamespace enforces the namespace grammar documented on Namespace.
+func validateNamespace(job string) error {
+	if job == "" {
+		return fmt.Errorf("ckpt: empty namespace")
+	}
+	if job == "." || job == ".." {
+		return fmt.Errorf("ckpt: bad namespace %q", job)
+	}
+	for _, r := range job {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return fmt.Errorf("ckpt: bad namespace %q: character %q not allowed", job, r)
+		}
+	}
+	return nil
+}
+
 func (s *FileStore) shardPath(version, shard int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("v%06d.s%03d", version, shard))
 }

@@ -67,6 +67,23 @@ func (w *World) abort(cause error) {
 	}
 }
 
+// Abort revokes the world with the given cause (MPI_Abort): every rank's
+// pending and future operations fail with ErrWorldAborted wrapping cause,
+// and the launch (Run, RunTCP, a platform Launch) returns it. Unlike a
+// rank returning an error, Abort may be called from ANY goroutine holding
+// a Comm — it is how an external supervisor (the job scheduler's cancel
+// path, a wall-clock job timeout) stops a world whose ranks are all
+// blocked deep in communication. The first cause latched wins; later
+// aborts, including rank failures racing this call, are no-ops. For
+// multi-process worlds the revoke takes effect in the calling process;
+// remote processes observe it when the hub tears the world down.
+func (c *Comm) Abort(cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("mpi: rank %d called Abort", c.rank)
+	}
+	c.world.abort(cause)
+}
+
 // abortErr returns the world's abort error, or nil if the world is healthy.
 // The flag is an atomic so the send hot path pays one load, not a lock.
 func (w *World) abortErr() error {

@@ -246,3 +246,52 @@ func TestLowestOriginatorWinsOverVictims(t *testing.T) {
 		t.Fatalf("err = %v, want the originating rank 2 blamed", err)
 	}
 }
+
+// TestExternalAbortUnblocksWorld: Comm.Abort called from a goroutine
+// OUTSIDE the world (the job scheduler's cancel path) fails every blocked
+// rank promptly, and Run reports ErrWorldAborted wrapping the supervisor's
+// cause — the contract an external cancel button needs.
+func TestExternalAbortUnblocksWorld(t *testing.T) {
+	cause := errors.New("job canceled by operator")
+	captured := make(chan *Comm, 1)
+	// The supervisor: waits for any rank to hand over its comm, then aborts
+	// the world from outside it — no rank ever returns an error itself.
+	go func() {
+		c := <-captured
+		time.Sleep(10 * time.Millisecond) // let the ranks block in Recv
+		c.Abort(cause)
+	}()
+	err := runWithWatchdog(t, 10*time.Second, func() error {
+		return Run(3, func(c *Comm) error {
+			if c.Rank() == 0 {
+				captured <- c
+			}
+			// No rank ever sends: only the external abort can end this.
+			_, rerr := c.Recv(AnySource, 0, nil)
+			return rerr
+		})
+	})
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Fatalf("Run err = %v, want ErrWorldAborted identity", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("Run err = %v, want the supervisor's cause preserved", err)
+	}
+}
+
+// TestAbortNilCause: a nil cause still aborts, with a rank-attributed
+// placeholder instead of a nil dereference.
+func TestAbortNilCause(t *testing.T) {
+	err := runWithWatchdog(t, 10*time.Second, func() error {
+		return Run(2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Abort(nil)
+			}
+			_, rerr := c.Recv(AnySource, 0, nil)
+			return rerr
+		})
+	})
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Fatalf("Run err = %v, want ErrWorldAborted identity", err)
+	}
+}

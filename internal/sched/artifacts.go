@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact capture: when the scheduler has an ArtifactDir, every job that
+// reaches a terminal state commits a directory <ArtifactDir>/<job id>/
+// holding stdout.log (the captured output) and result.json (the final
+// JobStatus). Both files follow the checkpoint store's crash-consistency
+// discipline — write a temp file, fsync it, rename it into place, fsync
+// the directory — so a daemon killed mid-commit can never publish a torn
+// artifact: each name either holds the complete bytes or does not exist.
+
+// commitArtifact publishes a terminal job's artifact directory. Failures
+// are logged, not fatal: artifact capture must never take the scheduler
+// down with it.
+func (s *Scheduler) commitArtifact(j *job) {
+	if s.cfg.ArtifactDir == "" {
+		return
+	}
+	s.mu.Lock()
+	st := j.statusLocked()
+	s.mu.Unlock()
+	logs := j.out.Snapshot()
+
+	dir := filepath.Join(s.cfg.ArtifactDir, st.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.cfg.Logf("sched: job %s: artifact dir: %v", st.ID, err)
+		return
+	}
+	if err := writeArtifact(dir, "stdout.log", logs); err != nil {
+		s.cfg.Logf("sched: job %s: artifact stdout: %v", st.ID, err)
+		return
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		s.cfg.Logf("sched: job %s: artifact status: %v", st.ID, err)
+		return
+	}
+	if err := writeArtifact(dir, "result.json", append(data, '\n')); err != nil {
+		s.cfg.Logf("sched: job %s: artifact status: %v", st.ID, err)
+	}
+}
+
+// writeArtifact atomically publishes one file in dir.
+func writeArtifact(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("fsync %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

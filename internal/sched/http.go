@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// The HTTP+JSON surface the schedd daemon serves and jobctl drives.
+//
+//	POST   /api/v1/jobs              submit a JobSpec        -> 201 JobStatus
+//	GET    /api/v1/jobs?tenant=&state=  list jobs            -> 200 [JobStatus]
+//	GET    /api/v1/jobs/{id}         one job's status        -> 200 JobStatus
+//	DELETE /api/v1/jobs/{id}?reason= cancel                  -> 200 JobStatus
+//	GET    /api/v1/jobs/{id}/logs    captured output         -> 200 text/plain
+//	GET    /api/v1/stats             scheduler counters      -> 200 Stats
+//	GET    /api/v1/nodes             cluster view            -> 200 [NodeStatus]
+//	POST   /api/v1/nodes/{id}/kill   chaos: node dies now    -> 200
+//	POST   /api/v1/nodes/{id}/silence chaos: stop heartbeats -> 200
+//	POST   /api/v1/nodes/{id}/drain  stop new placements     -> 200
+//	POST   /api/v1/nodes/{id}/revive return node to service  -> 200
+//	GET    /api/v1/programs          registered program names-> 200 [string]
+//	GET    /api/v1/healthz           liveness                -> 200
+//
+// Errors come back as {"error": "..."} with the admission sentinels mapped
+// to status codes: bad specs 400, unknown jobs/nodes 404, duplicate IDs
+// and cancels of terminal jobs 409, backpressure 429 with a Retry-After
+// header, a draining scheduler 503.
+
+// NewHandler wraps the scheduler in its HTTP API.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrBadSpec, err))
+			return
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.List(r.URL.Query().Get("tenant"), r.URL.Query().Get("state"))
+		if jobs == nil {
+			jobs = []JobStatus{}
+		}
+		writeJSON(w, http.StatusOK, jobs)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"), r.URL.Query().Get("reason"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}/logs", func(w http.ResponseWriter, r *http.Request) {
+		logs, err := s.Logs(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(logs)
+	})
+
+	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /api/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Nodes())
+	})
+
+	nodeOp := func(op string, fn func(int) error) {
+		mux.HandleFunc("POST /api/v1/nodes/{id}/"+op, func(w http.ResponseWriter, r *http.Request) {
+			id, err := strconv.Atoi(r.PathValue("id"))
+			if err != nil {
+				writeErr(w, fmt.Errorf("%w: %q", ErrUnknownNode, r.PathValue("id")))
+				return
+			}
+			if err := fn(id); err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"node": r.PathValue("id"), "op": op})
+		})
+	}
+	nodeOp("kill", s.KillNode)
+	nodeOp("silence", s.SilenceNode)
+	nodeOp("drain", s.DrainNode)
+	nodeOp("revive", s.ReviveNode)
+
+	mux.HandleFunc("GET /api/v1/programs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.cfg.Registry.Names())
+	})
+
+	mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+// retryAfterSeconds is the backpressure hint sent with every 429: long
+// enough for a dispatch round to free queue space, short enough that a
+// polite client's throughput barely dips.
+const retryAfterSeconds = 1
+
+// httpStatus maps scheduler errors onto status codes.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownNode):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrTerminal):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := httpStatus(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,819 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// testPlatform is a latency-free cluster so tests measure scheduling, not
+// the modeled network.
+func testPlatform(nodes, cores int) cluster.Platform {
+	return cluster.Platform{
+		Name:            "testbox",
+		Nodes:           nodes,
+		CoresPerNode:    cores,
+		HostnamePattern: "test-%d",
+	}
+}
+
+// newTestSched builds a scheduler with fast test timings; zero cfg fields
+// get aggressive defaults so tests finish in milliseconds, not minutes.
+func newTestSched(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	if cfg.Platform.Name == "" {
+		cfg.Platform = testPlatform(2, 2)
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = 5 * time.Millisecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 20 * time.Millisecond
+	}
+	if cfg.StarveAfter == 0 {
+		cfg.StarveAfter = 150 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 10 * time.Millisecond
+	}
+	if cfg.HeartbeatGrace == 0 {
+		cfg.HeartbeatGrace = 50 * time.Millisecond
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// registryWithHang adds a program whose ranks block in Recv forever: only
+// an external interrupt (cancel, node kill) can end it — the sharpest
+// probe of the revoke-and-reap path.
+func registryWithHang(t *testing.T) *Registry {
+	t.Helper()
+	r := DefaultRegistry()
+	err := r.Register("hang", func(spec JobSpec, env ProgramEnv) (func(c *mpi.Comm) error, error) {
+		return func(c *mpi.Comm) error {
+			_, err := c.Recv(mpi.AnySource, 0, nil)
+			return err
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func waitState(t *testing.T, s *Scheduler, id string, want State, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want.String() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: state %s, want %s (error %q, history %v)", id, st.State, want, st.Error, st.History)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func intPtr(n int) *int { return &n }
+
+// TestSubmitRunsToCompletion: the happy path — a real exemplar program
+// runs as a gang and its output lands in the job's log capture.
+func TestSubmitRunsToCompletion(t *testing.T) {
+	s := newTestSched(t, Config{})
+	st, err := s.Submit(JobSpec{Tenant: "alice", Program: "integration", Width: 4, Args: map[string]string{"n": "100000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != "queued" {
+		t.Fatalf("submit status = %+v, want an assigned ID in state queued", st)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+	if final.Attempts != 1 || final.RanWidth != 4 {
+		t.Fatalf("final = %+v, want 1 attempt at width 4", final)
+	}
+	logs, err := s.Logs(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logs), "pi ≈ 3.141") {
+		t.Fatalf("logs = %q, want the integration output", logs)
+	}
+}
+
+// TestZeroWidthGangRejected: admission control refuses a gang with no
+// ranks (and a negative one) before it can ever occupy the queue.
+func TestZeroWidthGangRejected(t *testing.T) {
+	s := newTestSched(t, Config{})
+	for _, w := range []int{0, -3} {
+		_, err := s.Submit(JobSpec{Tenant: "alice", Program: "sleep", Width: w})
+		if !errors.Is(err, ErrBadSpec) {
+			t.Fatalf("width %d: err = %v, want ErrBadSpec", w, err)
+		}
+	}
+	if got := s.Stats().Admitted; got != 0 {
+		t.Fatalf("admitted = %d, want 0", got)
+	}
+}
+
+// TestDuplicateJobID: a client retrying a submit whose response it lost
+// must not enqueue the job twice.
+func TestDuplicateJobID(t *testing.T) {
+	s := newTestSched(t, Config{})
+	spec := JobSpec{ID: "once", Tenant: "alice", Program: "sleep", Width: 1}
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("resubmit err = %v, want ErrDuplicateID", err)
+	}
+	if got := s.Stats().Admitted; got != 1 {
+		t.Fatalf("admitted = %d, want 1", got)
+	}
+}
+
+// TestBadSpecsRejected: the rest of the admission matrix.
+func TestBadSpecsRejected(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(2, 2)})
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"no tenant", JobSpec{Program: "sleep", Width: 1}},
+		{"unknown program", JobSpec{Tenant: "a", Program: "no-such", Width: 1}},
+		{"width beyond cluster", JobSpec{Tenant: "a", Program: "sleep", Width: 5}},
+		{"min width beyond cluster", JobSpec{Tenant: "a", Program: "sleep", Width: 9, MinWidth: 8}},
+		{"min width above width", JobSpec{Tenant: "a", Program: "sleep", Width: 2, MinWidth: 3}},
+		{"kill rank outside gang", JobSpec{Tenant: "a", Program: "sleep", Width: 2, KillRank: intPtr(2)}},
+		{"negative kill rank", JobSpec{Tenant: "a", Program: "sleep", Width: 2, KillRank: intPtr(-1)}},
+		{"path traversal id", JobSpec{ID: "../escape", Tenant: "a", Program: "sleep", Width: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Submit(tc.spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: err = %v, want ErrBadSpec", tc.name, err)
+		}
+	}
+	// An elastic job wider than the cluster is fine when MinWidth fits:
+	// it runs shrunk.
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 9, MinWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+	if final.RanWidth != 4 {
+		t.Fatalf("ran width = %d, want the full cluster's 4", final.RanWidth)
+	}
+}
+
+// TestCancelWhileQueued: a queued job is removed from its tenant queue
+// and lands terminal without ever running.
+func TestCancelWhileQueued(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(1, 1), Registry: registryWithHang(t)})
+	blocker, err := s.Submit(JobSpec{Tenant: "a", Program: "hang", Width: 1, OpDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, blocker.ID, StateRunning, 5*time.Second)
+	queued, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Cancel(queued.ID, "changed my mind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "canceled" || st.Attempts != 0 {
+		t.Fatalf("canceled status = %+v, want canceled with 0 attempts", st)
+	}
+	if got := s.Stats().Queued; got != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", got)
+	}
+	// Canceling again reports the terminal state, not a second cancel.
+	if _, err := s.Cancel(queued.ID, ""); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("double cancel err = %v, want ErrTerminal", err)
+	}
+}
+
+// TestCancelWhileRunningRevokesAndReaps: the gang's ranks are blocked in
+// receives that nothing will ever satisfy; cancel must revoke the world
+// (mpi abort) so they unblock, and the supervisor must reap the job into
+// the canceled state promptly.
+func TestCancelWhileRunningRevokesAndReaps(t *testing.T) {
+	s := newTestSched(t, Config{Registry: registryWithHang(t)})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "hang", Width: 4, OpDeadline: time.Minute, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 5*time.Second)
+	start := time.Now()
+	if _, err := s.Cancel(st.ID, "operator said stop"); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateCanceled, 5*time.Second)
+	if reaped := time.Since(start); reaped > 3*time.Second {
+		t.Fatalf("reap took %s, want prompt revoke", reaped)
+	}
+	if !strings.Contains(final.Error, "operator said stop") {
+		t.Fatalf("final error = %q, want the cancel reason", final.Error)
+	}
+	stats := s.Stats()
+	if stats.Running != 0 || stats.FreeSlots != stats.TotalSlots {
+		t.Fatalf("stats = %+v, want the gang's slots released", stats)
+	}
+}
+
+// TestCancelWhileRetrying: a job waiting out its backoff is canceled
+// before the timer fires; the timer must stand down.
+func TestCancelWhileRetrying(t *testing.T) {
+	s := newTestSched(t, Config{RetryBase: 2 * time.Second, RetryMax: 4 * time.Second})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "boom", Width: 1, MaxRetries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRetrying, 5*time.Second)
+	if _, err := s.Cancel(st.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateCanceled, time.Second)
+	if final.Failures != 1 {
+		t.Fatalf("failures = %d, want the one pre-cancel failure", final.Failures)
+	}
+	// Outlive the backoff: the job must stay canceled, not resurrect.
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := s.Status(st.ID); got.State != "canceled" {
+		t.Fatalf("state after backoff = %s, want canceled", got.State)
+	}
+}
+
+// TestTenantQueueQuotaExactlyExhausted: the boundary — the last queued
+// slot is granted, the next submit is refused with the quota error.
+func TestTenantQueueQuotaExactlyExhausted(t *testing.T) {
+	s := newTestSched(t, Config{
+		Platform:       testPlatform(1, 1),
+		TenantQueueCap: 2,
+		Registry:       registryWithHang(t),
+	})
+	blocker, err := s.Submit(JobSpec{Tenant: "a", Program: "hang", Width: 1, OpDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, blocker.ID, StateRunning, 5*time.Second)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1}); err != nil {
+			t.Fatalf("queued submit %d: %v (quota is 2, have %d queued)", i, err, i)
+		}
+	}
+	_, err = s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1})
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-quota err = %v, want ErrTenantQuota", err)
+	}
+	// Another tenant is unaffected: the quota is per tenant, not global.
+	if _, err := s.Submit(JobSpec{Tenant: "b", Program: "sleep", Width: 1}); err != nil {
+		t.Fatalf("other tenant: %v, want admission", err)
+	}
+}
+
+// TestQueueFullBackpressure: the global bound, same boundary discipline.
+func TestQueueFullBackpressure(t *testing.T) {
+	s := newTestSched(t, Config{
+		Platform: testPlatform(1, 1),
+		QueueCap: 3,
+		Registry: registryWithHang(t),
+	})
+	blocker, err := s.Submit(JobSpec{Tenant: "a", Program: "hang", Width: 1, OpDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, blocker.ID, StateRunning, 5*time.Second)
+	for i := 0; i < 3; i++ {
+		tenant := string(rune('a' + i))
+		if _, err := s.Submit(JobSpec{Tenant: tenant, Program: "sleep", Width: 1}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "z", Program: "sleep", Width: 1}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestTenantSlotsQuota: the running-slot quota holds a tenant's second
+// job in the queue while its first runs, despite free capacity.
+func TestTenantSlotsQuota(t *testing.T) {
+	s := newTestSched(t, Config{
+		Platform:    testPlatform(1, 4),
+		TenantSlots: 1,
+		Registry:    registryWithHang(t),
+	})
+	first, err := s.Submit(JobSpec{Tenant: "a", Program: "hang", Width: 1, OpDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning, 5*time.Second)
+	second, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if st, _ := s.Status(second.ID); st.State != "queued" {
+		t.Fatalf("second job state = %s, want queued behind the slot quota", st.State)
+	}
+	if _, err := s.Cancel(first.ID, "free the slot"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, second.ID, StateSucceeded, 5*time.Second)
+}
+
+// TestFairnessRoundRobin: with one slot and two tenants' queues full,
+// placements alternate tenants instead of draining one queue first.
+func TestFairnessRoundRobin(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(1, 1)})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1, Args: map[string]string{"ms": "40"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(JobSpec{Tenant: "b", Program: "sleep", Width: 1, Args: map[string]string{"ms": "40"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	var finals []JobStatus
+	for _, id := range ids {
+		finals = append(finals, waitState(t, s, id, StateSucceeded, 15*time.Second))
+	}
+	sort.Slice(finals, func(i, j int) bool { return finals[i].Started.Before(finals[j].Started) })
+	for i := 1; i < len(finals); i++ {
+		if finals[i].Tenant == finals[i-1].Tenant {
+			order := make([]string, len(finals))
+			for k, f := range finals {
+				order[k] = f.Tenant
+			}
+			t.Fatalf("placement order %v ran tenant %s twice in a row; want round-robin alternation", order, finals[i].Tenant)
+		}
+	}
+}
+
+// TestBackfillThenStarvationGuard: small jobs backfill into the hole a
+// wide job cannot use — until the wide job has starved past the guard, at
+// which point dispatch hoards capacity and the wide job runs.
+func TestBackfillThenStarvationGuard(t *testing.T) {
+	s := newTestSched(t, Config{
+		Platform:    testPlatform(1, 4),
+		StarveAfter: 120 * time.Millisecond,
+	})
+	blocker, err := s.Submit(JobSpec{Tenant: "big", Program: "sleep", Width: 2, Args: map[string]string{"ms": "400"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, blocker.ID, StateRunning, 5*time.Second)
+	wide, err := s.Submit(JobSpec{Tenant: "big", Program: "sleep", Width: 4, Args: map[string]string{"ms": "10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smalls []string
+	for i := 0; i < 8; i++ {
+		st, err := s.Submit(JobSpec{Tenant: "small", Program: "sleep", Width: 1, Args: map[string]string{"ms": "80"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smalls = append(smalls, st.ID)
+	}
+	wideFinal := waitState(t, s, wide.ID, StateSucceeded, 15*time.Second)
+	var before, after int
+	for _, id := range smalls {
+		st := waitState(t, s, id, StateSucceeded, 15*time.Second)
+		if st.Finished.Before(wideFinal.Started) {
+			before++
+		}
+		if st.Started.After(wideFinal.Started) {
+			after++
+		}
+	}
+	if before == 0 {
+		t.Fatal("no small job backfilled ahead of the blocked wide job")
+	}
+	if after == 0 {
+		t.Fatal("every small job ran before the wide job: the starvation guard never engaged")
+	}
+}
+
+// TestRetryWithBackoffThenSuccess: a transiently failing job climbs the
+// retry ladder and lands succeeded with its failures on the record.
+func TestRetryWithBackoffThenSuccess(t *testing.T) {
+	s := newTestSched(t, Config{})
+	st, err := s.Submit(JobSpec{
+		Tenant: "a", Program: "flaky", Width: 2,
+		Args: map[string]string{"fail_attempts": "2"}, MaxRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 15*time.Second)
+	if final.Attempts != 3 || final.Failures != 2 {
+		t.Fatalf("final = attempts %d failures %d, want 3 attempts with 2 failures", final.Attempts, final.Failures)
+	}
+	if len(final.History) != 3 {
+		t.Fatalf("history = %v, want 3 entries", final.History)
+	}
+}
+
+// TestPoisonJobQuarantined: the circuit breaker — a job that fails past
+// its budget is parked terminally with the full failure history, and is
+// never requeued hot.
+func TestPoisonJobQuarantined(t *testing.T) {
+	s := newTestSched(t, Config{})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "boom", Width: 2, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateQuarantined, 15*time.Second)
+	if final.Attempts != 2 || final.Failures != 2 {
+		t.Fatalf("final = attempts %d failures %d, want 2 and 2 (budget 1)", final.Attempts, final.Failures)
+	}
+	if !strings.Contains(final.Error, "poison job") || !strings.Contains(final.Error, "boom") {
+		t.Fatalf("error = %q, want the poison verdict wrapping the cause", final.Error)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got, _ := s.Status(st.ID); got.State != "quarantined" {
+		t.Fatalf("state = %s after quarantine, want it to stay quarantined", got.State)
+	}
+	if qs := s.Stats(); qs.Quarantined != 1 || qs.Lost() != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantined, 0 lost", qs)
+	}
+}
+
+// TestKillRankFaultQuarantinesWithReport: an injected rank kill without
+// recovery fails the run; with no retries allowed the job quarantines
+// carrying the fault report — the postmortem names the injected kill.
+func TestKillRankFaultQuarantinesWithReport(t *testing.T) {
+	s := newTestSched(t, Config{})
+	st, err := s.Submit(JobSpec{
+		Tenant: "a", Program: "integration", Width: 4,
+		Args:     map[string]string{"n": "200000"},
+		KillRank: intPtr(2), KillAfter: 1, MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateQuarantined, 15*time.Second)
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (MaxRetries -1 means no retries)", final.Attempts)
+	}
+	if len(final.Faults) == 0 {
+		t.Fatalf("faults = %v, want the injected kill on the record", final.Faults)
+	}
+}
+
+// TestRecoverJobSurvivesKill: a recovery-aware program with an injected
+// rank kill shrinks ULFM-style and still succeeds — the fault machinery
+// of PR 4 wired through the scheduler.
+func TestRecoverJobSurvivesKill(t *testing.T) {
+	s := newTestSched(t, Config{CkptDir: t.TempDir()})
+	st, err := s.Submit(JobSpec{
+		Tenant: "a", Program: "forestfire-recover", Width: 4,
+		Args:    map[string]string{"rows": "24", "cols": "24", "ckpt_every": "2"},
+		Recover: true, KillRank: intPtr(1), KillAfter: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 20*time.Second)
+	if final.Failures != 0 {
+		t.Fatalf("failures = %d, want 0: recovery absorbed the kill", final.Failures)
+	}
+	logs, _ := s.Logs(st.ID)
+	if !strings.Contains(string(logs), "survivors: 3/4") {
+		t.Fatalf("logs = %q, want the shrunk gang reported", logs)
+	}
+}
+
+// TestWallClockTimeoutSpendsRetryBudget: a run that outlives its budget
+// is interrupted and counts as a failure, not an eviction.
+func TestWallClockTimeoutSpendsRetryBudget(t *testing.T) {
+	s := newTestSched(t, Config{Registry: registryWithHang(t)})
+	st, err := s.Submit(JobSpec{
+		Tenant: "a", Program: "hang", Width: 2,
+		OpDeadline: time.Minute, Timeout: 100 * time.Millisecond, MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateQuarantined, 10*time.Second)
+	if !strings.Contains(final.Error, "wall-clock") {
+		t.Fatalf("error = %q, want the timeout named", final.Error)
+	}
+	if st := s.Stats(); st.Requeues != 0 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want the timeout counted as a failure", st)
+	}
+}
+
+// TestNodeKillEvictsRequeuesAndRecovers: chaos kills a node under a
+// running gang. The gang is evicted (requeued, no retry budget spent),
+// waits while the cluster is too small, and completes after the revive.
+func TestNodeKillEvictsRequeuesAndRecovers(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(2, 2)})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 4, Args: map[string]string{"ms": "300"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 5*time.Second)
+	if err := s.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Rigid 4-wide job on a 2-slot survivor: it must wait, not shrink.
+	waitState(t, s, st.ID, StateQueued, 5*time.Second)
+	mid, _ := s.Status(st.ID)
+	if mid.Requeues != 1 {
+		t.Fatalf("requeues = %d, want 1", mid.Requeues)
+	}
+	if mid.Failures != 0 {
+		t.Fatalf("failures = %d: an eviction must not spend retry budget", mid.Failures)
+	}
+	// The degraded scheduler keeps admitting: a small job runs on the
+	// surviving node meanwhile.
+	small, err := s.Submit(JobSpec{Tenant: "b", Program: "sleep", Width: 1})
+	if err != nil {
+		t.Fatalf("submit on degraded cluster: %v", err)
+	}
+	waitState(t, s, small.ID, StateSucceeded, 10*time.Second)
+	if err := s.ReviveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+	if final.RanWidth != 4 {
+		t.Fatalf("ran width = %d, want the full 4 after revive", final.RanWidth)
+	}
+	if got := s.Stats(); got.Lost() != 0 {
+		t.Fatalf("stats = %+v, want 0 lost", got)
+	}
+}
+
+// TestElasticJobShrinksOntoDegradedCluster: same eviction, but the job
+// declared MinWidth — instead of waiting for a revive it reruns shrunk to
+// the surviving capacity.
+func TestElasticJobShrinksOntoDegradedCluster(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(2, 2)})
+	st, err := s.Submit(JobSpec{
+		Tenant: "a", Program: "sleep", Width: 4, MinWidth: 2,
+		Args: map[string]string{"ms": "300"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 5*time.Second)
+	if err := s.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+	if final.RanWidth != 2 {
+		t.Fatalf("ran width = %d, want 2: the elastic job should shrink onto the survivor", final.RanWidth)
+	}
+	if final.Requeues != 1 || final.Failures != 0 {
+		t.Fatalf("final = %+v, want one budget-free requeue", final)
+	}
+}
+
+// TestHeartbeatMissDeclaresNodeDead: the detection path — a silenced node
+// (no chaos kill, just missing beats) is declared dead after the grace
+// window and its gangs are evicted.
+func TestHeartbeatMissDeclaresNodeDead(t *testing.T) {
+	s := newTestSched(t, Config{
+		Platform:       testPlatform(2, 2),
+		HeartbeatEvery: 10 * time.Millisecond,
+		HeartbeatGrace: 40 * time.Millisecond,
+	})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 4, MinWidth: 1, Args: map[string]string{"ms": "500"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 5*time.Second)
+	if err := s.SilenceNode(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nodes := s.Nodes()
+		if !nodes[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never declared the silent node dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+	if final.Requeues < 1 {
+		t.Fatalf("requeues = %d, want the eviction recorded", final.Requeues)
+	}
+	if final.RanWidth != 2 {
+		t.Fatalf("ran width = %d, want 2 on the surviving node", final.RanWidth)
+	}
+}
+
+// TestDrainNodeFinishesRunningGangs: draining is graceful — the running
+// gang completes on the draining node; only new placements avoid it.
+func TestDrainNodeFinishesRunningGangs(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(2, 2)})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 4, Args: map[string]string{"ms": "150"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 5*time.Second)
+	if err := s.DrainNode(1); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+	if final.Requeues != 0 || final.Failures != 0 {
+		t.Fatalf("final = %+v, want the drained gang to finish undisturbed", final)
+	}
+	// New placements avoid the draining node.
+	next, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := waitState(t, s, next.ID, StateSucceeded, 10*time.Second)
+	for _, n := range nf.Placement {
+		if n == 1 {
+			t.Fatalf("placement %v used the draining node", nf.Placement)
+		}
+	}
+}
+
+// TestArtifactsCommittedAtomically: terminal jobs publish stdout.log and
+// result.json; no temp files survive the commit.
+func TestArtifactsCommittedAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestSched(t, Config{ArtifactDir: dir})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "integration", Width: 2, Args: map[string]string{"n": "100000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
+
+	logBytes, err := os.ReadFile(filepath.Join(dir, st.ID, "stdout.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logBytes), "pi ≈") {
+		t.Fatalf("stdout.log = %q, want the program output", logBytes)
+	}
+	resBytes, err := os.ReadFile(filepath.Join(dir, st.ID, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.Unmarshal(resBytes, &got); err != nil {
+		t.Fatalf("result.json does not parse: %v", err)
+	}
+	if got.State != "succeeded" || got.ID != st.ID {
+		t.Fatalf("result.json = %+v, want the succeeded status", got)
+	}
+	entries, _ := os.ReadDir(filepath.Join(dir, st.ID))
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("uncommitted temp file %s survived", e.Name())
+		}
+	}
+}
+
+// TestDrainRejectsNewWork: once draining, submits bounce with ErrDraining
+// while already-admitted jobs run to completion.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := newTestSched(t, Config{})
+	st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 2, Args: map[string]string{"ms": "50"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Status(st.ID); got.State != "succeeded" {
+		t.Fatalf("state after drain = %s, want succeeded", got.State)
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining = %v, want ErrDraining", err)
+	}
+}
+
+// TestCloseReapsEverything: Close cancels queued work, revokes running
+// gangs, and leaves every job terminal with nothing lost.
+func TestCloseReapsEverything(t *testing.T) {
+	s := newTestSched(t, Config{Platform: testPlatform(1, 2), Registry: registryWithHang(t)})
+	if _, err := s.Submit(JobSpec{Tenant: "a", Program: "hang", Width: 2, OpDeadline: time.Minute, Timeout: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	s.Close()
+	st := s.Stats()
+	if st.Queued+st.Running+st.Retrying != 0 {
+		t.Fatalf("stats after close = %+v, want everything terminal", st)
+	}
+	if st.Lost() != 0 {
+		t.Fatalf("lost = %d after close, want 0", st.Lost())
+	}
+}
+
+// TestChaosLoadZeroLostJobs is the package-scale chaos drill the issue
+// pins: a mixed multi-tenant load, a node killed and revived mid-flight,
+// and at the end every admitted job is terminal — succeeded, canceled, or
+// quarantined-with-report — with zero lost and the daemon still admitting.
+func TestChaosLoadZeroLostJobs(t *testing.T) {
+	s := newTestSched(t, Config{
+		Platform: testPlatform(2, 4),
+		QueueCap: 500,
+	})
+	tenants := []string{"t0", "t1", "t2", "t3"}
+	var boom, flaky, plain []string
+	for i := 0; i < 48; i++ {
+		spec := JobSpec{
+			Tenant:  tenants[i%len(tenants)],
+			Program: "sleep",
+			Width:   1 + i%4,
+			Args:    map[string]string{"ms": "5"},
+		}
+		switch {
+		case i%10 == 9:
+			spec.Program = "boom"
+			spec.MaxRetries = -1
+		case i%10 == 4:
+			spec.Program = "flaky"
+			spec.Args = map[string]string{"fail_attempts": "1"}
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		switch spec.Program {
+		case "boom":
+			boom = append(boom, st.ID)
+		case "flaky":
+			flaky = append(flaky, st.ID)
+		default:
+			plain = append(plain, st.ID)
+		}
+		if i == 24 {
+			if err := s.KillNode(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := s.ReviveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Lost() != 0 {
+		t.Fatalf("stats = %+v: %d jobs lost", st, st.Lost())
+	}
+	if st.Admitted != 48 {
+		t.Fatalf("admitted = %d, want 48", st.Admitted)
+	}
+	for _, id := range plain {
+		if got, _ := s.Status(id); got.State != "succeeded" {
+			t.Errorf("plain job %s = %s (%q), want succeeded", id, got.State, got.Error)
+		}
+	}
+	for _, id := range flaky {
+		if got, _ := s.Status(id); got.State != "succeeded" {
+			t.Errorf("flaky job %s = %s (%q), want retried into success", id, got.State, got.Error)
+		}
+	}
+	for _, id := range boom {
+		got, _ := s.Status(id)
+		if got.State != "quarantined" {
+			t.Errorf("boom job %s = %s, want quarantined", id, got.State)
+		}
+		if len(got.History) == 0 {
+			t.Errorf("boom job %s has no failure history", id)
+		}
+	}
+}

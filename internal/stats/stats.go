@@ -95,6 +95,28 @@ func Median(xs []float64) (float64, error) {
 	return (s[n/2-1] + s[n/2]) / 2, nil
 }
 
+// Quantile returns the q-th quantile of xs (0 <= q <= 1) by linear
+// interpolation between order statistics — the R-7 / NumPy default. The
+// scheduler benchmark uses it for tail latencies (Quantile(lat, 0.99)).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile outside [0, 1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo] + frac*(s[hi]-s[lo]), nil
+}
+
 // Round rounds x to the given number of decimal places, half away from
 // zero — the convention the paper's reported means follow (e.g. 100/22
 // reported as 4.55).

@@ -1,0 +1,183 @@
+// Package verdict is the launcher verdict contract shared by the repo's
+// command-line tools (mpirun, schedd, jobctl): the exit codes that separate
+// failure classes, the single mapping from runtime errors to those codes,
+// and the validation of the transport × recovery flag matrix. Before this
+// package each tool carried its own copy of the mapping, and the copies had
+// already drifted (mpirun mapped a respawn world that timed out waiting in
+// Restored to the launcher-error code instead of the rank-failure code, and
+// accepted a -kill-rank outside the world, which made the injected fault a
+// silent no-op). Centralizing the contract is what lets an autograder — or
+// the job scheduler's own supervisor — treat "mpirun exited 3" and "jobctl
+// wait exited 3" as the same verdict.
+package verdict
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Exit codes. The launcher tools all use this vocabulary, so scripts (and
+// autograders) can tell a user mistake from a runtime failure.
+const (
+	// ExitOK: success, including runs that recovered from rank failures.
+	ExitOK = 0
+	// ExitLauncher: the launcher itself failed (unknown program, platform,
+	// I/O) before or around the run.
+	ExitLauncher = 1
+	// ExitUsage: the flags were wrong.
+	ExitUsage = 2
+	// ExitRank: a rank failed — the world was aborted, a deadline report
+	// fired, or a respawn run had to fall back below full width. The
+	// program is at fault, not the launcher.
+	ExitRank = 3
+	// ExitFormation: the world never formed within the join timeout.
+	ExitFormation = 4
+)
+
+// ErrNotFullWidth marks a respawn-mode run that finished, but on the shrink
+// fallback rather than at the original width: some rank's relaunch budget
+// ran out. It maps to ExitRank — the job finished degraded.
+var ErrNotFullWidth = errors.New("respawn did not restore the world to full width")
+
+// usageError tags an error as a flag/usage mistake so ExitCode maps it to
+// ExitUsage. Build one with Usagef.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+// Usagef builds a usage-class error: ExitCode maps it to ExitUsage.
+func Usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsUsage reports whether err is a usage-class error.
+func IsUsage(err error) bool {
+	var ue *usageError
+	return errors.As(err, &ue)
+}
+
+// ExitCode maps a runtime error to the shared exit-code contract.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsUsage(err):
+		return ExitUsage
+	case errors.Is(err, mpi.ErrFormationTimeout):
+		return ExitFormation
+	case errors.Is(err, mpi.ErrWorldAborted) || errors.Is(err, mpi.ErrDeadlineExceeded):
+		return ExitRank
+	case errors.Is(err, mpi.ErrRankFailed) || errors.Is(err, mpi.ErrRestoreTimeout):
+		// A recovery-mode failure that escaped the program, or a respawn
+		// world that timed out waiting to be restored: rank-failure class.
+		// (mpirun previously mapped ErrRestoreTimeout to ExitLauncher — a
+		// drift this package exists to end.)
+		return ExitRank
+	case errors.Is(err, ErrNotFullWidth):
+		return ExitRank
+	default:
+		return ExitLauncher
+	}
+}
+
+// Transports lists the launcher transports the flag matrix accepts.
+var Transports = []string{"local", "tcp", "procs", "shm"}
+
+// LaunchFlags is the cross-tool subset of launcher configuration whose
+// combinations need validating: the transport × recovery matrix plus the
+// placement flags. Zero values mean "flag not given".
+type LaunchFlags struct {
+	NP        int
+	Transport string // "", "local", "tcp", "procs", "shm"
+	Platform  string // modeled platform name, "" = none
+	Topology  string // "NxM" spec, "" = none
+	Hier      string // "", "auto", "on", "off"
+	Recover   bool
+	Respawn   bool
+	KillRank  int // injected victim rank, -1 = none
+}
+
+// Validate checks the flag matrix and returns a usage-class error (ExitCode
+// = ExitUsage) naming the first conflict found.
+func (f LaunchFlags) Validate() error {
+	if f.NP < 1 {
+		return Usagef("need at least 1 process, got -np %d", f.NP)
+	}
+	if f.Transport != "" {
+		ok := false
+		for _, t := range Transports {
+			if f.Transport == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Usagef("unknown transport %q (want local, tcp, procs, or shm)", f.Transport)
+		}
+	}
+	if f.Respawn && f.Recover {
+		return Usagef("-respawn and -recover are mutually exclusive (respawn implies recovery)")
+	}
+	if (f.Respawn || f.Recover) && f.Platform != "" {
+		return Usagef("-recover/-respawn and -platform are mutually exclusive")
+	}
+	if f.Topology != "" && f.Platform != "" {
+		return Usagef("-topology and -platform are mutually exclusive (the platform carries its own placement)")
+	}
+	if f.Hier != "" {
+		if _, err := ParseHier(f.Hier); err != nil {
+			return err
+		}
+	}
+	if f.Topology != "" {
+		if _, err := ParseTopology(f.Topology, f.NP); err != nil {
+			return err
+		}
+	}
+	if f.KillRank >= f.NP {
+		// Previously accepted and silently inert: the fault plan's rule
+		// never matched any sender, so the "fault-injection" run ran
+		// fault-free — the worst kind of green test.
+		return Usagef("-kill-rank %d is outside the world (np %d)", f.KillRank, f.NP)
+	}
+	return nil
+}
+
+// ParseTopology parses an "NxM" node-placement spec (N nodes of M slots)
+// into the blockwise per-rank node assignment the launchers model: rank r
+// lands on node r/M, matching mpirun --map-by core on a real cluster.
+// Errors are usage-class.
+func ParseTopology(spec string, np int) ([]int, error) {
+	var n, m int
+	if _, err := fmt.Sscanf(spec, "%dx%d", &n, &m); err != nil || fmt.Sprintf("%dx%d", n, m) != spec {
+		return nil, Usagef("bad -topology %q: want NxM, e.g. 2x4", spec)
+	}
+	if n < 1 || m < 1 {
+		return nil, Usagef("bad -topology %q: need at least 1 node and 1 slot", spec)
+	}
+	if np > n*m {
+		return nil, Usagef("-topology %s has %d slots, cannot place %d ranks", spec, n*m, np)
+	}
+	nodes := make([]int, np)
+	for r := range nodes {
+		nodes[r] = r / m
+	}
+	return nodes, nil
+}
+
+// ParseHier maps the -hier vocabulary to the runtime's selection policy.
+// Errors are usage-class.
+func ParseHier(s string) (mpi.HierMode, error) {
+	switch s {
+	case "auto":
+		return mpi.HierAuto, nil
+	case "on":
+		return mpi.HierOn, nil
+	case "off":
+		return mpi.HierOff, nil
+	default:
+		return mpi.HierAuto, Usagef("bad -hier %q: want auto, on, or off", s)
+	}
+}

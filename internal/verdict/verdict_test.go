@@ -1,0 +1,130 @@
+package verdict
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, ExitOK},
+		{"launcher", errors.New("unknown program"), ExitLauncher},
+		{"usage", Usagef("bad flag"), ExitUsage},
+		{"wrapped-usage", fmt.Errorf("outer: %w", Usagef("bad flag")), ExitUsage},
+		{"formation", fmt.Errorf("wrapped: %w", mpi.ErrFormationTimeout), ExitFormation},
+		{"aborted", fmt.Errorf("wrapped: %w", mpi.ErrWorldAborted), ExitRank},
+		{"rank-failed", fmt.Errorf("wrapped: %w", mpi.ErrRankFailed), ExitRank},
+		{"restore-timeout", fmt.Errorf("wrapped: %w", mpi.ErrRestoreTimeout), ExitRank},
+		{"not-full-width", fmt.Errorf("%w: 3/4", ErrNotFullWidth), ExitRank},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestExitCodeRealFailures drives ExitCode with the errors real runs
+// produce, not hand-wrapped sentinels.
+func TestExitCodeRealFailures(t *testing.T) {
+	deliberate := errors.New("boom")
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			return deliberate
+		}
+		_, rerr := c.Recv(1, 0, nil)
+		return rerr
+	})
+	if got := ExitCode(err); got != ExitRank {
+		t.Errorf("rank failure: ExitCode(%v) = %d, want %d", err, got, ExitRank)
+	}
+
+	derr := mpi.Run(2, func(c *mpi.Comm) error {
+		_, rerr := c.Recv(1-c.Rank(), 0, nil)
+		return rerr
+	}, mpi.WithDeadline(50*time.Millisecond))
+	if got := ExitCode(derr); got != ExitRank {
+		t.Errorf("deadline: ExitCode(%v) = %d, want %d", derr, got, ExitRank)
+	}
+}
+
+func TestValidateMatrix(t *testing.T) {
+	ok := LaunchFlags{NP: 4, Transport: "local", KillRank: -1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		f    LaunchFlags
+	}{
+		{"np-zero", LaunchFlags{NP: 0, KillRank: -1}},
+		{"bad-transport", LaunchFlags{NP: 4, Transport: "carrier-pigeon", KillRank: -1}},
+		{"respawn-and-recover", LaunchFlags{NP: 4, Respawn: true, Recover: true, KillRank: -1}},
+		{"recover-and-platform", LaunchFlags{NP: 4, Recover: true, Platform: "pi", KillRank: -1}},
+		{"respawn-and-platform", LaunchFlags{NP: 4, Respawn: true, Platform: "pi", KillRank: -1}},
+		{"topology-and-platform", LaunchFlags{NP: 4, Topology: "2x2", Platform: "pi", KillRank: -1}},
+		{"bad-topology", LaunchFlags{NP: 4, Topology: "2by2", KillRank: -1}},
+		{"topology-too-small", LaunchFlags{NP: 9, Topology: "2x4", KillRank: -1}},
+		{"bad-hier", LaunchFlags{NP: 4, Hier: "sideways", KillRank: -1}},
+		{"kill-rank-outside-world", LaunchFlags{NP: 4, KillRank: 4}},
+	}
+	for _, tc := range cases {
+		err := tc.f.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !IsUsage(err) || ExitCode(err) != ExitUsage {
+			t.Errorf("%s: want usage-class error, got %v (exit %d)", tc.name, err, ExitCode(err))
+		}
+	}
+	// KillRank -1 means "no injection" and is always fine.
+	if err := (LaunchFlags{NP: 2, KillRank: -1}).Validate(); err != nil {
+		t.Errorf("kill-rank -1 rejected: %v", err)
+	}
+	// An in-world kill is fine even without recovery: aborting on the kill
+	// is a teaching scenario in its own right.
+	if err := (LaunchFlags{NP: 4, KillRank: 2}).Validate(); err != nil {
+		t.Errorf("in-world kill rejected: %v", err)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	nodes, err := ParseTopology("2x4", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for r, n := range nodes {
+		if n != want[r] {
+			t.Fatalf("2x4 placement = %v, want %v", nodes, want)
+		}
+	}
+	for _, bad := range []string{"", "4", "x4", "2x", "2x4x8", "0x4", "2x0", "-1x4", "ax4", "2x4 "} {
+		if _, err := ParseTopology(bad, 2); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", bad)
+		} else if !IsUsage(err) {
+			t.Errorf("ParseTopology(%q): not usage-class: %v", bad, err)
+		}
+	}
+}
+
+func TestParseHier(t *testing.T) {
+	for s, want := range map[string]mpi.HierMode{"auto": mpi.HierAuto, "on": mpi.HierOn, "off": mpi.HierOff} {
+		got, err := ParseHier(s)
+		if err != nil || got != want {
+			t.Errorf("ParseHier(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseHier("maybe"); err == nil || !IsUsage(err) {
+		t.Errorf("ParseHier(\"maybe\"): want usage-class error, got %v", err)
+	}
+}

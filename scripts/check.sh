@@ -124,6 +124,18 @@ go test -race -timeout 180s -count=1 \
 # two-level, forestfire overlap) still runs end to end.
 go run ./cmd/benchlab -hierbench-quick -mpibench-out /tmp/BENCH_hier_smoke.json
 
+# The scheduler service: gang placement, per-tenant fairness, quotas and
+# backpressure, the retry/quarantine supervisor, heartbeat-driven node death,
+# elastic shrink, drain/close, and the HTTP API — fresh under the race
+# detector. The suite includes the chaos load test (a node killed mid-load)
+# whose acceptance invariant is every admitted job terminal and zero lost.
+go test -race -timeout 180s -count=1 ./internal/sched/
+
+# Scheduler load-test smoke: fewer jobs through the real loopback HTTP API,
+# steady + chaos phases; the zero-lost-jobs pin is enforced even in quick
+# mode because it is an invariant, not a performance number.
+go run ./cmd/benchlab -schedbench-quick -mpibench-out /tmp/BENCH_sched_smoke.json
+
 # Benchmark smoke pass: one iteration of every benchmark, so a refactor that
 # breaks a benchmark body (the BENCH_shm.json / BENCH_mpi.json inputs) fails
 # the gate instead of being discovered at regeneration time.

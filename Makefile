@@ -4,7 +4,7 @@
 # `make bench-shm` regenerates BENCH_shm.json, the same for the shm runtime
 # (pooled region dispatch, chunk handout, reductions, exemplar speedup).
 
-.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt bench-hier bench-sched staticcheck
+.PHONY: check test bench bench-mpi bench-shm bench-recovery bench-session bench-vec bench-shmt bench-hier bench-sched bench-rma bench-diff staticcheck
 
 check:
 	./scripts/check.sh
@@ -63,6 +63,20 @@ bench-shmt:
 # enforced.
 bench-hier:
 	go run ./cmd/benchlab -hierbench
+
+# The one-sided layer and the irregular exchange: batched Put epochs vs the
+# two-sided Send/Recv formulations, coalesced alltoallv vs the naive loops
+# at skewed counts, and the PageRank exemplar's scaling curve, merged into
+# BENCH_mpi.json with the 3x (Put at 64 KiB) and 2x (alltoallv at np=8)
+# pins enforced.
+bench-rma:
+	go run ./cmd/benchlab -rmabench
+
+# Compare a freshly regenerated BENCH_mpi.json against the committed one:
+# every shared numeric field is printed with its drift, and any speedup pin
+# that dropped beyond the tolerance fails the diff.
+bench-diff:
+	./scripts/bench_diff.sh
 
 # The gang scheduler under load: 22 tenants hammering the HTTP API with
 # thousands of short gangs (steady phase) and the same shape with a node

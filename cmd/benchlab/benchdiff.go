@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The -benchdiff mode makes perf drift visible in review instead of only at
+// pin-failure time: it compares a freshly generated BENCH_mpi.json against
+// the committed baseline (piped on stdin, so the caller decides the git
+// revision) and prints the relative change of every numeric leaf the two
+// reports share. Pin fields — any leaf whose key mentions "speedup" — are
+// enforced: a drop beyond the tolerance fails the diff. Everything else
+// (raw nanosecond columns, which track host load as much as code) is
+// reported but never fatal. scripts/bench_diff.sh wraps the plumbing.
+
+// runBenchDiff compares the report at path against the baseline on stdin.
+// tolPct is the allowed relative drop, in percent, for pin leaves.
+func runBenchDiff(path string, tolPct float64) error {
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("benchdiff: empty baseline on stdin (pipe the committed BENCH_mpi.json in)")
+	}
+	freshLeaves, err := numericLeaves(fresh)
+	if err != nil {
+		return fmt.Errorf("benchdiff: fresh report %s: %w", path, err)
+	}
+	baseLeaves, err := numericLeaves(base)
+	if err != nil {
+		return fmt.Errorf("benchdiff: baseline: %w", err)
+	}
+
+	paths := make([]string, 0, len(freshLeaves))
+	for p := range freshLeaves {
+		if _, ok := baseLeaves[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return fmt.Errorf("benchdiff: the reports share no numeric fields")
+	}
+
+	fmt.Printf("%-64s %14s %14s %9s\n", "field", "baseline", "fresh", "drift")
+	var failures []string
+	for _, p := range paths {
+		b, f := baseLeaves[p], freshLeaves[p]
+		if b == 0 {
+			continue // no meaningful relative drift from a zero baseline
+		}
+		drift := (f - b) / math.Abs(b) * 100
+		pin := strings.Contains(p, "speedup")
+		mark := ""
+		if pin {
+			mark = "  [pin]"
+			if drift < -tolPct {
+				mark = "  [PIN REGRESSED]"
+				failures = append(failures, fmt.Sprintf("%s: %.3f -> %.3f (%.1f%% < -%.1f%%)", p, b, f, drift, tolPct))
+			}
+		}
+		fmt.Printf("%-64s %14.3f %14.3f %+8.1f%%%s\n", p, b, f, drift, mark)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchdiff: %d pin(s) regressed beyond %.1f%%:\n  %s",
+			len(failures), tolPct, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchdiff: all pins within %.1f%% of baseline\n", tolPct)
+	return nil
+}
+
+// numericLeaves flattens a JSON document into path -> value for every
+// numeric leaf, with objects joined by '.' and array elements indexed.
+// Timestamps and booleans are skipped: they always differ and mean nothing.
+func numericLeaves(data []byte) (map[string]float64, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	leaves := map[string]float64{}
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch t := v.(type) {
+		case map[string]any:
+			for k, child := range t {
+				if k == "timestamp" {
+					continue
+				}
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, child)
+			}
+		case []any:
+			for i, child := range t {
+				walk(fmt.Sprintf("%s[%d]", prefix, i), child)
+			}
+		case float64:
+			leaves[prefix] = t
+		}
+	}
+	walk("", doc)
+	return leaves, nil
+}

@@ -51,6 +51,10 @@ func main() {
 		hierquick  = flag.Bool("hierbench-quick", false, "abbreviated -hierbench smoke: fewest sizes, one round, no pin enforcement")
 		schedbench = flag.Bool("schedbench", false, "load-test the gang scheduler over its HTTP API (steady + chaos phases), merge into BENCH_mpi.json, and enforce the zero-lost-jobs pin")
 		schedquick = flag.Bool("schedbench-quick", false, "abbreviated -schedbench smoke: fewer jobs, same zero-lost-jobs pin")
+		rmabench   = flag.Bool("rmabench", false, "run the one-sided RMA and coalesced-alltoallv benchmarks (Put vs Send/Recv, AlltoallvSlice vs naive loops, PageRank scaling), merge into BENCH_mpi.json, and enforce the speedup pins")
+		rmaquick   = flag.Bool("rmabench-quick", false, "abbreviated -rmabench smoke: fewest sizes, one round, no pin enforcement")
+		benchdiff  = flag.String("benchdiff", "", "compare the BENCH_mpi.json at this path against the committed baseline on stdin (use scripts/bench_diff.sh); prints per-pin drift and exits 1 beyond -benchdiff-tol")
+		difftol    = flag.Float64("benchdiff-tol", 25, "allowed pin drift in percent for -benchdiff")
 	)
 	flag.Parse()
 
@@ -86,6 +90,18 @@ func main() {
 	}
 	if *schedbench || *schedquick {
 		if err := runSchedBench(*mpiout, *schedquick); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *rmabench || *rmaquick {
+		if err := runRmaBench(*mpiout, *rmaquick); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *benchdiff != "" {
+		if err := runBenchDiff(*benchdiff, *difftol); err != nil {
 			fail(err)
 		}
 		return

@@ -90,10 +90,13 @@ type mpiBenchReport struct {
 	Hier *hierBenchReport `json:"hier,omitempty"`
 	// Sched is the gang-scheduler load-test section, written by -schedbench
 	// (schedbench.go) and preserved likewise.
-	Sched      *schedBenchReport `json:"sched,omitempty"`
-	Iterations int               `json:"iterations"`
-	NP         int               `json:"np"`
-	Timestamp  string            `json:"timestamp"`
+	Sched *schedBenchReport `json:"sched,omitempty"`
+	// RMA is the one-sided/alltoallv section, written by -rmabench
+	// (rmabench.go) and preserved likewise.
+	RMA        *rmaBenchReport `json:"rma,omitempty"`
+	Iterations int             `json:"iterations"`
+	NP         int             `json:"np"`
+	Timestamp  string          `json:"timestamp"`
 }
 
 // runMPIBench executes the microbenchmarks and writes the report to path.

@@ -11,7 +11,7 @@
 //	mpirun -np 8 -topology 2x4 forestfire       # model 2 nodes × 4 slots: two-level collectives
 //	mpirun -np 8 -topology 2x4 -hier off mpiRing # same placement, flat algorithms
 //	mpirun -np 4 -deadline 5s mpiRing           # diagnose stalls, don't hang
-//	mpirun -np 8 forestfire | drugdesign | integration
+//	mpirun -np 8 forestfire | drugdesign | integration | pagerank
 //	mpirun -np 4 -recover -kill-rank 2 forestfire   # survive the kill, exit 0
 //	mpirun -np 4 -respawn -kill-rank 2 forestfire   # relaunch the rank, finish at full width
 //
@@ -83,6 +83,7 @@ import (
 	"repro/internal/exemplars/drugdesign"
 	"repro/internal/exemplars/forestfire"
 	"repro/internal/exemplars/integration"
+	"repro/internal/exemplars/pagerank"
 	"repro/internal/mpi"
 	"repro/internal/patternlets"
 	"repro/internal/verdict"
@@ -378,8 +379,20 @@ func recoverBody(prog string, store ckpt.Store, every int) (func(c *mpi.Comm) er
 			}
 			return nil
 		}, nil
+	case "pagerank":
+		return func(c *mpi.Comm) error {
+			g, damping, iters := pagerankDefaults()
+			pr, err := pagerank.PageRankRecover(c, g, damping, iters, store, every)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == lowestSurvivor(c) {
+				printPageRank(g, pr, c.Size()-len(c.FailedRanks()))
+			}
+			return nil
+		}, nil
 	default:
-		return nil, fmt.Errorf("-recover supports forestfire and drugdesign, not %q", prog)
+		return nil, fmt.Errorf("-recover supports forestfire, drugdesign, and pagerank, not %q", prog)
 	}
 }
 
@@ -412,9 +425,42 @@ func respawnBody(prog string, store ckpt.Store, every int, wait time.Duration) (
 			}
 			return nil
 		}, nil
+	case "pagerank":
+		return func(c *mpi.Comm) error {
+			g, damping, iters := pagerankDefaults()
+			pr, err := pagerank.PageRankRespawn(c, g, damping, iters, store, every, wait)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == lowestSurvivor(c) {
+				printPageRank(g, pr, c.Size()-len(c.FailedRanks()))
+			}
+			return nil
+		}, nil
 	default:
-		return nil, fmt.Errorf("-respawn supports forestfire and drugdesign, not %q", prog)
+		return nil, fmt.Errorf("-respawn supports forestfire, drugdesign, and pagerank, not %q", prog)
 	}
+}
+
+// pagerankDefaults is the mpirun-facing configuration of the pagerank
+// exemplar: a skewed graph big enough that the irregular exchange carries
+// real traffic, small enough to stay instant at the command line.
+func pagerankDefaults() (*pagerank.Graph, float64, int) {
+	return pagerank.Gen(2000, 8, 42), 0.85, 30
+}
+
+// printPageRank reports the top-ranked vertices, the probability-mass
+// invariant, and the world shape — enough output to eyeball a run.
+func printPageRank(g *pagerank.Graph, pr []float64, ranks int) {
+	best, sum := 0, 0.0
+	for v, p := range pr {
+		sum += p
+		if p > pr[best] {
+			best = v
+		}
+	}
+	fmt.Printf("pagerank over %d vertices / %d edges on %d ranks: top vertex %d (score %.6f), mass %.6f\n",
+		g.N, g.Edges(), ranks, best, pr[best], sum)
 }
 
 // lowestSurvivor picks the printing rank of a recovered run: the smallest
@@ -479,10 +525,22 @@ func resolveProgram(name string) (func(c *mpi.Comm) error, error) {
 			}
 			return nil
 		}, nil
+	case "pagerank":
+		return func(c *mpi.Comm) error {
+			g, damping, iters := pagerankDefaults()
+			pr, err := pagerank.PageRankMPI(c, g, damping, iters)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				printPageRank(g, pr, c.Size())
+			}
+			return nil
+		}, nil
 	default:
 		p, err := patternlets.Lookup(name)
 		if err != nil {
-			return nil, fmt.Errorf("unknown program %q (use a message-passing patternlet name or integration/drugdesign/forestfire)", name)
+			return nil, fmt.Errorf("unknown program %q (use a message-passing patternlet name or integration/drugdesign/forestfire/pagerank)", name)
 		}
 		if p.RunRank == nil {
 			return nil, fmt.Errorf("%q is a shared-memory patternlet; use cmd/patternlet for it", name)

@@ -26,7 +26,7 @@ func TestResolveProgramPatternlets(t *testing.T) {
 }
 
 func TestResolveProgramExemplars(t *testing.T) {
-	for _, name := range []string{"integration", "drugdesign", "forestfire"} {
+	for _, name := range []string{"integration", "drugdesign", "forestfire", "pagerank"} {
 		if _, err := resolveProgram(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -86,11 +86,11 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
-// TestRecoverBodyResolution: only the two checkpoint-restart exemplars have
+// TestRecoverBodyResolution: only the checkpoint-restart exemplars have
 // survive-and-continue variants; everything else is a launcher error.
 func TestRecoverBodyResolution(t *testing.T) {
 	store := ckpt.NewMemStore()
-	for _, name := range []string{"forestfire", "drugdesign"} {
+	for _, name := range []string{"forestfire", "drugdesign", "pagerank"} {
 		if _, err := recoverBody(name, store, 3); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -123,10 +123,10 @@ func TestRecoverRunEndToEnd(t *testing.T) {
 }
 
 // TestRespawnBodyResolution: like -recover, -respawn only has variants for
-// the two checkpoint-restart exemplars.
+// the checkpoint-restart exemplars.
 func TestRespawnBodyResolution(t *testing.T) {
 	store := ckpt.NewMemStore()
-	for _, name := range []string{"forestfire", "drugdesign"} {
+	for _, name := range []string{"forestfire", "drugdesign", "pagerank"} {
 		if _, err := respawnBody(name, store, 3, time.Second); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,0 +1,366 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// The distributed variants. Vertices are block-partitioned: rank r owns
+// [vlo(r), vhi(r)) and holds the PageRank values (or BFS levels) of exactly
+// its own vertices. Every rank regenerates the full graph from the shared
+// parameters and scans only its own vertices' out-edges, so the only
+// communication is the irregular part: contributions (or frontier pushes)
+// whose destination lives on another rank.
+//
+// PageRankMPI is the two-sided formulation — per-iteration coalesced
+// exchange with AlltoallvInto over a setup-time destination index — and
+// PageRankRMA is the one-sided formulation — each rank Accumulates dense
+// per-owner contribution blocks into the owners' windows between two fences.
+// Both match PageRankSeq to floating-point reassociation (the property the
+// tests pin); BFSMPI matches BFSSeq bit-for-bit.
+
+// vrange is the block partition: rank r of np owns [n*r/np, n*(r+1)/np).
+func vrange(n, r, np int) (int, int) { return n * r / np, n * (r + 1) / np }
+
+// ownerOf inverts vrange.
+func ownerOf(v, n, np int) int {
+	o := v * np / n
+	for n*o/np > v {
+		o--
+	}
+	for n*(o+1)/np <= v {
+		o++
+	}
+	return o
+}
+
+// exchangePlan is the setup-time index for the steady-state contribution
+// exchange: which foreign vertices this rank pushes to (deduplicated and
+// packed per owner), where each of its edges lands in the packed send
+// buffer, and which of its own vertices the peers will push to.
+type exchangePlan struct {
+	sendCounts []int // packed contribution slots per owner
+	recvCounts []int
+	edgeSlot   []int32 // per owned edge: packed send slot, or ^localIndex
+	recvIdx    []int32 // per incoming slot: the owned vertex it folds into
+	sendLen    int
+}
+
+// buildPlan scans the owned edge range once and exchanges the destination
+// indices, so the per-iteration exchange moves only float64 values with
+// fixed counts.
+func buildPlan(c *mpi.Comm, g *Graph) (*exchangePlan, error) {
+	np, rank := c.Size(), c.Rank()
+	lo, hi := vrange(g.N, rank, np)
+	p := &exchangePlan{
+		sendCounts: make([]int, np),
+		edgeSlot:   make([]int32, g.Off[hi]-g.Off[lo]),
+	}
+	// Dedup destinations per owner: slot[v] is the packed position of
+	// foreign vertex v within its owner's block, assigned in first-touch
+	// order (deterministic: the edge scan order is fixed).
+	slot := make(map[int32]int32)
+	perOwner := make([][]int32, np) // destination vertex per packed slot
+	for u := lo; u < hi; u++ {
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			v := g.Dst[e]
+			if int(v) >= lo && int(v) < hi {
+				p.edgeSlot[e-g.Off[lo]] = ^(v - int32(lo))
+				continue
+			}
+			s, ok := slot[v]
+			if !ok {
+				o := ownerOf(int(v), g.N, np)
+				s = int32(len(perOwner[o]))
+				perOwner[o] = append(perOwner[o], v)
+				slot[v] = s
+			}
+			p.edgeSlot[e-g.Off[lo]] = s // block-local for now; rebased below
+		}
+	}
+	// Rebase block-local slots onto the packed send buffer and flatten the
+	// destination index for the one-time exchange.
+	displ := make([]int32, np)
+	total := 0
+	for o := 0; o < np; o++ {
+		displ[o] = int32(total)
+		p.sendCounts[o] = len(perOwner[o])
+		total += len(perOwner[o])
+	}
+	sendIdx := make([]int32, total)
+	for o, idx := range perOwner {
+		copy(sendIdx[displ[o]:], idx)
+	}
+	for u := lo; u < hi; u++ {
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			i := e - g.Off[lo]
+			if p.edgeSlot[i] < 0 {
+				continue
+			}
+			p.edgeSlot[i] += displ[ownerOf(int(g.Dst[e]), g.N, np)]
+		}
+	}
+	p.sendLen = total
+
+	var err error
+	if p.recvCounts, err = mpi.AlltoallCounts(c, p.sendCounts); err != nil {
+		return nil, err
+	}
+	if p.recvIdx, err = mpi.AlltoallvSlice(c, sendIdx, p.sendCounts, p.recvCounts); err != nil {
+		return nil, err
+	}
+	for i, v := range p.recvIdx {
+		if int(v) < lo || int(v) >= hi {
+			return nil, fmt.Errorf("pagerank: peer pushed vertex %d outside this rank's range [%d,%d)", v, lo, hi)
+		}
+		p.recvIdx[i] = v - int32(lo)
+	}
+	return p, nil
+}
+
+// PageRankMPI runs the damped power iteration across the communicator and
+// returns the full PageRank vector on every rank. Per iteration it moves
+// one coalesced value block per rank pair (AlltoallvInto into reused
+// buffers, zero steady-state allocation) plus one scalar Allreduce for the
+// dangling mass.
+func PageRankMPI(c *mpi.Comm, g *Graph, damping float64, iters int) ([]float64, error) {
+	np, rank := c.Size(), c.Rank()
+	lo, hi := vrange(g.N, rank, np)
+	plan, err := buildPlan(c, g)
+	if err != nil {
+		return nil, err
+	}
+	recvLen := 0
+	for _, ct := range plan.recvCounts {
+		recvLen += ct
+	}
+	pr := make([]float64, hi-lo)
+	for i := range pr {
+		pr[i] = 1 / float64(g.N)
+	}
+	contrib := make([]float64, hi-lo)
+	sendVals := make([]float64, plan.sendLen)
+	recvVals := make([]float64, recvLen)
+	dang := make([]float64, 1)
+
+	for it := 0; it < iters; it++ {
+		if err := pageRankStep(c, g, plan, lo, hi, damping, pr, contrib, sendVals, recvVals, dang); err != nil {
+			return nil, err
+		}
+	}
+	return gatherFull(c, pr)
+}
+
+// pageRankStep is one power iteration over the owned range: scatter-add
+// contributions into the local and packed-send slots, exchange, fold, and
+// apply the damped update.
+func pageRankStep(c *mpi.Comm, g *Graph, plan *exchangePlan, lo, hi int, damping float64,
+	pr, contrib, sendVals, recvVals, dang []float64) error {
+	for i := range contrib {
+		contrib[i] = 0
+	}
+	for i := range sendVals {
+		sendVals[i] = 0
+	}
+	dang[0] = 0
+	c.Compute(func() {
+		for u := lo; u < hi; u++ {
+			d := g.OutDeg(u)
+			if d == 0 {
+				dang[0] += pr[u-lo]
+				continue
+			}
+			w := pr[u-lo] / float64(d)
+			for e := g.Off[u]; e < g.Off[u+1]; e++ {
+				if s := plan.edgeSlot[e-g.Off[lo]]; s >= 0 {
+					sendVals[s] += w
+				} else {
+					contrib[^s] += w
+				}
+			}
+		}
+	})
+	total, err := mpi.AllreduceSliceOp(c, dang, mpi.Sum)
+	if err != nil {
+		return err
+	}
+	if err := mpi.AlltoallvInto(c, sendVals, plan.sendCounts, recvVals, plan.recvCounts); err != nil {
+		return err
+	}
+	for k, v := range plan.recvIdx {
+		contrib[v] += recvVals[k]
+	}
+	base := (1-damping)/float64(g.N) + damping*total[0]/float64(g.N)
+	for i := range pr {
+		pr[i] = base + damping*contrib[i]
+	}
+	return nil
+}
+
+// PageRankRMA is the one-sided formulation: each rank exposes its
+// contribution block as an RMA window and every rank Accumulates a dense
+// per-owner block into it between two fences — the target never posts a
+// receive, the fold runs target-side. Same fixed-point as PageRankMPI, up
+// to floating-point reassociation (Accumulate arrival order is
+// nondeterministic).
+func PageRankRMA(c *mpi.Comm, g *Graph, damping float64, iters int) ([]float64, error) {
+	np, rank := c.Size(), c.Rank()
+	lo, hi := vrange(g.N, rank, np)
+	w, err := mpi.WinCreate[float64](c, hi-lo)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Free()
+
+	pr := make([]float64, hi-lo)
+	for i := range pr {
+		pr[i] = 1 / float64(g.N)
+	}
+	dense := make([][]float64, np) // per-owner pre-aggregated contribution block
+	for o := 0; o < np; o++ {
+		olo, ohi := vrange(g.N, o, np)
+		dense[o] = make([]float64, ohi-olo)
+	}
+	dang := make([]float64, 1)
+
+	for it := 0; it < iters; it++ {
+		for o := range dense {
+			for i := range dense[o] {
+				dense[o][i] = 0
+			}
+		}
+		dang[0] = 0
+		c.Compute(func() {
+			for u := lo; u < hi; u++ {
+				d := g.OutDeg(u)
+				if d == 0 {
+					dang[0] += pr[u-lo]
+					continue
+				}
+				w := pr[u-lo] / float64(d)
+				for _, v := range g.Dst[g.Off[u]:g.Off[u+1]] {
+					o := ownerOf(int(v), g.N, np)
+					olo, _ := vrange(g.N, o, np)
+					dense[o][int(v)-olo] += w
+				}
+			}
+		})
+		// The window holds zeros here (fresh, or zeroed at the end of the
+		// previous iteration before that epoch's closing fence).
+		if err := w.Fence(); err != nil {
+			return nil, err
+		}
+		for o := 0; o < np; o++ {
+			if len(dense[o]) == 0 {
+				continue
+			}
+			if err := w.Accumulate(o, 0, dense[o], mpi.Sum); err != nil {
+				return nil, err
+			}
+		}
+		total, err := mpi.AllreduceSliceOp(c, dang, mpi.Sum)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Fence(); err != nil {
+			return nil, err
+		}
+		contrib := w.Local()
+		base := (1-damping)/float64(g.N) + damping*total[0]/float64(g.N)
+		for i := range pr {
+			pr[i] = base + damping*contrib[i]
+			contrib[i] = 0 // reset the exposure for the next epoch
+		}
+	}
+	return gatherFull(c, pr)
+}
+
+// BFSMPI is the level-synchronized distributed traversal: each level, ranks
+// expand their owned frontier, push foreign discoveries to the owners with
+// one AlltoallvSlice (counts re-negotiated per level — frontiers are as
+// irregular as communication gets), and agree on termination with an
+// Allreduce. The level assignment is order-independent, so the result is
+// bit-equal to BFSSeq on every transport and rank count.
+func BFSMPI(c *mpi.Comm, g *Graph, src int) ([]int32, error) {
+	if src < 0 || src >= g.N {
+		return nil, fmt.Errorf("pagerank: BFS source %d outside [0,%d)", src, g.N)
+	}
+	np, rank := c.Size(), c.Rank()
+	lo, hi := vrange(g.N, rank, np)
+	level := make([]int32, hi-lo)
+	for i := range level {
+		level[i] = -1
+	}
+	var frontier []int32
+	if src >= lo && src < hi {
+		level[src-lo] = 0
+		frontier = append(frontier, int32(src))
+	}
+	outbox := make([][]int32, np)
+	for depth := int32(0); ; depth++ {
+		for o := range outbox {
+			outbox[o] = outbox[o][:0]
+		}
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Dst[g.Off[u]:g.Off[u+1]] {
+				if int(v) >= lo && int(v) < hi {
+					if level[v-int32(lo)] < 0 {
+						level[v-int32(lo)] = depth + 1
+						next = append(next, v)
+					}
+					continue
+				}
+				outbox[ownerOf(int(v), g.N, np)] = append(outbox[ownerOf(int(v), g.N, np)], v)
+			}
+		}
+		sendCounts := make([]int, np)
+		total := 0
+		for o := range outbox {
+			sendCounts[o] = len(outbox[o])
+			total += len(outbox[o])
+		}
+		send := make([]int32, 0, total)
+		for _, b := range outbox {
+			send = append(send, b...)
+		}
+		recvCounts, err := mpi.AlltoallCounts(c, sendCounts)
+		if err != nil {
+			return nil, err
+		}
+		pushed, err := mpi.AlltoallvSlice(c, send, sendCounts, recvCounts)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range pushed {
+			if level[v-int32(lo)] < 0 {
+				level[v-int32(lo)] = depth + 1
+				next = append(next, v)
+			}
+		}
+		grew, err := mpi.Allreduce(c, len(next), mpi.Combine[int](mpi.Sum))
+		if err != nil {
+			return nil, err
+		}
+		if grew == 0 {
+			break
+		}
+		frontier = next
+	}
+	return gatherFull(c, level)
+}
+
+// gatherFull concatenates the per-rank blocks into the full vector (the
+// blocks are contiguous in rank order by construction of vrange).
+func gatherFull[T int32 | float64](c *mpi.Comm, local []T) ([]T, error) {
+	blocks, err := mpi.Allgather(c, local)
+	if err != nil {
+		return nil, err
+	}
+	var full []T
+	for _, b := range blocks {
+		full = append(full, b...)
+	}
+	return full, nil
+}

@@ -1,0 +1,316 @@
+package pagerank
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/mpi"
+)
+
+// Oracle pinning: the distributed variants are checked against the
+// sequential ones on every transport — bit-equal for BFS (levels are exact
+// integers), and to a tight absolute tolerance for PageRank (the
+// distributed scatter-adds reassociate the floating-point sums; nothing
+// else may differ).
+
+const prTol = 1e-12
+
+func testGraph() *Graph { return Gen(400, 6, 42) }
+
+func maxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestGenDeterministicAndSkewed: the generator is a pure function of its
+// parameters, and the graph it builds actually has the irregular shape the
+// exemplar needs — hubs, bursts, dangling vertices.
+func TestGenDeterministicAndSkewed(t *testing.T) {
+	g1, g2 := testGraph(), testGraph()
+	if g1.Edges() != g2.Edges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.Edges(), g2.Edges())
+	}
+	for i := range g1.Dst {
+		if g1.Dst[i] != g2.Dst[i] {
+			t.Fatalf("edge %d differs: %d vs %d", i, g1.Dst[i], g2.Dst[i])
+		}
+	}
+	dangling, maxDeg := 0, 0
+	for u := 0; u < g1.N; u++ {
+		d := g1.OutDeg(u)
+		if d == 0 {
+			dangling++
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if dangling == 0 {
+		t.Fatal("no dangling vertices: the dangling-mass Allreduce would be dead code")
+	}
+	avg := float64(g1.Edges()) / float64(g1.N)
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("max out-degree %d not skewed vs average %.1f", maxDeg, avg)
+	}
+	// In-degree skew: the hub range must absorb the majority of edges.
+	hubs := g1.N/8 + 1
+	intoHubs := 0
+	for _, v := range g1.Dst {
+		if int(v) < hubs {
+			intoHubs++
+		}
+	}
+	if 2*intoHubs < g1.Edges() {
+		t.Fatalf("only %d/%d edges land on hubs: in-degree not skewed", intoHubs, g1.Edges())
+	}
+	if sum := vectorSum(PageRankSeq(g1, 0.85, 30)); math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sequential PageRank sums to %v, want 1", sum)
+	}
+}
+
+func vectorSum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+var prLaunchers = func() []struct {
+	name string
+	run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+	opts []mpi.Option
+} {
+	ls := []struct {
+		name string
+		run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+		opts []mpi.Option
+	}{
+		{"local", mpi.Run, nil},
+		{"local-serialized", mpi.Run, []mpi.Option{mpi.WithSerialization()}},
+		{"tcp", mpi.RunTCP, nil},
+	}
+	if mpi.ShmSupported() {
+		ls = append(ls, struct {
+			name string
+			run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+			opts []mpi.Option
+		}{"shm", mpi.RunShm, nil})
+	}
+	return ls
+}()
+
+func TestPageRankMPIMatchesSeq(t *testing.T) {
+	g := testGraph()
+	const damping, iters = 0.85, 20
+	want := PageRankSeq(g, damping, iters)
+	for _, l := range prLaunchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, np := range []int{1, 2, 3, 5} {
+				err := l.run(np, func(c *mpi.Comm) error {
+					got, err := PageRankMPI(c, g, damping, iters)
+					if err != nil {
+						return err
+					}
+					if d := maxAbsDiff(got, want); d > prTol {
+						t.Errorf("np=%d rank=%d: max |Δ| = %g > %g", np, c.Rank(), d, prTol)
+					}
+					return nil
+				}, l.opts...)
+				if err != nil {
+					t.Fatalf("np=%d: %v", np, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPageRankRMAMatchesSeq(t *testing.T) {
+	g := testGraph()
+	const damping, iters = 0.85, 20
+	want := PageRankSeq(g, damping, iters)
+	for _, l := range prLaunchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, np := range []int{1, 2, 4} {
+				err := l.run(np, func(c *mpi.Comm) error {
+					got, err := PageRankRMA(c, g, damping, iters)
+					if err != nil {
+						return err
+					}
+					if d := maxAbsDiff(got, want); d > prTol {
+						t.Errorf("np=%d rank=%d: max |Δ| = %g > %g", np, c.Rank(), d, prTol)
+					}
+					return nil
+				}, l.opts...)
+				if err != nil {
+					t.Fatalf("np=%d: %v", np, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPageRankVariantsAgree: the two-sided and one-sided formulations reach
+// the same fixed point on the same world — the RMA layer is a transport for
+// the same arithmetic, not a different algorithm.
+func TestPageRankVariantsAgree(t *testing.T) {
+	g := testGraph()
+	const damping, iters = 0.85, 15
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		a, err := PageRankMPI(c, g, damping, iters)
+		if err != nil {
+			return err
+		}
+		b, err := PageRankRMA(c, g, damping, iters)
+		if err != nil {
+			return err
+		}
+		if d := maxAbsDiff(a, b); d > prTol {
+			t.Errorf("rank %d: variants differ by %g", c.Rank(), d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSMPIBitEqual(t *testing.T) {
+	g := testGraph()
+	const src = 0 // a hub: reaches most of the graph
+	want := BFSSeq(g, src)
+	reached := 0
+	for _, l := range want {
+		if l >= 0 {
+			reached++
+		}
+	}
+	if reached < g.N/2 {
+		t.Fatalf("BFS source reaches only %d/%d vertices: weak test graph", reached, g.N)
+	}
+	for _, l := range prLaunchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, np := range []int{1, 2, 3, 5} {
+				err := l.run(np, func(c *mpi.Comm) error {
+					got, err := BFSMPI(c, g, src)
+					if err != nil {
+						return err
+					}
+					for v := range got {
+						if got[v] != want[v] {
+							t.Errorf("np=%d rank=%d: level[%d] = %d, want %d", np, c.Rank(), v, got[v], want[v])
+							return nil
+						}
+					}
+					return nil
+				}, l.opts...)
+				if err != nil {
+					t.Fatalf("np=%d: %v", np, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPageRankRecover: seeded kill plans at several points of the run —
+// before the first checkpoint, mid-run, rank 0 itself — on the local, TCP,
+// and shm transports. The survivors' result must still match the
+// sequential oracle: the checkpoint restore plus re-decomposition over the
+// shrunken world preserves the arithmetic up to reassociation.
+func TestPageRankRecover(t *testing.T) {
+	g := Gen(300, 5, 7)
+	const damping, iters, every = 0.85, 24, 6
+	want := PageRankSeq(g, damping, iters)
+	kill := func(victim, skip int) *mpi.FaultPlan {
+		return &mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{{
+			Src: victim, Dst: mpi.AnySource, Tag: mpi.AnyTag,
+			SkipFirst: skip, Action: mpi.FaultKillRank,
+		}}}
+	}
+	cases := []struct {
+		name string
+		np   int
+		plan *mpi.FaultPlan
+	}{
+		{"no-failure", 4, nil},
+		{"before-first-checkpoint", 4, kill(2, 3)},
+		{"mid-run", 4, kill(1, 100)},
+		{"rank0-dies", 4, kill(0, 120)},
+	}
+	launchers := []struct {
+		name string
+		run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+	}{
+		{"local", mpi.Run},
+		{"tcp", mpi.RunTCP},
+	}
+	if mpi.ShmSupported() {
+		launchers = append(launchers, struct {
+			name string
+			run  func(np int, main func(c *mpi.Comm) error, opts ...mpi.Option) error
+		}{"shm", mpi.RunShm})
+	}
+	for _, l := range launchers {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			for _, tc := range cases {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					store := ckpt.NewMemStore()
+					opts := []mpi.Option{mpi.WithRecovery()}
+					if tc.plan != nil {
+						opts = append(opts, mpi.WithFaults(*tc.plan))
+					}
+					var mu sync.Mutex
+					results := map[int][]float64{}
+					done := make(chan error, 1)
+					go func() {
+						done <- l.run(tc.np, func(c *mpi.Comm) error {
+							got, err := PageRankRecover(c, g, damping, iters, store, every)
+							if err != nil {
+								return err
+							}
+							mu.Lock()
+							results[c.Rank()] = got
+							mu.Unlock()
+							return nil
+						}, opts...)
+					}()
+					select {
+					case err := <-done:
+						if err != nil {
+							t.Fatalf("recovered run should report success, got %v", err)
+						}
+					case <-time.After(60 * time.Second):
+						t.Fatal("recovery run wedged")
+					}
+					if len(results) == 0 {
+						t.Fatal("no survivor returned a result")
+					}
+					for rank, got := range results {
+						if d := maxAbsDiff(got, want); d > prTol {
+							t.Fatalf("rank %d: recovered result off by %g > %g", rank, d, prTol)
+						}
+					}
+					if tc.plan != nil && len(results) == tc.np {
+						t.Fatal("fault plan injected no failure: every rank survived")
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,316 @@
+package mpi
+
+import "fmt"
+
+// AlltoallvSlice and friends: the irregular personalized exchange,
+// MPI_Alltoallv. Every rank holds one send buffer partitioned by per-rank
+// counts (block for rank 0 first, then rank 1, and so on) and receives one
+// buffer partitioned the same way by its receive counts. Unlike a loop of
+// per-element Send/Recv — the shape sparse codes naturally fall into — the
+// exchange coalesces each pair's traffic into one frame, so a frontier of
+// ten thousand graph edges to a peer costs one message, one header, and (on
+// the shm and TCP wire paths) one copy into place.
+//
+// Schedule: the pairwise exchange. At step s, rank r sends its block for
+// (r+s) mod n and receives the block from (r-s+n) mod n, so every step is a
+// perfect matching — each rank sends at most one message and receives at
+// most one, and no single rank is ever the hot spot the naive "everyone
+// sends to 0 first" rank-ordered loop creates. Sends are buffered
+// (MPI buffered-mode semantics), so the send never deadlocks against the
+// matching receive.
+//
+// Zero-count pairs move no frame at all: the sender skips the Send and the
+// receiver skips the Recv, symmetrically — the sparse-friendly property
+// that makes the primitive cheap on irregular workloads where most pairs
+// exchange nothing. As in MPI, the counts are a contract: if rank a's
+// sendCounts[b] is nonzero while b's recvCounts[a] is zero, the exchange
+// hangs (or trips the world deadline) exactly as mismatched Send/Recv would.
+//
+// On a multi-node topology (see WithTopology/WithHierarchy) the exchange
+// runs the two-level schedule instead: members forward their buffers to the
+// node leader, leaders exchange one aggregated block per node pair over the
+// inter-node link, and receiving leaders re-sort the blocks into each
+// member's buffer. The wire crossing the node boundary carries one message
+// per node pair instead of one per rank pair.
+const (
+	tagA2Av     = -20 // pairwise-exchange data blocks (flat and leader phases)
+	tagA2AvGat  = -21 // member -> leader buffer forwarding
+	tagA2AvScat = -22 // leader -> member reassembled buffers
+)
+
+// AlltoallCounts exchanges the count matrix: every rank passes its
+// per-destination send counts and learns its per-origin receive counts —
+// the usual prologue when only the senders know the sizes (a BFS frontier,
+// a PageRank contribution list). One Allgather of the count vectors; the
+// payload is np ints per rank, negligible next to the data exchange it
+// sizes.
+func AlltoallCounts(c *Comm, sendCounts []int) ([]int, error) {
+	n := c.Size()
+	if len(sendCounts) != n {
+		return nil, fmt.Errorf("mpi: AlltoallCounts: %d counts for a %d-rank communicator", len(sendCounts), n)
+	}
+	rows, err := Allgather(c, append([]int(nil), sendCounts...))
+	if err != nil {
+		return nil, err
+	}
+	recvCounts := make([]int, n)
+	for o, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("mpi: AlltoallCounts: rank %d sent %d counts, want %d", o, len(row), n)
+		}
+		recvCounts[o] = row[c.rank]
+	}
+	return recvCounts, nil
+}
+
+// AlltoallvSlice performs the irregular personalized exchange and returns a
+// freshly allocated receive buffer: send[displ(r) : displ(r)+sendCounts[r]]
+// goes to rank r, and the result holds rank o's block at the offset implied
+// by recvCounts[0..o). Displacements are the prefix sums of the counts —
+// the packed MPI_Alltoallv layout. For a zero-allocation steady state
+// (PageRank runs the exchange every iteration with identical counts), use
+// AlltoallvInto with a reused buffer.
+func AlltoallvSlice[T any](c *Comm, send []T, sendCounts, recvCounts []int) ([]T, error) {
+	total := 0
+	for _, ct := range recvCounts {
+		total += ct
+	}
+	recv := make([]T, total)
+	if err := AlltoallvInto(c, send, sendCounts, recv, recvCounts); err != nil {
+		return nil, err
+	}
+	return recv, nil
+}
+
+// AlltoallvInto is AlltoallvSlice into a caller-owned receive buffer, which
+// must hold exactly sum(recvCounts) elements. Received blocks are copied
+// in place — on the shm rendezvous and TCP raw paths straight from the
+// transport's staging memory into their final position, one copy total,
+// no intermediate buffer.
+func AlltoallvInto[T any](c *Comm, send []T, sendCounts []int, recv []T, recvCounts []int) error {
+	n := c.Size()
+	if len(sendCounts) != n || len(recvCounts) != n {
+		return fmt.Errorf("mpi: Alltoallv: %d send / %d recv counts for a %d-rank communicator",
+			len(sendCounts), len(recvCounts), n)
+	}
+	sdis, stot := displs(sendCounts)
+	rdis, rtot := displs(recvCounts)
+	if stot != len(send) {
+		return fmt.Errorf("mpi: Alltoallv: send counts sum to %d, buffer has %d elements", stot, len(send))
+	}
+	if rtot != len(recv) {
+		return fmt.Errorf("mpi: Alltoallv: recv counts sum to %d, buffer has %d elements", rtot, len(recv))
+	}
+	r := c.rank
+	copy(recv[rdis[r]:rdis[r]+recvCounts[r]], send[sdis[r]:sdis[r]+sendCounts[r]])
+	if n == 1 {
+		return nil
+	}
+	if h := c.hier(); h != nil {
+		return hierAlltoallv(c, h, send, sendCounts, sdis, recv, recvCounts, rdis)
+	}
+	var tmp []T
+	for step := 1; step < n; step++ {
+		dst := (r + step) % n
+		src := (r - step + n) % n
+		if ct := sendCounts[dst]; ct > 0 {
+			if err := c.sendReserved(dst, tagA2Av, send[sdis[dst]:sdis[dst]+ct]); err != nil {
+				return err
+			}
+		}
+		if ct := recvCounts[src]; ct > 0 {
+			got, err := recvSegCopy(c, src, tagA2Av, recv[rdis[src]:rdis[src]+ct], &tmp)
+			if err == errVecSegLen {
+				return fmt.Errorf("mpi: Alltoallv: rank %d sent %d elements, recvCounts say %d", src, got, ct)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// displs turns a count vector into its prefix-sum displacement vector and
+// total.
+func displs(counts []int) ([]int, int) {
+	d := make([]int, len(counts))
+	total := 0
+	for i, ct := range counts {
+		d[i] = total
+		total += ct
+	}
+	return d, total
+}
+
+// nodeMembers lists the communicator ranks on each node, ascending — the
+// same order buildHier used to construct the nodeComms, so index i of
+// members[d] is nodeComm rank i on node d (index 0 the leader).
+func nodeMembers(h *hierState) [][]int {
+	members := make([][]int, len(h.leaders))
+	for r, d := range h.nodeOf {
+		members[d] = append(members[d], r)
+	}
+	return members
+}
+
+// hierAlltoallv is the two-level schedule. Phase 1: each member forwards
+// its whole send buffer and both count vectors to its node leader. Phase 2:
+// each leader, for each destination node, concatenates its members' blocks
+// in canonical (origin rank ascending, then destination rank ascending)
+// order and exchanges these aggregates pairwise with the other leaders —
+// one message per node pair across the inter-node link. Phase 3: the
+// receiving leader re-sorts the aggregates into each member's contiguous
+// receive buffer (origin rank ascending, the flat layout) and sends it
+// down. Both sides derive every block size from the gathered count
+// matrices, so no extra size exchange is needed.
+func hierAlltoallv[T any](c *Comm, h *hierState, send []T, sendCounts []int, sdis []int, recv []T, recvCounts []int, rdis []int) error {
+	members := nodeMembers(h)
+	mine := members[h.myNode]
+	nc := h.nodeComm
+
+	// Phase 1: counts up to the leader (both vectors), then the data.
+	scRows, err := Gather(nc, append([]int(nil), sendCounts...), 0)
+	if err != nil {
+		return err
+	}
+	rcRows, err := Gather(nc, append([]int(nil), recvCounts...), 0)
+	if err != nil {
+		return err
+	}
+	if nc.rank != 0 {
+		if len(send) > 0 {
+			if err := nc.sendReserved(0, tagA2AvGat, send); err != nil {
+				return err
+			}
+		}
+		// The leader sends back this member's fully assembled receive
+		// buffer; nothing else to do here.
+		var tmp []T
+		if len(recv) > 0 {
+			if _, err := recvSegCopy(nc, 0, tagA2AvScat, recv, &tmp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Leader: collect the members' send buffers (own buffer included, index
+	// 0). bufs[i] belongs to nodeComm rank i == comm rank mine[i].
+	n := c.Size()
+	bufs := make([][]T, len(mine))
+	bufs[0] = send
+	var tmp []T
+	for i := 1; i < len(mine); i++ {
+		total := 0
+		for _, ct := range scRows[i] {
+			total += ct
+		}
+		bufs[i] = make([]T, total)
+		if total > 0 {
+			if _, err := recvSegCopy(nc, i, tagA2AvGat, bufs[i], &tmp); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Aggregate block sizes: outSize[D] = what this node sends to node D,
+	// inSize[S] = what it receives from node S — both derivable locally
+	// from the gathered count matrices.
+	nodes := len(h.leaders)
+	outSize := make([]int, nodes)
+	for i := range mine {
+		for d := 0; d < n; d++ {
+			outSize[h.nodeOf[d]] += scRows[i][d]
+		}
+	}
+	inSize := make([]int, nodes)
+	for i := range mine {
+		for o := 0; o < n; o++ {
+			inSize[h.nodeOf[o]] += rcRows[i][o]
+		}
+	}
+
+	// packAgg builds the aggregate for destination node D: for each origin
+	// member (ascending), its blocks for D's members (ascending).
+	packAgg := func(D int, dst []T) {
+		pos := 0
+		for i := range mine {
+			disp := displs2(scRows[i])
+			for _, d := range members[D] {
+				ct := scRows[i][d]
+				copy(dst[pos:pos+ct], bufs[i][disp[d]:disp[d]+ct])
+				pos += ct
+			}
+		}
+	}
+
+	// Leaders exchange pairwise; the self aggregate never leaves the node.
+	lc := h.leaderComm
+	aggs := make([][]T, nodes) // received aggregates, indexed by origin node
+	aggs[h.myNode] = make([]T, outSize[h.myNode])
+	packAgg(h.myNode, aggs[h.myNode])
+	for step := 1; step < nodes; step++ {
+		D := (h.myNode + step) % nodes
+		S := (h.myNode - step + nodes) % nodes
+		if outSize[D] > 0 {
+			out := make([]T, outSize[D])
+			packAgg(D, out)
+			if err := lc.sendReserved(D, tagA2Av, out); err != nil {
+				return err
+			}
+		}
+		aggs[S] = make([]T, inSize[S])
+		if inSize[S] > 0 {
+			if _, err := recvSegCopy(lc, S, tagA2Av, aggs[S], &tmp); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: re-sort into each member's receive buffer. Member i's final
+	// buffer is ordered by origin rank ascending; block (origin o -> member
+	// i) has size rcRows[i][o] and sits at the prefix-sum offset of
+	// rcRows[i][0..o). Within aggregate S the blocks come in the same
+	// canonical (origin asc, dest asc) order packAgg produced.
+	outBufs := make([][]T, len(mine))
+	posIn := make([][]int, len(mine)) // per member: offset of each origin's block
+	for i := range mine {
+		disp := displs2(rcRows[i])
+		posIn[i] = disp
+		total := 0
+		for _, ct := range rcRows[i] {
+			total += ct
+		}
+		if i == 0 {
+			outBufs[i] = recv
+		} else {
+			outBufs[i] = make([]T, total)
+		}
+	}
+	for S := 0; S < nodes; S++ {
+		agg := aggs[S]
+		pos := 0
+		for _, o := range members[S] {
+			for i := range mine {
+				ct := rcRows[i][o]
+				copy(outBufs[i][posIn[i][o]:posIn[i][o]+ct], agg[pos:pos+ct])
+				pos += ct
+			}
+		}
+	}
+	for i := 1; i < len(mine); i++ {
+		if len(outBufs[i]) > 0 {
+			if err := nc.sendReserved(i, tagA2AvScat, outBufs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// displs2 is displs without the total, for the hier bookkeeping loops.
+func displs2(counts []int) []int {
+	d, _ := displs(counts)
+	return d
+}

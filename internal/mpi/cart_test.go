@@ -167,3 +167,120 @@ func TestCart2DGridNeighbours(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCartShiftEdgeCases: the boundary geometry MPI codes trip over —
+// one-rank worlds, unit dimensions, zero/negative/oversized displacements —
+// table-driven with every rank's expected (source, dest) pair spelled out.
+// Nonperiodic edges must say ProcNull, never a wrapped or clamped rank.
+func TestCartShiftEdgeCases(t *testing.T) {
+	null := ProcNull
+	cases := []struct {
+		name     string
+		np       int
+		dims     []int
+		periodic []bool
+		dim      int
+		disp     int
+		want     map[int][2]int // rank -> {source (down), dest (up)}
+	}{
+		{"one-rank-world-nonperiodic", 1, []int{1}, nil, 0, 1,
+			map[int][2]int{0: {null, null}}},
+		{"one-rank-world-periodic-self-neighbour", 1, []int{1}, []bool{true}, 0, 1,
+			map[int][2]int{0: {0, 0}}},
+		{"zero-displacement-is-self", 3, []int{3}, nil, 0, 0,
+			map[int][2]int{0: {0, 0}, 1: {1, 1}, 2: {2, 2}}},
+		{"negative-displacement-mirrors-positive", 3, []int{3}, nil, 0, -1,
+			map[int][2]int{0: {1, null}, 1: {2, 0}, 2: {null, 1}}},
+		{"displacement-past-the-edge", 3, []int{3}, nil, 0, 5,
+			map[int][2]int{0: {null, null}, 1: {null, null}, 2: {null, null}}},
+		{"displacement-wraps-modulo-periodic", 3, []int{3}, []bool{true}, 0, 5,
+			map[int][2]int{0: {1, 2}, 1: {2, 0}, 2: {0, 1}}},
+		{"unit-dimension-nonperiodic", 4, []int{1, 4}, nil, 0, 1,
+			map[int][2]int{0: {null, null}, 1: {null, null}, 2: {null, null}, 3: {null, null}}},
+		{"unit-dimension-periodic-self-neighbour", 4, []int{1, 4}, []bool{true, false}, 0, 1,
+			map[int][2]int{0: {0, 0}, 1: {1, 1}, 2: {2, 2}, 3: {3, 3}}},
+		{"column-shift-at-row-edges", 4, []int{2, 2}, nil, 1, 1,
+			map[int][2]int{0: {null, 1}, 1: {0, null}, 2: {null, 3}, 3: {2, null}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := Run(tc.np, func(c *Comm) error {
+				ct, err := NewCart(c, tc.dims, tc.periodic)
+				if err != nil {
+					return err
+				}
+				down, up, err := ct.Shift(tc.dim, tc.disp)
+				if err != nil {
+					return err
+				}
+				want := tc.want[c.Rank()]
+				if down != want[0] || up != want[1] {
+					return fmt.Errorf("rank %d: Shift(%d, %d) = (%d, %d), want (%d, %d)",
+						c.Rank(), tc.dim, tc.disp, down, up, want[0], want[1])
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCartRankOfEdgeCases: out-of-grid coordinates on a nonperiodic
+// dimension are ProcNull (-1), mismatched coordinate arity is rejected,
+// and deep negative coordinates wrap correctly when periodic.
+func TestCartRankOfEdgeCases(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		open, err := NewCart(c, []int{4}, nil)
+		if err != nil {
+			return err
+		}
+		for _, coords := range [][]int{{-1}, {4}, {100}, {0, 0}, {}} {
+			if r := open.RankOf(coords); r != -1 {
+				return fmt.Errorf("RankOf(%v) = %d on open [4], want -1", coords, r)
+			}
+		}
+		ring, err := NewCart(c, []int{4}, []bool{true})
+		if err != nil {
+			return err
+		}
+		for coord, want := range map[int]int{-1: 3, -9: 3, 4: 0, 11: 3} {
+			if r := ring.RankOf([]int{coord}); r != want {
+				return fmt.Errorf("RankOf(%d) = %d on ring [4], want %d", coord, r, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendrecvShiftNoNeighbours: on a one-rank nonperiodic world the halo
+// exchange is a no-op that reports no traffic and must not touch the
+// destination buffers.
+func TestSendrecvShiftNoNeighbours(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		ct, err := NewCart(c, []int{1}, nil)
+		if err != nil {
+			return err
+		}
+		fromDown, fromUp := -7.0, -7.0
+		hasDown, hasUp, err := ct.SendrecvShift(0, 3, 1.0, 2.0, &fromDown, &fromUp)
+		if err != nil {
+			return err
+		}
+		if hasDown || hasUp {
+			return fmt.Errorf("phantom neighbours: hasDown=%v hasUp=%v", hasDown, hasUp)
+		}
+		if fromDown != -7.0 || fromUp != -7.0 {
+			return fmt.Errorf("buffers touched: fromDown=%v fromUp=%v", fromDown, fromUp)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

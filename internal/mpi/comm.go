@@ -26,6 +26,12 @@ type Comm struct {
 	// agreement instance consistently across members.
 	agreeSeq uint64
 
+	// winSeq numbers the WinCreate calls (win.go) the same way: all members
+	// create windows in the same collective order, so the sequence — and
+	// therefore each window's reserved tag block and registry key — is
+	// identical on every member without communication.
+	winSeq int64
+
 	// epoch is the world-membership epoch this communicator was created in.
 	// Respawn recovery bumps the world's epoch each time a failed rank
 	// rejoins at full width; operations on communicators from an older

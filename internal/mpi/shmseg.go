@@ -33,14 +33,23 @@ import (
 //	    largeTail u64 @ 128, largeHead u64 @ 136 (large-region allocator)
 //	  message ring data (ringCap bytes)
 //	  large-message region (largeCap bytes)
+//	window heap, per rank r in [0, np): winCap bytes (version 2)
 //
 // The tail/head words live on separate cache lines so producer and consumer
 // do not false-share. Positions are monotonic byte counts; offsets are
 // position mod capacity. The file is created sparse, so the np^2 grid costs
 // only the pages traffic actually touches.
+//
+// Version 2 appends the window heaps: one winCap-byte region per rank,
+// after the pair grid, that the one-sided layer (win.go) carves RMA window
+// memory out of. Each rank bump-allocates exclusively from its own heap and
+// publishes the offsets through an ordinary Allgather at window creation,
+// so the heaps need no shared allocator state — a peer's Put/Get is a plain
+// memcpy against the published offset. Like the pair grid, the heaps are
+// virtual until touched.
 const (
 	shmMagic      uint64 = 0x70646d2d73686d31 // "pdm-shm1"
-	shmSegVersion uint32 = 1
+	shmSegVersion uint32 = 2
 
 	shmSegHdrSize  = 4096
 	shmPairHdrSize = 256
@@ -53,6 +62,7 @@ const (
 	shmOffLargeCap = 24
 	shmOffHostID   = 32
 	shmOffAttach   = shmOffHostID + shmHostIDLen
+	shmOffWinCap   = shmOffAttach + 4*maxShmRanks
 
 	shmPairOffMsgTail   = 0
 	shmPairOffMsgHead   = 64
@@ -61,9 +71,11 @@ const (
 
 	// defaultShmRingCap sizes each pair's message ring; defaultShmLargeCap
 	// sizes its rendezvous staging region. Both are per ordered pair, and
-	// both are virtual until touched.
+	// both are virtual until touched. defaultShmWinCap sizes each rank's
+	// window heap.
 	defaultShmRingCap  = 256 << 10
 	defaultShmLargeCap = 4 << 20
+	defaultShmWinCap   = 8 << 20
 
 	// maxShmRanks bounds segment creation: the transport is a same-node
 	// fast path, and the recovery bitmask shares the same 64-rank ceiling.
@@ -95,6 +107,7 @@ type shmSegment struct {
 	np       int
 	ringCap  uint64
 	largeCap uint64
+	winCap   uint64
 	path     string
 }
 
@@ -117,6 +130,11 @@ func shmPairSize(ringCap, largeCap uint64) uint64 {
 // pairOff returns the byte offset of the (src, dst) pair block.
 func (s *shmSegment) pairOff(src, dst int) uint64 {
 	return shmSegHdrSize + uint64(src*s.np+dst)*shmPairSize(s.ringCap, s.largeCap)
+}
+
+// winOff returns the byte offset of rank r's window heap.
+func (s *shmSegment) winOff(r int) uint64 {
+	return shmSegHdrSize + uint64(s.np*s.np)*shmPairSize(s.ringCap, s.largeCap) + uint64(r)*s.winCap
 }
 
 func (s *shmSegment) attachWord(rank int) *atomic.Uint32 {
@@ -163,8 +181,8 @@ func CreateShmSegment(path string, np int) (string, error) {
 	if np < 1 || np > maxShmRanks {
 		return "", fmt.Errorf("mpi: shm segment supports 1..%d ranks, got %d", maxShmRanks, np)
 	}
-	ringCap, largeCap := uint64(defaultShmRingCap), uint64(defaultShmLargeCap)
-	size := uint64(shmSegHdrSize) + uint64(np*np)*shmPairSize(ringCap, largeCap)
+	ringCap, largeCap, winCap := uint64(defaultShmRingCap), uint64(defaultShmLargeCap), uint64(defaultShmWinCap)
+	size := uint64(shmSegHdrSize) + uint64(np*np)*shmPairSize(ringCap, largeCap) + uint64(np)*winCap
 
 	if path == "" {
 		path = filepath.Join(shmBaseDir(),
@@ -189,6 +207,7 @@ func CreateShmSegment(path string, np int) (string, error) {
 	le.PutUint32(data[shmOffNP:], uint32(np))
 	le.PutUint64(data[shmOffRingCap:], ringCap)
 	le.PutUint64(data[shmOffLargeCap:], largeCap)
+	le.PutUint64(data[shmOffWinCap:], winCap)
 	id := shmHostFingerprint()
 	copy(data[shmOffHostID:], id[:])
 	// The magic goes last: a joiner that maps a half-written header sees no
@@ -241,7 +260,8 @@ func openShmSegment(path string, np int) (*shmSegment, error) {
 	}
 	ringCap := le.Uint64(data[shmOffRingCap:])
 	largeCap := le.Uint64(data[shmOffLargeCap:])
-	want := uint64(shmSegHdrSize) + uint64(np*np)*shmPairSize(ringCap, largeCap)
+	winCap := le.Uint64(data[shmOffWinCap:])
+	want := uint64(shmSegHdrSize) + uint64(np*np)*shmPairSize(ringCap, largeCap) + uint64(np)*winCap
 	if uint64(fi.Size()) < want {
 		return fail(fmt.Errorf("mpi: shm segment truncated: %d bytes, want %d", fi.Size(), want))
 	}
@@ -249,7 +269,7 @@ func openShmSegment(path string, np int) (*shmSegment, error) {
 	if string(data[shmOffHostID:shmOffHostID+shmHostIDLen]) != string(id[:]) {
 		return fail(errShmHostMismatch)
 	}
-	return &shmSegment{data: data, np: np, ringCap: ringCap, largeCap: largeCap, path: path}, nil
+	return &shmSegment{data: data, np: np, ringCap: ringCap, largeCap: largeCap, winCap: winCap, path: path}, nil
 }
 
 func (s *shmSegment) unmap() error { return shmUnmap(s.data) }

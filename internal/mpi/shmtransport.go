@@ -175,6 +175,11 @@ type shmTransportStats struct {
 	// allocator over freed blocks — the number the reclamation tests drive
 	// to zero.
 	OutstandingLargeBytes uint64
+	// OutstandingWinBytes is the unreclaimed space in this rank's window
+	// heap: nonzero while RMA windows are live, back to zero once every
+	// window is freed (win.go resets the bump allocator when the last one
+	// goes).
+	OutstandingWinBytes uint64
 }
 
 // shmTestHook, when set by a test, observes each shm endpoint as its world
@@ -205,6 +210,16 @@ type shmTransport struct {
 	// reaches zero; otherwise the mapping is leaked rather than risk a
 	// released frame touching unmapped memory.
 	liveBlocks atomic.Int64
+
+	// Window-heap allocator (the one-sided layer, win.go). A rank bump-
+	// allocates RMA window memory exclusively from its own heap region of
+	// the segment and publishes offsets through an Allgather at window
+	// creation, so the allocator state itself is process-private: no peer
+	// ever allocates from this heap. winLive counts live windows; freeing
+	// the last one resets the bump pointer, reclaiming the whole heap.
+	winMu   sync.Mutex
+	winUsed uint64
+	winLive int
 
 	stats shmStats
 }
@@ -838,6 +853,60 @@ func (t *shmTransport) peerRejoined(rank int) {
 	p.dead.Store(false)
 }
 
+// winAlloc carves bytes out of this rank's window heap, 64-byte aligned,
+// and returns the absolute segment offset. It fails (ok=false) when the
+// heap is exhausted; the window layer then falls back to process-private
+// memory and the active-message path for that window.
+func (t *shmTransport) winAlloc(bytes uint64) (off uint64, ok bool) {
+	const align = 64
+	t.winMu.Lock()
+	defer t.winMu.Unlock()
+	used := (t.winUsed + align - 1) &^ (align - 1)
+	if used+bytes > t.seg.winCap {
+		return 0, false
+	}
+	t.winUsed = used + bytes
+	t.winLive++
+	return t.seg.winOff(t.rank) + used, true
+}
+
+// winFree retires one window's heap allocation. Individual allocations are
+// not returned piecemeal — windows are typically long-lived and few — but
+// freeing the last live window resets the bump pointer, so serial
+// create/free cycles never leak the heap.
+func (t *shmTransport) winFree() {
+	t.winMu.Lock()
+	defer t.winMu.Unlock()
+	if t.winLive > 0 {
+		t.winLive--
+	}
+	if t.winLive == 0 {
+		t.winUsed = 0
+	}
+}
+
+// winView returns the segment bytes at an absolute offset — the window
+// layer's door into a peer's published window region. The caller has
+// validated the offset against the publishing rank's heap bounds.
+func (t *shmTransport) winView(off, n uint64) []byte {
+	return t.seg.data[off : off+n : off+n]
+}
+
+// winDirectOK reports whether direct load/store access to world rank r's
+// window memory is sound: the rank is attached to this segment and its pair
+// has not been pinned to the TCP fallback (a respawned process maps a
+// different world's offsets; its published windows are stale).
+func (t *shmTransport) winDirectOK(r int) bool {
+	if r == t.rank {
+		return true
+	}
+	if r < 0 || r >= t.np || t.seg.attachState(r) != shmAttached {
+		return false
+	}
+	p := &t.out[r]
+	return p.mode.Load() != shmPairTCP && !p.dead.Load()
+}
+
 // corruptNextFrame delegates to the hub connection: the shm rings hand the
 // receiver the very memory the sender wrote (no wire to corrupt), so only
 // frames taking the TCP fallback can carry an injected bit flip.
@@ -869,6 +938,9 @@ func (t *shmTransport) statsSnapshot() shmTransportStats {
 		s.OutstandingLargeBytes += p.largeTail.Load() - p.largeHead.Load()
 		p.mu.Unlock()
 	}
+	t.winMu.Lock()
+	s.OutstandingWinBytes = t.winUsed
+	t.winMu.Unlock()
 	return s
 }
 

@@ -1897,6 +1897,7 @@ func joinHub(addr, segPath string, rank, np int, respawn bool, main func(c *Comm
 	}
 	if shmT != nil {
 		shmT.bind(w, box)
+		w.shmT = shmT
 		// Recovery hooks: a failed peer's staging space is reclaimed and its
 		// blocked senders released the moment the failure is recorded; a
 		// respawned peer's pair is pinned onto the TCP fallback (the new

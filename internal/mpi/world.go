@@ -51,6 +51,15 @@ type World struct {
 	// sharing a processor name share a node.
 	nodeOf   []int
 	hierMode HierMode
+
+	// One-sided state (win.go). winReg maps (ctx, window seq, world rank)
+	// to the rank's exposed window memory on worlds where every rank shares
+	// this process — the local transport's direct load/store path. shmT is
+	// the rank's shm endpoint when the world runs on the shared-memory data
+	// plane: windows there live in the mmap'd segment instead, and peers
+	// reach them through published segment offsets.
+	winReg sync.Map
+	shmT   *shmTransport
 }
 
 // Option configures a Run.
@@ -69,8 +78,8 @@ type config struct {
 	faults       *FaultPlan
 	faultReport  *FaultReport
 	recovery     bool
-	respawn      bool // relaunch failed ranks into their old slots
-	wireCompat   *int // force a specific TCP wire version (benchmarks/ablation)
+	respawn      bool                      // relaunch failed ranks into their old slots
+	wireCompat   *int                      // force a specific TCP wire version (benchmarks/ablation)
 	dialRetry    time.Duration             // JoinTCP dial budget; 0 = default, <0 = single attempt
 	hubOpts      []HubOption               // consumed by RunTCP's internal hub
 	noDelay      *bool                     // WithTCPNoDelay; nil leaves the platform default

@@ -519,8 +519,12 @@ func (s *Scheduler) dispatchLocked() {
 // starvingLocked finds the longest-starved queued job, if any has aged
 // past the guard.
 func (s *Scheduler) starvingLocked(now time.Time) *job {
+	// Walk tenants in registration order, not map order: jobs skipped in
+	// the same dispatch pass carry the same skipsSince, and the tiebreak
+	// must not depend on map iteration.
 	var oldest *job
-	for _, tq := range s.tenants {
+	for _, name := range s.tenantNames {
+		tq := s.tenants[name]
 		for _, j := range tq.queued {
 			if j.skipsSince.IsZero() || now.Sub(j.skipsSince) < s.cfg.StarveAfter {
 				continue

@@ -342,7 +342,12 @@ func TestTenantSlotsQuota(t *testing.T) {
 // TestFairnessRoundRobin: with one slot and two tenants' queues full,
 // placements alternate tenants instead of draining one queue first.
 func TestFairnessRoundRobin(t *testing.T) {
-	s := newTestSched(t, Config{Platform: testPlatform(1, 1)})
+	// Park the starvation guard beyond the test's horizon: six serial
+	// 40ms jobs outlive the default test StarveAfter, and the guard is
+	// *supposed* to override round-robin once a job has starved (that
+	// path is TestBackfillThenStarvationGuard's). This test pins pure
+	// alternation, which only the un-starved scheduler promises.
+	s := newTestSched(t, Config{Platform: testPlatform(1, 1), StarveAfter: 10 * time.Second})
 	var ids []string
 	for i := 0; i < 3; i++ {
 		st, err := s.Submit(JobSpec{Tenant: "a", Program: "sleep", Width: 1, Args: map[string]string{"ms": "40"}})
@@ -660,6 +665,26 @@ func TestDrainNodeFinishesRunningGangs(t *testing.T) {
 	}
 }
 
+// waitArtifact polls for an atomically published artifact file: the commit
+// happens after the terminal state becomes visible (deliberately outside the
+// scheduler lock, and non-fatal on failure), so a reader that saw the state
+// flip may still be ahead of the rename. Atomic publication means that once
+// the name exists it holds the complete bytes.
+func waitArtifact(t *testing.T, path string, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			return data
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("artifact %s never published: %v", path, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestArtifactsCommittedAtomically: terminal jobs publish stdout.log and
 // result.json; no temp files survive the commit.
 func TestArtifactsCommittedAtomically(t *testing.T) {
@@ -671,17 +696,11 @@ func TestArtifactsCommittedAtomically(t *testing.T) {
 	}
 	waitState(t, s, st.ID, StateSucceeded, 10*time.Second)
 
-	logBytes, err := os.ReadFile(filepath.Join(dir, st.ID, "stdout.log"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	logBytes := waitArtifact(t, filepath.Join(dir, st.ID, "stdout.log"), 5*time.Second)
 	if !strings.Contains(string(logBytes), "pi ≈") {
 		t.Fatalf("stdout.log = %q, want the program output", logBytes)
 	}
-	resBytes, err := os.ReadFile(filepath.Join(dir, st.ID, "result.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	resBytes := waitArtifact(t, filepath.Join(dir, st.ID, "result.json"), 5*time.Second)
 	var got JobStatus
 	if err := json.Unmarshal(resBytes, &got); err != nil {
 		t.Fatalf("result.json does not parse: %v", err)

@@ -3,6 +3,8 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -132,5 +134,110 @@ func TestVarianceNonNegativeProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// quantileRef is an independent sorted-slice reference for Quantile: sort a
+// copy, then take the convex combination of the two order statistics that
+// bracket rank q*(n-1). Written from the definition, not from the
+// implementation, so a regression in either shows up as disagreement.
+func quantileRef(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo > len(s)-2 {
+		lo = len(s) - 2
+	}
+	frac := pos - float64(lo)
+	return (1-frac)*s[lo] + frac*s[lo+1]
+}
+
+// TestQuantilePropertyVsReference pins Quantile against the sorted-slice
+// reference across random inputs (it now gates the scheduler's p99 pins),
+// and checks the definitional properties: bounded by min/max, monotone in
+// q, permutation-invariant, exact at the order-statistic ranks, and
+// non-mutating.
+func TestQuantilePropertyVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(3) {
+			case 0: // heavy tail, the latency-like shape the p99 pins see
+				xs[i] = math.Exp(rng.NormFloat64() * 3)
+			case 1: // duplicates on purpose
+				xs[i] = float64(rng.Intn(4))
+			default:
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+		orig := append([]float64(nil), xs...)
+		lo, hi, err := MinMax(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1, rng.Float64()}
+		prev := math.Inf(-1)
+		sort.Float64s(qs)
+		for _, q := range qs {
+			got, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatalf("trial %d: Quantile(n=%d, q=%v): %v", trial, n, q, err)
+			}
+			want := quantileRef(xs, q)
+			tol := 1e-9 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("trial %d: Quantile(n=%d, q=%v) = %v, reference %v", trial, n, q, got, want)
+			}
+			if got < lo || got > hi {
+				t.Fatalf("trial %d: Quantile(q=%v) = %v outside [%v, %v]", trial, q, got, lo, hi)
+			}
+			if got < prev-tol {
+				t.Fatalf("trial %d: Quantile not monotone: q=%v gave %v after %v", trial, q, got, prev)
+			}
+			prev = got
+		}
+		// Permutation invariance: a shuffle must not change any quantile.
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a, _ := Quantile(xs, 0.99)
+		b, _ := Quantile(shuffled, 0.99)
+		if a != b {
+			t.Fatalf("trial %d: p99 changed under permutation: %v vs %v", trial, a, b)
+		}
+		// Exact at the order-statistic ranks q = k/(n-1).
+		if n > 1 {
+			s := append([]float64(nil), xs...)
+			sort.Float64s(s)
+			k := rng.Intn(n)
+			got, err := Quantile(xs, float64(k)/float64(n-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tol := 1e-9 * math.Max(1, math.Abs(s[k])); math.Abs(got-s[k]) > tol {
+				t.Fatalf("trial %d: Quantile(k/(n-1)) = %v, want order statistic %v", trial, got, s[k])
+			}
+		}
+		for i := range xs {
+			if xs[i] != orig[i] {
+				t.Fatalf("trial %d: Quantile mutated its input at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty input: got %v, want ErrEmpty", err)
+	}
+	for _, q := range []float64{-0.01, 1.01, math.NaN()} {
+		if _, err := Quantile([]float64{1, 2}, q); err == nil {
+			t.Fatalf("q=%v: want error", q)
+		}
 	}
 }

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Diff a freshly generated BENCH_mpi.json against the committed baseline, so
+# perf drift is visible in review instead of only at pin-failure time. The
+# committed report is read from git (no working-tree mutation), piped into
+# benchlab's -benchdiff mode, which prints the relative change of every
+# numeric field the two reports share and fails if any speedup pin dropped
+# beyond the tolerance. Raw nanosecond columns are reported but never fatal:
+# they track host load as much as code.
+#
+# Usage:
+#   scripts/bench_diff.sh [-t tolerance_pct] [-r git_rev] [fresh_report]
+#
+#   -t  allowed pin drop in percent (default 25 — benchmark minima on a
+#       shared host still jitter; the pins' own floors remain the hard gate)
+#   -r  git revision holding the baseline report (default HEAD)
+#
+# The fresh report defaults to ./BENCH_mpi.json, i.e. the file a `make
+# bench-*` target just regenerated in place.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOL=25
+REV=HEAD
+while getopts t:r: opt; do
+  case $opt in
+    t) TOL=$OPTARG ;;
+    r) REV=$OPTARG ;;
+    *) echo "usage: $0 [-t tolerance_pct] [-r git_rev] [fresh_report]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+FRESH=${1:-BENCH_mpi.json}
+
+git show "$REV:BENCH_mpi.json" | go run ./cmd/benchlab -benchdiff "$FRESH" -benchdiff-tol "$TOL"

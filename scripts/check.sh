@@ -124,6 +124,23 @@ go test -race -timeout 180s -count=1 \
 # two-level, forestfire overlap) still runs end to end.
 go run ./cmd/benchlab -hierbench-quick -mpibench-out /tmp/BENCH_hier_smoke.json
 
+# The one-sided layer and the irregular exchange: window epochs (Put/Get/
+# Accumulate under Fence, passive-target Lock/Unlock), all three window data
+# paths (local direct, shm segment direct, active-message frames), coalesced
+# alltoallv parity including the two-level hierarchy path, and their failure
+# suites (kill-rank mid-epoch and mid-exchange, deadline on a stalled fence,
+# orphaned shm window reclamation) — fresh under the race detector: the
+# per-window service goroutine and the cross-process accumulate spinlock are
+# new concurrency surface.
+go test -race -timeout 180s -count=1 \
+  -run 'TestWin|TestShmWinReclamation|TestKillRankMidWinEpoch|TestAlltoallv|TestKillRankMidAlltoallv' \
+  ./internal/mpi/
+
+# RMA benchmark smoke: one size, one round, pins reported but not enforced —
+# proves the -rmabench harness (batched Put epochs vs the two-sided epoch,
+# naive-loop comparisons, PageRank scaling) still runs end to end.
+go run ./cmd/benchlab -rmabench-quick -mpibench-out /tmp/BENCH_rma_smoke.json
+
 # The scheduler service: gang placement, per-tenant fairness, quotas and
 # backpressure, the retry/quarantine supervisor, heartbeat-driven node death,
 # elastic shrink, drain/close, and the HTTP API — fresh under the race
